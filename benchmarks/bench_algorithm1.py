@@ -1,0 +1,104 @@
+"""E2 — Theorem 2 / Algorithm 1: consensus from ERC20 tokens.
+
+For each k: run the construction under schedules (solo, round-robin, seeded
+random with crashes) asserting the consensus properties everywhere, and —
+for small k — exhaustively over every interleaving.  The table reports the
+protocol's step complexity (linear in k) and the verified schedule coverage.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import consensus_checks
+from repro.protocols.token_consensus import algorithm1_system
+from repro.runtime.executor import run_system
+from repro.runtime.explorer import ScheduleExplorer
+from repro.runtime.scheduler import RandomScheduler
+
+RANDOM_SEEDS = 25
+
+
+def sweep_k(k: int) -> dict:
+    proposals = {pid: f"v{pid}" for pid in range(k)}
+    max_steps = 0
+    winners = set()
+    for seed in range(RANDOM_SEEDS):
+        result = run_system(algorithm1_system(proposals), RandomScheduler(seed))
+        values = set(result.decisions.values())
+        assert len(values) == 1 and values <= set(proposals.values())
+        winners |= values
+        max_steps = max(max_steps, max(r.steps_taken for r in result.runners))
+    crash_ok = 0
+    for seed in range(RANDOM_SEEDS):
+        scheduler = RandomScheduler(seed, crash_probability=0.15, crash_budget=k - 1)
+        result = run_system(algorithm1_system(proposals), scheduler)
+        assert len(set(result.decisions.values())) <= 1
+        crash_ok += 1
+    return {
+        "k": k,
+        "steps_per_proc": max_steps,
+        "distinct_winners": len(winners),
+        "random_runs": RANDOM_SEEDS,
+        "crash_runs": crash_ok,
+    }
+
+
+def test_algorithm1_k_sweep(benchmark, write_table):
+    def run_sweep():
+        return [sweep_k(k) for k in (1, 2, 3, 4, 5, 6, 8)]
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [
+        "E2: Algorithm 1 sweep (agreement+validity on every run)",
+        f"{'k':>3} {'steps/proc':>11} {'winners seen':>13} "
+        f"{'random runs':>12} {'crash runs':>11}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['k']:>3} {row['steps_per_proc']:>11} "
+            f"{row['distinct_winners']:>13} {row['random_runs']:>12} "
+            f"{row['crash_runs']:>11}"
+        )
+        # Step complexity is linear in k: write + transfer + (k-1) reads + read.
+        assert row["steps_per_proc"] <= row["k"] + 3
+    write_table("E2_algorithm1_sweep", lines)
+
+
+def test_algorithm1_exhaustive(benchmark, write_table):
+    def explore_all():
+        results = []
+        for k, crash_budget in ((2, 0), (2, 1), (3, 0)):
+            proposals = {pid: pid for pid in range(k)}
+            explorer = ScheduleExplorer(
+                lambda p=proposals: algorithm1_system(p),
+                crash_budget=crash_budget,
+            )
+            report = explorer.explore(checks=[consensus_checks(proposals)])
+            assert report.ok
+            results.append((k, crash_budget, report))
+        return results
+
+    results = benchmark.pedantic(explore_all, rounds=1, iterations=1)
+    lines = [
+        "E2: Algorithm 1 exhaustive model checking",
+        f"{'k':>3} {'crashes':>8} {'configs':>9} {'completions':>12} "
+        f"{'violations':>11} {'outcomes':>9}",
+    ]
+    for k, crash_budget, report in results:
+        lines.append(
+            f"{k:>3} {crash_budget:>8} {report.configs:>9} "
+            f"{report.executions:>12} {len(report.violations):>11} "
+            f"{len(report.outcomes):>9}"
+        )
+        assert report.outcomes == set(range(k))
+    write_table("E2_algorithm1_exhaustive", lines)
+
+
+def test_algorithm1_single_run_latency(benchmark):
+    """Wall-clock of one full k=4 consensus instance (runtime overhead)."""
+    proposals = {pid: pid for pid in range(4)}
+
+    def one_round():
+        return run_system(algorithm1_system(proposals), RandomScheduler(7))
+
+    result = benchmark(one_round)
+    assert len(set(result.decisions.values())) == 1

@@ -1,0 +1,135 @@
+"""E4 — Theorem 4 / Algorithm 2: the token emulation from k-AT.
+
+Differential throughput and equivalence totals (emulated vs sequential
+restricted specification), the Q_k-confinement counters, and the cost of the
+emulation in base-object steps per operation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.objects.erc20 import ERC20TokenType, TokenState
+from repro.objects.restricted import restrict_to_potential_qk
+from repro.protocols.token_from_kat import EmulatedToken, run_sequential
+from repro.spec.operation import Operation
+
+METHODS = {
+    "transfer": "transfer",
+    "transferFrom": "transfer_from",
+    "approve": "approve",
+    "balanceOf": "balance_of",
+    "allowance": "allowance",
+    "totalSupply": "total_supply",
+}
+
+
+def random_invocation(rng: random.Random, n: int):
+    name = rng.choice(list(METHODS))
+    if name == "transfer":
+        args = (rng.randrange(n), rng.randint(0, 5))
+    elif name == "transferFrom":
+        args = (rng.randrange(n), rng.randrange(n), rng.randint(0, 5))
+    elif name == "approve":
+        args = (rng.randrange(n), rng.randint(0, 5))
+    elif name == "balanceOf":
+        args = (rng.randrange(n),)
+    elif name == "allowance":
+        args = (rng.randrange(n), rng.randrange(n))
+    else:
+        args = ()
+    return rng.randrange(n), name, args
+
+
+def run_differential(n: int, k: int, ops: int, seed: int):
+    rng = random.Random(seed)
+    spec = restrict_to_potential_qk(ERC20TokenType(n), k)
+    spec_state = TokenState.deploy(n, 15)
+    emulated = EmulatedToken(spec_state, k=k, variant="corrected")
+    matches = rejected_approves = 0
+    for _ in range(ops):
+        pid, name, args = random_invocation(rng, n)
+        spec_state, expected = spec.apply(spec_state, pid, Operation(name, args))
+        actual = run_sequential(emulated, pid, METHODS[name], *args)
+        assert actual == expected
+        matches += 1
+        if name == "approve" and expected is False:
+            rejected_approves += 1
+    return matches, rejected_approves
+
+
+def test_differential_equivalence(benchmark, write_table):
+    def sweep():
+        rows = []
+        for n, k in ((3, 2), (4, 2), (4, 3), (5, 3)):
+            matches, rejections = run_differential(n, k, ops=400, seed=n * 10 + k)
+            rows.append((n, k, matches, rejections))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "E4: Algorithm 2 (corrected) vs restricted Definition 3",
+        f"{'n':>3} {'k':>3} {'ops matched':>12} {'Q_k approve rejections':>24}",
+    ]
+    for n, k, matches, rejections in rows:
+        lines.append(f"{n:>3} {k:>3} {matches:>12} {rejections:>24}")
+        assert matches == 400
+    write_table("E4_differential", lines)
+
+
+def count_base_steps(method: str, args: tuple, n: int, k: int) -> int:
+    """Base-object steps one emulated operation takes."""
+    state = TokenState.deploy(n, 15)
+    emulated = EmulatedToken(state, k=k, variant="corrected")
+    generator = getattr(emulated, method)(0, *args)
+    steps = 0
+    try:
+        call = next(generator)
+        while True:
+            steps += 1
+            result = call.target.invoke(0, call.operation)
+            call = generator.send(result)
+    except StopIteration:
+        return steps
+
+
+def test_emulation_step_costs(benchmark, write_table):
+    def measure():
+        rows = []
+        for n in (3, 5, 8):
+            rows.append(
+                (
+                    n,
+                    count_base_steps("transfer", (1, 2), n, 2),
+                    count_base_steps("approve", (1, 3), n, 2),
+                    count_base_steps("balance_of", (0,), n, 2),
+                    count_base_steps("total_supply", (), n, 2),
+                )
+            )
+        return rows
+
+    rows = benchmark(measure)
+    lines = [
+        "E4: base-object steps per emulated operation (corrected variant)",
+        f"{'n':>3} {'transfer':>9} {'approve':>8} {'balanceOf':>10} {'totalSupply':>12}",
+    ]
+    for n, transfer, approve, balance_of, total_supply in rows:
+        lines.append(
+            f"{n:>3} {transfer:>9} {approve:>8} {balance_of:>10} {total_supply:>12}"
+        )
+        assert transfer == 1  # one k-AT step
+        assert approve >= n  # the guard census reads n-1 registers
+    write_table("E4_step_costs", lines)
+
+
+def test_emulated_throughput(benchmark):
+    """Sequential ops/second through the full emulation stack."""
+    rng = random.Random(5)
+    emulated = EmulatedToken(TokenState.deploy(5, 20), k=3, variant="corrected")
+    workload = [random_invocation(rng, 5) for _ in range(300)]
+
+    def apply_all():
+        for pid, name, args in workload:
+            run_sequential(emulated, pid, METHODS[name], *args)
+
+    benchmark(apply_all)

@@ -1,0 +1,90 @@
+"""E5 — the dynamic consensus number (Eqs. 11/12/14).
+
+Tracks ``k(q) = max_a |σ_q(a)|`` along long random executions: the level
+rises only at successful approvals (or at transfers that fund an account
+with latent allowances — the Eq. 10 convention), falls as allowances are
+consumed or revoked, and the certified consensus-number bounds follow it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.hierarchy import token_consensus_number_bounds
+from repro.analysis.partition import synchronization_level
+from repro.analysis.reachability import level_trajectory, verify_level_change_ops
+from repro.objects.erc20 import ERC20TokenType
+from repro.workloads.generators import (
+    SPENDER_HEAVY_MIX,
+    TokenWorkloadGenerator,
+)
+
+
+def trace_dynamics(n: int, ops: int, seed: int):
+    token = ERC20TokenType(n, total_supply=5 * n)
+    items = TokenWorkloadGenerator(
+        n, seed=seed, mix=SPENDER_HEAVY_MIX, max_value=6
+    ).generate(ops)
+    invocations = [(item.pid, item.operation) for item in items]
+    trajectory = level_trajectory(token, invocations)
+    violations = verify_level_change_ops(token, invocations)
+    return trajectory, violations
+
+
+def test_level_trajectory(benchmark, write_table):
+    def run():
+        return trace_dynamics(n=6, ops=600, seed=42)
+
+    trajectory, violations = benchmark.pedantic(run, rounds=1, iterations=1)
+    levels = [level for level, _ in trajectory]
+    histogram: dict[int, int] = {}
+    for level in levels:
+        histogram[level] = histogram.get(level, 0) + 1
+    rises = sum(1 for a, b in zip(levels, levels[1:]) if b > a)
+    falls = sum(1 for a, b in zip(levels, levels[1:]) if b < a)
+
+    lines = [
+        "E5: synchronization level along 600 random operations (n=6)",
+        f"level histogram: "
+        + ", ".join(f"k={k}: {count}" for k, count in sorted(histogram.items())),
+        f"level rises: {rises}   level falls: {falls}",
+        f"max level reached: {max(levels)}   min: {min(levels)}",
+        f"rise-attribution violations (must be 0): {len(violations)}",
+    ]
+    assert not violations
+    assert max(levels) > 1, "spender-heavy traffic must raise the level"
+    assert rises > 0 and falls > 0
+    write_table("E5_level_trajectory", lines)
+
+
+def test_consensus_number_bounds_follow_state(benchmark, write_table):
+    def run():
+        token = ERC20TokenType(5, total_supply=10)
+        rows = []
+        state = token.initial_state()
+        from repro.spec.operation import Operation
+
+        script = [
+            ("deploy", None, None),
+            ("approve p1 (10)", 0, Operation("approve", (1, 10))),
+            ("approve p2 (10)", 0, Operation("approve", (2, 10))),
+            ("approve p3 (10)", 0, Operation("approve", (3, 10))),
+            ("p1 spends all", 1, Operation("transferFrom", (0, 1, 10))),
+        ]
+        for label, pid, operation in script:
+            if operation is not None:
+                state, _ = token.apply(state, pid, operation)
+            lower, upper = token_consensus_number_bounds(state)
+            rows.append((label, synchronization_level(state), lower, upper))
+        return rows
+
+    rows = benchmark(run)
+    lines = [
+        "E5: certified consensus-number bounds along an escalation",
+        f"{'after':<22} {'k(q)':>5} {'CN lower':>9} {'CN upper':>9}",
+    ]
+    for label, level, lower, upper in rows:
+        lines.append(f"{label:<22} {level:>5} {lower:>9} {upper:>9}")
+    # Deployment: CN = 1; escalation to 4; crash back down after the spend.
+    assert rows[0][2:] == (1, 1)
+    assert rows[3][1] == 4
+    assert rows[-1][1] < 4
+    write_table("E5_cn_bounds", lines)

@@ -1,0 +1,59 @@
+"""E1 — Example 1 (§4) and sequential-object throughput.
+
+Regenerates the paper's worked trace (states q0..q4 with exact balances,
+allowances, and responses) and benchmarks the sequential ERC20 object on
+realistic random workloads.
+"""
+
+from __future__ import annotations
+
+from repro.objects.erc20 import ERC20TokenType
+from repro.workloads.generators import (
+    EXAMPLE1_BALANCES,
+    EXAMPLE1_RESPONSES,
+    TokenWorkloadGenerator,
+    example1_trace,
+)
+
+
+def replay_example1():
+    token = ERC20TokenType(3, total_supply=10)
+    state = token.initial_state()
+    rows = []
+    for index, item in enumerate(example1_trace()):
+        state, response = token.apply(state, item.pid, item.operation)
+        rows.append((index + 1, item.pid, str(item.operation), response, state))
+    return rows
+
+
+def test_example1_trace_matches_paper(benchmark, write_table):
+    rows = benchmark(replay_example1)
+    lines = [
+        "E1: Example 1 trace (paper §4)",
+        f"{'step':<6}{'caller':<8}{'operation':<28}{'resp':<7}balances",
+    ]
+    for step, pid, operation, response, state in rows:
+        lines.append(
+            f"q{step:<5}p{pid:<7}{operation:<28}{str(response):<7}"
+            f"{list(state.balances)}"
+        )
+        assert response == EXAMPLE1_RESPONSES[step - 1]
+        assert state.balances == EXAMPLE1_BALANCES[step - 1]
+    final = rows[-1][4]
+    lines.append(f"final allowance(Bob, Charlie) = {final.allowance(1, 2)}")
+    assert final.allowance(1, 2) == 4
+    write_table("E1_example1", lines)
+
+
+def test_sequential_op_throughput(benchmark):
+    """Raw Δ-application throughput of the sequential ERC20 object."""
+    token = ERC20TokenType(10, total_supply=100)
+    items = TokenWorkloadGenerator(10, seed=1).generate(1_000)
+    invocations = [(item.pid, item.operation) for item in items]
+
+    def apply_workload():
+        state, _ = token.run(invocations)
+        return state
+
+    state = benchmark(apply_workload)
+    assert state.total_supply == 100

@@ -1,0 +1,95 @@
+"""E7 — §6 extensions: consensus from ERC721 (NFT race) and ERC777
+(operator race)."""
+
+from __future__ import annotations
+
+from repro.protocols.base import consensus_checks
+from repro.protocols.erc721_consensus import erc721_consensus_system
+from repro.protocols.erc777_consensus import erc777_consensus_system
+from repro.runtime.executor import run_system
+from repro.runtime.explorer import ScheduleExplorer
+from repro.runtime.scheduler import RandomScheduler
+
+
+def sweep(system_factory, ks):
+    rows = []
+    for k in ks:
+        proposals = {pid: f"v{pid}" for pid in range(k)}
+        winners = set()
+        for seed in range(15):
+            result = run_system(system_factory(proposals), RandomScheduler(seed))
+            values = set(result.decisions.values())
+            assert len(values) == 1
+            winners |= values
+        exhaustive = None
+        if k <= 3:
+            report = ScheduleExplorer(
+                lambda p=proposals: system_factory(p)
+            ).explore(checks=[consensus_checks(proposals)])
+            assert report.ok
+            exhaustive = report.configs
+        rows.append((k, len(winners), exhaustive))
+    return rows
+
+
+def test_erc721_race(benchmark, write_table):
+    rows = benchmark.pedantic(
+        lambda: sweep(erc721_consensus_system, (1, 2, 3, 4, 6)),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "E7: ERC721 NFT race (winner via ownerOf)",
+        f"{'k':>3} {'winners seen':>13} {'exhaustive configs':>19}",
+    ]
+    for k, winners, configs in rows:
+        lines.append(
+            f"{k:>3} {winners:>13} {str(configs) if configs else '-':>19}"
+        )
+    write_table("E7_erc721", lines)
+
+
+def test_erc777_race(benchmark, write_table):
+    rows = benchmark.pedantic(
+        lambda: sweep(erc777_consensus_system, (1, 2, 3, 4, 6)),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "E7: ERC777 operator race (winner via target balances)",
+        f"{'k':>3} {'winners seen':>13} {'exhaustive configs':>19}",
+    ]
+    for k, winners, configs in rows:
+        lines.append(
+            f"{k:>3} {winners:>13} {str(configs) if configs else '-':>19}"
+        )
+    write_table("E7_erc777", lines)
+
+
+def test_erc1155_race(benchmark, write_table):
+    from repro.protocols.erc1155_consensus import erc1155_consensus_system
+
+    rows = benchmark.pedantic(
+        lambda: sweep(erc1155_consensus_system, (1, 2, 3, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "E7: ERC1155 operator race (the §6 conjecture's lower bound)",
+        f"{'k':>3} {'winners seen':>13} {'exhaustive configs':>19}",
+    ]
+    for k, winners, configs in rows:
+        lines.append(
+            f"{k:>3} {winners:>13} {str(configs) if configs else '-':>19}"
+        )
+    write_table("E7_erc1155", lines)
+
+
+def test_erc721_round_latency(benchmark):
+    proposals = {pid: pid for pid in range(4)}
+
+    def one_round():
+        return run_system(erc721_consensus_system(proposals), RandomScheduler(1))
+
+    result = benchmark(one_round)
+    assert len(set(result.decisions.values())) == 1

@@ -1,0 +1,79 @@
+"""E6 — the k-AT baseline: CN(k-AT) = k (Guerraoui et al. [16]).
+
+The race construction for the owners of a k-shared account, swept over k,
+with exhaustive verification for small k — the object the paper positions
+ERC20 tokens against.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import consensus_checks
+from repro.protocols.kat_consensus import kat_consensus_system
+from repro.runtime.executor import run_system
+from repro.runtime.explorer import ScheduleExplorer
+from repro.runtime.scheduler import RandomScheduler
+
+
+def test_kat_sweep(benchmark, write_table):
+    def sweep():
+        rows = []
+        for k in (1, 2, 3, 4, 6, 8):
+            proposals = {pid: f"v{pid}" for pid in range(k)}
+            winners = set()
+            steps = 0
+            for seed in range(20):
+                result = run_system(
+                    kat_consensus_system(proposals), RandomScheduler(seed)
+                )
+                values = set(result.decisions.values())
+                assert len(values) == 1
+                winners |= values
+                steps = max(steps, max(r.steps_taken for r in result.runners))
+            rows.append((k, steps, len(winners)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "E6: consensus from k-shared asset transfer",
+        f"{'k':>3} {'steps/proc':>11} {'winners seen':>13}",
+    ]
+    for k, steps, winners in rows:
+        lines.append(f"{k:>3} {steps:>11} {winners:>13}")
+        assert steps <= k + 3  # write + transfer + <=k scans + read
+    write_table("E6_kat_sweep", lines)
+
+
+def test_kat_exhaustive(benchmark, write_table):
+    def explore():
+        results = []
+        for k, crash_budget in ((2, 0), (2, 1), (3, 0)):
+            proposals = {pid: pid for pid in range(k)}
+            report = ScheduleExplorer(
+                lambda p=proposals: kat_consensus_system(p),
+                crash_budget=crash_budget,
+            ).explore(checks=[consensus_checks(proposals)])
+            assert report.ok
+            results.append((k, crash_budget, report))
+        return results
+
+    results = benchmark.pedantic(explore, rounds=1, iterations=1)
+    lines = [
+        "E6: k-AT consensus, exhaustive",
+        f"{'k':>3} {'crashes':>8} {'configs':>9} {'violations':>11}",
+    ]
+    for k, crash_budget, report in results:
+        lines.append(
+            f"{k:>3} {crash_budget:>8} {report.configs:>9} "
+            f"{len(report.violations):>11}"
+        )
+    write_table("E6_kat_exhaustive", lines)
+
+
+def test_kat_single_round_latency(benchmark):
+    proposals = {pid: pid for pid in range(4)}
+
+    def one_round():
+        return run_system(kat_consensus_system(proposals), RandomScheduler(3))
+
+    result = benchmark(one_round)
+    assert len(set(result.decisions.values())) == 1

@@ -1,0 +1,204 @@
+"""E8 — the scalability claim (§1/§7): total-order ledger vs the dynamic
+per-account synchronization network on identical workloads.
+
+Three tables:
+
+* **owner-only traffic** (the consensus-number-1 regime): sweep the node
+  count ``n``; the dynamic network's latency stays flat while the global
+  sequencer queues;
+* **mixed traffic**: add approvals and transferFrom (group coordination);
+* **group-size sweep**: transferFrom cost as a function of ``k`` — the
+  coordination the theory prescribes grows with the spender group, not with
+  the network.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dynamic.dynamic_token import (
+    DynamicTokenNode,
+    assert_converged,
+    measure_dynamic,
+)
+from repro.ledger.blockchain import build_ledger, measure_ledger
+from repro.net.network import Network, UniformLatency
+from repro.net.simulation import Simulator
+from repro.objects.erc20 import ERC20TokenType
+from repro.spec.operation import Operation
+
+OPS = 60
+SEED = 17
+
+
+def owner_traffic(n: int, ops: int, seed: int):
+    rng = random.Random(seed)
+    return [
+        ("transfer", rng.randrange(n), (rng.randrange(n), rng.randint(1, 3)))
+        for _ in range(ops)
+    ]
+
+
+def mixed_traffic(n: int, ops: int, seed: int):
+    rng = random.Random(seed)
+    traffic = [("approve", a, ((a + 1) % n, 30)) for a in range(n)]
+    for _ in range(ops):
+        actor = rng.randrange(n)
+        if rng.random() < 0.35:
+            traffic.append(
+                (
+                    "transferFrom",
+                    actor,
+                    ((actor - 1) % n, rng.randrange(n), rng.randint(1, 2)),
+                )
+            )
+        else:
+            traffic.append(
+                ("transfer", actor, (rng.randrange(n), rng.randint(1, 3)))
+            )
+    return traffic
+
+
+def run_dynamic(n: int, traffic, seed: int):
+    simulator = Simulator()
+    network = Network(simulator, UniformLatency(0.5, 1.5), seed=seed)
+    nodes = [DynamicTokenNode(i, network, n, supply=100 * n) for i in range(n)]
+    for dest in range(1, n):
+        nodes[0].submit_transfer(dest, 100)
+    simulator.run()
+    for kind, actor, args in traffic:
+        getattr(
+            nodes[actor],
+            {
+                "transfer": "submit_transfer",
+                "approve": "submit_approve",
+                "transferFrom": "submit_transfer_from",
+            }[kind],
+        )(*args)
+    simulator.run()
+    assert_converged(nodes)
+    return measure_dynamic(nodes)
+
+
+def run_ledger(n: int, traffic, seed: int, max_batch: int):
+    simulator = Simulator()
+    network = Network(simulator, UniformLatency(0.5, 1.5), seed=seed)
+    nodes = build_ledger(
+        network, n, ERC20TokenType(n, total_supply=100 * n), max_batch=max_batch
+    )
+    submissions = {}
+    for dest in range(1, n):
+        tx = nodes[0].submit_operation(0, Operation("transfer", (dest, 100)))
+        submissions[tx] = simulator.now
+    for kind, actor, args in traffic:
+        tx = nodes[actor].submit_operation(actor, Operation(kind, args))
+        submissions[tx] = simulator.now
+    simulator.run()
+    states = {node.token_state for node in nodes}
+    assert len(states) == 1
+    return measure_ledger(nodes, submissions)
+
+
+def test_owner_only_scaling(benchmark, write_table):
+    def sweep():
+        rows = []
+        for n in (4, 7, 10):
+            traffic = owner_traffic(n, OPS, SEED)
+            dynamic = run_dynamic(n, traffic, SEED)
+            unbatched = run_ledger(n, traffic, SEED, max_batch=1)
+            batched = run_ledger(n, traffic, SEED, max_batch=64)
+            rows.append((n, dynamic, unbatched, batched))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"E8a: owner-only traffic ({OPS} transfers), latency in simulated ms",
+        f"{'n':>3} | {'dyn msg/op':>10} {'dyn mean':>9} {'dyn p99':>8} | "
+        f"{'led1 msg/op':>11} {'led1 mean':>10} | "
+        f"{'led64 msg/op':>12} {'led64 mean':>10}",
+    ]
+    for n, dynamic, unbatched, batched in rows:
+        lines.append(
+            f"{n:>3} | {dynamic.messages_per_op:>10.1f} "
+            f"{dynamic.mean_latency:>9.2f} {dynamic.p99_latency:>8.2f} | "
+            f"{unbatched.messages_per_op:>11.1f} "
+            f"{unbatched.mean_latency:>10.2f} | "
+            f"{batched.messages_per_op:>12.1f} {batched.mean_latency:>10.2f}"
+        )
+        # The paper's qualitative claim: no global sequencer -> the dynamic
+        # network's latency beats per-op consensus by a growing margin.
+        assert dynamic.mean_latency < unbatched.mean_latency
+        assert dynamic.mean_latency < batched.mean_latency
+    write_table("E8a_owner_only", lines)
+
+
+def test_mixed_traffic(benchmark, write_table):
+    def sweep():
+        rows = []
+        for n in (4, 7, 10):
+            traffic = mixed_traffic(n, OPS, SEED)
+            dynamic = run_dynamic(n, traffic, SEED)
+            unbatched = run_ledger(n, traffic, SEED, max_batch=1)
+            rows.append((n, dynamic, unbatched))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "E8b: mixed traffic (35% transferFrom through spender groups)",
+        f"{'n':>3} | {'dyn msg/op':>10} {'dyn mean':>9} | "
+        f"{'ledger msg/op':>13} {'ledger mean':>11}",
+    ]
+    for n, dynamic, unbatched in rows:
+        lines.append(
+            f"{n:>3} | {dynamic.messages_per_op:>10.1f} "
+            f"{dynamic.mean_latency:>9.2f} | "
+            f"{unbatched.messages_per_op:>13.1f} "
+            f"{unbatched.mean_latency:>11.2f}"
+        )
+        assert dynamic.mean_latency < unbatched.mean_latency
+    write_table("E8b_mixed", lines)
+
+
+def test_group_size_sweep(benchmark, write_table):
+    """transferFrom cost as a function of the spender-group size k, at fixed
+    network size: the extra messages are 2(k-1), independent of n."""
+
+    def sweep():
+        n = 10
+        rows = []
+        for k in (1, 2, 3, 4, 5):
+            simulator = Simulator()
+            network = Network(simulator, UniformLatency(0.5, 1.5), seed=SEED)
+            nodes = [
+                DynamicTokenNode(i, network, n, supply=1000) for i in range(n)
+            ]
+            # k enabled spenders on account 0: owner + (k-1) approved.
+            for spender in range(1, k):
+                nodes[0].submit_approve(spender, 100)
+            simulator.run()
+            if k == 1:
+                # transferFrom needs an allowance; measure the owner's
+                # degenerate self-allowance path.
+                nodes[0].submit_approve(0, 100)
+                simulator.run()
+            before = network.stats.messages_sent
+            actor = 1 if k > 1 else 0
+            record = nodes[actor].submit_transfer_from(0, 2, 5)
+            simulator.run()
+            messages = network.stats.messages_sent - before
+            assert record.response is True
+            rows.append((k, messages, record.latency))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "E8c: one transferFrom at n=10, sweeping the spender-group size k",
+        f"{'k':>3} {'messages':>9} {'latency':>9}",
+    ]
+    for k, messages, latency in rows:
+        lines.append(f"{k:>3} {messages:>9} {latency:>9.2f}")
+    # Group coordination grows with k ...
+    assert rows[-1][1] > rows[1][1]
+    # ... but stays a small additive term over the BRB dissemination.
+    assert rows[-1][1] - rows[1][1] <= 3 * 2 * (5 - 2)
+    write_table("E8c_group_sweep", lines)

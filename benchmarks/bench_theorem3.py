@@ -1,0 +1,129 @@
+"""E3 — Theorem 3 / Figure 1: the commutativity case analysis, and why the
+construction cannot exceed k.
+
+Regenerates the proof's case split as a machine-checked matrix over a
+synchronization state, then demonstrates the upper-bound phenomenon: running
+Algorithm 1's decision rule with a (k+1)-th process that is not an enabled
+spender breaks on some schedule (the p_w argument made executable).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.commutativity import (
+    Invocation,
+    PairKind,
+    analyze_pair,
+    erc20_case_label,
+)
+from repro.objects.erc20 import ERC20Token, ERC20TokenType, TokenState
+from repro.objects.register import register_array
+from repro.protocols.base import consensus_checks
+from repro.protocols.token_consensus import TokenConsensus
+from repro.runtime.executor import System
+from repro.runtime.explorer import ScheduleExplorer
+from repro.spec.operation import op
+
+
+def build_matrix():
+    token = ERC20TokenType(4, total_supply=0)
+    state = TokenState.create([10, 10, 0, 0], {(0, 1): 10, (0, 2): 10})
+    invocations = [
+        Invocation(0, op("transfer", 3, 10)),
+        Invocation(1, op("transferFrom", 0, 1, 10)),
+        Invocation(2, op("transferFrom", 0, 2, 10)),
+        Invocation(1, op("transfer", 2, 5)),
+        Invocation(0, op("approve", 1, 3)),
+        Invocation(3, op("balanceOf", 0)),
+        Invocation(3, op("transferFrom", 0, 3, 10)),  # p_w: not enabled
+    ]
+    rows = []
+    for i in range(len(invocations)):
+        for j in range(i + 1, len(invocations)):
+            analysis = analyze_pair(token, state, invocations[i], invocations[j])
+            rows.append(
+                (
+                    str(invocations[i]),
+                    str(invocations[j]),
+                    analysis.kind,
+                    erc20_case_label(invocations[i], invocations[j]),
+                )
+            )
+    return rows
+
+
+def test_case_matrix(benchmark, write_table):
+    rows = benchmark(build_matrix)
+    lines = [
+        "E3: Theorem 3 case analysis at a synchronization state",
+        f"{'first':<34}{'second':<34}{'kind':<11}case",
+    ]
+    conflicts = 0
+    for first, second, kind, label in rows:
+        lines.append(f"{first:<34}{second:<34}{kind.value:<11}{label}")
+        if kind is PairKind.CONFLICT:
+            conflicts += 1
+            # Every conflict is on account 0's state among its enabled
+            # spenders: a transfer/transferFrom race (Cases 1-3) or an
+            # approve racing an enabled spender's transferFrom (Case 4,
+            # second sub-case).
+            assert "(0," in first or "(0," in second or "transfer(3" in first
+            names = {first.split(".")[1].split("(")[0],
+                     second.split(".")[1].split("(")[0]}
+            assert names <= {"transfer", "transferFrom", "approve"}
+            assert "transferFrom" in names or names == {"transfer"}
+    lines.append(f"total pairs: {len(rows)}; genuine conflicts: {conflicts}")
+    assert conflicts >= 2  # the owner/spender and spender/spender races
+    write_table("E3_case_matrix", lines)
+
+
+def oversubscribed_system(proposals):
+    """Algorithm 1's decision rule run by k+1 processes where only k are
+    enabled spenders: the extra process pw races with a doomed transferFrom
+    and then applies the same scan."""
+    k = len(proposals) - 1
+    state = TokenState.create([2, 0, 0, 0], {(0, 1): 2})  # k=2 spenders: 0,1
+    token = ERC20Token(4, initial_state=state)
+    protocol = TokenConsensus(token, account=0)
+    registers = register_array(3)
+    participants = [0, 1, 2]  # p2 is NOT an enabled spender
+
+    def propose(pid):
+        def program():
+            yield registers[pid].write(proposals[pid])
+            if pid == 0:
+                yield token.transfer(protocol.dest, 2)
+            else:
+                yield token.transfer_from(0, protocol.dest, 2)
+            for j in (1, 2):
+                allowance = yield token.allowance(0, j)
+                if allowance == 0:
+                    decision = yield registers[j].read()
+                    return decision
+            decision = yield registers[0].read()
+            return decision
+
+        return program
+
+    return System(
+        programs=[propose(pid) for pid in participants],
+        objects=[token, *registers],
+        pids=participants,
+    )
+
+
+def test_oversubscription_fails(benchmark, write_table):
+    proposals = {0: "a", 1: "b", 2: "c"}
+
+    def explore():
+        explorer = ScheduleExplorer(lambda: oversubscribed_system(proposals))
+        return explorer.explore(checks=[consensus_checks(proposals)])
+
+    report = benchmark.pedantic(explore, rounds=1, iterations=1)
+    lines = [
+        "E3: k'=3 processes on a k=2 synchronization state (p2 not enabled)",
+        f"configurations explored: {report.configs}",
+        f"violations found: {len(report.violations)}",
+    ]
+    lines += [f"  {v}" for v in report.violations[:3]]
+    assert not report.ok, "the upper bound must bite: some schedule fails"
+    write_table("E3_oversubscription", lines)

@@ -1,0 +1,79 @@
+"""E9 — the valency machinery (Theorem 3's proof technique, executable).
+
+Times the critical-configuration search on Algorithm 1 and the k-AT race,
+and verifies the structural claims: bivalent initial configurations, critical
+configurations whose pending operations are the token race, and univalent
+successors deciding the stepping process.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.valency import ValencyAnalyzer
+from repro.protocols.kat_consensus import kat_consensus_system
+from repro.protocols.register_consensus import doomed_register_system
+from repro.protocols.token_consensus import algorithm1_system
+
+
+def test_critical_state_search(benchmark, write_table):
+    def search():
+        results = {}
+        for name, factory in (
+            ("algorithm1 k=2", lambda: algorithm1_system({0: 0, 1: 1})),
+            ("k-AT race k=2", lambda: kat_consensus_system({0: 0, 1: 1})),
+        ):
+            analyzer = ValencyAnalyzer(factory)
+            bivalent = analyzer.initial_is_bivalent()
+            criticals = analyzer.find_critical_configurations(max_results=4)
+            results[name] = (bivalent, criticals)
+        return results
+
+    results = benchmark.pedantic(search, rounds=1, iterations=1)
+    lines = ["E9: critical-configuration search"]
+    for name, (bivalent, criticals) in results.items():
+        lines.append(f"\n{name}: initial bivalent = {bivalent}, "
+                     f"critical configs found = {len(criticals)}")
+        assert bivalent
+        assert criticals
+        critical = criticals[0]
+        for pid, pending in sorted(critical.pending.items()):
+            lines.append(f"  pending p{pid}: {pending}")
+        for pid, valence in sorted(critical.successor_valences.items()):
+            lines.append(f"  p{pid} steps first -> {valence}")
+            assert valence.outcomes == {pid}
+        pending_ops = " ".join(critical.pending.values())
+        assert "transfer" in pending_ops  # the race is on the token/AT object
+    write_table("E9_critical_states", lines)
+
+
+def test_register_protocol_stays_broken(benchmark, write_table):
+    def search():
+        analyzer = ValencyAnalyzer(lambda: doomed_register_system({0: 2, 1: 1}))
+        from repro.protocols.base import consensus_checks
+        report = analyzer.explorer.explore(
+            checks=[consensus_checks({0: 2, 1: 1})]
+        )
+        return analyzer.valence(()), report
+
+    valence, report = benchmark.pedantic(search, rounds=1, iterations=1)
+    lines = [
+        "E9: register-only consensus attempt (FLP demonstration)",
+        f"initial valence: {valence}",
+        f"configurations: {report.configs}",
+        f"agreement violations found: {len(report.violations)}",
+    ]
+    assert valence.is_bivalent
+    assert not report.ok
+    write_table("E9_flp_demo", lines)
+
+
+def test_valency_search_scaling(benchmark):
+    """Wall time of the memoized full-tree exploration for k=3."""
+
+    def explore_k3():
+        analyzer = ValencyAnalyzer(
+            lambda: algorithm1_system({0: 0, 1: 1, 2: 2})
+        )
+        return analyzer.valence(())
+
+    valence = benchmark.pedantic(explore_k3, rounds=1, iterations=1)
+    assert valence.outcomes == {0, 1, 2}

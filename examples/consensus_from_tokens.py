@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Algorithm 1 in action: wait-free consensus from an ERC20 token.
+
+Demonstrates the paper's Theorem 2 construction end to end:
+
+1. deploy a token (consensus number 1);
+2. escalate into a synchronization state ``q ∈ S_k`` via approvals (Eq. 12 —
+   note this preparation itself is not wait-free);
+3. run Algorithm 1 among the k enabled spenders under several adversarial
+   schedules, including crashes;
+4. exhaustively model-check the construction for k = 2 and 3 (every
+   interleaving, every crash pattern with one crash).
+
+Run:  python examples/consensus_from_tokens.py
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import consensus_checks
+from repro.protocols.token_consensus import algorithm1_system
+from repro.runtime.executor import run_system
+from repro.runtime.explorer import ScheduleExplorer
+from repro.runtime.scheduler import RandomScheduler, SoloScheduler
+
+
+def run_one(k: int) -> None:
+    proposals = {pid: f"proposal-of-p{pid}" for pid in range(k)}
+    print(f"\n--- k = {k}: race among {k} enabled spenders ---")
+
+    # The owner running solo wins its own race.
+    result = run_system(algorithm1_system(proposals), SoloScheduler(range(k)))
+    print(f"solo owner schedule  -> decided {set(result.decisions.values())}")
+
+    # Random schedules: different winners, always agreement.
+    winners = set()
+    for seed in range(12):
+        result = run_system(algorithm1_system(proposals), RandomScheduler(seed))
+        values = set(result.decisions.values())
+        assert len(values) == 1, "agreement must hold"
+        winners |= values
+    print(f"12 random schedules  -> winners observed: {len(winners)} distinct")
+
+    # Crashy schedules: wait-freedom for the survivors.
+    survivors_decided = 0
+    for seed in range(12):
+        scheduler = RandomScheduler(
+            seed, crash_probability=0.2, crash_budget=k - 1
+        )
+        result = run_system(algorithm1_system(proposals), scheduler)
+        correct = set(range(k)) - result.crashed
+        assert set(result.decisions) == correct
+        survivors_decided += len(result.decisions)
+    print(f"12 crashy schedules  -> every survivor decided "
+          f"({survivors_decided} decisions total)")
+
+
+def model_check(k: int, crash_budget: int) -> None:
+    proposals = {pid: pid for pid in range(k)}
+    explorer = ScheduleExplorer(
+        lambda: algorithm1_system(proposals), crash_budget=crash_budget
+    )
+    report = explorer.explore(checks=[consensus_checks(proposals)])
+    status = "OK" if report.ok else f"{len(report.violations)} VIOLATIONS"
+    print(
+        f"k={k} crash_budget={crash_budget}: "
+        f"{report.configs} configurations, "
+        f"{report.executions} distinct completions -> {status}; "
+        f"reachable decisions = {sorted(report.outcomes)}"
+    )
+    assert report.ok
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Algorithm 1: consensus from an ERC20 token in a synchronization")
+    print("state (Theorem 2)")
+    print("=" * 72)
+
+    for k in (1, 2, 3, 5):
+        run_one(k)
+
+    print("\n--- exhaustive model checking (every interleaving) ---")
+    model_check(2, crash_budget=0)
+    model_check(2, crash_budget=1)
+    model_check(3, crash_budget=0)
+    print("\nAll checks passed: the construction is wait-free consensus.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""The paper's §7 vision, running: a consensus-free token network whose
+synchronization adapts per account to the current state.
+
+Simulates (virtual time) two deployments executing the same workload:
+
+* **total-order ledger** — every operation goes through a global 3-phase
+  quorum protocol (today's blockchains);
+* **dynamic token network** — `transfer`/`approve` ride on plain reliable
+  broadcast; `transferFrom` coordinates only within the source account's
+  enabled-spender group σ_q(a).
+
+Prints messages/op and latency for both, plus the evolution of the
+synchronization groups.
+
+Run:  python examples/dynamic_payment_network.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dynamic.dynamic_token import (
+    DynamicTokenNode,
+    assert_converged,
+    measure_dynamic,
+)
+from repro.ledger.blockchain import build_ledger, measure_ledger
+from repro.net.network import Network, UniformLatency
+from repro.net.simulation import Simulator
+from repro.objects.erc20 import ERC20TokenType
+from repro.spec.operation import Operation
+
+
+def build_traffic(n: int, ops: int, seed: int):
+    """A mixed workload: funding, approvals, then owner+spender traffic."""
+    rng = random.Random(seed)
+    traffic = []
+    for actor in range(n):
+        traffic.append(("approve", actor, ((actor + 1) % n, 25)))
+    for _ in range(ops):
+        actor = rng.randrange(n)
+        if rng.random() < 0.3:
+            source = (actor - 1) % n
+            traffic.append(
+                ("transferFrom", actor, (source, rng.randrange(n), rng.randint(1, 3)))
+            )
+        else:
+            traffic.append(
+                ("transfer", actor, (rng.randrange(n), rng.randint(1, 3)))
+            )
+    return traffic
+
+
+def run_dynamic(n: int, traffic, seed: int):
+    simulator = Simulator()
+    network = Network(simulator, UniformLatency(0.5, 1.5), seed=seed)
+    nodes = [
+        DynamicTokenNode(i, network, n, supply=100 * n, track_groups=(i == 0))
+        for i in range(n)
+    ]
+    for dest in range(1, n):
+        nodes[0].submit_transfer(dest, 100)
+    simulator.run()
+    for kind, actor, args in traffic:
+        if kind == "transfer":
+            nodes[actor].submit_transfer(*args)
+        elif kind == "approve":
+            nodes[actor].submit_approve(*args)
+        else:
+            nodes[actor].submit_transfer_from(*args)
+    simulator.run()
+    assert_converged(nodes)
+    return measure_dynamic(nodes), nodes[0].tracker
+
+
+def run_ledger(n: int, traffic, seed: int):
+    simulator = Simulator()
+    network = Network(simulator, UniformLatency(0.5, 1.5), seed=seed)
+    nodes = build_ledger(
+        network, n, ERC20TokenType(n, total_supply=100 * n), max_batch=1
+    )
+    submissions = {}
+    for dest in range(1, n):
+        tx = nodes[0].submit_operation(0, Operation("transfer", (dest, 100)))
+        submissions[tx] = simulator.now
+    for kind, actor, args in traffic:
+        operation = Operation(kind, args)
+        tx = nodes[actor].submit_operation(actor, operation)
+        submissions[tx] = simulator.now
+    simulator.run()
+    return measure_ledger(nodes, submissions)
+
+
+def main() -> None:
+    n, ops, seed = 7, 80, 11
+    traffic = build_traffic(n, ops, seed)
+
+    print("=" * 72)
+    print(f"Same workload ({len(traffic)} ops, {n} nodes), two architectures")
+    print("=" * 72)
+
+    dynamic_stats, tracker = run_dynamic(n, traffic, seed)
+    ledger_stats = run_ledger(n, traffic, seed)
+
+    print(f"\n{'':24} {'dynamic (§7)':>14} {'total order':>14}")
+    print(f"{'operations':<24} {dynamic_stats.operations:>14} {ledger_stats.operations:>14}")
+    print(
+        f"{'messages / op':<24} {dynamic_stats.messages_per_op:>14.1f} "
+        f"{ledger_stats.messages_per_op:>14.1f}"
+    )
+    print(
+        f"{'mean latency (ms)':<24} {dynamic_stats.mean_latency:>14.2f} "
+        f"{ledger_stats.mean_latency:>14.2f}"
+    )
+    print(
+        f"{'p99 latency (ms)':<24} {dynamic_stats.p99_latency:>14.2f} "
+        f"{ledger_stats.p99_latency:>14.2f}"
+    )
+    print(
+        f"{'makespan (ms)':<24} {dynamic_stats.makespan:>14.2f} "
+        f"{ledger_stats.makespan:>14.2f}"
+    )
+
+    print("\nSynchronization groups over time (node 0's view):")
+    histogram = tracker.level_histogram()
+    for level in sorted(histogram):
+        print(f"  group size {level}: {histogram[level]:>5} account-samples")
+    print(f"  largest group ever needed: {tracker.max_level_seen()} "
+          f"(out of {n} nodes)")
+
+    print("\nThe dynamic network pays coordination only where the theory says")
+    print("it must: inside each account's enabled-spender group — never")
+    print("globally.  The total-order baseline pays the full quorum protocol")
+    print("for every single transfer.")
+
+
+if __name__ == "__main__":
+    main()

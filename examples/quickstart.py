@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Example 1 plus the headline analysis.
+
+Walks through the exact execution of Example 1 (§4) on the sequential ERC20
+object, printing the state after every operation, then shows the library's
+core analysis entry points: enabled spenders, the Q_k partition, and the
+(dynamic!) consensus number of the token at each state.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ERC20Token, classify, enabled_spenders, token_consensus_number
+from repro.workloads import EXAMPLE1_RESPONSES, example1_trace
+
+NAMES = {0: "Alice", 1: "Bob", 2: "Charlie"}
+
+
+def describe(token: ERC20Token) -> str:
+    state = token.state
+    classification = classify(state)
+    spenders = {
+        NAMES[a]: sorted(NAMES[p] for p in enabled_spenders(state, a))
+        for a in range(3)
+    }
+    return (
+        f"    balances = {list(state.balances)}  "
+        f"(Alice, Bob, Charlie)\n"
+        f"    enabled spenders σ_q = {spenders}\n"
+        f"    partition cell Q_k: k(q) = {classification.level}; "
+        f"certified consensus number = {token_consensus_number(state)}"
+    )
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Example 1 (paper §4): Alice deploys an ERC20 token, supply 10")
+    print("=" * 72)
+
+    token = ERC20Token(num_accounts=3, total_supply=10, deployer=0)
+    print("q0: initial state")
+    print(describe(token))
+
+    steps = example1_trace()
+    commentary = [
+        "Alice sends Bob 3 tokens",
+        "Bob approves Charlie for up to 5 tokens",
+        "Charlie tries to take 5 from Bob — Bob only has 3, so this FAILS",
+        "Charlie moves 1 token from Bob to Alice using his allowance",
+    ]
+    for index, (item, comment, expected) in enumerate(
+        zip(steps, commentary, EXAMPLE1_RESPONSES), start=1
+    ):
+        response = token.invoke(item.pid, item.operation)
+        assert response == expected, "the trace must match the paper"
+        print(f"\nq{index}: {NAMES[item.pid]}: {item.operation}  ->  {response}")
+        print(f"    ({comment})")
+        print(describe(token))
+
+    print()
+    print("=" * 72)
+    print("The headline result, visible above: after Bob's approve, Bob's")
+    print("account has TWO enabled spenders (Bob and Charlie), so the token's")
+    print("consensus number rose from 1 to 2 — and it dropped back related to")
+    print("how the allowance was consumed.  The synchronization power of the")
+    print("ERC20 object is a property of its *state*.")
+    print("=" * 72)
+
+
+if __name__ == "__main__":
+    main()

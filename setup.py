@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Allows editable installs in offline environments whose setuptools lacks the
+`wheel` package required by the PEP 660 editable-install path
+(`pip install -e . --no-build-isolation` then falls back to `setup.py
+develop`).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

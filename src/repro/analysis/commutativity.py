@@ -1,0 +1,168 @@
+"""Mechanical commutativity / read-only analysis (Theorem 3's case analysis).
+
+Theorem 3's impossibility proof rests on two observations about decision
+steps from a critical state:
+
+* **commuting steps** — if the two pending operations commute, the states
+  reached by executing them in either order are identical, contradicting
+  their different valences;
+* **read-only steps** — if one operation does not change the object's state,
+  the other process cannot distinguish the two orders.
+
+This module decides both properties *semantically*, by executing the
+sequential specification, and regenerates the proof's case split (Cases 1–4
+and the commuting/read-only base cases illustrated in Figure 1) as a
+machine-checked matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Sequence
+
+from repro.spec.object_type import SequentialObjectType
+from repro.spec.operation import Operation
+
+
+class PairKind(Enum):
+    """Classification of an ordered pair of invocations at a state."""
+
+    #: Both orders yield identical states and responses.
+    COMMUTE = "commute"
+    #: At least one of the two invocations leaves the state unchanged.
+    READ_ONLY = "read-only"
+    #: Neither commuting nor read-only: a genuine synchronization conflict —
+    #: the only kind of pair that can be a pair of decision steps (Thm 3).
+    CONFLICT = "conflict"
+
+
+@dataclass(frozen=True, slots=True)
+class Invocation:
+    """A (process, operation) pair for analysis purposes."""
+
+    pid: int
+    operation: Operation
+
+    def __str__(self) -> str:
+        return f"p{self.pid}.{self.operation}"
+
+
+@dataclass(frozen=True, slots=True)
+class PairAnalysis:
+    """Outcome of analyzing one pair of invocations at a state."""
+
+    first: Invocation
+    second: Invocation
+    kind: PairKind
+    #: Final states under first-then-second and second-then-first orders.
+    state_fs: Any
+    state_sf: Any
+    #: Responses (r_first, r_second) under each order.
+    responses_fs: tuple[Any, Any]
+    responses_sf: tuple[Any, Any]
+
+    @property
+    def states_equal(self) -> bool:
+        return self.state_fs == self.state_sf
+
+
+def commutes(
+    object_type: SequentialObjectType,
+    state: Any,
+    first: Invocation,
+    second: Invocation,
+) -> bool:
+    """True when executing the pair in either order yields the same final
+    state *and* the same response for each invocation."""
+    return analyze_pair(object_type, state, first, second).kind is PairKind.COMMUTE
+
+
+def analyze_pair(
+    object_type: SequentialObjectType,
+    state: Any,
+    first: Invocation,
+    second: Invocation,
+) -> PairAnalysis:
+    """Full both-orders analysis of a pair of invocations at ``state``."""
+    # Order: first then second.
+    mid_fs, r1_fs = object_type.apply(state, first.pid, first.operation)
+    end_fs, r2_fs = object_type.apply(mid_fs, second.pid, second.operation)
+    # Order: second then first.
+    mid_sf, r2_sf = object_type.apply(state, second.pid, second.operation)
+    end_sf, r1_sf = object_type.apply(mid_sf, first.pid, first.operation)
+
+    same_states = end_fs == end_sf
+    same_responses = (r1_fs == r1_sf) and (r2_fs == r2_sf)
+    if same_states and same_responses:
+        kind = PairKind.COMMUTE
+    elif object_type.is_read_only(state, first.pid, first.operation) or (
+        object_type.is_read_only(state, second.pid, second.operation)
+    ):
+        kind = PairKind.READ_ONLY
+    else:
+        kind = PairKind.CONFLICT
+    return PairAnalysis(
+        first=first,
+        second=second,
+        kind=kind,
+        state_fs=end_fs,
+        state_sf=end_sf,
+        responses_fs=(r1_fs, r2_fs),
+        responses_sf=(r1_sf, r2_sf),
+    )
+
+
+def conflict_matrix(
+    object_type: SequentialObjectType,
+    state: Any,
+    invocations: Sequence[Invocation],
+) -> dict[tuple[int, int], PairAnalysis]:
+    """Pairwise analysis of all distinct invocation pairs (indices into
+    ``invocations``); the matrix is symmetric so only ``i < j`` is stored."""
+    matrix: dict[tuple[int, int], PairAnalysis] = {}
+    for i in range(len(invocations)):
+        for j in range(i + 1, len(invocations)):
+            matrix[(i, j)] = analyze_pair(
+                object_type, state, invocations[i], invocations[j]
+            )
+    return matrix
+
+
+def conflicting_pairs(
+    object_type: SequentialObjectType,
+    state: Any,
+    invocations: Sequence[Invocation],
+) -> list[PairAnalysis]:
+    """Only the pairs classified as genuine conflicts — Theorem 3's candidate
+    decision-step pairs."""
+    return [
+        analysis
+        for analysis in conflict_matrix(object_type, state, invocations).values()
+        if analysis.kind is PairKind.CONFLICT
+    ]
+
+
+def erc20_case_label(first: Invocation, second: Invocation) -> str:
+    """Label a pair of ERC20 invocations with the paper's Theorem 3 case.
+
+    Cases: (1) transfer/transfer, (2) transferFrom/transferFrom,
+    (3) transfer vs transferFrom, (4) approve vs transferFrom.  Pairs with a
+    read-only method, approve/approve, and approve/transfer are the base
+    cases handled before the enumeration.
+    """
+    read_only = {"balanceOf", "allowance", "totalSupply"}
+    names = {first.operation.name, second.operation.name}
+    if names & read_only:
+        return "read-only method"
+    if names == {"transfer"}:
+        return "Case 1: transfer/transfer"
+    if names == {"transferFrom"}:
+        return "Case 2: transferFrom/transferFrom"
+    if names == {"transfer", "transferFrom"}:
+        return "Case 3: transfer/transferFrom"
+    if names == {"approve", "transferFrom"}:
+        return "Case 4: approve/transferFrom"
+    if names == {"approve"} or names == {"approve", "transfer"}:
+        return "commuting base case (approve/approve or approve/transfer)"
+    return "other"

@@ -1,0 +1,31 @@
+"""The paper's §7 proposal: dynamically-synchronized token networks."""
+
+from repro.dynamic.dynamic_token import (
+    DynamicNetworkStats,
+    DynamicTokenNode,
+    OpRecord,
+    TokenOp,
+    assert_converged,
+    measure_dynamic,
+)
+from repro.dynamic.sync_tracker import (
+    GroupSizeTracker,
+    ReplicaTokenState,
+    group_coordination_cost,
+    sync_group,
+    sync_levels,
+)
+
+__all__ = [
+    "DynamicNetworkStats",
+    "DynamicTokenNode",
+    "OpRecord",
+    "TokenOp",
+    "assert_converged",
+    "measure_dynamic",
+    "GroupSizeTracker",
+    "ReplicaTokenState",
+    "group_coordination_cost",
+    "sync_group",
+    "sync_levels",
+]

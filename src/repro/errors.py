@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+The library distinguishes *domain errors* (malformed invocations that lie
+outside the object's operation set ``O``; these raise) from *failed
+operations* (invocations inside ``O`` whose sequential specification returns
+``FALSE``; these return normally).  The distinction mirrors the paper's
+Definition 3, where e.g. ``transfer`` with insufficient balance is a valid
+transition returning ``FALSE``, whereas a transfer of a negative amount is
+simply not an operation of the object.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SpecificationError(ReproError):
+    """An invocation lies outside the object's operation set ``O``."""
+
+
+class UnknownOperationError(SpecificationError):
+    """The operation name is not part of the object type."""
+
+
+class InvalidArgumentError(SpecificationError):
+    """Operation arguments are outside the specification's domain."""
+
+
+class ProcessCrashedError(ReproError):
+    """An interaction was attempted with a crashed process."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler was asked to perform an impossible step."""
+
+
+class ExplorationLimitError(ReproError):
+    """An exhaustive exploration exceeded its configured budget."""
+
+
+class HistoryError(ReproError):
+    """A concurrent history is malformed (e.g. response without invocation)."""
+
+
+class NetworkError(ReproError):
+    """A message-passing simulation was configured or used inconsistently."""
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol reached an internally inconsistent state."""

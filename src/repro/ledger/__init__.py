@@ -1,0 +1,20 @@
+"""The consensus-based baseline ledger (total-order smart-contract
+execution)."""
+
+from repro.ledger.blockchain import (
+    AppliedRecord,
+    LedgerNode,
+    LedgerStats,
+    LedgerTransaction,
+    build_ledger,
+    measure_ledger,
+)
+
+__all__ = [
+    "AppliedRecord",
+    "LedgerNode",
+    "LedgerStats",
+    "LedgerTransaction",
+    "build_ledger",
+    "measure_ledger",
+]

@@ -1,0 +1,37 @@
+"""Message-passing substrate: simulator, network, reliable broadcast, total
+order (paper §1/§7 context)."""
+
+from repro.net.network import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    Message,
+    Network,
+    NetworkStats,
+    UniformLatency,
+)
+from repro.net.node import Node
+from repro.net.reliable_broadcast import (
+    BrachaBroadcast,
+    FifoReliableBroadcast,
+    ReliableBroadcastNode,
+)
+from repro.net.simulation import EventHandle, Simulator
+from repro.net.total_order import TotalOrderNode
+
+__all__ = [
+    "ConstantLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "UniformLatency",
+    "Node",
+    "BrachaBroadcast",
+    "FifoReliableBroadcast",
+    "ReliableBroadcastNode",
+    "EventHandle",
+    "Simulator",
+    "TotalOrderNode",
+]

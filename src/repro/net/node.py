@@ -1,0 +1,51 @@
+"""Protocol node base class with typed message dispatch."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import NetworkError
+from repro.net.network import Message, Network
+
+
+class Node:
+    """A network participant; subclasses register per-type message handlers.
+
+    Handler convention: a message of type ``"foo"`` is dispatched to
+    ``self.handle_foo(message)``; unknown types raise, surfacing wiring bugs
+    immediately instead of silently dropping protocol traffic.
+    """
+
+    def __init__(self, node_id: int, network: Network) -> None:
+        self.node_id = node_id
+        self.network = network
+        network.register(self)
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+
+    # ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        handler = self._handlers.get(message.type)
+        if handler is None:
+            handler = getattr(self, f"handle_{message.type}", None)
+            if handler is None:
+                raise NetworkError(
+                    f"node {self.node_id} has no handler for {message.type!r}"
+                )
+            self._handlers[message.type] = handler
+        handler(message)
+
+    # -- convenience ------------------------------------------------------
+
+    def send(self, dst: int, type: str, payload: Any = None) -> None:
+        self.network.send(self.node_id, dst, type, payload)
+
+    def broadcast(self, type: str, payload: Any = None) -> None:
+        self.network.broadcast(self.node_id, type, payload)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        self.network.simulator.schedule(delay, callback)
+
+    @property
+    def now(self) -> float:
+        return self.network.simulator.now

@@ -1,0 +1,85 @@
+"""Virtual-time discrete-event simulation.
+
+The paper's motivation (§1, §7) contrasts consensus-based blockchains with
+broadcast-based token networks.  Comparing those *protocol structures* needs
+an asynchronous message-passing substrate; real wall-clock threading in
+Python would measure the GIL, not the protocols, so the library uses a
+deterministic event-driven simulator with virtual time: every message
+delivery and timer is an event on a priority queue, and latency/throughput
+are measured in simulated time units (interpreted as milliseconds in the
+benchmarks).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import NetworkError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event; supports cancellation."""
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event loop with virtual time."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise NetworkError("cannot schedule events in the past")
+        event = _Event(self.now + delay, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> int:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been processed.  Returns events processed."""
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = max(self.now, event.time)
+            event.callback()
+            processed += 1
+        self.events_processed += processed
+        return processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)

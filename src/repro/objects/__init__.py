@@ -1,0 +1,56 @@
+"""Shared objects: registers, consensus, asset transfer, token standards."""
+
+from repro.objects.asset_transfer import (
+    AssetTransfer,
+    AssetTransferType,
+    ATState,
+    DynamicOwnerAT,
+    DynamicOwnerATType,
+)
+from repro.objects.base import SharedObject
+from repro.objects.consensus import UNDECIDED, ConsensusObject, ConsensusType
+from repro.objects.erc20 import ERC20Token, ERC20TokenType, TokenState
+from repro.objects.erc721 import NO_APPROVAL, ERC721Token, ERC721TokenType, NFTState
+from repro.objects.erc777 import ERC777State, ERC777Token, ERC777TokenType
+from repro.objects.erc1155 import ERC1155Token, ERC1155TokenType, MultiTokenState
+from repro.objects.register import (
+    BOTTOM,
+    AtomicRegister,
+    RegisterType,
+    register_array,
+    register_matrix,
+)
+from repro.objects.restricted import RestrictedObject, RestrictedType, restrict_to_qk
+
+__all__ = [
+    "AssetTransfer",
+    "AssetTransferType",
+    "ATState",
+    "DynamicOwnerAT",
+    "DynamicOwnerATType",
+    "SharedObject",
+    "UNDECIDED",
+    "ConsensusObject",
+    "ConsensusType",
+    "ERC20Token",
+    "ERC20TokenType",
+    "TokenState",
+    "NO_APPROVAL",
+    "ERC721Token",
+    "ERC721TokenType",
+    "NFTState",
+    "ERC777State",
+    "ERC777Token",
+    "ERC777TokenType",
+    "ERC1155Token",
+    "ERC1155TokenType",
+    "MultiTokenState",
+    "BOTTOM",
+    "AtomicRegister",
+    "RegisterType",
+    "register_array",
+    "register_matrix",
+    "RestrictedObject",
+    "RestrictedType",
+    "restrict_to_qk",
+]

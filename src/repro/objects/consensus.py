@@ -1,0 +1,61 @@
+"""The consensus object (paper §3.1, "Consensus").
+
+A single-shot object with one operation ``propose(v)``.  The first proposal
+is decided; every proposal returns the decided value.  This is both the
+*specification target* of the reductions in §5 (Algorithm 1 implements this
+object from a token object and registers) and a usable *base object* for the
+§6 ERC721 discussion, where a series of k-consensus instances replaces k-AT.
+
+Validity and consistency are immediate from the sequential specification;
+wait-freedom holds because `propose` is a single atomic step on the base
+object.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import InvalidArgumentError
+from repro.objects.base import SharedObject
+from repro.runtime.calls import OpCall
+from repro.spec.object_type import SequentialObjectType
+from repro.spec.operation import Operation
+
+#: Sentinel for the undecided state (distinct from any proposal, including None).
+UNDECIDED = object()
+
+
+class ConsensusType(SequentialObjectType):
+    """Sequential specification: state is UNDECIDED or the decided value."""
+
+    name = "consensus"
+
+    def initial_state(self) -> Any:
+        return UNDECIDED
+
+    def operation_names(self) -> tuple[str, ...]:
+        return ("propose",)
+
+    def apply(self, state: Any, pid: int, operation: Operation) -> tuple[Any, Any]:
+        self.validate_name(operation)
+        if len(operation.args) != 1:
+            raise InvalidArgumentError("propose takes exactly one argument")
+        proposal = operation.args[0]
+        if state is UNDECIDED:
+            return proposal, proposal
+        return state, state
+
+
+class ConsensusObject(SharedObject):
+    """Runtime single-shot consensus object."""
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(ConsensusType(), name=name)
+
+    def propose(self, value: Any) -> OpCall:
+        return self.call(Operation("propose", (value,)))
+
+    @property
+    def decided(self) -> Any:
+        """The decided value, or None if no proposal has been made yet."""
+        return None if self.state is UNDECIDED else self.state

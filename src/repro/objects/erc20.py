@@ -1,0 +1,346 @@
+"""The ERC20 token object (paper Definition 3 and Appendix A, Algorithm 3).
+
+State (Eq. 2): ``Q = {β : A → N} × {α : A × Π → N}`` — balances and
+allowances.  One account per process (``|Π| = |A| = n``) with the identity
+owner bijection ``ω(a_i) = p_i`` (paper §4); in code both accounts and
+processes are 0-indexed integers and ``ω`` is the identity.
+
+Operations (Eqs. 3–7):
+
+* ``transfer(a_d, v)`` — caller ``p`` moves ``v`` tokens from its own account
+  ``a_p`` to ``a_d``; fails (returns ``FALSE``) when ``β(a_p) < v``.
+* ``transferFrom(a_s, a_d, v)`` — caller ``p`` moves ``v`` tokens from ``a_s``
+  using its allowance; requires ``β(a_s) ≥ v`` and ``α(a_s, p) ≥ v``, and
+  decrements both.
+* ``approve(p̄, v)`` — caller sets ``α(a_p, p̄) = v`` (absolute assignment; the
+  well-known ERC20 approve semantics).
+* ``balanceOf(a)``, ``allowance(a, p̄)``, ``totalSupply()`` — read-only.
+
+The sequential specification below is a line-by-line transcription of the Δ
+relation in Definition 3 (which coincides with Algorithm 3's contract code on
+their common methods).  Optional ``increaseAllowance``/``decreaseAllowance``
+extension methods — present in real-world ERC20 implementations and needed by
+the corrected Algorithm 2 variant — can be enabled explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.errors import InvalidArgumentError
+from repro.objects.base import SharedObject
+from repro.runtime.calls import OpCall
+from repro.spec.object_type import FALSE, TRUE, SequentialObjectType
+from repro.spec.operation import Operation
+
+
+@dataclass(frozen=True, slots=True)
+class TokenState:
+    """Immutable token state ``q = (β, α)``.
+
+    ``balances[a]`` is ``β(a)``; ``allowances[a][p]`` is ``α(a, p)``, the
+    amount process ``p`` may transfer from account ``a``.
+    """
+
+    balances: tuple[int, ...]
+    allowances: tuple[tuple[int, ...], ...]
+
+    # -- reads ----------------------------------------------------------
+
+    @property
+    def num_accounts(self) -> int:
+        return len(self.balances)
+
+    def balance(self, account: int) -> int:
+        return self.balances[account]
+
+    def allowance(self, account: int, spender: int) -> int:
+        return self.allowances[account][spender]
+
+    @property
+    def total_supply(self) -> int:
+        return sum(self.balances)
+
+    # -- functional updates ---------------------------------------------
+
+    def with_transfer(self, source: int, dest: int, value: int) -> "TokenState":
+        balances = list(self.balances)
+        balances[source] -= value
+        balances[dest] += value
+        return TokenState(tuple(balances), self.allowances)
+
+    def with_allowance(self, account: int, spender: int, value: int) -> "TokenState":
+        allowances = [list(row) for row in self.allowances]
+        allowances[account][spender] = value
+        return TokenState(
+            self.balances, tuple(tuple(row) for row in allowances)
+        )
+
+    def with_transfer_from(
+        self, spender: int, source: int, dest: int, value: int
+    ) -> "TokenState":
+        return self.with_transfer(source, dest, value).with_allowance(
+            source, spender, self.allowance(source, spender) - value
+        )
+
+    # -- constructors ----------------------------------------------------
+
+    @staticmethod
+    def create(
+        balances: Sequence[int],
+        allowances: Mapping[tuple[int, int], int] | None = None,
+    ) -> "TokenState":
+        """Build a state from a balance list and a sparse allowance mapping
+        ``{(account, spender): amount}``."""
+        n = len(balances)
+        balance_tuple = tuple(int(b) for b in balances)
+        if any(b < 0 for b in balance_tuple):
+            raise InvalidArgumentError("balances must be non-negative")
+        grid = [[0] * n for _ in range(n)]
+        for (account, spender), amount in (allowances or {}).items():
+            if not 0 <= account < n or not 0 <= spender < n:
+                raise InvalidArgumentError(
+                    f"allowance index out of range: ({account}, {spender})"
+                )
+            if int(amount) < 0:
+                raise InvalidArgumentError("allowances must be non-negative")
+            grid[account][spender] = int(amount)
+        return TokenState(balance_tuple, tuple(tuple(row) for row in grid))
+
+    @staticmethod
+    def deploy(num_accounts: int, total_supply: int, deployer: int = 0) -> "TokenState":
+        """The ERC20 standard's initial state ``q0`` (Algorithm 3, line 7):
+        the deployer holds the whole supply, all allowances are 0."""
+        if not 0 <= deployer < num_accounts:
+            raise InvalidArgumentError("deployer must be a valid account")
+        if total_supply < 0:
+            raise InvalidArgumentError("total supply must be non-negative")
+        balances = [0] * num_accounts
+        balances[deployer] = total_supply
+        return TokenState.create(balances)
+
+
+class ERC20TokenType(SequentialObjectType):
+    """Sequential specification of the ERC20 token object (Definition 3)."""
+
+    name = "erc20"
+
+    #: Methods of Definition 3 / Algorithm 3.
+    CORE_OPERATIONS = (
+        "transfer",
+        "transferFrom",
+        "approve",
+        "balanceOf",
+        "allowance",
+        "totalSupply",
+    )
+    #: Real-world extension methods (OpenZeppelin-style), opt-in.
+    EXTENSION_OPERATIONS = ("increaseAllowance", "decreaseAllowance")
+
+    def __init__(
+        self,
+        num_accounts: int,
+        initial_state: TokenState | None = None,
+        total_supply: int | None = None,
+        deployer: int = 0,
+        with_extensions: bool = False,
+    ) -> None:
+        """Create the token type for ``n = num_accounts`` accounts/processes.
+
+        Exactly one of ``initial_state`` / ``total_supply`` may be provided;
+        with neither, the initial state has all balances zero.
+        """
+        if num_accounts <= 0:
+            raise InvalidArgumentError("need at least one account")
+        self.num_accounts = num_accounts
+        self.with_extensions = with_extensions
+        if initial_state is not None and total_supply is not None:
+            raise InvalidArgumentError(
+                "provide either initial_state or total_supply, not both"
+            )
+        if initial_state is not None:
+            if initial_state.num_accounts != num_accounts:
+                raise InvalidArgumentError("initial state has wrong account count")
+            self._initial = initial_state
+        elif total_supply is not None:
+            self._initial = TokenState.deploy(num_accounts, total_supply, deployer)
+        else:
+            self._initial = TokenState.create([0] * num_accounts)
+
+    # ------------------------------------------------------------------
+
+    def initial_state(self) -> TokenState:
+        return self._initial
+
+    def operation_names(self) -> tuple[str, ...]:
+        if self.with_extensions:
+            return self.CORE_OPERATIONS + self.EXTENSION_OPERATIONS
+        return self.CORE_OPERATIONS
+
+    def owner(self, account: int) -> int:
+        """The owner bijection ``ω``; identity in the paper's model (§4)."""
+        self._check_account(account)
+        return account
+
+    def account_of(self, pid: int) -> int:
+        """``a_p``: the account owned by process ``p`` (inverse of ``ω``)."""
+        self._check_account(pid)
+        return pid
+
+    # -- validation ------------------------------------------------------
+
+    def _check_account(self, account: Any) -> None:
+        if not isinstance(account, int) or not 0 <= account < self.num_accounts:
+            raise InvalidArgumentError(f"unknown account {account!r}")
+
+    def _check_process(self, pid: Any) -> None:
+        if not isinstance(pid, int) or not 0 <= pid < self.num_accounts:
+            raise InvalidArgumentError(f"unknown process {pid!r}")
+
+    def _check_value(self, value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise InvalidArgumentError(f"amount must be a natural number: {value!r}")
+
+    # -- Δ ----------------------------------------------------------------
+
+    def apply(
+        self, state: TokenState, pid: int, operation: Operation
+    ) -> tuple[TokenState, Any]:
+        self.validate_name(operation)
+        self._check_process(pid)
+        handler = getattr(self, f"_apply_{operation.name}")
+        return handler(state, pid, *operation.args)
+
+    def _apply_transfer(
+        self, state: TokenState, pid: int, dest: int, value: int
+    ) -> tuple[TokenState, Any]:
+        self._check_account(dest)
+        self._check_value(value)
+        source = self.account_of(pid)
+        if state.balance(source) < value:
+            return state, FALSE
+        return state.with_transfer(source, dest, value), TRUE
+
+    def _apply_transferFrom(
+        self, state: TokenState, pid: int, source: int, dest: int, value: int
+    ) -> tuple[TokenState, Any]:
+        self._check_account(source)
+        self._check_account(dest)
+        self._check_value(value)
+        if state.balance(source) < value or state.allowance(source, pid) < value:
+            return state, FALSE
+        return state.with_transfer_from(pid, source, dest, value), TRUE
+
+    def _apply_approve(
+        self, state: TokenState, pid: int, spender: int, value: int
+    ) -> tuple[TokenState, Any]:
+        self._check_process(spender)
+        self._check_value(value)
+        account = self.account_of(pid)
+        return state.with_allowance(account, spender, value), TRUE
+
+    def _apply_balanceOf(
+        self, state: TokenState, pid: int, account: int
+    ) -> tuple[TokenState, Any]:
+        self._check_account(account)
+        return state, state.balance(account)
+
+    def _apply_allowance(
+        self, state: TokenState, pid: int, account: int, spender: int
+    ) -> tuple[TokenState, Any]:
+        self._check_account(account)
+        self._check_process(spender)
+        return state, state.allowance(account, spender)
+
+    def _apply_totalSupply(self, state: TokenState, pid: int) -> tuple[TokenState, Any]:
+        return state, state.total_supply
+
+    # -- extensions -------------------------------------------------------
+
+    def _apply_increaseAllowance(
+        self, state: TokenState, pid: int, spender: int, delta: int
+    ) -> tuple[TokenState, Any]:
+        if not self.with_extensions:
+            raise InvalidArgumentError("extensions disabled for this token type")
+        self._check_process(spender)
+        self._check_value(delta)
+        account = self.account_of(pid)
+        current = state.allowance(account, spender)
+        return state.with_allowance(account, spender, current + delta), TRUE
+
+    def _apply_decreaseAllowance(
+        self, state: TokenState, pid: int, spender: int, delta: int
+    ) -> tuple[TokenState, Any]:
+        if not self.with_extensions:
+            raise InvalidArgumentError("extensions disabled for this token type")
+        self._check_process(spender)
+        self._check_value(delta)
+        account = self.account_of(pid)
+        current = state.allowance(account, spender)
+        if current < delta:
+            return state, FALSE
+        return state.with_allowance(account, spender, current - delta), TRUE
+
+
+class ERC20Token(SharedObject):
+    """Runtime ERC20 token object with ergonomic call builders.
+
+    The methods build :class:`OpCall` records for protocol generators; for
+    direct sequential use, pass the call to :meth:`SharedObject.invoke` or use
+    :meth:`execute` below.
+    """
+
+    def __init__(
+        self,
+        num_accounts: int,
+        initial_state: TokenState | None = None,
+        total_supply: int | None = None,
+        deployer: int = 0,
+        with_extensions: bool = False,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(
+            ERC20TokenType(
+                num_accounts,
+                initial_state=initial_state,
+                total_supply=total_supply,
+                deployer=deployer,
+                with_extensions=with_extensions,
+            ),
+            name=name,
+        )
+
+    # -- call builders ----------------------------------------------------
+
+    def transfer(self, dest: int, value: int) -> OpCall:
+        return self.call(Operation("transfer", (dest, value)))
+
+    def transfer_from(self, source: int, dest: int, value: int) -> OpCall:
+        return self.call(Operation("transferFrom", (source, dest, value)))
+
+    def approve(self, spender: int, value: int) -> OpCall:
+        return self.call(Operation("approve", (spender, value)))
+
+    def balance_of(self, account: int) -> OpCall:
+        return self.call(Operation("balanceOf", (account,)))
+
+    def allowance(self, account: int, spender: int) -> OpCall:
+        return self.call(Operation("allowance", (account, spender)))
+
+    def total_supply(self) -> OpCall:
+        return self.call(Operation("totalSupply"))
+
+    def increase_allowance(self, spender: int, delta: int) -> OpCall:
+        return self.call(Operation("increaseAllowance", (spender, delta)))
+
+    def decrease_allowance(self, spender: int, delta: int) -> OpCall:
+        return self.call(Operation("decreaseAllowance", (spender, delta)))
+
+    # -- sequential convenience --------------------------------------------
+
+    def execute(self, pid: int, call: OpCall) -> Any:
+        """Execute one of this object's calls immediately (sequential use)."""
+        if call.target is not self:
+            raise InvalidArgumentError("call targets a different object")
+        return self.invoke(pid, call.operation)

@@ -1,0 +1,47 @@
+"""The paper's algorithms: consensus constructions and the Theorem 4
+emulation."""
+
+from repro.protocols.base import ConsensusProtocol, consensus_checks, decided_values
+from repro.protocols.erc721_consensus import ERC721Consensus, erc721_consensus_system
+from repro.protocols.erc1155_consensus import (
+    ERC1155Consensus,
+    erc1155_consensus_system,
+)
+from repro.protocols.escrow_token import EscrowToken, escrow_from_deploy
+from repro.protocols.erc777_consensus import ERC777Consensus, erc777_consensus_system
+from repro.protocols.kat_consensus import KATConsensus, kat_consensus_system
+from repro.protocols.register_consensus import (
+    DoomedRegisterConsensus,
+    doomed_register_system,
+)
+from repro.protocols.token_consensus import TokenConsensus, algorithm1_system
+from repro.protocols.token_from_kat import (
+    EmulatedToken,
+    SafeEmulatedToken,
+    run_sequential,
+    workload_program,
+)
+
+__all__ = [
+    "ConsensusProtocol",
+    "consensus_checks",
+    "decided_values",
+    "ERC721Consensus",
+    "erc721_consensus_system",
+    "ERC1155Consensus",
+    "erc1155_consensus_system",
+    "EscrowToken",
+    "escrow_from_deploy",
+    "ERC777Consensus",
+    "erc777_consensus_system",
+    "KATConsensus",
+    "kat_consensus_system",
+    "DoomedRegisterConsensus",
+    "doomed_register_system",
+    "TokenConsensus",
+    "algorithm1_system",
+    "EmulatedToken",
+    "SafeEmulatedToken",
+    "run_sequential",
+    "workload_program",
+]

@@ -1,0 +1,127 @@
+"""Consensus from an ERC1155 token (paper §6, the open conjecture).
+
+§6 states: "it is plausible that ERC1155 tokens inherit the synchronization
+requirements of ERC20 tokens", leaving the analysis open.  This module
+demonstrates the *lower-bound half* of the conjecture constructively: the
+operator mechanism of ERC1155 supports the same race as ERC777, on any one
+token type, so ``CN`` at a state with ``k`` operators on a funded holder is
+at least ``k``.
+
+Construction (mirrors :mod:`repro.protocols.erc777_consensus`): a holder
+funds token type 0 with ``B`` units and enables ``k - 1`` operators; every
+participant races ``safeTransferFrom(holder, target_i, type_0, B)`` toward a
+distinct target; the unique winner is read off the target balances.
+
+The *batch* methods add a twist worth demonstrating (see the tests): one
+``safeBatchTransferFrom`` can race on several token types **atomically**,
+which single-type tokens cannot express — consistent with the paper's
+suspicion that ERC1155's combinations need an analysis of their own.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Mapping
+
+from repro.errors import InvalidArgumentError, ProtocolError
+from repro.objects.erc1155 import ERC1155Token, MultiTokenState
+from repro.objects.register import AtomicRegister, register_array
+from repro.runtime.calls import OpCall
+from repro.runtime.executor import System
+
+
+class ERC1155Consensus:
+    """Operator race on one token type of a funded ERC1155 holder."""
+
+    def __init__(
+        self,
+        token: ERC1155Token,
+        holder: int,
+        token_type: int,
+        sink: int,
+        registers: list[AtomicRegister] | None = None,
+    ) -> None:
+        state: MultiTokenState = token.state
+        self.balance = state.balance(holder, token_type)
+        if self.balance <= 0:
+            raise InvalidArgumentError("the holder needs a positive balance")
+        operators = state.operators[holder]
+        participants = (holder,) + tuple(sorted(operators))
+        if sink in participants:
+            raise InvalidArgumentError("the sink must not participate")
+        self.token = token
+        self.holder = holder
+        self.token_type = token_type
+        self.sink = sink
+        self.participants: tuple[int, ...] = participants
+        self.k = len(participants)
+        self.targets: dict[int, int] = {holder: sink}
+        for pid in operators:
+            self.targets[pid] = pid
+        for target in self.targets.values():
+            if state.balance(target, token_type) != 0:
+                raise InvalidArgumentError(
+                    f"target account {target} must start empty for type "
+                    f"{token_type}"
+                )
+        if registers is None:
+            registers = register_array(self.k, prefix="R")
+        if len(registers) != self.k:
+            raise InvalidArgumentError(f"need exactly k={self.k} registers")
+        self.registers = list(registers)
+
+    def index_of(self, pid: int) -> int:
+        try:
+            return self.participants.index(pid)
+        except ValueError:
+            raise InvalidArgumentError(
+                f"process {pid} is not a race participant"
+            ) from None
+
+    def propose(self, pid: int, value: Any) -> Generator[OpCall, Any, Any]:
+        i = self.index_of(pid)
+        yield self.registers[i].write(value)
+        yield self.token.safe_transfer_from(
+            self.holder, self.targets[pid], self.token_type, self.balance
+        )
+        for j, participant in enumerate(self.participants):
+            target_balance = yield self.token.balance_of(
+                self.targets[participant], self.token_type
+            )
+            if target_balance >= self.balance:
+                decision = yield self.registers[j].read()
+                return decision
+        raise ProtocolError("no winning target found after the ERC1155 race")
+
+
+def erc1155_consensus_system(
+    proposals: Mapping[int, Any],
+    balance: int = 1,
+    num_token_types: int = 2,
+) -> System:
+    """Build a fresh ERC1155 operator-race system for ``k = len(proposals)``
+    participants (pids ``0..k-1``; account ``k`` is the sink; account 0 the
+    funded holder)."""
+    participants = sorted(proposals)
+    k = len(participants)
+    if k < 1:
+        raise InvalidArgumentError("need at least one participant")
+    if participants != list(range(k)):
+        raise InvalidArgumentError("participants must be pids 0..k-1")
+    if balance <= 0:
+        raise InvalidArgumentError("balance must be positive")
+    num_accounts = k + 1
+    grid = [[0] * num_token_types for _ in range(num_accounts)]
+    grid[0][0] = balance
+    token = ERC1155Token(grid)
+    for pid in participants[1:]:
+        token.invoke(0, token.set_approval_for_all(pid, True).operation)
+    protocol = ERC1155Consensus(token, holder=0, token_type=0, sink=k)
+    programs = [
+        (lambda p=pid: protocol.propose(p, proposals[p])) for pid in participants
+    ]
+    return System(
+        programs=programs,
+        objects=[token, *protocol.registers],
+        meta={"proposals": dict(proposals), "protocol": protocol},
+        pids=participants,
+    )

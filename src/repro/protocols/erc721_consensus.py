@@ -1,0 +1,141 @@
+"""Consensus from an ERC721 token (paper §6).
+
+"Algorithm 1 can be adapted so that it uses a specific token, determined by
+its identifier tokenId, which all the participating processes are approved to
+spend; the winner of this race can then be determined by invoking ownerOf."
+
+The adaptation implemented here ("with some adjustment", as §6 says):
+
+* The token's owner enables the ``k - 1`` other participants as *operators*
+  (ERC721's per-token ``approve`` admits a single approved address, so
+  operators are the mechanism that supports ``k > 2``).
+* Every participant races ``transferFrom(owner_account, target_i, tokenId)``.
+  The owner's target is a dedicated *sink* account (owned by nobody in the
+  race): if the owner transferred the token to itself the state would not
+  change and the losers' transfers would still be authorized, breaking the
+  uniqueness of the winner.  Every other participant targets its own account.
+* After the race, ``ownerOf(tokenId)`` names the winner's target account,
+  which identifies the winner; its registered proposal is decided.
+
+Uniqueness: the first successful ``transferFrom`` moves the token away from
+``owner_account``; all later attempts fail the ``ownerOf(tokenId) == source``
+check.  No participant is an operator for the winner's account or the sink,
+so the token cannot move again during the protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Mapping
+
+from repro.errors import InvalidArgumentError, ProtocolError
+from repro.objects.erc721 import ERC721Token, NFTState
+from repro.objects.register import AtomicRegister, register_array
+from repro.runtime.calls import OpCall
+from repro.runtime.executor import System
+
+
+class ERC721Consensus:
+    """The §6 race on a single NFT.
+
+    Args:
+        nft: The shared ERC721 object; participants (other than the token
+            owner) must already be operators for the owner's account.
+        token_id: The NFT raced on.
+        sink: The owner's target account: distinct from every participant's
+            account and with no operators.
+        registers: ``k`` atomic registers (created fresh when omitted).
+    """
+
+    def __init__(
+        self,
+        nft: ERC721Token,
+        token_id: int,
+        sink: int,
+        registers: list[AtomicRegister] | None = None,
+    ) -> None:
+        state: NFTState = nft.state
+        owner_account = state.owner_of(token_id)
+        operators = state.operators[owner_account]
+        participants = (owner_account,) + tuple(sorted(operators))
+        if sink in participants:
+            raise InvalidArgumentError("the sink must not participate")
+        if state.operators[sink]:
+            raise InvalidArgumentError("the sink account must have no operators")
+        for pid in operators:
+            if state.operators[pid]:
+                raise InvalidArgumentError(
+                    f"participant {pid}'s account must have no operators, or "
+                    "the token could move again after the race"
+                )
+        self.nft = nft
+        self.token_id = token_id
+        self.sink = sink
+        self.owner_account = owner_account
+        self.participants: tuple[int, ...] = participants
+        self.k = len(participants)
+        #: Target account per participant: sink for the owner, own account
+        #: otherwise.  Targets are distinct, making the winner identifiable.
+        self.targets: dict[int, int] = {owner_account: sink}
+        for pid in operators:
+            self.targets[pid] = pid
+        if registers is None:
+            registers = register_array(self.k, prefix="R")
+        if len(registers) != self.k:
+            raise InvalidArgumentError(f"need exactly k={self.k} registers")
+        self.registers = list(registers)
+
+    def index_of(self, pid: int) -> int:
+        try:
+            return self.participants.index(pid)
+        except ValueError:
+            raise InvalidArgumentError(
+                f"process {pid} is not racing on token {self.token_id}"
+            ) from None
+
+    def propose(self, pid: int, value: Any) -> Generator[OpCall, Any, Any]:
+        i = self.index_of(pid)
+        yield self.registers[i].write(value)
+        yield self.nft.transfer_from(
+            self.owner_account, self.targets[pid], self.token_id
+        )
+        holder = yield self.nft.owner_of(self.token_id)
+        for j, participant in enumerate(self.participants):
+            if self.targets[participant] == holder:
+                decision = yield self.registers[j].read()
+                return decision
+        raise ProtocolError(
+            f"token {self.token_id} ended up with non-participant account "
+            f"{holder}; the race was not isolated"
+        )
+
+
+def erc721_consensus_system(proposals: Mapping[int, Any]) -> System:
+    """Build a fresh §6 NFT-race system for ``k = len(proposals)``
+    participants (pids ``0..k-1``; account ``k`` is the sink).
+
+    The initial state already has the operators enabled — reaching it from a
+    freshly-minted contract requires the owner's ``setApprovalForAll`` calls
+    to succeed, the same non-wait-free preparation as for ERC20 (§5.2).
+    """
+    participants = sorted(proposals)
+    k = len(participants)
+    if k < 1:
+        raise InvalidArgumentError("need at least one participant")
+    if participants != list(range(k)):
+        raise InvalidArgumentError("participants must be pids 0..k-1")
+    num_accounts = k + 1  # + the sink
+    sink = k
+    nft = ERC721Token(num_accounts, initial_owners=[0])
+    # Enable every non-owner participant as an operator of the owner.
+    for pid in participants[1:]:
+        nft.invoke(0, nft.set_approval_for_all(pid, True).operation)
+    protocol = ERC721Consensus(nft, token_id=0, sink=sink)
+    programs = [
+        (lambda p=pid: protocol.propose(p, proposals[p])) for pid in participants
+    ]
+    return System(
+        programs=programs,
+        objects=[nft, *protocol.registers],
+        meta={"proposals": dict(proposals), "protocol": protocol},
+        pids=participants,
+    )

@@ -1,0 +1,133 @@
+"""Consensus from an ERC777 token (paper §6).
+
+"It is immediate to extend our results to ERC777.  Specifically, both
+Algorithms 1 and 2 can be adapted by replacing the approved spenders with the
+corresponding operators."
+
+The adaptation: operators may spend the holder's *entire* balance (there is
+no bounded allowance), so the unique-transfer predicate ``U`` is satisfied
+automatically — every racer attempts the full balance ``B``, and after the
+first success the account is empty, failing all others.  Because ERC777 has
+no allowance that zeroes out, the winner is identified (as in the ``k``-AT
+race) by scanning per-participant *target* accounts for the ``B`` tokens.
+
+Account layout mirrors :mod:`repro.protocols.erc721_consensus`: the holder
+sends to a dedicated sink; every operator sends to its own account (distinct
+targets make the winner unambiguous; targets start empty and receive no other
+traffic).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Mapping
+
+from repro.errors import InvalidArgumentError, ProtocolError
+from repro.objects.erc777 import ERC777State, ERC777Token
+from repro.objects.register import AtomicRegister, register_array
+from repro.runtime.calls import OpCall
+from repro.runtime.executor import System
+
+
+class ERC777Consensus:
+    """Operator race on a funded ERC777 account.
+
+    Args:
+        token: The shared ERC777 object; the racing operators must already be
+            authorized for ``holder``'s account.
+        holder: The account whose balance is raced for (its owner is the
+            paper's ``p1``).
+        sink: The holder's target account: distinct from all participants'
+            accounts, empty, and receiving no other traffic.
+    """
+
+    def __init__(
+        self,
+        token: ERC777Token,
+        holder: int,
+        sink: int,
+        registers: list[AtomicRegister] | None = None,
+    ) -> None:
+        state: ERC777State = token.state
+        self.balance = state.balance(holder)
+        if self.balance <= 0:
+            raise InvalidArgumentError("the holder needs a positive balance")
+        operators = state.operators[holder]
+        participants = (holder,) + tuple(sorted(operators))
+        if sink in participants:
+            raise InvalidArgumentError("the sink must not participate")
+        self.token = token
+        self.holder = holder
+        self.sink = sink
+        self.participants: tuple[int, ...] = participants
+        self.k = len(participants)
+        self.targets: dict[int, int] = {holder: sink}
+        for pid in operators:
+            self.targets[pid] = pid
+        for target in self.targets.values():
+            if state.balance(target) != 0:
+                raise InvalidArgumentError(
+                    f"target account {target} must start empty"
+                )
+        if registers is None:
+            registers = register_array(self.k, prefix="R")
+        if len(registers) != self.k:
+            raise InvalidArgumentError(f"need exactly k={self.k} registers")
+        self.registers = list(registers)
+
+    def index_of(self, pid: int) -> int:
+        try:
+            return self.participants.index(pid)
+        except ValueError:
+            raise InvalidArgumentError(
+                f"process {pid} is not an operator race participant"
+            ) from None
+
+    def propose(self, pid: int, value: Any) -> Generator[OpCall, Any, Any]:
+        i = self.index_of(pid)
+        yield self.registers[i].write(value)
+        if pid == self.holder:
+            yield self.token.send(self.targets[pid], self.balance)
+        else:
+            yield self.token.operator_send(
+                self.holder, self.targets[pid], self.balance
+            )
+        for j, participant in enumerate(self.participants):
+            target_balance = yield self.token.balance_of(
+                self.targets[participant]
+            )
+            if target_balance >= self.balance:
+                decision = yield self.registers[j].read()
+                return decision
+        raise ProtocolError("no winning target found after the operator race")
+
+
+def erc777_consensus_system(
+    proposals: Mapping[int, Any], balance: int = 1
+) -> System:
+    """Build a fresh §6 operator-race system for ``k = len(proposals)``
+    participants (pids ``0..k-1``; account ``k`` is the sink; account 0 is
+    the funded holder)."""
+    participants = sorted(proposals)
+    k = len(participants)
+    if k < 1:
+        raise InvalidArgumentError("need at least one participant")
+    if participants != list(range(k)):
+        raise InvalidArgumentError("participants must be pids 0..k-1")
+    if balance <= 0:
+        raise InvalidArgumentError("balance must be positive")
+    num_accounts = k + 1
+    balances = [0] * num_accounts
+    balances[0] = balance
+    token = ERC777Token(balances)
+    for pid in participants[1:]:
+        token.invoke(0, token.authorize_operator(pid).operation)
+    protocol = ERC777Consensus(token, holder=0, sink=k)
+    programs = [
+        (lambda p=pid: protocol.propose(p, proposals[p])) for pid in participants
+    ]
+    return System(
+        programs=programs,
+        objects=[token, *protocol.registers],
+        meta={"proposals": dict(proposals), "protocol": protocol},
+        pids=participants,
+    )

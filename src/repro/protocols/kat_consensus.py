@@ -1,0 +1,140 @@
+"""Consensus among the ``k`` owners of a shared account from a ``k``-AT
+object (lower-bound construction of Guerraoui et al. [16], which the paper
+builds on: ``CN(k-AT) = k``).
+
+The construction mirrors Algorithm 1's race, but uses shared *ownership*
+instead of allowances: the ``k`` owners of a shared account (balance ``B >
+0``) each attempt to drain the full balance into their personal *sink*
+account.  Exactly the first attempt succeeds; every process then scans the
+sinks — the unique sink holding ``≥ B`` tokens identifies the winner, whose
+registered proposal is decided.
+
+Contrast with Algorithm 1 (see §5.2, "ERC20 token vs k-shared asset
+transfer"): here the set of potential winners is fixed by the static owner
+map ``µ``, whereas the token object's spender set is dynamic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Mapping
+
+from repro.errors import InvalidArgumentError, ProtocolError
+from repro.objects.asset_transfer import AssetTransfer
+from repro.objects.register import AtomicRegister, register_array
+from repro.runtime.calls import OpCall
+from repro.runtime.executor import System
+
+
+class KATConsensus:
+    """Consensus for the ``k`` owners of one shared account.
+
+    Args:
+        kat: The shared asset-transfer object.
+        shared_account: The account all participants own (``µ`` must contain
+            exactly the participants).
+        sinks: Per-participant sink accounts, distinct, zero-balance, and not
+            receiving any other traffic during the protocol.
+        registers: ``k`` atomic registers (created fresh when omitted).
+    """
+
+    def __init__(
+        self,
+        kat: AssetTransfer,
+        shared_account: int,
+        sinks: Mapping[int, int],
+        registers: list[AtomicRegister] | None = None,
+    ) -> None:
+        owners = kat.object_type.owners(shared_account)
+        if set(sinks) != set(owners):
+            raise InvalidArgumentError(
+                f"sinks must cover exactly the owners {sorted(owners)}"
+            )
+        if len(set(sinks.values())) != len(sinks):
+            raise InvalidArgumentError("sink accounts must be distinct")
+        if shared_account in sinks.values():
+            raise InvalidArgumentError("the shared account cannot be a sink")
+        state = kat.state
+        self.balance = state.balance(shared_account)
+        if self.balance <= 0:
+            raise InvalidArgumentError(
+                "the shared account needs a positive balance for the race"
+            )
+        for sink in sinks.values():
+            if state.balance(sink) != 0:
+                raise InvalidArgumentError(
+                    f"sink account {sink} must start with balance 0"
+                )
+        self.kat = kat
+        self.shared_account = shared_account
+        self.participants: tuple[int, ...] = tuple(sorted(owners))
+        self.k = len(self.participants)
+        self.sinks = dict(sinks)
+        if registers is None:
+            registers = register_array(self.k, prefix="R")
+        if len(registers) != self.k:
+            raise InvalidArgumentError(f"need exactly k={self.k} registers")
+        self.registers = list(registers)
+
+    def index_of(self, pid: int) -> int:
+        try:
+            return self.participants.index(pid)
+        except ValueError:
+            raise InvalidArgumentError(
+                f"process {pid} does not own account {self.shared_account}"
+            ) from None
+
+    def propose(self, pid: int, value: Any) -> Generator[OpCall, Any, Any]:
+        i = self.index_of(pid)
+        yield self.registers[i].write(value)
+        # Race: try to drain the shared account into my sink.
+        yield self.kat.transfer(
+            self.shared_account, self.sinks[pid], self.balance
+        )
+        # The winner's sink holds >= B; exactly one exists by now.
+        for j, participant in enumerate(self.participants):
+            sink_balance = yield self.kat.balance_of(self.sinks[participant])
+            if sink_balance >= self.balance:
+                decision = yield self.registers[j].read()
+                return decision
+        raise ProtocolError(
+            "no winning sink found; the k-AT object violated atomicity"
+        )
+
+
+def kat_consensus_system(
+    proposals: Mapping[int, Any],
+    balance: int = 1,
+) -> System:
+    """Build a fresh ``k``-AT consensus system for ``k = len(proposals)``
+    participants (pids ``0..k-1``).
+
+    Account layout: account ``0`` is the shared account (owned by everyone),
+    accounts ``1..k`` are the per-participant sinks.
+    """
+    participants = sorted(proposals)
+    k = len(participants)
+    if k < 1:
+        raise InvalidArgumentError("need at least one participant")
+    if participants != list(range(k)):
+        raise InvalidArgumentError("participants must be pids 0..k-1")
+    if balance <= 0:
+        raise InvalidArgumentError("shared balance must be positive")
+    num_accounts = k + 1
+    owner_map: list[set[int]] = [set(participants)]
+    owner_map += [{pid} for pid in participants]
+    kat = AssetTransfer(
+        initial_balances=[balance] + [0] * k,
+        owner_map=owner_map,
+        num_processes=k,
+    )
+    sinks = {pid: pid + 1 for pid in participants}
+    protocol = KATConsensus(kat, shared_account=0, sinks=sinks)
+    programs = [
+        (lambda p=pid: protocol.propose(p, proposals[p])) for pid in participants
+    ]
+    return System(
+        programs=programs,
+        objects=[kat, *protocol.registers],
+        meta={"proposals": dict(proposals), "protocol": protocol},
+        pids=participants,
+    )

@@ -1,0 +1,65 @@
+"""A deliberately *incorrect* register-only consensus protocol (FLP/Herlihy
+demonstration).
+
+``CN(register) = 1``: atomic registers cannot solve wait-free consensus for
+two processes (FLP [13], Herlihy [18]; recalled by the paper in §3.1).  The
+impossibility is about *all* protocols, which no finite experiment can cover;
+what the library demonstrates mechanically is the proof's *mechanism* on a
+natural attempt:
+
+Each process writes its proposal to its own register, reads the other's
+register, and applies a deterministic decision rule.  Whatever the rule, some
+interleaving disagrees — the explorer finds it — and the valency analyzer
+shows the initial configuration is bivalent while no critical configuration
+with register pending-operations can decide consistently (register steps
+commute or are read-only, the very cases ruled out in Theorem 3's proof).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Mapping
+
+from repro.errors import InvalidArgumentError
+from repro.objects.register import BOTTOM, AtomicRegister, register_array
+from repro.runtime.calls import OpCall
+from repro.runtime.executor import System
+
+
+class DoomedRegisterConsensus:
+    """The natural-but-wrong write/read/decide protocol for two processes.
+
+    Decision rule: if the other register is still empty, decide own value
+    ("I was first"); otherwise decide the smaller of the two values (a
+    deterministic symmetric tie-break).  The rule is consistent in solo and
+    fully-synchronous runs but fails under the half-overlapped interleaving —
+    which is exactly what bivalency predicts.
+    """
+
+    def __init__(self, registers: list[AtomicRegister] | None = None) -> None:
+        self.registers = registers if registers is not None else register_array(2)
+        if len(self.registers) != 2:
+            raise InvalidArgumentError("the demonstration uses two processes")
+
+    def propose(self, pid: int, value: Any) -> Generator[OpCall, Any, Any]:
+        if pid not in (0, 1):
+            raise InvalidArgumentError("pids must be 0 and 1")
+        yield self.registers[pid].write(value)
+        other = yield self.registers[1 - pid].read()
+        if other is BOTTOM:
+            return value
+        return min(value, other)
+
+
+def doomed_register_system(proposals: Mapping[int, Any]) -> System:
+    """A fresh two-process register-consensus attempt for the explorer."""
+    if sorted(proposals) != [0, 1]:
+        raise InvalidArgumentError("provide proposals for pids 0 and 1")
+    protocol = DoomedRegisterConsensus()
+    programs = [
+        (lambda p=pid: protocol.propose(p, proposals[p])) for pid in (0, 1)
+    ]
+    return System(
+        programs=programs,
+        objects=list(protocol.registers),
+        meta={"proposals": dict(proposals), "protocol": protocol},
+    )

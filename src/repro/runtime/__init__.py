@@ -1,0 +1,52 @@
+"""Asynchronous shared-memory runtime: processes, schedulers, executor,
+exhaustive schedule exploration."""
+
+from repro.runtime.calls import OpCall
+from repro.runtime.executor import (
+    ExecutionResult,
+    System,
+    SystemFactory,
+    run_system,
+    run_under_schedules,
+)
+from repro.runtime.explorer import (
+    ExplorationReport,
+    ScheduleExplorer,
+    TerminalCheck,
+    Violation,
+)
+from repro.runtime.process import ProcessProgram, ProcessRunner, ProcessStatus
+from repro.runtime.scheduler import (
+    Action,
+    CrashAction,
+    FixedScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SoloScheduler,
+    StepAction,
+)
+
+__all__ = [
+    "OpCall",
+    "ExecutionResult",
+    "System",
+    "SystemFactory",
+    "run_system",
+    "run_under_schedules",
+    "ExplorationReport",
+    "ScheduleExplorer",
+    "TerminalCheck",
+    "Violation",
+    "ProcessProgram",
+    "ProcessRunner",
+    "ProcessStatus",
+    "Action",
+    "CrashAction",
+    "FixedScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SoloScheduler",
+    "StepAction",
+]

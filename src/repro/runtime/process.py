@@ -1,0 +1,124 @@
+"""Process runners: sequential processes over shared objects.
+
+A *program* is a zero-argument callable returning a generator that yields
+:class:`~repro.runtime.calls.OpCall` records — one per atomic shared-memory
+step — and terminates by ``return``-ing its result (e.g. the decided value of
+a consensus protocol).  The runner realizes the model's *sequential process*:
+it has at most one pending operation at any time and takes steps only when
+the scheduler selects it.
+
+The crash-failure model of §3.1 is realized by :meth:`ProcessRunner.crash`:
+a crashed process simply stops taking steps; its pending invocation remains
+incomplete (histories then contain a pending invocation, which the
+linearizability checker completes or drops as the specification allows).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Callable, Generator
+
+from repro.errors import ProcessCrashedError, SchedulingError
+from repro.runtime.calls import OpCall
+from repro.spec.history import History
+
+#: A protocol program: builds a fresh generator for one process.
+ProcessProgram = Callable[[], Generator[OpCall, Any, Any]]
+
+
+class ProcessStatus(Enum):
+    READY = "ready"  # has a pending operation
+    DONE = "done"  # generator returned
+    CRASHED = "crashed"  # halted prematurely
+
+
+class ProcessRunner:
+    """Drives one process's generator, one atomic operation per step."""
+
+    def __init__(self, pid: int, program: ProcessProgram) -> None:
+        self.pid = pid
+        self._generator = program()
+        self.status = ProcessStatus.READY
+        self.result: Any = None
+        self.pending: OpCall | None = None
+        self.steps_taken = 0
+        #: Responses received so far; with a deterministic program this fully
+        #: determines the continuation — used as a memoization key.
+        self.responses: tuple[Any, ...] = ()
+        self._prime()
+
+    def _prime(self) -> None:
+        """Advance to the first yield (local computation only)."""
+        try:
+            self.pending = self._advance_to_yield(None, first=True)
+        except StopIteration as stop:
+            self.status = ProcessStatus.DONE
+            self.result = stop.value
+            self.pending = None
+
+    def _advance_to_yield(self, response: Any, first: bool = False) -> OpCall:
+        if first:
+            yielded = next(self._generator)
+        else:
+            yielded = self._generator.send(response)
+        if not isinstance(yielded, OpCall):
+            raise SchedulingError(
+                f"process {self.pid} yielded {yielded!r}; protocols must "
+                "yield OpCall records (one atomic operation per step)"
+            )
+        return yielded
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_runnable(self) -> bool:
+        return self.status is ProcessStatus.READY
+
+    def step(self, history: History | None = None) -> Any:
+        """Execute the pending operation atomically and advance the program.
+
+        Returns the operation's response.  Records invocation/response events
+        in ``history`` when provided.
+        """
+        if self.status is ProcessStatus.CRASHED:
+            raise ProcessCrashedError(f"process {self.pid} has crashed")
+        if self.status is ProcessStatus.DONE or self.pending is None:
+            raise SchedulingError(f"process {self.pid} has no pending operation")
+        call = self.pending
+        if history is not None:
+            history.invoke(self.pid, call.target.name, call.operation)
+        result = call.target.invoke(self.pid, call.operation)
+        if history is not None:
+            history.respond(self.pid, call.target.name, call.operation, result)
+        self.steps_taken += 1
+        self.responses = self.responses + (result,)
+        try:
+            self.pending = self._advance_to_yield(result)
+        except StopIteration as stop:
+            self.status = ProcessStatus.DONE
+            self.result = stop.value
+            self.pending = None
+        return result
+
+    def crash(self) -> None:
+        """Halt the process prematurely (crash-failure model)."""
+        if self.status is ProcessStatus.READY:
+            self.status = ProcessStatus.CRASHED
+            self._generator.close()
+            self.pending = None
+
+    # ------------------------------------------------------------------
+
+    def memo_key(self) -> tuple[Any, ...]:
+        """A hashable summary determining this process's continuation."""
+        if self.status is ProcessStatus.DONE:
+            return ("done", self.result)
+        if self.status is ProcessStatus.CRASHED:
+            return ("crashed", self.steps_taken)
+        return ("ready", self.responses)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ProcessRunner p{self.pid} {self.status.value} "
+            f"steps={self.steps_taken} pending={self.pending}>"
+        )

@@ -1,0 +1,25 @@
+"""Sequential-object formalism: operations, object types, histories,
+linearizability (paper §3.1)."""
+
+from repro.spec.history import CompletedCall, History, sequential_history
+from repro.spec.linearizability import (
+    LinearizabilityResult,
+    check_linearizability,
+)
+from repro.spec.object_type import FALSE, TRUE, SequentialObjectType
+from repro.spec.operation import Invocation, Operation, Response, op
+
+__all__ = [
+    "CompletedCall",
+    "History",
+    "sequential_history",
+    "LinearizabilityResult",
+    "check_linearizability",
+    "SequentialObjectType",
+    "TRUE",
+    "FALSE",
+    "Invocation",
+    "Operation",
+    "Response",
+    "op",
+]

@@ -1,0 +1,98 @@
+"""Sequential object types: the tuple ``T = (Q, q0, O, R, Δ)``.
+
+The paper (§3.1) defines an object type as a set of states ``Q``, an initial
+state ``q0``, operations ``O``, responses ``R``, and a transition relation
+``Δ ⊆ Q × Π × O × Q × R``.  All objects analyzed in the paper are
+*deterministic*: for every state ``q``, process ``p`` and operation ``o``
+there is exactly one valid ``(q', r)``.  We therefore represent ``Δ`` as a
+function :meth:`SequentialObjectType.apply`.
+
+States are required to be immutable and hashable.  This buys three things:
+
+* the valency explorer can memoize configurations,
+* the linearizability checker can memoize ``(linearized-set, state)`` pairs,
+* sequential states can be compared structurally in differential tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generic, Iterable, TypeVar
+
+from repro.errors import UnknownOperationError
+from repro.spec.operation import Operation
+
+S = TypeVar("S")
+
+#: Conventional boolean responses used throughout the paper's specifications.
+TRUE = True
+FALSE = False
+
+
+class SequentialObjectType(ABC, Generic[S]):
+    """A deterministic sequential object specification.
+
+    Subclasses implement :meth:`initial_state` (``q0``) and :meth:`apply`
+    (``Δ``).  ``apply`` must be a *pure function*: it never mutates its input
+    state and always returns a fresh (or shared immutable) state.
+    """
+
+    #: Human-readable type name, e.g. ``"erc20"``.
+    name: str = "object"
+
+    @abstractmethod
+    def initial_state(self) -> S:
+        """Return the initial state ``q0``."""
+
+    @abstractmethod
+    def apply(self, state: S, pid: int, operation: Operation) -> tuple[S, Any]:
+        """Apply ``operation`` invoked by process ``pid`` in ``state``.
+
+        Returns:
+            The pair ``(q', r)`` of successor state and response.
+
+        Raises:
+            SpecificationError: If the invocation lies outside ``O`` (unknown
+                operation name or arguments outside the domain).
+        """
+
+    # ------------------------------------------------------------------
+    # Derived facilities shared by every object type.
+    # ------------------------------------------------------------------
+
+    def operation_names(self) -> tuple[str, ...]:
+        """The method names this object supports (for validation/analysis)."""
+        return ()
+
+    def validate_name(self, operation: Operation) -> None:
+        """Raise :class:`UnknownOperationError` for foreign operations."""
+        names = self.operation_names()
+        if names and operation.name not in names:
+            raise UnknownOperationError(
+                f"{self.name} does not support operation {operation.name!r}; "
+                f"supported: {', '.join(names)}"
+            )
+
+    def is_read_only(self, state: S, pid: int, operation: Operation) -> bool:
+        """True when the invocation does not modify the state.
+
+        This is the semantic notion used in Theorem 3's proof ("read-only
+        methods"), evaluated *at a particular state*: e.g. a ``transfer`` that
+        fails for insufficient balance is equivalent to a read-only operation
+        at that state (paper, proof of Theorem 3, Case 1).
+        """
+        successor, _ = self.apply(state, pid, operation)
+        return successor == state
+
+    def run(
+        self, invocations: Iterable[tuple[int, Operation]], state: S | None = None
+    ) -> tuple[S, list[Any]]:
+        """Apply a sequence of ``(pid, operation)`` pairs; return final state
+        and the list of responses.  Starts from ``q0`` unless ``state`` is
+        given."""
+        current = self.initial_state() if state is None else state
+        responses: list[Any] = []
+        for pid, operation in invocations:
+            current, response = self.apply(current, pid, operation)
+            responses.append(response)
+        return current, responses

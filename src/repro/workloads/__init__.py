@@ -1,0 +1,25 @@
+"""Workload generators and canonical traces."""
+
+from repro.workloads.generators import (
+    EXAMPLE1_BALANCES,
+    EXAMPLE1_RESPONSES,
+    OWNER_ONLY_MIX,
+    SPENDER_HEAVY_MIX,
+    TokenWorkloadGenerator,
+    WorkloadItem,
+    WorkloadMix,
+    example1_trace,
+    partition_by_process,
+)
+
+__all__ = [
+    "EXAMPLE1_BALANCES",
+    "EXAMPLE1_RESPONSES",
+    "OWNER_ONLY_MIX",
+    "SPENDER_HEAVY_MIX",
+    "TokenWorkloadGenerator",
+    "WorkloadItem",
+    "WorkloadMix",
+    "example1_trace",
+    "partition_by_process",
+]

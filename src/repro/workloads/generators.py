@@ -1,0 +1,175 @@
+"""Workload generation: seeded random token traffic and the paper's
+Example 1 trace.
+
+Workloads drive the differential tests (E4), the dynamics experiment (E5),
+and the network benchmarks (E8).  All generators are deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import InvalidArgumentError
+from repro.spec.operation import Operation
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadItem:
+    """One operation of a token workload."""
+
+    pid: int
+    operation: Operation
+
+    def __str__(self) -> str:
+        return f"p{self.pid}: {self.operation}"
+
+
+@dataclass
+class WorkloadMix:
+    """Relative operation-type weights for a generated workload."""
+
+    transfer: float = 0.5
+    transfer_from: float = 0.2
+    approve: float = 0.15
+    balance_of: float = 0.1
+    allowance: float = 0.04
+    total_supply: float = 0.01
+
+    def weights(self) -> list[tuple[str, float]]:
+        entries = [
+            ("transfer", self.transfer),
+            ("transferFrom", self.transfer_from),
+            ("approve", self.approve),
+            ("balanceOf", self.balance_of),
+            ("allowance", self.allowance),
+            ("totalSupply", self.total_supply),
+        ]
+        if any(weight < 0 for _, weight in entries):
+            raise InvalidArgumentError("mix weights must be non-negative")
+        if sum(weight for _, weight in entries) <= 0:
+            raise InvalidArgumentError("mix weights must not all be zero")
+        return entries
+
+
+#: Owner-traffic-only mix: the consensus-number-1 regime of the paper.
+OWNER_ONLY_MIX = WorkloadMix(
+    transfer=0.8, transfer_from=0.0, approve=0.0, balance_of=0.2, allowance=0.0
+)
+
+#: Spender-heavy mix: stresses the synchronization groups.
+SPENDER_HEAVY_MIX = WorkloadMix(
+    transfer=0.25, transfer_from=0.45, approve=0.2, balance_of=0.1, allowance=0.0
+)
+
+
+@dataclass
+class TokenWorkloadGenerator:
+    """Seeded random generator of ERC20 operations.
+
+    Accounts are drawn either uniformly or with a Zipf-like skew
+    (``zipf_s > 0``), reflecting the heavy-tailed account popularity measured
+    on real ERC20 traffic (Victor & Lüders [27], cited by the paper).
+    """
+
+    num_accounts: int
+    seed: int = 0
+    mix: WorkloadMix = field(default_factory=WorkloadMix)
+    max_value: int = 10
+    zipf_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_accounts < 1:
+            raise InvalidArgumentError("need at least one account")
+        if self.max_value < 0:
+            raise InvalidArgumentError("max_value must be non-negative")
+        self._rng = random.Random(self.seed)
+        if self.zipf_s > 0:
+            weights = [
+                1.0 / ((rank + 1) ** self.zipf_s)
+                for rank in range(self.num_accounts)
+            ]
+            total = sum(weights)
+            self._account_weights = [weight / total for weight in weights]
+        else:
+            self._account_weights = None
+
+    # ------------------------------------------------------------------
+
+    def _pick_account(self) -> int:
+        if self._account_weights is None:
+            return self._rng.randrange(self.num_accounts)
+        return self._rng.choices(
+            range(self.num_accounts), weights=self._account_weights
+        )[0]
+
+    def _pick_value(self) -> int:
+        return self._rng.randint(0, self.max_value)
+
+    def next_item(self) -> WorkloadItem:
+        """Generate one operation."""
+        names, weights = zip(*self.mix.weights())
+        name = self._rng.choices(names, weights=weights)[0]
+        pid = self._pick_account()
+        if name == "transfer":
+            operation = Operation(name, (self._pick_account(), self._pick_value()))
+        elif name == "transferFrom":
+            operation = Operation(
+                name,
+                (self._pick_account(), self._pick_account(), self._pick_value()),
+            )
+        elif name == "approve":
+            operation = Operation(name, (self._pick_account(), self._pick_value()))
+        elif name == "balanceOf":
+            operation = Operation(name, (self._pick_account(),))
+        elif name == "allowance":
+            operation = Operation(name, (self._pick_account(), self._pick_account()))
+        else:
+            operation = Operation("totalSupply")
+        return WorkloadItem(pid=pid, operation=operation)
+
+    def generate(self, count: int) -> list[WorkloadItem]:
+        """Generate ``count`` operations."""
+        return [self.next_item() for _ in range(count)]
+
+    def stream(self) -> Iterator[WorkloadItem]:
+        """An unbounded operation stream."""
+        while True:
+            yield self.next_item()
+
+
+def example1_trace() -> list[WorkloadItem]:
+    """The paper's Example 1 (§4): Alice (p0) deploys with supply 10, sends 3
+    to Bob (p1); Bob approves Charlie (p2) for 5; Charlie's first
+    transferFrom fails on Bob's balance; his second succeeds."""
+    return [
+        WorkloadItem(0, Operation("transfer", (1, 3))),
+        WorkloadItem(1, Operation("approve", (2, 5))),
+        WorkloadItem(2, Operation("transferFrom", (1, 2, 5))),
+        WorkloadItem(2, Operation("transferFrom", (1, 0, 1))),
+    ]
+
+
+#: Expected responses along Example 1's trace.
+EXAMPLE1_RESPONSES: tuple[object, ...] = (True, True, False, True)
+
+#: Expected balance vectors after each Example 1 step (q1..q4), 3 accounts.
+EXAMPLE1_BALANCES: tuple[tuple[int, int, int], ...] = (
+    (7, 3, 0),
+    (7, 3, 0),
+    (7, 3, 0),
+    (8, 2, 0),
+)
+
+
+def partition_by_process(
+    items: Sequence[WorkloadItem], num_processes: int
+) -> list[list[WorkloadItem]]:
+    """Split a workload into per-process subsequences (preserving order)."""
+    buckets: list[list[WorkloadItem]] = [[] for _ in range(num_processes)]
+    for item in items:
+        if not 0 <= item.pid < num_processes:
+            raise InvalidArgumentError(f"workload pid {item.pid} out of range")
+        buckets[item.pid].append(item)
+    return buckets

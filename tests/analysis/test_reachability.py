@@ -1,0 +1,117 @@
+"""Tests for level reachability (Eq. 12) and escalation plans."""
+
+from __future__ import annotations
+
+from repro.analysis.partition import is_synchronization_state, synchronization_level
+from repro.analysis.reachability import (
+    escalation_plan,
+    level_trajectory,
+    raising_approvals,
+    verify_level_change_ops,
+)
+from repro.objects.erc20 import ERC20TokenType, TokenState
+from repro.spec.operation import op
+
+
+class TestRaisingApprovals:
+    def test_eq12_witness_exists_from_funded_state(self):
+        token = ERC20TokenType(3, total_supply=10)
+        state = token.initial_state()
+        witnesses = raising_approvals(state)
+        assert witnesses, "Eq. 12 guarantees a raising approve from Q_1"
+        witness = witnesses[0]
+        successor, result = token.apply(state, witness.pid, witness.operation)
+        assert result is True
+        assert synchronization_level(successor) == synchronization_level(state) + 1
+
+    def test_all_witnesses_raise_the_level(self):
+        token = ERC20TokenType(4, total_supply=10)
+        state, _ = token.run([(0, op("approve", 1, 5))])
+        for witness in raising_approvals(state):
+            successor, _ = token.apply(state, witness.pid, witness.operation)
+            assert synchronization_level(successor) == 3
+
+    def test_only_owner_issues_witness(self):
+        state = TokenState.deploy(3, 10)
+        for witness in raising_approvals(state):
+            assert witness.pid == witness.account  # ω identity
+
+    def test_no_witness_from_empty_accounts(self):
+        # All balances zero: no approve can raise the level (Eq. 10).
+        state = TokenState.create([0, 0, 0])
+        assert raising_approvals(state) == ()
+
+
+class TestTrajectories:
+    def test_trajectory_length(self):
+        token = ERC20TokenType(3, total_supply=10)
+        trajectory = level_trajectory(
+            token, [(0, op("approve", 1, 5)), (0, op("approve", 2, 5))]
+        )
+        assert len(trajectory) == 3
+        assert [level for level, _ in trajectory] == [1, 2, 3]
+
+    def test_level_decreases_when_allowance_consumed(self):
+        token = ERC20TokenType(3, total_supply=10)
+        operations = [
+            (0, op("approve", 1, 5)),
+            (1, op("transferFrom", 0, 1, 5)),
+        ]
+        trajectory = level_trajectory(token, operations)
+        assert [level for level, _ in trajectory] == [1, 2, 1]
+
+    def test_verifier_accepts_legal_executions(self):
+        token = ERC20TokenType(3, total_supply=10)
+        operations = [
+            (0, op("approve", 1, 5)),
+            (0, op("transfer", 2, 3)),
+            (1, op("transferFrom", 0, 2, 2)),
+            (2, op("approve", 0, 1)),
+        ]
+        assert verify_level_change_ops(token, operations) == []
+
+    def test_verifier_accepts_funding_raises(self):
+        # Funding an empty account with latent allowances raises the level via
+        # a transfer (the Eq. 10 convention); the checker classifies it as a
+        # funding raise, not a violation.
+        token = ERC20TokenType(
+            3,
+            initial_state=TokenState.create([5, 0, 0], {(1, 2): 4}),
+        )
+        operations = [(0, op("transfer", 1, 2))]
+        assert verify_level_change_ops(token, operations) == []
+
+
+class TestEscalationPlan:
+    def test_plan_reaches_sk_from_deployment(self):
+        for k in (1, 2, 3, 4):
+            token = ERC20TokenType(5, total_supply=k)
+            plan = escalation_plan(5, k)
+            state, responses = token.run(plan)
+            assert all(responses), "every preparation step must succeed"
+            assert is_synchronization_state(state, k, strict=True)
+
+    def test_plan_with_non_deployer_witness(self):
+        k = 3
+        token = ERC20TokenType(5, total_supply=k)
+        plan = escalation_plan(5, k, account=2)
+        state, responses = token.run(plan)
+        assert all(responses)
+        assert is_synchronization_state(state, k, strict=True)
+        assert state.balance(2) == k
+
+    def test_plan_length_is_minimal(self):
+        # k-1 approvals (+1 funding transfer if the witness isn't the deployer).
+        assert len(escalation_plan(5, 4)) == 3
+        assert len(escalation_plan(5, 4, account=1)) == 4
+
+    def test_every_prefix_failure_blocks_escalation(self):
+        # Dropping any approve leaves the state below S_k: the non-wait-free
+        # preparation observation (§5.2 before Theorem 3).
+        k = 4
+        token = ERC20TokenType(5, total_supply=k)
+        plan = escalation_plan(5, k)
+        for skip in range(len(plan)):
+            partial = [step for i, step in enumerate(plan) if i != skip]
+            state, _ = token.run(partial)
+            assert not is_synchronization_state(state, k, strict=True)

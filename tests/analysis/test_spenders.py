@@ -1,0 +1,82 @@
+"""Tests for enabled-spender sets σ_q (Eq. 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.spenders import (
+    accounts_with_spender_count,
+    enabled_spenders,
+    max_spenders,
+    potential_level,
+    potential_spenders,
+    spender_map,
+)
+from repro.errors import InvalidArgumentError
+from repro.objects.erc20 import TokenState
+
+
+class TestEnabledSpenders:
+    def test_owner_always_enabled(self):
+        state = TokenState.create([5, 0, 0])
+        assert enabled_spenders(state, 0) == {0}
+
+    def test_positive_allowance_enables(self):
+        state = TokenState.create([5, 0, 0], {(0, 2): 3})
+        assert enabled_spenders(state, 0) == {0, 2}
+
+    def test_zero_allowance_does_not_enable(self):
+        state = TokenState.create([5, 0, 0], {(0, 2): 0})
+        assert enabled_spenders(state, 0) == {0}
+
+    def test_zero_balance_convention(self):
+        # Eq. 10 convention: an empty account has only its owner enabled,
+        # even with positive allowances outstanding.
+        state = TokenState.create([0, 5, 0], {(0, 2): 3})
+        assert enabled_spenders(state, 0) == {0}
+
+    def test_funding_restores_spenders(self):
+        state = TokenState.create([0, 5, 0], {(0, 2): 3})
+        funded = state.with_transfer(1, 0, 1)
+        assert enabled_spenders(funded, 0) == {0, 2}
+
+    def test_self_allowance_adds_nothing(self):
+        state = TokenState.create([5, 0], {(0, 0): 3})
+        assert enabled_spenders(state, 0) == {0}
+
+    def test_unknown_account_raises(self):
+        with pytest.raises(InvalidArgumentError):
+            enabled_spenders(TokenState.create([1]), 4)
+
+
+class TestSpenderMap:
+    def test_map_covers_all_accounts(self):
+        state = TokenState.create([5, 5, 0], {(0, 1): 1, (1, 0): 1, (1, 2): 1})
+        mapping = spender_map(state)
+        assert mapping == ({0, 1}, {0, 1, 2}, {2})
+
+    def test_max_spenders(self):
+        state = TokenState.create([5, 5, 0], {(1, 0): 1, (1, 2): 1})
+        assert max_spenders(state) == 3
+
+    def test_accounts_with_count(self):
+        state = TokenState.create([5, 5, 0], {(0, 1): 1, (1, 0): 1, (1, 2): 1})
+        assert accounts_with_spender_count(state, 2) == (0,)
+        assert accounts_with_spender_count(state, 3) == (1,)
+        assert accounts_with_spender_count(state, 1) == (2,)
+
+
+class TestPotentialSpenders:
+    def test_ignores_zero_balance_convention(self):
+        state = TokenState.create([0, 5, 0], {(0, 2): 3})
+        assert potential_spenders(state, 0) == {0, 2}
+        assert enabled_spenders(state, 0) == {0}
+
+    def test_coincides_when_funded(self):
+        state = TokenState.create([5, 0, 0], {(0, 2): 3})
+        assert potential_spenders(state, 0) == enabled_spenders(state, 0)
+
+    def test_potential_level_bounds_sigma_level(self):
+        state = TokenState.create([0, 5, 0], {(0, 1): 1, (0, 2): 1})
+        assert potential_level(state) == 3
+        assert max_spenders(state) <= potential_level(state)

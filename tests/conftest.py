@@ -1,0 +1,77 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.objects.erc20 import ERC20TokenType, TokenState
+from repro.spec.operation import Operation
+
+
+@pytest.fixture
+def example1_token_type() -> ERC20TokenType:
+    """The paper's Example 1 deployment: 3 accounts, Alice holds 10."""
+    return ERC20TokenType(3, total_supply=10, deployer=0)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def random_token_operation(
+    rng: random.Random, num_accounts: int, max_value: int = 8
+) -> tuple[int, Operation]:
+    """A random valid-domain ERC20 invocation (may fail, never raises)."""
+    pid = rng.randrange(num_accounts)
+    kind = rng.choice(
+        ["transfer", "transferFrom", "approve", "balanceOf", "allowance", "totalSupply"]
+    )
+    if kind == "transfer":
+        operation = Operation(
+            kind, (rng.randrange(num_accounts), rng.randint(0, max_value))
+        )
+    elif kind == "transferFrom":
+        operation = Operation(
+            kind,
+            (
+                rng.randrange(num_accounts),
+                rng.randrange(num_accounts),
+                rng.randint(0, max_value),
+            ),
+        )
+    elif kind == "approve":
+        operation = Operation(
+            kind, (rng.randrange(num_accounts), rng.randint(0, max_value))
+        )
+    elif kind == "balanceOf":
+        operation = Operation(kind, (rng.randrange(num_accounts),))
+    elif kind == "allowance":
+        operation = Operation(
+            kind, (rng.randrange(num_accounts), rng.randrange(num_accounts))
+        )
+    else:
+        operation = Operation("totalSupply")
+    return pid, operation
+
+
+def random_token_state(
+    rng: random.Random, num_accounts: int, supply: int = 20
+) -> TokenState:
+    """A random reachable-looking token state (non-negative balances summing
+    to ``supply``, arbitrary allowances)."""
+    cuts = sorted(rng.randint(0, supply) for _ in range(num_accounts - 1))
+    balances = []
+    previous = 0
+    for cut in cuts:
+        balances.append(cut - previous)
+        previous = cut
+    balances.append(supply - previous)
+    allowances = {}
+    for _ in range(rng.randint(0, 2 * num_accounts)):
+        account = rng.randrange(num_accounts)
+        spender = rng.randrange(num_accounts)
+        allowances[(account, spender)] = rng.randint(0, supply)
+    return TokenState.create(balances, allowances)

@@ -1,0 +1,97 @@
+"""Tests for the consensus-based ledger baseline."""
+
+from __future__ import annotations
+
+import random
+
+from repro.ledger.blockchain import LedgerNode, build_ledger, measure_ledger
+from repro.net.network import Network, UniformLatency
+from repro.net.simulation import Simulator
+from repro.objects.erc20 import ERC20TokenType
+from repro.spec.operation import Operation, op
+
+
+def make_chain(n: int = 4, supply: int = 100, seed: int = 0, max_batch: int = 64):
+    simulator = Simulator()
+    network = Network(simulator, UniformLatency(0.5, 1.5), seed=seed)
+    token_type = ERC20TokenType(n, total_supply=supply)
+    nodes = build_ledger(network, n, token_type, max_batch=max_batch)
+    return simulator, network, nodes
+
+
+class TestExecution:
+    def test_replicas_agree_on_final_state(self):
+        simulator, _, nodes = make_chain(seed=2)
+        rng = random.Random(0)
+        for _ in range(20):
+            actor = rng.randrange(4)
+            nodes[actor].submit_operation(
+                actor, op("transfer", rng.randrange(4), rng.randint(0, 5))
+            )
+        simulator.run()
+        states = {node.token_state for node in nodes}
+        assert len(states) == 1
+
+    def test_supply_conserved(self):
+        simulator, _, nodes = make_chain(supply=50, seed=4)
+        rng = random.Random(1)
+        for _ in range(15):
+            actor = rng.randrange(4)
+            nodes[actor].submit_operation(
+                actor, op("transfer", rng.randrange(4), rng.randint(0, 9))
+            )
+        simulator.run()
+        assert nodes[0].token_state.total_supply == 50
+
+    def test_responses_follow_sequential_semantics(self):
+        simulator, _, nodes = make_chain(supply=10)
+        tx1 = nodes[0].submit_operation(0, op("transfer", 1, 10))
+        simulator.run()
+        tx2 = nodes[0].submit_operation(0, op("transfer", 1, 1))
+        simulator.run()
+        responses = {r.tx_id: r.response for r in nodes[0].applied}
+        assert responses[tx1] is True
+        assert responses[tx2] is False  # account drained by tx1
+
+    def test_all_operation_kinds_execute(self):
+        simulator, _, nodes = make_chain(supply=10)
+        nodes[0].submit_operation(0, op("approve", 1, 5))
+        nodes[1].submit_operation(1, op("transferFrom", 0, 2, 3))
+        nodes[2].submit_operation(2, op("balanceOf", 2))
+        simulator.run()
+        assert nodes[0].token_state.balance(2) == 3
+        assert nodes[0].token_state.allowance(0, 1) == 2
+
+
+class TestMeasurement:
+    def test_stats_computed(self):
+        simulator, _, nodes = make_chain(seed=7)
+        submissions = {}
+        for i in range(8):
+            tx_id = nodes[i % 4].submit_operation(
+                i % 4, op("transfer", (i + 1) % 4, 0)
+            )
+            submissions[tx_id] = simulator.now
+        simulator.run()
+        stats = measure_ledger(nodes, submissions)
+        assert stats.operations == 8
+        assert stats.messages > 0
+        assert stats.mean_latency > 0
+        assert stats.p99_latency >= stats.mean_latency * 0.5
+        assert stats.makespan > 0
+
+    def test_unbatched_message_cost_scales_quadratically(self):
+        costs = {}
+        for n in (4, 7):
+            simulator, network, nodes = make_chain(n=n, max_batch=1)
+            submissions = {}
+            # One op at a time: no batching amortization possible.
+            for i in range(5):
+                tx_id = nodes[0].submit_operation(0, op("transfer", 1, 0))
+                submissions[tx_id] = simulator.now
+                simulator.run()
+            stats = measure_ledger(nodes, submissions)
+            costs[n] = stats.messages_per_op
+        # 3-phase quorum pattern: ~(2n² + n) per op; n=7 must cost far more
+        # than n=4 (ratio about (2·49)/(2·16) ≈ 3).
+        assert costs[7] > 2.0 * costs[4]

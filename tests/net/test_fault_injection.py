@@ -1,0 +1,102 @@
+"""Fault-injection tests: partitions and recovery in the broadcast layer."""
+
+from __future__ import annotations
+
+from repro.dynamic.dynamic_token import DynamicTokenNode, assert_converged
+from repro.net.network import ConstantLatency, Network, UniformLatency
+from repro.net.reliable_broadcast import ReliableBroadcastNode
+from repro.net.simulation import Simulator
+
+
+class TestBRBUnderPartition:
+    def test_minority_partition_blocks_delivery(self):
+        # n=4, f=1: quorums need 3 nodes; isolating 2 nodes from 2 others
+        # means neither side can gather 2f+1 echoes.
+        simulator = Simulator()
+        network = Network(simulator, ConstantLatency(1.0), seed=0)
+        nodes = [ReliableBroadcastNode(i, network, 4) for i in range(4)]
+        network.partition({0, 1}, {2, 3})
+        nodes[0].broadcast_value("stuck")
+        simulator.run()
+        assert all(not node.delivered for node in nodes)
+
+    def test_majority_side_delivers(self):
+        # 3 vs 1: the quorum side (3 = 2f+1) delivers; the isolated node
+        # cannot (it lacks READY messages).
+        simulator = Simulator()
+        network = Network(simulator, ConstantLatency(1.0), seed=0)
+        nodes = [ReliableBroadcastNode(i, network, 4) for i in range(4)]
+        network.partition({0, 1, 2}, {3})
+        nodes[0].broadcast_value("quorum-side")
+        simulator.run()
+        for node in nodes[:3]:
+            assert [d[2] for d in node.delivered] == ["quorum-side"]
+        assert not nodes[3].delivered
+
+    def test_sender_in_minority_cannot_commit(self):
+        simulator = Simulator()
+        network = Network(simulator, ConstantLatency(1.0), seed=0)
+        nodes = [ReliableBroadcastNode(i, network, 4) for i in range(4)]
+        network.partition({0}, {1, 2, 3})
+        nodes[0].broadcast_value("isolated")
+        simulator.run()
+        assert all(not node.delivered for node in nodes)
+
+
+class TestDynamicNetworkPartitionIndependence:
+    def test_unrelated_accounts_progress_during_partition(self):
+        # The §7 design's virtue: a partition only stalls traffic that
+        # crosses it; accounts whose owner and audience sit on the quorum
+        # side keep settling.  (With a global sequencer, a partition that
+        # strands the leader stalls EVERYTHING.)
+        simulator = Simulator()
+        network = Network(simulator, UniformLatency(0.5, 1.5), seed=4)
+        nodes = [DynamicTokenNode(i, network, 4, supply=100) for i in range(4)]
+        for dest in range(1, 4):
+            nodes[0].submit_transfer(dest, 20)
+        simulator.run()
+
+        network.partition({0, 1, 2}, {3})
+        record = nodes[1].submit_transfer(2, 5)
+        simulator.run()
+        # Node 1's op reached the 2f+1 quorum side and settled there.
+        assert record.response is True
+        assert nodes[2].state.balances[2] == 25
+        # The isolated node has not seen it.
+        assert nodes[3].state.balances[2] == 20
+
+    def test_fifo_gap_blocks_later_ops_after_heal(self):
+        # Dropped messages are dropped (the network is not a retransmitting
+        # channel).  A node that missed sequence 0 of an account log buffers
+        # every later op of that log — per-account FIFO is what guarantees
+        # identical allowance evolution, so the gap must block.  (Real
+        # deployments add retransmission/state-transfer; the simulator
+        # documents the bare semantics.)
+        simulator = Simulator()
+        network = Network(simulator, UniformLatency(0.5, 1.5), seed=5)
+        nodes = [DynamicTokenNode(i, network, 4, supply=100) for i in range(4)]
+        network.partition({0, 1, 2}, {3})
+        nodes[0].submit_transfer(1, 10)
+        simulator.run()
+        network.heal()
+        nodes[0].submit_transfer(2, 5)
+        simulator.run()
+        # The quorum side applied both ops in order...
+        assert nodes[1].state.balances[1] == 10
+        assert nodes[1].state.balances[2] == 5
+        # ...while node 3, which missed seq 0, buffers seq 1 (FIFO gap):
+        assert nodes[3].state.balances[1] == 0
+        assert nodes[3].state.balances[2] == 0
+        # Other accounts' logs are unaffected by node 0's gap.
+        nodes[1].submit_transfer(3, 2)
+        simulator.run()
+        assert nodes[3].state.balances[3] == 2
+
+    def test_full_connectivity_converges_as_baseline(self):
+        simulator = Simulator()
+        network = Network(simulator, UniformLatency(0.5, 1.5), seed=6)
+        nodes = [DynamicTokenNode(i, network, 4, supply=100) for i in range(4)]
+        for dest in range(1, 4):
+            nodes[0].submit_transfer(dest, 10)
+        simulator.run()
+        assert_converged(nodes)

@@ -1,0 +1,148 @@
+"""Tests for the simulated network."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.network import (
+    ConstantLatency,
+    LogNormalLatency,
+    Message,
+    Network,
+    UniformLatency,
+)
+from repro.net.node import Node
+from repro.net.simulation import Simulator
+
+
+class Recorder(Node):
+    """A node that logs everything it receives."""
+
+    def __init__(self, node_id: int, network: Network) -> None:
+        super().__init__(node_id, network)
+        self.received: list[tuple[float, Message]] = []
+
+    def handle_ping(self, message: Message) -> None:
+        self.received.append((self.now, message))
+
+    def handle_pong(self, message: Message) -> None:
+        self.received.append((self.now, message))
+
+
+def make_net(num_nodes: int = 3, latency=None, seed: int = 0):
+    simulator = Simulator()
+    network = Network(simulator, latency or ConstantLatency(1.0), seed=seed)
+    nodes = [Recorder(i, network) for i in range(num_nodes)]
+    return simulator, network, nodes
+
+
+class TestDelivery:
+    def test_send_delivers_after_latency(self):
+        simulator, network, nodes = make_net()
+        network.send(0, 1, "ping", {"x": 1})
+        simulator.run()
+        assert len(nodes[1].received) == 1
+        time, message = nodes[1].received[0]
+        assert time == 1.0
+        assert message.payload == {"x": 1}
+
+    def test_self_send_is_immediate(self):
+        simulator, network, nodes = make_net()
+        network.send(0, 0, "ping")
+        simulator.run()
+        assert nodes[0].received[0][0] == 0.0
+
+    def test_broadcast_reaches_everyone(self):
+        simulator, network, nodes = make_net(4)
+        network.broadcast(2, "ping")
+        simulator.run()
+        assert all(len(node.received) == 1 for node in nodes)
+
+    def test_unknown_destination_raises(self):
+        _, network, _ = make_net(2)
+        with pytest.raises(NetworkError):
+            network.send(0, 9, "ping")
+
+    def test_unknown_handler_raises(self):
+        simulator, network, nodes = make_net(2)
+        network.send(0, 1, "mystery")
+        with pytest.raises(NetworkError):
+            simulator.run()
+
+    def test_duplicate_registration_rejected(self):
+        simulator = Simulator()
+        network = Network(simulator)
+        Recorder(0, network)
+        with pytest.raises(NetworkError):
+            Recorder(0, network)
+
+
+class TestStats:
+    def test_counts(self):
+        simulator, network, nodes = make_net(3)
+        network.broadcast(0, "ping")
+        network.send(1, 2, "pong")
+        simulator.run()
+        assert network.stats.messages_sent == 4
+        assert network.stats.messages_delivered == 4
+        assert network.stats.by_type == {"ping": 3, "pong": 1}
+
+
+class TestPartitions:
+    def test_cross_partition_messages_dropped(self):
+        simulator, network, nodes = make_net(4)
+        network.partition({0, 1}, {2, 3})
+        network.send(0, 2, "ping")
+        network.send(0, 1, "ping")
+        simulator.run()
+        assert len(nodes[2].received) == 0
+        assert len(nodes[1].received) == 1
+        assert network.stats.messages_dropped == 1
+
+    def test_heal_restores_connectivity(self):
+        simulator, network, nodes = make_net(4)
+        network.partition({0, 1}, {2, 3})
+        network.heal()
+        network.send(0, 2, "ping")
+        simulator.run()
+        assert len(nodes[2].received) == 1
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(2.5)
+        assert model.sample(0, 1, random.Random(0)) == 2.5
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(NetworkError):
+            ConstantLatency(-1)
+
+    def test_uniform_within_bounds(self):
+        model = UniformLatency(0.5, 1.5)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 0.5 <= model.sample(0, 1, rng) <= 1.5
+
+    def test_uniform_validates(self):
+        with pytest.raises(NetworkError):
+            UniformLatency(2.0, 1.0)
+
+    def test_lognormal_positive(self):
+        model = LogNormalLatency()
+        rng = random.Random(2)
+        assert all(model.sample(0, 1, rng) > 0 for _ in range(100))
+
+    def test_determinism_per_seed(self):
+        def run(seed):
+            simulator, network, nodes = make_net(
+                3, UniformLatency(0.5, 1.5), seed=seed
+            )
+            network.broadcast(0, "ping")
+            simulator.run()
+            return [(n.node_id, t) for n in nodes for t, _ in n.received]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)

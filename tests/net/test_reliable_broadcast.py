@@ -1,0 +1,124 @@
+"""Tests for Bracha reliable broadcast and the FIFO layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.network import ConstantLatency, Network, UniformLatency
+from repro.net.reliable_broadcast import ReliableBroadcastNode
+from repro.net.simulation import Simulator
+
+
+def make_system(n: int = 4, fifo: bool = False, seed: int = 0, latency=None):
+    simulator = Simulator()
+    network = Network(simulator, latency or UniformLatency(0.5, 1.5), seed=seed)
+    nodes = [ReliableBroadcastNode(i, network, n, fifo=fifo) for i in range(n)]
+    return simulator, network, nodes
+
+
+class TestQuorumMath:
+    def test_f_derived_from_n(self):
+        _, _, nodes = make_system(4)
+        assert nodes[0].endpoint.f == 1
+        assert nodes[0].endpoint.echo_quorum == 3
+
+    def test_n_less_than_3f_plus_1_rejected(self):
+        simulator = Simulator()
+        network = Network(simulator)
+        with pytest.raises(NetworkError):
+            ReliableBroadcastNode(0, network, 3, max_faulty=1)
+
+    def test_f0_quorums(self):
+        _, _, nodes = make_system(1)
+        assert nodes[0].endpoint.f == 0
+        assert nodes[0].endpoint.echo_quorum == 1
+
+
+class TestDelivery:
+    def test_all_correct_nodes_deliver(self):
+        simulator, _, nodes = make_system(4)
+        nodes[0].broadcast_value("hello")
+        simulator.run()
+        for node in nodes:
+            assert [d[2] for d in node.delivered] == ["hello"]
+
+    def test_delivery_exactly_once(self):
+        simulator, _, nodes = make_system(4)
+        nodes[1].broadcast_value("x")
+        simulator.run()
+        assert all(len(node.delivered) == 1 for node in nodes)
+
+    def test_multiple_instances_independent(self):
+        simulator, _, nodes = make_system(4)
+        nodes[0].broadcast_value("a")
+        nodes[2].broadcast_value("b")
+        simulator.run()
+        for node in nodes:
+            assert {d[2] for d in node.delivered} == {"a", "b"}
+
+    def test_message_complexity_quadratic(self):
+        simulator, network, nodes = make_system(4, latency=ConstantLatency(1.0))
+        nodes[0].broadcast_value("m")
+        simulator.run()
+        # n SEND + n ECHO broadcasts + n READY broadcasts = n + 2n².
+        assert network.stats.by_type["brb_send"] == 4
+        assert network.stats.by_type["brb_echo"] == 16
+        assert network.stats.by_type["brb_ready"] == 16
+
+
+class TestConsistencyUnderEquivocation:
+    def test_equivocating_sender_cannot_split_correct_nodes(self):
+        # A Byzantine sender sends different SENDs to different halves; no
+        # two correct nodes may deliver different values for one instance.
+        simulator, network, nodes = make_system(4)
+        byzantine = 0
+        for dst, value in [(1, "A"), (2, "A"), (3, "B")]:
+            network.send(
+                byzantine,
+                dst,
+                "brb_send",
+                {"sender": byzantine, "seq": 0, "value": value},
+            )
+        simulator.run()
+        delivered_values = {
+            d[2] for node in nodes[1:] for d in node.delivered
+        }
+        assert len(delivered_values) <= 1
+
+    def test_forged_send_for_other_sender_ignored(self):
+        simulator, network, nodes = make_system(4)
+        # Node 1 forges a SEND claiming node 2 is the sender.
+        network.send(1, 3, "brb_send", {"sender": 2, "seq": 0, "value": "fake"})
+        simulator.run()
+        assert all(not node.delivered for node in nodes)
+
+
+class TestFifoLayer:
+    def test_sender_order_preserved(self):
+        simulator, _, nodes = make_system(4, fifo=True, seed=3)
+        for value in ["m0", "m1", "m2", "m3"]:
+            nodes[0].broadcast_value(value)
+        simulator.run()
+        for node in nodes:
+            from_zero = [d[2] for d in node.delivered if d[0] == 0]
+            assert from_zero == ["m0", "m1", "m2", "m3"]
+
+    def test_fifo_indices_sequential(self):
+        simulator, _, nodes = make_system(4, fifo=True)
+        nodes[1].broadcast_value("a")
+        nodes[1].broadcast_value("b")
+        simulator.run()
+        for node in nodes:
+            seqs = [d[1] for d in node.delivered if d[0] == 1]
+            assert seqs == [0, 1]
+
+    def test_interleaved_senders(self):
+        simulator, _, nodes = make_system(4, fifo=True, seed=9)
+        nodes[0].broadcast_value("a0")
+        nodes[1].broadcast_value("b0")
+        nodes[0].broadcast_value("a1")
+        simulator.run()
+        for node in nodes:
+            from_zero = [d[2] for d in node.delivered if d[0] == 0]
+            assert from_zero == ["a0", "a1"]

@@ -1,0 +1,89 @@
+"""Tests for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.simulation import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        simulator = Simulator()
+        log = []
+        simulator.schedule(3.0, lambda: log.append("c"))
+        simulator.schedule(1.0, lambda: log.append("a"))
+        simulator.schedule(2.0, lambda: log.append("b"))
+        simulator.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_run_in_scheduling_order(self):
+        simulator = Simulator()
+        log = []
+        simulator.schedule(1.0, lambda: log.append("first"))
+        simulator.schedule(1.0, lambda: log.append("second"))
+        simulator.run()
+        assert log == ["first", "second"]
+
+    def test_now_advances(self):
+        simulator = Simulator()
+        times = []
+        simulator.schedule(2.5, lambda: times.append(simulator.now))
+        simulator.run()
+        assert times == [2.5]
+        assert simulator.now == 2.5
+
+    def test_nested_scheduling(self):
+        simulator = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", simulator.now))
+            simulator.schedule(1.0, lambda: log.append(("inner", simulator.now)))
+
+        simulator.schedule(1.0, outer)
+        simulator.run()
+        assert log == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(NetworkError):
+            Simulator().schedule(-1.0, lambda: None)
+
+
+class TestRunLimits:
+    def test_until_bound(self):
+        simulator = Simulator()
+        log = []
+        simulator.schedule(1.0, lambda: log.append(1))
+        simulator.schedule(5.0, lambda: log.append(5))
+        simulator.run(until=2.0)
+        assert log == [1]
+        assert simulator.pending_events == 1
+        simulator.run()
+        assert log == [1, 5]
+
+    def test_max_events(self):
+        simulator = Simulator()
+        log = []
+        for i in range(5):
+            simulator.schedule(float(i + 1), lambda i=i: log.append(i))
+        processed = simulator.run(max_events=2)
+        assert processed == 2
+        assert log == [0, 1]
+
+    def test_cancellation(self):
+        simulator = Simulator()
+        log = []
+        handle = simulator.schedule(1.0, lambda: log.append("cancelled"))
+        simulator.schedule(2.0, lambda: log.append("kept"))
+        handle.cancel()
+        simulator.run()
+        assert log == ["kept"]
+
+    def test_events_processed_counter(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        simulator.run()
+        assert simulator.events_processed == 2

@@ -1,0 +1,99 @@
+"""Tests for the leader-based total-order broadcast."""
+
+from __future__ import annotations
+
+from repro.net.network import ConstantLatency, Network, UniformLatency
+from repro.net.simulation import Simulator
+from repro.net.total_order import TotalOrderNode
+
+
+def make_system(n: int = 4, seed: int = 0, latency=None, max_batch: int = 64):
+    simulator = Simulator()
+    network = Network(simulator, latency or UniformLatency(0.5, 1.5), seed=seed)
+    nodes = [TotalOrderNode(i, network, n, max_batch=max_batch) for i in range(n)]
+    return simulator, network, nodes
+
+
+def delivered_txs(node: TotalOrderNode) -> list:
+    return [tx for _, batch in node.delivered for tx in batch]
+
+
+class TestTotalOrder:
+    def test_single_submission_delivered_everywhere(self):
+        simulator, _, nodes = make_system()
+        nodes[2].submit("tx1")
+        simulator.run()
+        for node in nodes:
+            assert delivered_txs(node) == ["tx1"]
+
+    def test_identical_order_across_replicas(self):
+        simulator, _, nodes = make_system(seed=5)
+        for i in range(10):
+            nodes[i % 4].submit(f"tx{i}")
+        simulator.run()
+        reference = delivered_txs(nodes[0])
+        assert len(reference) == 10
+        for node in nodes[1:]:
+            assert delivered_txs(node) == reference
+
+    def test_no_gaps_in_sequence(self):
+        simulator, _, nodes = make_system(seed=1)
+        for i in range(7):
+            nodes[i % 4].submit(i)
+        simulator.run()
+        for node in nodes:
+            seqs = [seq for seq, _ in node.delivered]
+            assert seqs == sorted(seqs)
+            assert seqs == list(range(seqs[-1] + 1)) if seqs else True
+
+    def test_batching_amortizes_consensus(self):
+        # All 8 txs submitted at t=0 to the leader: while the first proposal
+        # is in flight the rest accumulate and commit as one batch.
+        simulator, network, nodes = make_system(latency=ConstantLatency(1.0))
+        for i in range(8):
+            nodes[0].submit(i)
+        simulator.run()
+        assert delivered_txs(nodes[0]) == list(range(8))
+        # Far fewer than 8 full 3-phase rounds.
+        assert len(nodes[0].delivered) <= 2
+
+    def test_batch_size_cap(self):
+        simulator, _, nodes = make_system(
+            latency=ConstantLatency(1.0), max_batch=2
+        )
+        for i in range(6):
+            nodes[0].submit(i)
+        simulator.run()
+        assert all(len(batch) <= 2 for _, batch in nodes[0].delivered)
+        assert delivered_txs(nodes[0]) == list(range(6))
+
+    def test_message_complexity_per_round(self):
+        simulator, network, nodes = make_system(latency=ConstantLatency(1.0))
+        nodes[0].submit("tx")
+        simulator.run()
+        # 1 submit (self) + n propose + n·n prepare + n·n commit.
+        assert network.stats.by_type["to_propose"] == 4
+        assert network.stats.by_type["to_prepare"] == 16
+        assert network.stats.by_type["to_commit"] == 16
+
+    def test_non_leader_submission_forwarded(self):
+        simulator, network, nodes = make_system()
+        nodes[3].submit("remote")
+        simulator.run()
+        assert delivered_txs(nodes[1]) == ["remote"]
+
+    def test_non_leader_proposals_ignored(self):
+        simulator, network, nodes = make_system(latency=ConstantLatency(1.0))
+        network.broadcast(2, "to_propose", {"seq": 0, "txs": ["evil"]})
+        simulator.run()
+        assert all(not node.delivered for node in nodes)
+
+    def test_determinism_per_seed(self):
+        def run(seed):
+            simulator, _, nodes = make_system(seed=seed)
+            for i in range(6):
+                nodes[i % 4].submit(i)
+            simulator.run()
+            return delivered_txs(nodes[0])
+
+        assert run(3) == run(3)

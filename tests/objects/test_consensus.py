@@ -1,0 +1,54 @@
+"""Tests for the consensus object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.objects.consensus import UNDECIDED, ConsensusObject, ConsensusType
+from repro.spec.operation import Operation, op
+
+
+class TestConsensusType:
+    def test_initially_undecided(self):
+        assert ConsensusType().initial_state() is UNDECIDED
+
+    def test_first_proposal_decides(self):
+        consensus = ConsensusType()
+        state, result = consensus.apply(UNDECIDED, 0, op("propose", "x"))
+        assert state == "x"
+        assert result == "x"
+
+    def test_later_proposals_return_decided(self):
+        consensus = ConsensusType()
+        state, _ = consensus.apply(UNDECIDED, 0, op("propose", "x"))
+        state, result = consensus.apply(state, 1, op("propose", "y"))
+        assert result == "x"
+        assert state == "x"
+
+    def test_none_is_a_valid_proposal(self):
+        # UNDECIDED is a sentinel distinct from None.
+        consensus = ConsensusType()
+        state, result = consensus.apply(UNDECIDED, 0, op("propose", None))
+        assert result is None
+        _, second = consensus.apply(state, 1, op("propose", "y"))
+        assert second is None
+
+    def test_arity_checked(self):
+        with pytest.raises(InvalidArgumentError):
+            ConsensusType().apply(UNDECIDED, 0, Operation("propose", ()))
+
+
+class TestConsensusObject:
+    def test_decided_property(self):
+        consensus = ConsensusObject()
+        assert consensus.decided is None
+        consensus.invoke(0, consensus.propose(42).operation)
+        assert consensus.decided == 42
+
+    def test_agreement_across_processes(self):
+        consensus = ConsensusObject()
+        first = consensus.invoke(2, consensus.propose("a").operation)
+        second = consensus.invoke(0, consensus.propose("b").operation)
+        third = consensus.invoke(1, consensus.propose("c").operation)
+        assert first == second == third == "a"

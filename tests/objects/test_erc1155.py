@@ -1,0 +1,172 @@
+"""Tests for the ERC1155 multi-token object (§6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.objects.erc1155 import ERC1155Token, ERC1155TokenType
+from repro.spec.operation import op
+
+
+@pytest.fixture
+def token() -> ERC1155TokenType:
+    # 3 accounts, 2 token types; account 0 holds 10 of type 0 and 4 of type 1.
+    return ERC1155TokenType([[10, 4], [0, 0], [0, 0]])
+
+
+class TestReads:
+    def test_balance_of(self, token):
+        state = token.initial_state()
+        assert token.apply(state, 1, op("balanceOf", 0, 0))[1] == 10
+        assert token.apply(state, 1, op("balanceOf", 0, 1))[1] == 4
+
+    def test_balance_of_batch(self, token):
+        state = token.initial_state()
+        _, result = token.apply(
+            state, 1, op("balanceOfBatch", (0, 0, 1), (0, 1, 0))
+        )
+        assert result == (10, 4, 0)
+
+    def test_batch_read_length_mismatch(self, token):
+        with pytest.raises(InvalidArgumentError):
+            token.apply(
+                token.initial_state(), 0, op("balanceOfBatch", (0, 1), (0,))
+            )
+
+
+class TestSafeTransferFrom:
+    def test_holder_transfers(self, token):
+        state, result = token.apply(
+            token.initial_state(), 0, op("safeTransferFrom", 0, 1, 0, 6)
+        )
+        assert result is True
+        assert state.balance(0, 0) == 4
+        assert state.balance(1, 0) == 6
+
+    def test_insufficient_fails(self, token):
+        state = token.initial_state()
+        successor, result = token.apply(
+            state, 0, op("safeTransferFrom", 0, 1, 1, 5)
+        )
+        assert result is False
+        assert successor == state
+
+    def test_unauthorized_fails(self, token):
+        state = token.initial_state()
+        successor, result = token.apply(
+            state, 1, op("safeTransferFrom", 0, 1, 0, 1)
+        )
+        assert result is False
+        assert successor == state
+
+    def test_operator_transfers(self, token):
+        state, _ = token.apply(
+            token.initial_state(), 0, op("setApprovalForAll", 2, True)
+        )
+        state, result = token.apply(state, 2, op("safeTransferFrom", 0, 2, 0, 3))
+        assert result is True
+        assert state.balance(2, 0) == 3
+
+
+class TestBatchTransfer:
+    def test_batch_success(self, token):
+        state, result = token.apply(
+            token.initial_state(),
+            0,
+            op("safeBatchTransferFrom", 0, 1, (0, 1), (5, 2)),
+        )
+        assert result is True
+        assert state.balance(1, 0) == 5
+        assert state.balance(1, 1) == 2
+
+    def test_batch_is_atomic(self, token):
+        # Second component unaffordable: the whole batch must fail.
+        state = token.initial_state()
+        successor, result = token.apply(
+            state, 0, op("safeBatchTransferFrom", 0, 1, (0, 1), (5, 9))
+        )
+        assert result is False
+        assert successor == state
+
+    def test_batch_aggregates_same_type(self, token):
+        # 6 + 6 of type 0 exceeds the balance of 10 even though each
+        # component alone is affordable.
+        state = token.initial_state()
+        successor, result = token.apply(
+            state, 0, op("safeBatchTransferFrom", 0, 1, (0, 0), (6, 6))
+        )
+        assert result is False
+        assert successor == state
+
+    def test_batch_length_mismatch(self, token):
+        with pytest.raises(InvalidArgumentError):
+            token.apply(
+                token.initial_state(),
+                0,
+                op("safeBatchTransferFrom", 0, 1, (0,), (1, 2)),
+            )
+
+    def test_empty_batch_succeeds(self, token):
+        state = token.initial_state()
+        successor, result = token.apply(
+            state, 0, op("safeBatchTransferFrom", 0, 1, (), ())
+        )
+        assert result is True
+        assert successor == state
+
+
+class TestOperators:
+    def test_toggle(self, token):
+        state, result = token.apply(
+            token.initial_state(), 0, op("setApprovalForAll", 1, True)
+        )
+        assert result is True
+        assert token.apply(state, 2, op("isApprovedForAll", 0, 1))[1] is True
+        state, _ = token.apply(state, 0, op("setApprovalForAll", 1, False))
+        assert token.apply(state, 2, op("isApprovedForAll", 0, 1))[1] is False
+
+    def test_self_approval_rejected(self, token):
+        state = token.initial_state()
+        successor, result = token.apply(
+            state, 0, op("setApprovalForAll", 0, True)
+        )
+        assert result is False
+        assert successor == state
+
+
+class TestValidation:
+    def test_ragged_grid_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            ERC1155TokenType([[1, 2], [3]])
+
+    def test_negative_balance_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            ERC1155TokenType([[-1]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            ERC1155TokenType([])
+
+    def test_unknown_token_type(self, token):
+        with pytest.raises(InvalidArgumentError):
+            token.apply(token.initial_state(), 0, op("balanceOf", 0, 9))
+
+
+class TestRuntimeObject:
+    def test_call_builders(self):
+        token = ERC1155Token([[5, 0], [0, 0]])
+        assert (
+            token.invoke(0, token.safe_transfer_from(0, 1, 0, 2).operation)
+            is True
+        )
+        assert token.invoke(0, token.balance_of(1, 0).operation) == 2
+        assert (
+            token.invoke(
+                0, token.safe_batch_transfer_from(0, 1, [0], [3]).operation
+            )
+            is True
+        )
+        assert token.invoke(
+            0, token.balance_of_batch([0, 1], [0, 0]).operation
+        ) == (0, 5)

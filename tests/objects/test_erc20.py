@@ -1,0 +1,358 @@
+"""Tests for the ERC20 token object (Definition 3 / Algorithm 3).
+
+Covers every branch of the Δ relation, the paper's Example 1 execution, and
+the ERC20-standard deployment state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.objects.erc20 import ERC20Token, ERC20TokenType, TokenState
+from repro.spec.operation import op
+
+
+@pytest.fixture
+def token() -> ERC20TokenType:
+    return ERC20TokenType(3, total_supply=10, deployer=0)
+
+
+class TestDeployment:
+    def test_deployer_holds_supply(self, token):
+        state = token.initial_state()
+        assert state.balances == (10, 0, 0)
+
+    def test_allowances_start_empty(self, token):
+        state = token.initial_state()
+        assert all(
+            state.allowance(a, p) == 0 for a in range(3) for p in range(3)
+        )
+
+    def test_zero_state_default(self):
+        token = ERC20TokenType(2)
+        assert token.initial_state().balances == (0, 0)
+
+    def test_explicit_initial_state(self):
+        state = TokenState.create([1, 2], {(0, 1): 3})
+        token = ERC20TokenType(2, initial_state=state)
+        assert token.initial_state() is state
+
+    def test_initial_state_and_supply_mutually_exclusive(self):
+        with pytest.raises(InvalidArgumentError):
+            ERC20TokenType(
+                2, initial_state=TokenState.create([0, 0]), total_supply=5
+            )
+
+    def test_deployer_must_exist(self):
+        with pytest.raises(InvalidArgumentError):
+            ERC20TokenType(2, total_supply=5, deployer=7)
+
+    def test_owner_bijection_is_identity(self, token):
+        assert token.owner(1) == 1
+        assert token.account_of(2) == 2
+
+
+class TestTransfer:
+    def test_success_branch(self, token):
+        state, result = token.apply(token.initial_state(), 0, op("transfer", 1, 3))
+        assert result is True
+        assert state.balances == (7, 3, 0)
+
+    def test_allowances_untouched_by_transfer(self, token):
+        start = TokenState.create([10, 0, 0], {(0, 2): 4})
+        state, _ = token.apply(start, 0, op("transfer", 1, 3))
+        assert state.allowance(0, 2) == 4
+
+    def test_insufficient_balance_branch(self, token):
+        start = token.initial_state()
+        state, result = token.apply(start, 1, op("transfer", 0, 1))
+        assert result is False
+        assert state == start
+
+    def test_exact_balance(self, token):
+        state, result = token.apply(token.initial_state(), 0, op("transfer", 2, 10))
+        assert result is True
+        assert state.balances == (0, 0, 10)
+
+    def test_zero_value_transfer_succeeds(self, token):
+        start = token.initial_state()
+        state, result = token.apply(start, 1, op("transfer", 0, 0))
+        assert result is True
+        assert state == start
+
+    def test_self_transfer_is_identity(self, token):
+        # Sequential-update semantics (as in the Solidity contract): a
+        # self-transfer of an affordable amount leaves the balance unchanged.
+        state, result = token.apply(token.initial_state(), 0, op("transfer", 0, 4))
+        assert result is True
+        assert state.balances == (10, 0, 0)
+
+
+class TestApprove:
+    def test_sets_allowance(self, token):
+        state, result = token.apply(token.initial_state(), 0, op("approve", 2, 5))
+        assert result is True
+        assert state.allowance(0, 2) == 5
+
+    def test_overwrites_not_accumulates(self, token):
+        state, _ = token.apply(token.initial_state(), 0, op("approve", 2, 5))
+        state, _ = token.apply(state, 0, op("approve", 2, 3))
+        assert state.allowance(0, 2) == 3
+
+    def test_revocation_by_zero(self, token):
+        state, _ = token.apply(token.initial_state(), 0, op("approve", 2, 5))
+        state, result = token.apply(state, 0, op("approve", 2, 0))
+        assert result is True
+        assert state.allowance(0, 2) == 0
+
+    def test_balances_untouched(self, token):
+        state, _ = token.apply(token.initial_state(), 0, op("approve", 2, 5))
+        assert state.balances == (10, 0, 0)
+
+    def test_only_own_account_affected(self, token):
+        state, _ = token.apply(token.initial_state(), 1, op("approve", 2, 5))
+        assert state.allowance(1, 2) == 5
+        assert state.allowance(0, 2) == 0
+
+    def test_approve_succeeds_regardless_of_balance(self, token):
+        # Bob (empty account) can still approve Charlie (the allowance just
+        # cannot be used until the account is funded: Eq. 10's convention).
+        state, result = token.apply(token.initial_state(), 1, op("approve", 2, 9))
+        assert result is True
+        assert state.allowance(1, 2) == 9
+
+    def test_self_approval_allowed(self, token):
+        state, result = token.apply(token.initial_state(), 0, op("approve", 0, 5))
+        assert result is True
+        assert state.allowance(0, 0) == 5
+
+
+class TestTransferFrom:
+    @pytest.fixture
+    def approved_state(self, token) -> TokenState:
+        # Alice holds 10 and approved Charlie for 5.
+        return TokenState.create([10, 0, 0], {(0, 2): 5})
+
+    def test_success_branch(self, token, approved_state):
+        state, result = token.apply(
+            approved_state, 2, op("transferFrom", 0, 1, 4)
+        )
+        assert result is True
+        assert state.balances == (6, 4, 0)
+        assert state.allowance(0, 2) == 1
+
+    def test_insufficient_allowance_branch(self, token, approved_state):
+        state, result = token.apply(
+            approved_state, 2, op("transferFrom", 0, 1, 6)
+        )
+        assert result is False
+        assert state == approved_state
+
+    def test_insufficient_balance_branch(self, token):
+        # Allowance 5 but balance only 3 (the Example 1 failure case).
+        start = TokenState.create([0, 3, 0], {(1, 2): 5})
+        state, result = token.apply(start, 2, op("transferFrom", 1, 2, 5))
+        assert result is False
+        assert state == start
+
+    def test_no_allowance_branch(self, token):
+        start = TokenState.create([10, 0, 0])
+        state, result = token.apply(start, 1, op("transferFrom", 0, 1, 1))
+        assert result is False
+        assert state == start
+
+    def test_full_allowance_consumed(self, token, approved_state):
+        state, result = token.apply(
+            approved_state, 2, op("transferFrom", 0, 2, 5)
+        )
+        assert result is True
+        assert state.allowance(0, 2) == 0
+        assert state.balances == (5, 0, 5)
+
+    def test_zero_value_always_succeeds(self, token):
+        start = TokenState.create([10, 0, 0])
+        state, result = token.apply(start, 1, op("transferFrom", 0, 2, 0))
+        assert result is True
+        assert state == start
+
+    def test_other_allowances_untouched(self, token):
+        start = TokenState.create([10, 0, 0], {(0, 1): 4, (0, 2): 5})
+        state, _ = token.apply(start, 2, op("transferFrom", 0, 1, 2))
+        assert state.allowance(0, 1) == 4
+        assert state.allowance(0, 2) == 3
+
+    def test_owner_needs_self_allowance_for_transfer_from(self, token):
+        # Definition 3 makes no owner exception in transferFrom.
+        start = TokenState.create([10, 0, 0])
+        _, result = token.apply(start, 0, op("transferFrom", 0, 1, 1))
+        assert result is False
+
+
+class TestReads:
+    def test_balance_of(self, token):
+        _, result = token.apply(token.initial_state(), 2, op("balanceOf", 0))
+        assert result == 10
+
+    def test_allowance_read(self, token):
+        state = TokenState.create([10, 0, 0], {(0, 2): 5})
+        _, result = token.apply(state, 1, op("allowance", 0, 2))
+        assert result == 5
+
+    def test_total_supply(self, token):
+        state = TokenState.create([4, 5, 1])
+        _, result = token.apply(state, 0, op("totalSupply"))
+        assert result == 10
+
+    def test_reads_are_read_only(self, token):
+        state = TokenState.create([4, 5, 1], {(0, 1): 2})
+        for operation in (
+            op("balanceOf", 1),
+            op("allowance", 0, 1),
+            op("totalSupply"),
+        ):
+            assert token.is_read_only(state, 2, operation)
+
+
+class TestValidation:
+    def test_unknown_operation(self, token):
+        from repro.errors import UnknownOperationError
+
+        with pytest.raises(UnknownOperationError):
+            token.apply(token.initial_state(), 0, op("mint", 5))
+
+    def test_unknown_account(self, token):
+        with pytest.raises(InvalidArgumentError):
+            token.apply(token.initial_state(), 0, op("transfer", 7, 1))
+
+    def test_unknown_pid(self, token):
+        with pytest.raises(InvalidArgumentError):
+            token.apply(token.initial_state(), 9, op("transfer", 1, 1))
+
+    def test_negative_value(self, token):
+        with pytest.raises(InvalidArgumentError):
+            token.apply(token.initial_state(), 0, op("transfer", 1, -1))
+
+    def test_bool_value_rejected(self, token):
+        with pytest.raises(InvalidArgumentError):
+            token.apply(token.initial_state(), 0, op("transfer", 1, True))
+
+    def test_extensions_disabled_by_default(self, token):
+        from repro.errors import UnknownOperationError
+
+        with pytest.raises(UnknownOperationError):
+            token.apply(token.initial_state(), 0, op("increaseAllowance", 1, 2))
+
+
+class TestExtensions:
+    @pytest.fixture
+    def ext_token(self) -> ERC20TokenType:
+        return ERC20TokenType(2, total_supply=5, with_extensions=True)
+
+    def test_increase_allowance(self, ext_token):
+        state, result = ext_token.apply(
+            ext_token.initial_state(), 0, op("increaseAllowance", 1, 3)
+        )
+        assert result is True
+        assert state.allowance(0, 1) == 3
+        state, _ = ext_token.apply(state, 0, op("increaseAllowance", 1, 2))
+        assert state.allowance(0, 1) == 5
+
+    def test_decrease_allowance(self, ext_token):
+        state, _ = ext_token.apply(
+            ext_token.initial_state(), 0, op("increaseAllowance", 1, 3)
+        )
+        state, result = ext_token.apply(state, 0, op("decreaseAllowance", 1, 2))
+        assert result is True
+        assert state.allowance(0, 1) == 1
+
+    def test_decrease_below_zero_fails(self, ext_token):
+        state = ext_token.initial_state()
+        state, result = ext_token.apply(state, 0, op("decreaseAllowance", 1, 1))
+        assert result is False
+
+
+class TestExample1:
+    """The paper's Example 1, step by step (q0 .. q4)."""
+
+    def test_full_trace(self, token):
+        q0 = token.initial_state()
+        assert q0.balances == (10, 0, 0)
+
+        # Alice sends Bob 3 tokens.
+        q1, r1 = token.apply(q0, 0, op("transfer", 1, 3))
+        assert r1 is True
+        assert q1.balances == (7, 3, 0)
+
+        # Bob approves Charlie for up to 5.
+        q2, r2 = token.apply(q1, 1, op("approve", 2, 5))
+        assert r2 is True
+        assert q2.allowances[1] == (0, 0, 5)
+
+        # Charlie tries to take 5 from Bob: balance 3 is insufficient.
+        q3, r3 = token.apply(q2, 2, op("transferFrom", 1, 2, 5))
+        assert r3 is False
+        assert q3 == q2
+
+        # Charlie moves 1 token from Bob to Alice.
+        q4, r4 = token.apply(q3, 2, op("transferFrom", 1, 0, 1))
+        assert r4 is True
+        assert q4.balances == (8, 2, 0)
+        assert q4.allowance(1, 2) == 4
+
+
+class TestRuntimeERC20Token:
+    def test_call_builders(self):
+        token = ERC20Token(3, total_supply=10)
+        assert token.invoke(0, token.transfer(1, 3).operation) is True
+        assert token.invoke(1, token.approve(2, 5).operation) is True
+        assert token.invoke(2, token.allowance(1, 2).operation) == 5
+        assert token.invoke(0, token.balance_of(1).operation) == 3
+        assert token.invoke(0, token.total_supply().operation) == 10
+
+    def test_execute_helper(self):
+        token = ERC20Token(2, total_supply=4)
+        assert token.execute(0, token.transfer(1, 1)) is True
+
+    def test_execute_rejects_foreign_call(self):
+        token_a = ERC20Token(2, total_supply=4)
+        token_b = ERC20Token(2, total_supply=4)
+        with pytest.raises(InvalidArgumentError):
+            token_a.execute(0, token_b.transfer(1, 1))
+
+
+class TestTokenState:
+    def test_create_sparse_allowances(self):
+        state = TokenState.create([1, 2, 3], {(0, 2): 7})
+        assert state.allowance(0, 2) == 7
+        assert state.allowance(2, 0) == 0
+
+    def test_create_validates_balances(self):
+        with pytest.raises(InvalidArgumentError):
+            TokenState.create([-1, 0])
+
+    def test_create_validates_allowance_indices(self):
+        with pytest.raises(InvalidArgumentError):
+            TokenState.create([1, 1], {(0, 5): 1})
+
+    def test_create_validates_allowance_values(self):
+        with pytest.raises(InvalidArgumentError):
+            TokenState.create([1, 1], {(0, 1): -2})
+
+    def test_deploy_validates(self):
+        with pytest.raises(InvalidArgumentError):
+            TokenState.deploy(2, -1)
+
+    def test_hashable(self):
+        a = TokenState.create([1, 2], {(0, 1): 3})
+        b = TokenState.create([1, 2], {(0, 1): 3})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_functional_updates_do_not_mutate(self):
+        state = TokenState.create([5, 0])
+        state.with_transfer(0, 1, 2)
+        state.with_allowance(0, 1, 9)
+        assert state.balances == (5, 0)
+        assert state.allowance(0, 1) == 0

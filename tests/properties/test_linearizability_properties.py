@@ -1,0 +1,138 @@
+"""Property-based tests for the linearizability checker itself.
+
+Soundness: any history produced by an actual sequential execution must be
+accepted; any history produced by atomic-step concurrent execution of a
+genuinely atomic object must be accepted; tampered responses must be
+rejected.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects.erc20 import ERC20Token, ERC20TokenType
+from repro.objects.register import RegisterType
+from repro.runtime.executor import System, run_system
+from repro.runtime.scheduler import RandomScheduler
+from repro.spec.history import History, sequential_history
+from repro.spec.linearizability import check_linearizability
+from repro.spec.operation import Operation
+
+
+@st.composite
+def register_programs(draw):
+    """Per-process scripts of reads/writes."""
+    num_processes = draw(st.integers(1, 3))
+    scripts = []
+    for _ in range(num_processes):
+        steps = draw(
+            st.lists(
+                st.one_of(
+                    st.just(("read", ())),
+                    st.tuples(st.just("write"), st.tuples(st.integers(0, 5))),
+                ),
+                max_size=4,
+            )
+        )
+        scripts.append(steps)
+    return scripts
+
+
+class TestSoundnessOnRealExecutions:
+    @given(register_programs(), st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_atomic_register_histories_always_linearizable(self, scripts, seed):
+        from repro.objects.register import AtomicRegister
+
+        register = AtomicRegister(name="r")
+
+        def program_for(steps):
+            def program():
+                for name, args in steps:
+                    yield register.call(Operation(name, tuple(args)))
+
+            return program
+
+        system = System(
+            programs=[program_for(steps) for steps in scripts],
+            objects=[register],
+        )
+        result = run_system(system, RandomScheduler(seed))
+        outcome = check_linearizability(
+            result.history.project("r"), RegisterType()
+        )
+        assert outcome.is_linearizable
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_atomic_token_histories_always_linearizable(self, seed):
+        token = ERC20Token(3, total_supply=8, name="tok")
+
+        def owner_program(pid):
+            def program():
+                yield token.transfer((pid + 1) % 3, 2)
+                yield token.approve((pid + 2) % 3, 3)
+                yield token.balance_of(pid)
+
+            return program
+
+        system = System(
+            programs=[owner_program(pid) for pid in range(3)],
+            objects=[token],
+        )
+        result = run_system(system, RandomScheduler(seed))
+        outcome = check_linearizability(
+            result.history.project("tok"), ERC20TokenType(3, total_supply=8)
+        )
+        assert outcome.is_linearizable
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_crashed_histories_still_linearizable(self, seed):
+        token = ERC20Token(3, total_supply=8, name="tok")
+
+        def program_for(pid):
+            def program():
+                yield token.transfer((pid + 1) % 3, 1)
+                yield token.transfer((pid + 2) % 3, 1)
+
+            return program
+
+        system = System(
+            programs=[program_for(pid) for pid in range(3)], objects=[token]
+        )
+        scheduler = RandomScheduler(seed, crash_probability=0.25, crash_budget=2)
+        result = run_system(system, scheduler)
+        outcome = check_linearizability(
+            result.history.project("tok"), ERC20TokenType(3, total_supply=8)
+        )
+        assert outcome.is_linearizable
+
+
+class TestRejection:
+    @given(st.integers(0, 5), st.integers(6, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_forged_response_rejected(self, real, forged):
+        history = sequential_history(
+            [
+                (0, "r", Operation("write", (real,)), True),
+                (1, "r", Operation("read", ()), forged),  # impossible value
+            ]
+        )
+        outcome = check_linearizability(history, RegisterType())
+        assert not outcome.is_linearizable
+
+    def test_budget_exhaustion_reports_explored(self):
+        # A big concurrent blob forces heavy search; the explored counter
+        # must reflect the cap.
+        history = History()
+        for pid in range(6):
+            history.invoke(pid, "r", Operation("write", (pid,)))
+        for pid in range(6):
+            history.respond(pid, "r", Operation("write", (pid,)), True)
+        history.invoke(0, "r", Operation("read", ()))
+        history.respond(0, "r", Operation("read", ()), 99)  # impossible
+        outcome = check_linearizability(history, RegisterType(), max_states=50)
+        assert not outcome.is_linearizable
+        assert outcome.explored <= 51

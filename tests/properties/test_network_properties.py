@@ -1,0 +1,115 @@
+"""Property-based tests for the message-passing layer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamic.dynamic_token import DynamicTokenNode, assert_converged
+from repro.net.network import Network, UniformLatency
+from repro.net.reliable_broadcast import ReliableBroadcastNode
+from repro.net.simulation import Simulator
+from repro.net.total_order import TotalOrderNode
+
+
+class TestBRBProperties:
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 99)),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_validity_totality_fifo(self, seed, broadcasts):
+        simulator = Simulator()
+        network = Network(simulator, UniformLatency(0.5, 1.5), seed=seed)
+        nodes = [
+            ReliableBroadcastNode(i, network, 4, fifo=True) for i in range(4)
+        ]
+        expected: dict[int, list[int]] = {i: [] for i in range(4)}
+        for sender, value in broadcasts:
+            nodes[sender].broadcast_value(value)
+            expected[sender].append(value)
+        simulator.run()
+        for node in nodes:
+            for sender in range(4):
+                delivered = [d[2] for d in node.delivered if d[0] == sender]
+                assert delivered == expected[sender]  # validity + FIFO
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_agreement_on_delivery_sets(self, seed):
+        simulator = Simulator()
+        network = Network(simulator, UniformLatency(0.1, 3.0), seed=seed)
+        nodes = [ReliableBroadcastNode(i, network, 7) for i in range(7)]
+        for i in range(5):
+            nodes[i].broadcast_value(f"m{i}")
+        simulator.run()
+        delivery_sets = [
+            frozenset((d[0], d[1], d[2]) for d in node.delivered)
+            for node in nodes
+        ]
+        assert len(set(delivery_sets)) == 1  # totality/agreement
+
+
+class TestTotalOrderProperties:
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.lists(st.integers(0, 3), min_size=1, max_size=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_total_order(self, seed, submitters):
+        simulator = Simulator()
+        network = Network(simulator, UniformLatency(0.5, 1.5), seed=seed)
+        nodes = [TotalOrderNode(i, network, 4) for i in range(4)]
+        for index, submitter in enumerate(submitters):
+            nodes[submitter].submit((submitter, index))
+        simulator.run()
+        orders = [
+            [tx for _, batch in node.delivered for tx in batch]
+            for node in nodes
+        ]
+        assert all(order == orders[0] for order in orders)
+        assert sorted(orders[0]) == sorted(
+            (submitter, index) for index, submitter in enumerate(submitters)
+        )
+
+
+class TestDynamicNetworkProperties:
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),  # actor
+                st.sampled_from(["transfer", "approve", "transferFrom"]),
+                st.integers(0, 3),  # target / spender / source
+                st.integers(0, 6),  # value
+            ),
+            max_size=25,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_convergence_and_conservation(self, seed, traffic):
+        simulator = Simulator()
+        network = Network(simulator, UniformLatency(0.5, 2.0), seed=seed)
+        nodes = [
+            DynamicTokenNode(i, network, 4, supply=60) for i in range(4)
+        ]
+        # Fund everyone first so transferFroms have substance.
+        for i in range(1, 4):
+            nodes[0].submit_transfer(i, 10)
+        simulator.run()
+        for actor, kind, target, value in traffic:
+            if kind == "transfer":
+                nodes[actor].submit_transfer(target, value)
+            elif kind == "approve":
+                nodes[actor].submit_approve(target, value)
+            else:
+                nodes[actor].submit_transfer_from(
+                    target, (target + 1) % 4, value
+                )
+        simulator.run()
+        assert_converged(nodes)
+        assert sum(nodes[0].state.balances) == 60

@@ -1,0 +1,137 @@
+"""Property-based tests for the consensus protocols and the emulation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects.erc20 import ERC20TokenType, TokenState
+from repro.objects.restricted import restrict_to_potential_qk
+from repro.protocols.kat_consensus import kat_consensus_system
+from repro.protocols.token_consensus import algorithm1_system
+from repro.protocols.token_from_kat import EmulatedToken, run_sequential
+from repro.runtime.executor import run_system
+from repro.runtime.scheduler import RandomScheduler
+from repro.spec.operation import Operation
+
+METHODS = {
+    "transfer": "transfer",
+    "transferFrom": "transfer_from",
+    "approve": "approve",
+    "balanceOf": "balance_of",
+    "allowance": "allowance",
+    "totalSupply": "total_supply",
+}
+
+
+@st.composite
+def sk_configurations(draw):
+    """A hypothesis-generated S_k configuration satisfying U*."""
+    k = draw(st.integers(1, 5))
+    n = draw(st.integers(k + 1, k + 3))
+    balance = draw(st.integers(max(k, 2), 3 * k + 2))
+    # Allowances in (balance/2, balance]: pairwise sums exceed the balance
+    # and each is individually covered — U* by construction.
+    low = balance // 2 + 1
+    allowances = {
+        (0, pid): draw(st.integers(low, balance)) for pid in range(1, k)
+    }
+    state = TokenState.create(
+        [balance] + [0] * (n - 1), allowances
+    )
+    return k, state
+
+
+class TestAlgorithm1Properties:
+    @given(sk_configurations(), st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_agreement_validity_under_random_schedules(self, config, seed):
+        k, state = config
+        proposals = {pid: f"v{pid}" for pid in range(k)}
+        system = algorithm1_system(proposals, state=state, strict=True)
+        result = run_system(system, RandomScheduler(seed))
+        values = set(result.decisions.values())
+        assert len(values) == 1
+        assert values <= set(proposals.values())
+
+    @given(sk_configurations(), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_wait_freedom_under_crashes(self, config, seed):
+        k, state = config
+        if k < 2:
+            return
+        proposals = {pid: pid for pid in range(k)}
+        system = algorithm1_system(proposals, state=state, strict=True)
+        scheduler = RandomScheduler(
+            seed, crash_probability=0.15, crash_budget=k - 1
+        )
+        result = run_system(system, scheduler)
+        correct = set(range(k)) - result.crashed
+        assert set(result.decisions) == correct
+        assert len(set(result.decisions.values())) <= 1
+
+
+class TestKATProperties:
+    @given(st.integers(1, 6), st.integers(1, 9), st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_kat_consensus_correct(self, k, balance, seed):
+        proposals = {pid: pid * 7 for pid in range(k)}
+        system = kat_consensus_system(proposals, balance=balance)
+        result = run_system(system, RandomScheduler(seed))
+        values = set(result.decisions.values())
+        assert len(values) == 1
+        assert values <= set(proposals.values())
+
+
+@st.composite
+def emulation_workloads(draw):
+    n = draw(st.integers(2, 4))
+    k = draw(st.integers(1, n))
+    supply = draw(st.integers(0, 15))
+    steps = []
+    for _ in range(draw(st.integers(0, 30))):
+        pid = draw(st.integers(0, n - 1))
+        name = draw(st.sampled_from(list(METHODS)))
+        account = st.integers(0, n - 1)
+        value = st.integers(0, 6)
+        if name == "transfer":
+            args = (draw(account), draw(value))
+        elif name == "transferFrom":
+            args = (draw(account), draw(account), draw(value))
+        elif name == "approve":
+            args = (draw(account), draw(value))
+        elif name == "balanceOf":
+            args = (draw(account),)
+        elif name == "allowance":
+            args = (draw(account), draw(account))
+        else:
+            args = ()
+        steps.append((pid, name, args))
+    return n, k, supply, steps
+
+
+class TestEmulationProperties:
+    @given(emulation_workloads())
+    @settings(max_examples=80, deadline=None)
+    def test_corrected_emulation_equals_restricted_spec(self, workload):
+        n, k, supply, steps = workload
+        spec = restrict_to_potential_qk(ERC20TokenType(n), k)
+        spec_state = TokenState.deploy(n, supply)
+        emulated = EmulatedToken(spec_state, k=k, variant="corrected")
+        for pid, name, args in steps:
+            spec_state, expected = spec.apply(
+                spec_state, pid, Operation(name, args)
+            )
+            actual = run_sequential(emulated, pid, METHODS[name], *args)
+            assert actual == expected
+
+    @given(emulation_workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_emulation_conserves_supply(self, workload):
+        n, k, supply, steps = workload
+        emulated = EmulatedToken(
+            TokenState.deploy(n, supply), k=k, variant="corrected"
+        )
+        for pid, name, args in steps:
+            run_sequential(emulated, pid, METHODS[name], *args)
+        assert run_sequential(emulated, 0, "total_supply") == supply

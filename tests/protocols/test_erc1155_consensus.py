@@ -1,0 +1,124 @@
+"""Tests for the ERC1155 consensus race (§6's open conjecture, lower bound)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.objects.erc1155 import ERC1155Token
+from repro.protocols.base import consensus_checks
+from repro.protocols.erc1155_consensus import (
+    ERC1155Consensus,
+    erc1155_consensus_system,
+)
+from repro.runtime.executor import run_system
+from repro.runtime.explorer import ScheduleExplorer
+from repro.runtime.scheduler import RandomScheduler, SoloScheduler
+
+
+class TestConstruction:
+    def test_operators_become_participants(self):
+        token = ERC1155Token([[5, 0], [0, 0], [0, 0], [0, 0]])
+        token.invoke(0, token.set_approval_for_all(1, True).operation)
+        token.invoke(0, token.set_approval_for_all(2, True).operation)
+        protocol = ERC1155Consensus(token, holder=0, token_type=0, sink=3)
+        assert protocol.participants == (0, 1, 2)
+        assert protocol.balance == 5
+
+    def test_holder_needs_balance(self):
+        token = ERC1155Token([[0], [0], [0]])
+        with pytest.raises(InvalidArgumentError):
+            ERC1155Consensus(token, holder=0, token_type=0, sink=2)
+
+    def test_targets_must_start_empty(self):
+        token = ERC1155Token([[5], [1], [0]])
+        token.invoke(0, token.set_approval_for_all(1, True).operation)
+        with pytest.raises(InvalidArgumentError):
+            ERC1155Consensus(token, holder=0, token_type=0, sink=2)
+
+
+class TestRuns:
+    def test_solo_runs(self):
+        for first in (0, 1):
+            system = erc1155_consensus_system({0: "a", 1: "b"})
+            result = run_system(system, SoloScheduler([first, 1 - first]))
+            expected = "a" if first == 0 else "b"
+            assert set(result.decisions.values()) == {expected}
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_exhaustive(self, k):
+        proposals = {pid: f"v{pid}" for pid in range(k)}
+        factory = lambda: erc1155_consensus_system(proposals)
+        report = ScheduleExplorer(factory).explore(
+            checks=[consensus_checks(proposals)]
+        )
+        assert report.ok, report.violations[:3]
+        assert report.outcomes == set(proposals.values())
+
+    def test_exhaustive_with_crash(self):
+        proposals = {0: "a", 1: "b"}
+        factory = lambda: erc1155_consensus_system(proposals)
+        report = ScheduleExplorer(factory, crash_budget=1).explore(
+            checks=[consensus_checks(proposals)]
+        )
+        assert report.ok
+
+    @pytest.mark.parametrize("k", [4, 6])
+    def test_randomized(self, k):
+        proposals = {pid: pid for pid in range(k)}
+        for seed in range(10):
+            result = run_system(
+                erc1155_consensus_system(proposals), RandomScheduler(seed)
+            )
+            assert len(set(result.decisions.values())) == 1
+
+    def test_other_token_types_untouched(self):
+        system = erc1155_consensus_system({0: "a", 1: "b"}, num_token_types=3)
+        result = run_system(system, SoloScheduler([1, 0]))
+        token = system.objects[0]
+        # Types 1 and 2 never moved.
+        for account in range(3):
+            for token_type in (1, 2):
+                assert (
+                    token.invoke(
+                        0, token.balance_of(account, token_type).operation
+                    )
+                    == 0
+                )
+
+
+class TestBatchTwist:
+    def test_batch_race_settles_multiple_types_atomically(self):
+        # Two operators race a BATCH spanning two token types: the winner
+        # takes both types in one atomic step — a combination single-type
+        # standards cannot express, supporting §6's "needs its own analysis".
+        token = ERC1155Token([[3, 7], [0, 0], [0, 0], [0, 0]])
+        token.invoke(0, token.set_approval_for_all(1, True).operation)
+        token.invoke(0, token.set_approval_for_all(2, True).operation)
+        first = token.invoke(
+            1,
+            token.safe_batch_transfer_from(0, 1, [0, 1], [3, 7]).operation,
+        )
+        second = token.invoke(
+            2,
+            token.safe_batch_transfer_from(0, 2, [0, 1], [3, 7]).operation,
+        )
+        assert first is True
+        assert second is False  # all-or-nothing: the loser gets neither type
+        assert token.invoke(0, token.balance_of(1, 0).operation) == 3
+        assert token.invoke(0, token.balance_of(1, 1).operation) == 7
+
+    def test_partial_batches_can_interleave(self):
+        # If the racers target DISJOINT type subsets, both succeed — the
+        # conflict structure depends on the batch contents, which is exactly
+        # why the paper defers the full ERC1155 analysis.
+        token = ERC1155Token([[3, 7], [0, 0], [0, 0]])
+        token.invoke(0, token.set_approval_for_all(1, True).operation)
+        token.invoke(0, token.set_approval_for_all(2, True).operation)
+        first = token.invoke(
+            1, token.safe_batch_transfer_from(0, 1, [0], [3]).operation
+        )
+        second = token.invoke(
+            2, token.safe_batch_transfer_from(0, 2, [1], [7]).operation
+        )
+        assert first is True and second is True

@@ -1,0 +1,90 @@
+"""Tests for the §6 ERC721 consensus race."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.objects.erc721 import ERC721Token
+from repro.protocols.base import consensus_checks
+from repro.protocols.erc721_consensus import (
+    ERC721Consensus,
+    erc721_consensus_system,
+)
+from repro.runtime.executor import run_system
+from repro.runtime.explorer import ScheduleExplorer
+from repro.runtime.scheduler import RandomScheduler, SoloScheduler
+
+
+class TestConstruction:
+    def test_participants_derived_from_operators(self):
+        nft = ERC721Token(4, initial_owners=[0])
+        nft.invoke(0, nft.set_approval_for_all(1, True).operation)
+        nft.invoke(0, nft.set_approval_for_all(2, True).operation)
+        protocol = ERC721Consensus(nft, token_id=0, sink=3)
+        assert protocol.participants == (0, 1, 2)
+        assert protocol.k == 3
+        assert protocol.targets[0] == 3  # the owner targets the sink
+
+    def test_sink_must_not_participate(self):
+        nft = ERC721Token(3, initial_owners=[0])
+        nft.invoke(0, nft.set_approval_for_all(1, True).operation)
+        with pytest.raises(InvalidArgumentError):
+            ERC721Consensus(nft, token_id=0, sink=1)
+
+    def test_sink_must_have_no_operators(self):
+        nft = ERC721Token(4, initial_owners=[0])
+        nft.invoke(0, nft.set_approval_for_all(1, True).operation)
+        nft.invoke(3, nft.set_approval_for_all(2, True).operation)
+        with pytest.raises(InvalidArgumentError):
+            ERC721Consensus(nft, token_id=0, sink=3)
+
+
+class TestRuns:
+    def test_solo_owner_wins(self):
+        system = erc721_consensus_system({0: "a", 1: "b"})
+        result = run_system(system, SoloScheduler([0, 1]))
+        assert set(result.decisions.values()) == {"a"}
+
+    def test_solo_operator_wins(self):
+        system = erc721_consensus_system({0: "a", 1: "b"})
+        result = run_system(system, SoloScheduler([1, 0]))
+        assert set(result.decisions.values()) == {"b"}
+
+    def test_k1(self):
+        result = run_system(erc721_consensus_system({0: "only"}))
+        assert result.decisions == {0: "only"}
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_exhaustive(self, k):
+        proposals = {pid: f"v{pid}" for pid in range(k)}
+        factory = lambda: erc721_consensus_system(proposals)
+        report = ScheduleExplorer(factory).explore(
+            checks=[consensus_checks(proposals)]
+        )
+        assert report.ok, report.violations[:3]
+        assert report.outcomes == set(proposals.values())
+
+    def test_exhaustive_with_crash(self):
+        proposals = {0: "a", 1: "b"}
+        factory = lambda: erc721_consensus_system(proposals)
+        report = ScheduleExplorer(factory, crash_budget=1).explore(
+            checks=[consensus_checks(proposals)]
+        )
+        assert report.ok
+
+    @pytest.mark.parametrize("k", [4, 6])
+    def test_randomized(self, k):
+        proposals = {pid: pid for pid in range(k)}
+        for seed in range(10):
+            result = run_system(
+                erc721_consensus_system(proposals), RandomScheduler(seed)
+            )
+            assert len(set(result.decisions.values())) == 1
+
+    def test_token_ends_with_winner_target(self):
+        system = erc721_consensus_system({0: "a", 1: "b"})
+        result = run_system(system, SoloScheduler([1, 0]))
+        nft = system.objects[0]
+        # p1 won: the NFT sits in p1's account.
+        assert nft.invoke(0, nft.owner_of(0).operation) == 1

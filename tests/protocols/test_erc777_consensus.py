@@ -1,0 +1,93 @@
+"""Tests for the §6 ERC777 operator-race consensus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.objects.erc777 import ERC777Token
+from repro.protocols.base import consensus_checks
+from repro.protocols.erc777_consensus import (
+    ERC777Consensus,
+    erc777_consensus_system,
+)
+from repro.runtime.executor import run_system
+from repro.runtime.explorer import ScheduleExplorer
+from repro.runtime.scheduler import RandomScheduler, SoloScheduler
+
+
+class TestConstruction:
+    def test_operators_become_participants(self):
+        token = ERC777Token([5, 0, 0, 0])
+        token.invoke(0, token.authorize_operator(1).operation)
+        token.invoke(0, token.authorize_operator(2).operation)
+        protocol = ERC777Consensus(token, holder=0, sink=3)
+        assert protocol.participants == (0, 1, 2)
+        assert protocol.balance == 5
+
+    def test_holder_needs_balance(self):
+        token = ERC777Token([0, 0, 0])
+        with pytest.raises(InvalidArgumentError):
+            ERC777Consensus(token, holder=0, sink=2)
+
+    def test_targets_must_start_empty(self):
+        token = ERC777Token([5, 1, 0])
+        token.invoke(0, token.authorize_operator(1).operation)
+        with pytest.raises(InvalidArgumentError):
+            ERC777Consensus(token, holder=0, sink=2)
+
+    def test_sink_must_not_participate(self):
+        token = ERC777Token([5, 0, 0])
+        token.invoke(0, token.authorize_operator(1).operation)
+        with pytest.raises(InvalidArgumentError):
+            ERC777Consensus(token, holder=0, sink=1)
+
+
+class TestRuns:
+    def test_solo_holder_wins(self):
+        system = erc777_consensus_system({0: "a", 1: "b"})
+        result = run_system(system, SoloScheduler([0, 1]))
+        assert set(result.decisions.values()) == {"a"}
+
+    def test_solo_operator_wins(self):
+        system = erc777_consensus_system({0: "a", 1: "b"})
+        result = run_system(system, SoloScheduler([1, 0]))
+        assert set(result.decisions.values()) == {"b"}
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_exhaustive(self, k):
+        proposals = {pid: f"v{pid}" for pid in range(k)}
+        factory = lambda: erc777_consensus_system(proposals)
+        report = ScheduleExplorer(factory).explore(
+            checks=[consensus_checks(proposals)]
+        )
+        assert report.ok, report.violations[:3]
+        assert report.outcomes == set(proposals.values())
+
+    def test_exhaustive_with_crash(self):
+        proposals = {0: "a", 1: "b"}
+        factory = lambda: erc777_consensus_system(proposals)
+        report = ScheduleExplorer(factory, crash_budget=1).explore(
+            checks=[consensus_checks(proposals)]
+        )
+        assert report.ok
+
+    @pytest.mark.parametrize("k", [4, 6])
+    def test_randomized(self, k):
+        proposals = {pid: pid for pid in range(k)}
+        for seed in range(10):
+            result = run_system(
+                erc777_consensus_system(proposals), RandomScheduler(seed)
+            )
+            assert len(set(result.decisions.values())) == 1
+
+    def test_no_bounded_allowance_needed(self):
+        # The §6 observation: operators satisfy U automatically (they spend
+        # the whole balance), so any positive balance works.
+        for balance in (1, 7, 100):
+            proposals = {0: "x", 1: "y", 2: "z"}
+            factory = lambda b=balance: erc777_consensus_system(proposals, balance=b)
+            report = ScheduleExplorer(factory).explore(
+                checks=[consensus_checks(proposals)]
+            )
+            assert report.ok

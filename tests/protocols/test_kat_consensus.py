@@ -1,0 +1,94 @@
+"""Tests for consensus from k-shared asset transfer (CN(k-AT) = k, [16])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.objects.asset_transfer import AssetTransfer
+from repro.protocols.base import consensus_checks
+from repro.protocols.kat_consensus import KATConsensus, kat_consensus_system
+from repro.runtime.executor import run_system
+from repro.runtime.explorer import ScheduleExplorer
+from repro.runtime.scheduler import RandomScheduler, SoloScheduler
+
+
+class TestConstruction:
+    def test_sinks_must_cover_owners(self):
+        kat = AssetTransfer([2, 0, 0], owner_map=[{0, 1}, {1}, {2}], num_processes=3)
+        with pytest.raises(InvalidArgumentError):
+            KATConsensus(kat, shared_account=0, sinks={0: 1})
+
+    def test_sinks_must_be_distinct(self):
+        kat = AssetTransfer([2, 0, 0], owner_map=[{0, 1}, {1}, {2}], num_processes=3)
+        with pytest.raises(InvalidArgumentError):
+            KATConsensus(kat, shared_account=0, sinks={0: 1, 1: 1})
+
+    def test_shared_account_needs_balance(self):
+        kat = AssetTransfer([0, 0, 0], owner_map=[{0, 1}, {1}, {2}], num_processes=3)
+        with pytest.raises(InvalidArgumentError):
+            KATConsensus(kat, shared_account=0, sinks={0: 1, 1: 2})
+
+    def test_sink_must_start_empty(self):
+        kat = AssetTransfer([2, 1, 0], owner_map=[{0, 1}, {1}, {2}], num_processes=3)
+        with pytest.raises(InvalidArgumentError):
+            KATConsensus(kat, shared_account=0, sinks={0: 1, 1: 2})
+
+
+class TestRuns:
+    def test_solo_runs_decide_the_runner(self):
+        for first in (0, 1):
+            system = kat_consensus_system({0: "a", 1: "b"})
+            result = run_system(system, SoloScheduler([first, 1 - first]))
+            expected = "a" if first == 0 else "b"
+            assert set(result.decisions.values()) == {expected}
+
+    def test_k1(self):
+        result = run_system(kat_consensus_system({0: "only"}))
+        assert result.decisions == {0: "only"}
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_exhaustive(self, k):
+        proposals = {pid: f"v{pid}" for pid in range(k)}
+        factory = lambda: kat_consensus_system(proposals)
+        report = ScheduleExplorer(factory).explore(
+            checks=[consensus_checks(proposals)]
+        )
+        assert report.ok, report.violations[:3]
+        assert report.outcomes == set(proposals.values())
+
+    def test_exhaustive_with_crashes(self):
+        proposals = {0: "a", 1: "b"}
+        factory = lambda: kat_consensus_system(proposals)
+        report = ScheduleExplorer(factory, crash_budget=1).explore(
+            checks=[consensus_checks(proposals)]
+        )
+        assert report.ok
+
+    @pytest.mark.parametrize("k", [4, 6, 8])
+    def test_randomized_large_k(self, k):
+        proposals = {pid: pid * 10 for pid in range(k)}
+        for seed in range(10):
+            result = run_system(
+                kat_consensus_system(proposals), RandomScheduler(seed)
+            )
+            values = set(result.decisions.values())
+            assert len(values) == 1
+            assert values <= set(proposals.values())
+
+    def test_larger_balance(self):
+        proposals = {0: "a", 1: "b"}
+        factory = lambda: kat_consensus_system(proposals, balance=17)
+        report = ScheduleExplorer(factory).explore(
+            checks=[consensus_checks(proposals)]
+        )
+        assert report.ok
+
+
+class TestSeparationFromERC20:
+    def test_owner_map_is_static(self):
+        # The k-AT object offers no operation to change µ: the contrast with
+        # ERC20's dynamic approve that §5.2 emphasizes.
+        kat = AssetTransfer([1, 0], owner_map=[{0}, {1}])
+        assert "approve" not in kat.object_type.operation_names()
+        assert "setOwners" not in kat.object_type.operation_names()

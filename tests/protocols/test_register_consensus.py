@@ -1,0 +1,57 @@
+"""Tests for the doomed register-only consensus protocol (FLP demo)."""
+
+from __future__ import annotations
+
+from repro.protocols.base import consensus_checks
+from repro.protocols.register_consensus import doomed_register_system
+from repro.runtime.executor import run_system
+from repro.runtime.explorer import ScheduleExplorer
+from repro.runtime.scheduler import FixedScheduler, SoloScheduler
+
+
+class TestWhereItWorks:
+    def test_first_solo_runner_decides_its_own_value(self):
+        # Even sequential composition breaks this protocol (the early
+        # decider cannot be corrected later) — but the first runner itself
+        # behaves sensibly, which is all a doomed protocol can offer.
+        result = run_system(
+            doomed_register_system({0: 2, 1: 1}), SoloScheduler([0, 1])
+        )
+        assert result.decisions[0] == 2
+
+    def test_lockstep_agrees(self):
+        # Fully synchronous interleaving: both see both, both take min.
+        result = run_system(
+            doomed_register_system({0: 2, 1: 1}),
+            FixedScheduler([0, 1, 0, 1]),
+        )
+        assert result.decisions == {0: 1, 1: 1}
+
+
+class TestWhereItFails:
+    def test_half_overlap_disagrees(self):
+        # p0 writes and reads (sees ⊥, decides own 2); p1 then sees p0 and
+        # takes min = 1: disagreement.
+        result = run_system(
+            doomed_register_system({0: 2, 1: 1}),
+            FixedScheduler([0, 0, 1, 1]),
+        )
+        assert result.decisions == {0: 2, 1: 1}
+        assert len(set(result.decisions.values())) == 2
+
+    def test_explorer_finds_the_violation(self):
+        proposals = {0: 2, 1: 1}
+        report = ScheduleExplorer(
+            lambda: doomed_register_system(proposals)
+        ).explore(checks=[consensus_checks(proposals)])
+        assert not report.ok
+        assert any("agreement" in str(v) for v in report.violations)
+
+    def test_no_violation_with_equal_proposals(self):
+        # Agreement is vacuous when both propose the same value — the
+        # adversary needs distinct proposals (bivalence).
+        proposals = {0: 5, 1: 5}
+        report = ScheduleExplorer(
+            lambda: doomed_register_system(proposals)
+        ).explore(checks=[consensus_checks(proposals)])
+        assert report.ok

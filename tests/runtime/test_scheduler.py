@@ -1,0 +1,99 @@
+"""Tests for schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.runtime.scheduler import (
+    CrashAction,
+    FixedScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    StepAction,
+)
+
+
+class TestRoundRobin:
+    def test_cycles_through_processes(self):
+        scheduler = RoundRobinScheduler()
+        picks = [scheduler.next_action([0, 1, 2], i).pid for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_missing_processes(self):
+        scheduler = RoundRobinScheduler()
+        assert scheduler.next_action([0, 1, 2], 0).pid == 0
+        assert scheduler.next_action([2], 1).pid == 2
+        assert scheduler.next_action([0, 2], 2).pid == 0
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        picks_a = [
+            RandomScheduler(seed=42).next_action([0, 1, 2], i).pid
+            for i in range(10)
+        ]
+        picks_b = [
+            RandomScheduler(seed=42).next_action([0, 1, 2], i).pid
+            for i in range(10)
+        ]
+        assert picks_a == picks_b
+
+    def test_different_seeds_differ(self):
+        def schedule(seed):
+            scheduler = RandomScheduler(seed=seed)
+            return [scheduler.next_action(list(range(5)), i).pid for i in range(20)]
+
+        assert schedule(1) != schedule(2)
+
+    def test_crash_budget_respected(self):
+        scheduler = RandomScheduler(seed=0, crash_probability=1.0, crash_budget=2)
+        crashes = 0
+        for i in range(20):
+            action = scheduler.next_action([0, 1, 2], i)
+            if isinstance(action, CrashAction):
+                crashes += 1
+        assert crashes == 2
+
+    def test_never_crashes_last_process(self):
+        scheduler = RandomScheduler(seed=0, crash_probability=1.0, crash_budget=5)
+        action = scheduler.next_action([1], 0)
+        assert isinstance(action, StepAction)
+
+    def test_invalid_probability(self):
+        with pytest.raises(SchedulingError):
+            RandomScheduler(crash_probability=1.5)
+
+
+class TestFixed:
+    def test_replays_sequence(self):
+        scheduler = FixedScheduler([0, 1, CrashAction(0), 1])
+        assert scheduler.next_action([0, 1], 0) == StepAction(0)
+        assert scheduler.next_action([0, 1], 1) == StepAction(1)
+        assert scheduler.next_action([0, 1], 2) == CrashAction(0)
+        assert scheduler.next_action([1], 3) == StepAction(1)
+        assert scheduler.exhausted
+
+    def test_exhaustion_raises(self):
+        scheduler = FixedScheduler([0])
+        scheduler.next_action([0], 0)
+        with pytest.raises(SchedulingError):
+            scheduler.next_action([0], 1)
+
+    def test_non_runnable_pid_raises(self):
+        scheduler = FixedScheduler([5])
+        with pytest.raises(SchedulingError):
+            scheduler.next_action([0, 1], 0)
+
+
+class TestSolo:
+    def test_prefers_order(self):
+        scheduler = SoloScheduler([2, 0, 1])
+        assert scheduler.next_action([0, 1, 2], 0).pid == 2
+        assert scheduler.next_action([0, 1], 1).pid == 0
+        assert scheduler.next_action([1], 2).pid == 1
+
+    def test_falls_back_to_lowest(self):
+        scheduler = SoloScheduler([5])
+        assert scheduler.next_action([1, 3], 0).pid == 1

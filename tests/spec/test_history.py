@@ -1,0 +1,114 @@
+"""Tests for concurrent histories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.spec.history import History, sequential_history
+from repro.spec.operation import op
+
+
+def make_overlapping_history() -> History:
+    """p0's write overlaps p1's read on object r."""
+    history = History()
+    history.invoke(0, "r", op("write", 5))
+    history.invoke(1, "r", op("read"))
+    history.respond(0, "r", op("write", 5), True)
+    history.respond(1, "r", op("read"), 5)
+    return history
+
+
+class TestWellFormedness:
+    def test_empty_is_well_formed(self):
+        assert History().is_well_formed()
+
+    def test_overlapping_history_is_well_formed(self):
+        assert make_overlapping_history().is_well_formed()
+
+    def test_double_invocation_is_malformed(self):
+        history = History()
+        history.invoke(0, "r", op("read"))
+        history.invoke(0, "r", op("read"))
+        assert not history.is_well_formed()
+
+    def test_response_without_invocation_is_malformed(self):
+        history = History()
+        history.respond(0, "r", op("read"), 1)
+        assert not history.is_well_formed()
+
+    def test_mismatched_response_is_malformed(self):
+        history = History()
+        history.invoke(0, "r", op("read"))
+        history.respond(0, "r", op("write", 2), True)
+        assert not history.is_well_formed()
+
+    def test_completed_calls_raises_on_malformed(self):
+        history = History()
+        history.respond(0, "r", op("read"), 1)
+        with pytest.raises(HistoryError):
+            history.completed_calls()
+
+
+class TestCompletedCalls:
+    def test_matching(self):
+        history = make_overlapping_history()
+        calls = history.completed_calls()
+        assert len(calls) == 2
+        write = next(c for c in calls if c.operation.name == "write")
+        read = next(c for c in calls if c.operation.name == "read")
+        assert write.result is True
+        assert read.result == 5
+
+    def test_overlap_detection(self):
+        calls = make_overlapping_history().completed_calls()
+        assert calls[0].overlaps(calls[1])
+        assert not calls[0].precedes(calls[1])
+
+    def test_precedence(self):
+        history = History()
+        history.invoke(0, "r", op("write", 1))
+        history.respond(0, "r", op("write", 1), True)
+        history.invoke(1, "r", op("read"))
+        history.respond(1, "r", op("read"), 1)
+        calls = history.completed_calls()
+        write = next(c for c in calls if c.pid == 0)
+        read = next(c for c in calls if c.pid == 1)
+        assert write.precedes(read)
+        assert not write.overlaps(read)
+
+    def test_pending_invocations(self):
+        history = History()
+        history.invoke(0, "r", op("write", 1))
+        history.invoke(1, "r", op("read"))
+        history.respond(1, "r", op("read"), None)
+        pending = history.pending_invocations()
+        assert len(pending) == 1
+        assert pending[0].pid == 0
+
+
+class TestProjection:
+    def test_project_by_object(self):
+        history = History()
+        history.invoke(0, "a", op("read"))
+        history.respond(0, "a", op("read"), 1)
+        history.invoke(0, "b", op("read"))
+        history.respond(0, "b", op("read"), 2)
+        assert len(history.project("a")) == 2
+        assert len(history.project("b")) == 2
+        assert len(history.project("c")) == 0
+
+    def test_process_events(self):
+        history = make_overlapping_history()
+        assert len(history.process_events(0)) == 2
+        assert len(history.process_events(1)) == 2
+
+
+class TestSequentialHistory:
+    def test_builder(self):
+        history = sequential_history(
+            [(0, "r", op("write", 1), True), (1, "r", op("read"), 1)]
+        )
+        assert history.is_well_formed()
+        calls = history.completed_calls()
+        assert calls[0].precedes(calls[1])

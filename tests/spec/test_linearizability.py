@@ -1,0 +1,112 @@
+"""Tests for the linearizability checker."""
+
+from __future__ import annotations
+
+from repro.objects.erc20 import ERC20TokenType
+from repro.objects.register import RegisterType
+from repro.spec.history import History, sequential_history
+from repro.spec.linearizability import check_linearizability
+from repro.spec.operation import op
+
+
+class TestRegisterHistories:
+    def test_sequential_history_linearizable(self):
+        history = sequential_history(
+            [(0, "r", op("write", 1), True), (1, "r", op("read"), 1)]
+        )
+        result = check_linearizability(history, RegisterType())
+        assert result.is_linearizable
+        assert result.witness is not None
+
+    def test_concurrent_read_may_return_either_value(self):
+        # Read overlapping a write may return old or new value.
+        for read_value in (None, 5):
+            history = History()
+            history.invoke(0, "r", op("write", 5))
+            history.invoke(1, "r", op("read"))
+            history.respond(1, "r", op("read"), read_value)
+            history.respond(0, "r", op("write", 5), True)
+            result = check_linearizability(history, RegisterType())
+            assert result.is_linearizable, f"read={read_value!r} must linearize"
+
+    def test_stale_read_after_write_completes_is_not_linearizable(self):
+        # The write completed strictly before the read began, yet the read
+        # returns the old value: violates real-time order.
+        history = History()
+        history.invoke(0, "r", op("write", 5))
+        history.respond(0, "r", op("write", 5), True)
+        history.invoke(1, "r", op("read"))
+        history.respond(1, "r", op("read"), None)
+        result = check_linearizability(history, RegisterType())
+        assert not result.is_linearizable
+
+    def test_new_old_inversion_rejected(self):
+        # Two sequential reads observing w2 then w1 violate ordering.
+        history = History()
+        history.invoke(0, "r", op("write", 1))
+        history.respond(0, "r", op("write", 1), True)
+        history.invoke(0, "r", op("write", 2))
+        history.respond(0, "r", op("write", 2), True)
+        history.invoke(1, "r", op("read"))
+        history.respond(1, "r", op("read"), 2)
+        history.invoke(1, "r", op("read"))
+        history.respond(1, "r", op("read"), 1)
+        result = check_linearizability(history, RegisterType())
+        assert not result.is_linearizable
+
+    def test_pending_write_may_take_effect(self):
+        # A crashed writer's pending write may be linearized to explain a read.
+        history = History()
+        history.invoke(0, "r", op("write", 9))  # never responds (crash)
+        history.invoke(1, "r", op("read"))
+        history.respond(1, "r", op("read"), 9)
+        result = check_linearizability(history, RegisterType())
+        assert result.is_linearizable
+
+    def test_pending_write_may_be_dropped(self):
+        history = History()
+        history.invoke(0, "r", op("write", 9))  # never responds
+        history.invoke(1, "r", op("read"))
+        history.respond(1, "r", op("read"), None)
+        result = check_linearizability(history, RegisterType())
+        assert result.is_linearizable
+
+
+class TestTokenHistories:
+    def test_concurrent_transfers_linearizable(self):
+        token = ERC20TokenType(3, total_supply=10)
+        history = History()
+        history.invoke(0, "t", op("transfer", 1, 4))
+        history.invoke(1, "t", op("transfer", 2, 1))
+        # p1's transfer can only succeed if p0's landed first.
+        history.respond(1, "t", op("transfer", 2, 1), True)
+        history.respond(0, "t", op("transfer", 1, 4), True)
+        result = check_linearizability(history, token)
+        assert result.is_linearizable
+
+    def test_impossible_double_spend_rejected(self):
+        # Balance 10; two sequential (non-overlapping) transfers of 10 from
+        # the same account cannot both succeed.
+        token = ERC20TokenType(3, total_supply=10)
+        history = History()
+        history.invoke(0, "t", op("transfer", 1, 10))
+        history.respond(0, "t", op("transfer", 1, 10), True)
+        history.invoke(0, "t", op("transfer", 2, 10))
+        history.respond(0, "t", op("transfer", 2, 10), True)
+        result = check_linearizability(history, token)
+        assert not result.is_linearizable
+
+    def test_allowance_read_must_be_consistent(self):
+        token = ERC20TokenType(2)
+        history = History()
+        history.invoke(0, "t", op("approve", 1, 5))
+        history.respond(0, "t", op("approve", 1, 5), True)
+        history.invoke(1, "t", op("allowance", 0, 1))
+        history.respond(1, "t", op("allowance", 0, 1), 0)  # stale: not allowed
+        result = check_linearizability(history, token)
+        assert not result.is_linearizable
+
+    def test_explored_counter_populated(self):
+        history = sequential_history([(0, "t", op("totalSupply"), 10)])
+        result = check_linearizability(history, ERC20TokenType(2, total_supply=10))
+        assert result.explored >= 1

@@ -1,0 +1,83 @@
+"""Tests for the sequential object-type formalism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownOperationError
+from repro.objects.erc20 import ERC20TokenType
+from repro.objects.register import RegisterType
+from repro.spec.operation import Operation, op
+
+
+class TestRegisterAsObjectType:
+    def test_initial_state_is_bottom(self):
+        assert RegisterType().initial_state() is None
+
+    def test_custom_initial(self):
+        assert RegisterType(42).initial_state() == 42
+
+    def test_read_returns_state(self):
+        register = RegisterType(7)
+        state, result = register.apply(7, 0, op("read"))
+        assert state == 7
+        assert result == 7
+
+    def test_write_replaces_state(self):
+        register = RegisterType()
+        state, result = register.apply(None, 0, op("write", 9))
+        assert state == 9
+        assert result is True
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(UnknownOperationError):
+            RegisterType().apply(None, 0, op("compareAndSwap", 1, 2))
+
+
+class TestReadOnlyDetection:
+    def test_read_is_read_only(self):
+        register = RegisterType(3)
+        assert register.is_read_only(3, 0, op("read"))
+
+    def test_write_is_not_read_only(self):
+        register = RegisterType(3)
+        assert not register.is_read_only(3, 0, op("write", 4))
+
+    def test_identical_write_is_read_only(self):
+        # Writing the current value leaves the state unchanged: semantically
+        # read-only at this state (the notion Theorem 3's proof uses).
+        register = RegisterType(3)
+        assert register.is_read_only(3, 0, op("write", 3))
+
+    def test_failed_transfer_is_read_only(self):
+        token = ERC20TokenType(2, total_supply=1)
+        state = token.initial_state()
+        # p1 has balance 0; its transfer fails and preserves the state.
+        assert token.is_read_only(state, 1, op("transfer", 0, 1))
+
+
+class TestRun:
+    def test_run_sequence(self):
+        token = ERC20TokenType(3, total_supply=10)
+        final, responses = token.run(
+            [
+                (0, op("transfer", 1, 4)),
+                (1, op("approve", 2, 2)),
+                (2, op("transferFrom", 1, 2, 2)),
+            ]
+        )
+        assert responses == [True, True, True]
+        assert final.balances == (6, 2, 2)
+
+    def test_run_from_state(self):
+        token = ERC20TokenType(2, total_supply=5)
+        mid, _ = token.run([(0, op("transfer", 1, 5))])
+        final, responses = token.run([(1, op("transfer", 0, 5))], state=mid)
+        assert final.balances == (5, 0)
+        assert responses == [True]
+
+    def test_run_empty(self):
+        token = ERC20TokenType(2)
+        final, responses = token.run([])
+        assert final == token.initial_state()
+        assert responses == []

@@ -1,0 +1,110 @@
+"""Tests for workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.objects.erc20 import ERC20TokenType
+from repro.workloads.generators import (
+    EXAMPLE1_BALANCES,
+    EXAMPLE1_RESPONSES,
+    OWNER_ONLY_MIX,
+    SPENDER_HEAVY_MIX,
+    TokenWorkloadGenerator,
+    WorkloadMix,
+    example1_trace,
+    partition_by_process,
+)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = TokenWorkloadGenerator(4, seed=1).generate(50)
+        b = TokenWorkloadGenerator(4, seed=1).generate(50)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = TokenWorkloadGenerator(4, seed=1).generate(50)
+        b = TokenWorkloadGenerator(4, seed=2).generate(50)
+        assert a != b
+
+    def test_items_valid_against_spec(self):
+        token = ERC20TokenType(4, total_supply=30)
+        items = TokenWorkloadGenerator(4, seed=3).generate(200)
+        # Every generated item must be a domain-valid invocation.
+        state = token.initial_state()
+        for item in items:
+            state, _ = token.apply(state, item.pid, item.operation)
+        assert state.total_supply == 30
+
+    def test_mix_respected(self):
+        generator = TokenWorkloadGenerator(4, seed=4, mix=OWNER_ONLY_MIX)
+        items = generator.generate(300)
+        names = {item.operation.name for item in items}
+        assert "transferFrom" not in names
+        assert "approve" not in names
+
+    def test_spender_heavy_mix_contains_spender_traffic(self):
+        generator = TokenWorkloadGenerator(4, seed=4, mix=SPENDER_HEAVY_MIX)
+        items = generator.generate(300)
+        names = [item.operation.name for item in items]
+        assert names.count("transferFrom") > 50
+
+    def test_zipf_skew_concentrates_accounts(self):
+        uniform = TokenWorkloadGenerator(10, seed=5)
+        skewed = TokenWorkloadGenerator(10, seed=5, zipf_s=1.5)
+        from collections import Counter
+
+        uniform_counts = Counter(i.pid for i in uniform.generate(1000))
+        skewed_counts = Counter(i.pid for i in skewed.generate(1000))
+        assert skewed_counts[0] > 2 * uniform_counts[0]
+
+    def test_stream_is_lazy(self):
+        stream = TokenWorkloadGenerator(3, seed=0).stream()
+        first = next(stream)
+        assert 0 <= first.pid < 3
+
+    def test_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            TokenWorkloadGenerator(0)
+        with pytest.raises(InvalidArgumentError):
+            TokenWorkloadGenerator(2, max_value=-1)
+        with pytest.raises(InvalidArgumentError):
+            WorkloadMix(transfer=-1).weights()
+        with pytest.raises(InvalidArgumentError):
+            WorkloadMix(
+                transfer=0,
+                transfer_from=0,
+                approve=0,
+                balance_of=0,
+                allowance=0,
+                total_supply=0,
+            ).weights()
+
+
+class TestExample1:
+    def test_trace_matches_paper(self):
+        token = ERC20TokenType(3, total_supply=10)
+        state = token.initial_state()
+        for item, expected_response, expected_balances in zip(
+            example1_trace(), EXAMPLE1_RESPONSES, EXAMPLE1_BALANCES
+        ):
+            state, response = token.apply(state, item.pid, item.operation)
+            assert response == expected_response
+            assert state.balances == expected_balances
+        assert state.allowance(1, 2) == 4
+
+
+class TestPartition:
+    def test_partition_preserves_order(self):
+        items = TokenWorkloadGenerator(3, seed=6).generate(30)
+        buckets = partition_by_process(items, 3)
+        assert sum(len(bucket) for bucket in buckets) == 30
+        for pid, bucket in enumerate(buckets):
+            assert all(item.pid == pid for item in bucket)
+
+    def test_out_of_range_pid_rejected(self):
+        items = TokenWorkloadGenerator(5, seed=0).generate(10)
+        with pytest.raises(InvalidArgumentError):
+            partition_by_process(items, 2)
