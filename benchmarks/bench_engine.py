@@ -1,0 +1,239 @@
+"""E9 — the execution engine: throughput from the commute/conflict split.
+
+Compares the commutativity-aware sharded executor (``repro.engine``)
+against serial execution on identical workload mixes, in virtual time
+(operation units + simulated consensus latency — the repository-wide
+measurement philosophy; wall-clock threading would measure the GIL):
+
+* **owner-only mix** (the consensus-number-1 regime): zero escalations —
+  the whole workload runs conflict-free on parallel lanes, and the
+  sharded engine must beat serial execution outright;
+* **mixed / spender-heavy / approval-heavy mixes**: conflict rate,
+  escalation rate and the consensus message bill grow with spender
+  traffic (approve/transferFrom races, Theorem 3's Case 4);
+* **hot-spot skew**: an exchange-wallet overlay concentrates traffic on
+  two accounts, exercising hot-account splitting in the shard planner.
+
+Every run re-validates the static fast-path classifier against the
+semantic ``PairKind`` oracle (``validate=True`` raises on any soundness
+violation) and the final state against the sequential specification.
+
+Standalone (writes ``BENCH_engine.json``, used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.engine import BatchExecutor
+from repro.objects.erc20 import ERC20TokenType
+from repro.workloads import (
+    APPROVAL_HEAVY_MIX,
+    OWNER_ONLY_MIX,
+    SPENDER_HEAVY_MIX,
+    TokenWorkloadGenerator,
+    WorkloadMix,
+)
+
+SEED = 23
+ACCOUNTS = 64
+WINDOW = 64
+SERIAL_LANES = 1
+SHARDED_LANES = 8
+
+#: Read-mostly traffic: the engine's best case (reads of distinct accounts
+#: all commute), and — under a hot-spot overlay — the showcase for the
+#: planner's hot-account splitting.
+READ_HEAVY_MIX = WorkloadMix(
+    transfer=0.1,
+    transfer_from=0.0,
+    approve=0.0,
+    balance_of=0.85,
+    allowance=0.0,
+    total_supply=0.05,
+)
+
+MIXES = {
+    "owner_only": OWNER_ONLY_MIX,
+    "read_heavy": READ_HEAVY_MIX,
+    "default": WorkloadMix(),
+    "spender_heavy": SPENDER_HEAVY_MIX,
+    "approval_heavy": APPROVAL_HEAVY_MIX,
+}
+
+
+def run_engine(
+    mix,
+    lanes: int,
+    ops: int,
+    accounts: int = ACCOUNTS,
+    hotspot_fraction: float = 0.0,
+    validate: bool = True,
+):
+    """One engine run; returns ``(engine, stats)`` after checking the final
+    state against the sequential specification."""
+    token = ERC20TokenType(accounts, total_supply=100 * accounts)
+    engine = BatchExecutor(
+        token, num_lanes=lanes, window=WINDOW, validate=validate, seed=SEED
+    )
+    items = TokenWorkloadGenerator(
+        accounts,
+        seed=SEED,
+        mix=mix,
+        hotspot_fraction=hotspot_fraction,
+        hotspot_accounts=2,
+    ).generate(ops)
+    state, responses, stats = engine.run_workload(items)
+    ref_state, ref_responses = token.run(
+        [(item.pid, item.operation) for item in items]
+    )
+    assert state == ref_state, "engine diverged from the sequential spec"
+    assert responses == ref_responses, "engine responses diverged"
+    return engine, stats
+
+
+def measure(ops: int) -> dict:
+    """The full experiment: serial vs sharded per mix, plus hot-spot skew."""
+    results: dict = {
+        "params": {
+            "ops": ops,
+            "accounts": ACCOUNTS,
+            "window": WINDOW,
+            "serial_lanes": SERIAL_LANES,
+            "sharded_lanes": SHARDED_LANES,
+            "seed": SEED,
+        },
+        "mixes": {},
+    }
+    for name, mix in MIXES.items():
+        serial_engine, serial = run_engine(mix, SERIAL_LANES, ops)
+        sharded_engine, sharded = run_engine(mix, SHARDED_LANES, ops)
+        classifier = sharded_engine.classifier.stats
+        results["mixes"][name] = {
+            "serial": {
+                "throughput": serial.throughput,
+                "virtual_time": serial.virtual_time,
+            },
+            "sharded": sharded.as_dict(),
+            "speedup": (
+                serial.virtual_time / sharded.virtual_time
+                if sharded.virtual_time
+                else 1.0
+            ),
+            "conflict_rate": (
+                classifier.by_kind.get("conflict", 0) / classifier.pairs
+                if classifier.pairs
+                else 0.0
+            ),
+            "classifier": classifier.as_dict(),
+        }
+    # Hot-spot skew: contention knob on the conflict-free mixes.
+    for mix_name, mix in (("owner_only", OWNER_ONLY_MIX), ("read_heavy", READ_HEAVY_MIX)):
+        for fraction in (0.0, 0.6):
+            engine, stats = run_engine(
+                mix, SHARDED_LANES, ops, hotspot_fraction=fraction
+            )
+            results.setdefault("hotspot", {})[
+                f"{mix_name}_fraction_{fraction}"
+            ] = {
+                "throughput": stats.throughput,
+                "speedup": stats.speedup,
+                "hot_account_waves": stats.hot_account_waves,
+                "escalated_ops": stats.escalated_ops,
+            }
+    return results
+
+
+def check_claims(results: dict) -> None:
+    """The acceptance criteria, enforced."""
+    owner = results["mixes"]["owner_only"]
+    # Sharded beats serial on the consensus-number-1 workload ...
+    assert owner["speedup"] > 1.2, f"no speedup: {owner['speedup']:.2f}"
+    # ... with zero consensus traffic.
+    assert owner["sharded"]["escalated_ops"] == 0
+    assert owner["sharded"]["escalation_messages"] == 0
+    # Approval-heavy traffic pays for its races, and reports them.
+    approval = results["mixes"]["approval_heavy"]
+    assert approval["conflict_rate"] > 0.0
+    assert approval["sharded"]["escalated_ops"] > 0
+    assert approval["sharded"]["escalation_messages"] > 0
+    # The static fast path was validated against the oracle on every pair
+    # the engine acted on (validate=True would have raised otherwise).
+    for name, mix_result in results["mixes"].items():
+        assert mix_result["classifier"]["validated"] > 0, name
+
+
+def render_table(results: dict) -> list[str]:
+    lines = [
+        "E9: commutativity-aware engine vs serial execution "
+        f"({results['params']['ops']} ops, {ACCOUNTS} accounts, "
+        f"{SHARDED_LANES} lanes, virtual time)",
+        f"{'mix':>15} | {'serial op/t':>11} {'sharded op/t':>12} "
+        f"{'speedup':>8} | {'conflict%':>9} {'escal%':>7} {'msgs':>6}",
+    ]
+    for name, r in results["mixes"].items():
+        sharded = r["sharded"]
+        lines.append(
+            f"{name:>15} | {r['serial']['throughput']:>11.3f} "
+            f"{sharded['throughput']:>12.3f} {r['speedup']:>8.2f} | "
+            f"{r['conflict_rate']:>9.2%} {sharded['escalation_rate']:>7.2%} "
+            f"{sharded['escalation_messages']:>6}"
+        )
+    lines.append("")
+    lines.append("hot-spot skew (2 hot accounts):")
+    for key, r in results.get("hotspot", {}).items():
+        lines.append(
+            f"{key:>26} | throughput {r['throughput']:>7.3f} "
+            f"speedup {r['speedup']:>5.2f} "
+            f"hot-waves {r['hot_account_waves']:>4}"
+        )
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (collected by `pytest benchmarks/`)
+# ---------------------------------------------------------------------------
+
+
+def test_engine_scaling(benchmark, write_table):
+    results = benchmark.pedantic(lambda: measure(ops=600), rounds=1, iterations=1)
+    check_claims(results)
+    write_table("E9_engine", render_table(results))
+
+
+# ---------------------------------------------------------------------------
+# standalone smoke entry point (used by CI; writes BENCH_engine.json)
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ops", type=int, default=1200, help="ops per run")
+    parser.add_argument(
+        "--smoke", action="store_true", help="small, fast configuration"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_engine.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+    if args.ops < 1:
+        parser.error("--ops must be >= 1")
+    ops = 400 if args.smoke else args.ops
+    results = measure(ops)
+    check_claims(results)
+    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print("\n".join(render_table(results)))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

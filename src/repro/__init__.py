@@ -24,6 +24,7 @@ See README.md and DESIGN.md for the full tour.
 """
 
 from repro.analysis import (
+    CachedPairAnalyzer,
     classify,
     enabled_spenders,
     is_synchronization_state,
@@ -56,6 +57,13 @@ from repro.protocols import (
     consensus_checks,
     kat_consensus_system,
 )
+from repro.engine import (
+    BatchExecutor,
+    ConsensusEscalator,
+    Mempool,
+    OpClassifier,
+    ShardPlanner,
+)
 from repro.runtime import (
     RandomScheduler,
     RoundRobinScheduler,
@@ -68,7 +76,13 @@ from repro.spec import History, Operation, check_linearizability, op
 __version__ = "1.0.0"
 
 __all__ = [
+    "CachedPairAnalyzer",
     "classify",
+    "BatchExecutor",
+    "ConsensusEscalator",
+    "Mempool",
+    "OpClassifier",
+    "ShardPlanner",
     "enabled_spenders",
     "is_synchronization_state",
     "make_synchronization_state",

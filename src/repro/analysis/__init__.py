@@ -2,6 +2,7 @@
 (paper §5)."""
 
 from repro.analysis.commutativity import (
+    CachedPairAnalyzer,
     Invocation,
     PairAnalysis,
     PairKind,
@@ -49,6 +50,7 @@ from repro.analysis.valency import (
 )
 
 __all__ = [
+    "CachedPairAnalyzer",
     "Invocation",
     "PairAnalysis",
     "PairKind",

@@ -143,6 +143,53 @@ def conflicting_pairs(
     ]
 
 
+class CachedPairAnalyzer:
+    """Memoizing wrapper around :func:`analyze_pair`.
+
+    States are immutable and hashable by construction (see
+    :mod:`repro.spec.object_type`), so a full pair analysis — four ``apply``
+    calls — can be memoized on ``(state, first, second)``.  The execution
+    engine (:mod:`repro.engine`) uses this as the semantic oracle that
+    validates its static footprint classifier; mempool windows re-analyze
+    the same invocation pairs at the same state many times, which is where
+    the cache pays off.
+    """
+
+    def __init__(self, object_type: SequentialObjectType) -> None:
+        self.object_type = object_type
+        self._cache: dict[tuple[Any, Invocation, Invocation], PairAnalysis] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def analyze(
+        self, state: Any, first: Invocation, second: Invocation
+    ) -> PairAnalysis:
+        key = (state, first, second)
+        found = self._cache.get(key)
+        if found is None:
+            self.misses += 1
+            found = analyze_pair(self.object_type, state, first, second)
+            self._cache[key] = found
+        else:
+            self.hits += 1
+        return found
+
+    def kind(self, state: Any, first: Invocation, second: Invocation) -> PairKind:
+        # The kind is symmetric in the pair; reuse a mirrored entry if one
+        # is already cached.
+        mirrored = self._cache.get((state, second, first))
+        if mirrored is not None:
+            self.hits += 1
+            return mirrored.kind
+        return self.analyze(state, first, second).kind
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+
 def erc20_case_label(first: Invocation, second: Invocation) -> str:
     """Label a pair of ERC20 invocations with the paper's Theorem 3 case.
 

@@ -1,0 +1,58 @@
+"""repro.engine — commutativity-aware parallel execution for token workloads.
+
+Turns the paper's trichotomy (commute / read-only / conflict, Theorem 3's
+case analysis) into throughput: a mempool of pending token operations is
+classified pairwise by a static footprint fast path
+(:mod:`repro.objects.footprint`, validated against the semantic oracle of
+:mod:`repro.analysis.commutativity`), a conflict graph picks out the
+operations that can be reordered freely, a shard planner spreads them over
+parallel lanes, and only genuinely conflicting operations are escalated to
+the total-order broadcast of :mod:`repro.net.total_order`.
+
+Pipeline::
+
+    mempool -> classify -> shard -> execute -> escalate
+    (intake)   (trichotomy) (lanes)  (parallel)  (consensus, conflicts only)
+
+Quickstart::
+
+    from repro.engine import BatchExecutor
+    from repro.objects.erc20 import ERC20TokenType
+    from repro.workloads import TokenWorkloadGenerator, OWNER_ONLY_MIX
+
+    token = ERC20TokenType(16, total_supply=1600)
+    engine = BatchExecutor(token, num_lanes=4, window=64)
+    items = TokenWorkloadGenerator(16, seed=7, mix=OWNER_ONLY_MIX).generate(512)
+    state, responses, stats = engine.run_workload(items)
+    print(f"{stats.speedup:.2f}x over serial, "
+          f"{stats.escalation_rate:.1%} ops needed consensus")
+"""
+
+from repro.engine.classifier import (
+    ClassifierStats,
+    ClassifierValidationError,
+    OpClassifier,
+)
+from repro.engine.conflict_graph import ConflictGraph
+from repro.engine.escalation import ConsensusEscalator, EscalationResult
+from repro.engine.executor import BatchExecutor
+from repro.engine.mempool import Mempool, PendingOp
+from repro.engine.shard import ShardPlan, ShardPlanner, stable_account_hash
+from repro.engine.stats import EngineStats, WaveStats
+
+__all__ = [
+    "ClassifierStats",
+    "ClassifierValidationError",
+    "OpClassifier",
+    "ConflictGraph",
+    "ConsensusEscalator",
+    "EscalationResult",
+    "BatchExecutor",
+    "Mempool",
+    "PendingOp",
+    "ShardPlan",
+    "ShardPlanner",
+    "stable_account_hash",
+    "EngineStats",
+    "WaveStats",
+]

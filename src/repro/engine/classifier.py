@@ -1,0 +1,197 @@
+"""Pair classification for the engine: static fast path + semantic oracle.
+
+The engine must answer "can these two pending operations be reordered?"
+for every pair in a mempool window, every round.  The semantic oracle
+(:func:`repro.analysis.commutativity.analyze_pair`) answers exactly but
+state-dependently; a state-dependent COMMUTE is *not* a licence to reorder
+inside a batch whose intermediate states differ from the analyzed one.  The
+:class:`OpClassifier` therefore schedules off the *static* footprint
+analysis (:mod:`repro.objects.footprint`), whose verdicts hold at every
+state, and memoizes it keyed on the footprint pair — i.e. on operation type
+plus touched accounts, not on values — so a window full of transfers
+collapses to a handful of cache entries.
+
+``validate=True`` cross-checks every static verdict against the semantic
+oracle at the state the caller supplies, enforcing the soundness contract:
+
+* static COMMUTE   ⇒ oracle COMMUTE;
+* static READ_ONLY ⇒ oracle READ_ONLY or COMMUTE;
+* static CONFLICT  ⇒ anything (the conservative fallback) — but the
+  classifier counts how often the oracle confirms a genuine conflict, the
+  *precision* statistic the benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.commutativity import CachedPairAnalyzer, Invocation, PairKind
+from repro.engine.mempool import PendingOp
+from repro.errors import EngineError
+from repro.objects.footprint import OpFootprint, static_pair_kind
+from repro.spec.object_type import SequentialObjectType
+
+
+class ClassifierValidationError(EngineError):
+    """The static fast path claimed more than the semantic oracle grants."""
+
+
+@dataclass
+class ClassifierStats:
+    """Counters for one classifier instance."""
+
+    pairs: int = 0
+    static_pairs: int = 0
+    fallback_pairs: int = 0
+    footprint_cache_hits: int = 0
+    pair_cache_hits: int = 0
+    validated: int = 0
+    #: Static-CONFLICT pairs the oracle confirmed as CONFLICT at the
+    #: validation state (precision numerator; denominator below).
+    confirmed_conflicts: int = 0
+    checked_conflicts: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: PairKind) -> None:
+        self.pairs += 1
+        self.by_kind[kind.value] = self.by_kind.get(kind.value, 0) + 1
+
+    @property
+    def conflict_precision(self) -> float:
+        """Fraction of validated static conflicts that were real conflicts."""
+        if not self.checked_conflicts:
+            return 1.0
+        return self.confirmed_conflicts / self.checked_conflicts
+
+    def as_dict(self) -> dict:
+        return {
+            "pairs": self.pairs,
+            "static_pairs": self.static_pairs,
+            "fallback_pairs": self.fallback_pairs,
+            "footprint_cache_hits": self.footprint_cache_hits,
+            "pair_cache_hits": self.pair_cache_hits,
+            "validated": self.validated,
+            "conflict_precision": self.conflict_precision,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+class OpClassifier:
+    """Memoized pair classification against one sequential object type."""
+
+    def __init__(
+        self,
+        object_type: SequentialObjectType,
+        validate: bool = False,
+        strict_validation: bool = True,
+    ) -> None:
+        self.object_type = object_type
+        self.validate = validate
+        self.strict_validation = strict_validation
+        self.oracle = CachedPairAnalyzer(object_type)
+        self.stats = ClassifierStats()
+        self._footprints: dict[tuple[int, object], OpFootprint | None] = {}
+        self._pair_kinds: dict[
+            tuple[OpFootprint | None, OpFootprint | None], PairKind
+        ] = {}
+        self.mismatches: list[str] = []
+        self._validation_state = None
+
+    # ------------------------------------------------------------------
+
+    def footprint(self, op: PendingOp) -> OpFootprint | None:
+        """The (memoized) static footprint of one pending operation."""
+        key = (op.pid, op.operation)
+        if key in self._footprints:
+            self.stats.footprint_cache_hits += 1
+            return self._footprints[key]
+        fp = self.object_type.footprint(op.pid, op.operation)
+        self._footprints[key] = fp
+        return fp
+
+    def classify(self, first: PendingOp, second: PendingOp, state=None) -> PairKind:
+        """Classify an (unordered) pair of pending operations.
+
+        The verdict is state-independent: COMMUTE and READ_ONLY hold at
+        every state, CONFLICT is conservative.  When ``validate`` is on and
+        ``state`` is given, the verdict is cross-checked against the
+        semantic oracle at that state.
+        """
+        fp1, fp2 = self.footprint(first), self.footprint(second)
+        pair = (fp1, fp2)
+        kind = self._pair_kinds.get(pair)
+        if kind is None:
+            if fp1 is None or fp2 is None:
+                self.stats.fallback_pairs += 1
+            else:
+                self.stats.static_pairs += 1
+            kind = PairKind(static_pair_kind(fp1, fp2))
+            self._pair_kinds[pair] = kind
+        else:
+            self.stats.pair_cache_hits += 1
+        self.stats.record(kind)
+        if self.validate and state is not None:
+            self._check_against_oracle(kind, first, second, state)
+        return kind
+
+    def needs_consensus(self, first: PendingOp, second: PendingOp) -> bool:
+        """True when ordering this pair requires total order (consensus).
+
+        A conflicting pair of *distinct* processes needs consensus exactly
+        when the two footprints contend on a shared location (see
+        ``OpFootprint.contended``) — the engine-level image of the paper's
+        synchronization groups.  Conflicts without contention (a blind
+        credit enabling a guarded spend) only need an order, which the
+        barrier provides for free.  Unknown footprints are conservative.
+        """
+        if first.pid == second.pid:
+            return False  # program order of one process needs no consensus
+        fp1, fp2 = self.footprint(first), self.footprint(second)
+        if fp1 is None or fp2 is None:
+            return True
+        return bool(fp1.contended & fp2.contended)
+
+    def classify_window(
+        self, window: list[PendingOp], state=None
+    ) -> dict[tuple[int, int], PairKind]:
+        """All pairwise kinds over a window (``i < j`` indices)."""
+        kinds: dict[tuple[int, int], PairKind] = {}
+        for i in range(len(window)):
+            for j in range(i + 1, len(window)):
+                kinds[(i, j)] = self.classify(window[i], window[j], state)
+        return kinds
+
+    # ------------------------------------------------------------------
+
+    def _check_against_oracle(
+        self, kind: PairKind, first: PendingOp, second: PendingOp, state
+    ) -> None:
+        if state != self._validation_state:
+            # The oracle memoizes on the full state; entries for previous
+            # window states are dead weight (a long engine run visits a
+            # fresh state every round), so keep only the current window's.
+            self.oracle.clear()
+            self._validation_state = state
+        semantic = self.oracle.kind(
+            state,
+            Invocation(first.pid, first.operation),
+            Invocation(second.pid, second.operation),
+        )
+        self.stats.validated += 1
+        ok = True
+        if kind is PairKind.COMMUTE:
+            ok = semantic is PairKind.COMMUTE
+        elif kind is PairKind.READ_ONLY:
+            ok = semantic in (PairKind.READ_ONLY, PairKind.COMMUTE)
+        else:
+            self.stats.checked_conflicts += 1
+            if semantic is PairKind.CONFLICT:
+                self.stats.confirmed_conflicts += 1
+        if not ok:
+            message = (
+                f"static fast path claims {kind.value} but the semantic "
+                f"oracle says {semantic.value} for {first} / {second}"
+            )
+            self.mismatches.append(message)
+            if self.strict_validation:
+                raise ClassifierValidationError(message)

@@ -1,0 +1,100 @@
+"""Conflict graph over a mempool window.
+
+Nodes are pending operations; an edge carries the pair's classification
+whenever the pair is *not* statically commuting.  The scheduler reads the
+graph to form waves (edge-free sets can run lane-parallel), the stats layer
+reads it for conflict-rate reporting, and ``components()`` exposes the
+synchronization groups — the engine-level analogue of the paper's per-
+account coordination groups: only operations inside one component ever need
+an order relative to each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.commutativity import PairKind
+from repro.engine.classifier import OpClassifier
+from repro.engine.mempool import PendingOp
+
+
+@dataclass
+class ConflictGraph:
+    """Pairwise non-commute structure of one window (indices into ``ops``)."""
+
+    ops: list[PendingOp]
+    #: ``(i, j) -> kind`` with ``i < j``; only non-COMMUTE pairs are stored.
+    edges: dict[tuple[int, int], PairKind] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls, classifier: OpClassifier, ops: list[PendingOp], state=None
+    ) -> "ConflictGraph":
+        graph = cls(ops=list(ops))
+        for pair, kind in classifier.classify_window(list(ops), state).items():
+            if kind is not PairKind.COMMUTE:
+                graph.edges[pair] = kind
+        return graph
+
+    # ------------------------------------------------------------------
+
+    def kind(self, i: int, j: int) -> PairKind:
+        if i == j:
+            raise ValueError("no self-edges in a conflict graph")
+        key = (i, j) if i < j else (j, i)
+        return self.edges.get(key, PairKind.COMMUTE)
+
+    def neighbors(self, i: int) -> list[int]:
+        """Indices adjacent to ``i`` through any non-commute edge."""
+        found = []
+        for a, b in self.edges:
+            if a == i:
+                found.append(b)
+            elif b == i:
+                found.append(a)
+        return sorted(found)
+
+    def degree(self, i: int) -> int:
+        return len(self.neighbors(i))
+
+    @property
+    def conflict_edges(self) -> int:
+        return sum(1 for kind in self.edges.values() if kind is PairKind.CONFLICT)
+
+    @property
+    def read_only_edges(self) -> int:
+        return sum(1 for kind in self.edges.values() if kind is PairKind.READ_ONLY)
+
+    @property
+    def commute_pairs(self) -> int:
+        n = len(self.ops)
+        return n * (n - 1) // 2 - len(self.edges)
+
+    def conflict_rate(self) -> float:
+        """CONFLICT edges as a fraction of all pairs in the window."""
+        n = len(self.ops)
+        total = n * (n - 1) // 2
+        return self.conflict_edges / total if total else 0.0
+
+    def components(self) -> list[list[int]]:
+        """Connected components over non-commute edges (sorted indices).
+
+        Singleton components are operations free to run in any lane; larger
+        components are the window's synchronization groups.
+        """
+        parent = list(range(len(self.ops)))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in self.edges:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+        groups: dict[int, list[int]] = {}
+        for i in range(len(self.ops)):
+            groups.setdefault(find(i), []).append(i)
+        return [sorted(members) for _, members in sorted(groups.items())]

@@ -1,0 +1,226 @@
+"""The sharded batch executor: commute in parallel, order only conflicts.
+
+Execution proceeds in rounds.  Each round pops a window from the mempool,
+builds the conflict graph under *static* (state-independent)
+classification — so reordering is sound at every intermediate state — and
+schedules its connected components:
+
+* **singletons** — operations commuting with the entire window; they run
+  in any lane (the engine's fast path).
+* **chains** — multi-operation components.  Operations in different
+  components statically commute and run in parallel; within a component
+  only the submission order is known-safe, so the component executes as
+  an ordered chain on a single lane.
+* **escalated** — chain members on a cross-process CONFLICT edge with
+  *contention* (two enabled spenders debiting one account, approve racing
+  transferFrom on an allowance cell, one NFT): the only traffic that pays
+  for total order.  The batch goes through the
+  :class:`~repro.engine.escalation.ConsensusEscalator` (the existing
+  ``net/total_order.py`` protocol on the virtual-time simulator) and its
+  consensus latency and message bill are charged to the engine clock.
+
+A round costs the lane critical path (longest lane, in operation units)
+plus the consensus latency of its escalations; conflict-free windows pay
+no messages at all — the paper's consensus-number-1 regime executes
+entirely on the fast path.
+
+Serial-equivalence contract: the final state *and every response* are
+identical to executing the whole workload sequentially in submission
+order, for any lane count — operations are only ever reordered across
+statically-commuting pairs.  The property tests in
+``tests/engine/test_engine_properties.py`` machine-check this against the
+sequential specification.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.analysis.commutativity import PairKind
+from repro.engine.classifier import OpClassifier
+from repro.engine.conflict_graph import ConflictGraph
+from repro.engine.escalation import ConsensusEscalator, EscalationResult
+from repro.engine.mempool import Mempool, PendingOp
+from repro.engine.shard import ShardPlanner
+from repro.engine.stats import EngineStats, WaveStats
+from repro.errors import EngineError
+from repro.spec.object_type import SequentialObjectType
+from repro.workloads.generators import WorkloadItem
+
+
+class BatchExecutor:
+    """Commutativity-aware parallel executor for one token object."""
+
+    def __init__(
+        self,
+        object_type: SequentialObjectType,
+        num_lanes: int = 4,
+        window: int = 64,
+        op_cost: float = 1.0,
+        classifier: OpClassifier | None = None,
+        planner: ShardPlanner | None = None,
+        escalator: ConsensusEscalator | None = None,
+        validate: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if num_lanes < 1:
+            raise EngineError("need at least one lane")
+        if window < 1:
+            raise EngineError("window must be positive")
+        self.object_type = object_type
+        self.num_lanes = num_lanes
+        self.window = window
+        self.op_cost = op_cost
+        self.classifier = (
+            classifier
+            if classifier is not None
+            else OpClassifier(object_type, validate=validate)
+        )
+        self.planner = planner if planner is not None else ShardPlanner(num_lanes)
+        self.escalator = (
+            escalator if escalator is not None else ConsensusEscalator(seed=seed)
+        )
+        self.mempool = Mempool()
+        self.state = object_type.initial_state()
+        self.responses: dict[int, Any] = {}
+        self.clock = 0.0
+        self.stats = EngineStats(
+            num_lanes=num_lanes, window=window, op_cost=op_cost
+        )
+
+    # -- intake ----------------------------------------------------------
+
+    def submit(self, pid: int, operation) -> PendingOp:
+        return self.mempool.submit(pid, operation)
+
+    def feed(self, items: Iterable[WorkloadItem]) -> list[PendingOp]:
+        return self.mempool.feed(items)
+
+    # -- scheduling ------------------------------------------------------
+
+    def _split_window(
+        self, graph: ConflictGraph
+    ) -> tuple[list[list[int]], list[int], list[int]]:
+        """Partition window indices into (chains, singletons, escalated).
+
+        Components of the conflict graph are independent: operations in
+        different components statically commute, so components run in
+        parallel.  Within a component only the submission order is safe —
+        it becomes an ordered *chain* pinned to one lane.  Singleton
+        components commute with the entire window and can run anywhere.
+
+        ``escalated`` indices are the chain members that sit on a
+        synchronization-group conflict: a CONFLICT edge between *distinct*
+        processes contending on a shared cell (two enabled spenders of one
+        account, approve vs transferFrom on one allowance, one NFT) — see
+        ``OpClassifier.needs_consensus``.  Only those pay for total order;
+        same-process conflicts, credit-enables-spend races and READ_ONLY
+        pairs are resolved by chain order alone, which costs no messages.
+        """
+        chains: list[list[int]] = []
+        singletons: list[int] = []
+        for component in graph.components():
+            if len(component) == 1:
+                singletons.append(component[0])
+            else:
+                chains.append(component)
+        contended: set[int] = set()
+        for (a, b), kind in graph.edges.items():
+            if kind is PairKind.CONFLICT and self.classifier.needs_consensus(
+                graph.ops[a], graph.ops[b]
+            ):
+                contended.add(a)
+                contended.add(b)
+        escalated = [i for chain in chains for i in chain if i in contended]
+        return chains, singletons, sorted(escalated)
+
+    def step(self) -> WaveStats | None:
+        """Execute one round; returns its stats, or ``None`` when drained."""
+        window_ops = self.mempool.pop_window(self.window)
+        if not window_ops:
+            return None
+        graph = ConflictGraph.build(self.classifier, window_ops, self.state)
+        chain_idx, singleton_idx, escalated_idx = self._split_window(graph)
+
+        # Phase 1 — consensus for the synchronization groups only.  The
+        # committed order must match submission order (asserted in
+        # _escalate); it fixes the relative order of contended chain
+        # members before the lanes start.
+        escalation = self._escalate([window_ops[i] for i in escalated_idx])
+
+        # Phase 2 — lane-parallel execution.  Chains are atomic and stay
+        # internally ordered; singletons commute with the whole window.
+        # Lane-major application is a deterministic merge: any two
+        # operations applied out of submission order here belong to
+        # different components and therefore statically commute.
+        plan = self.planner.plan(
+            self.classifier,
+            [[window_ops[i] for i in chain] for chain in chain_idx],
+            [window_ops[i] for i in singleton_idx],
+        )
+        for lane in plan.lanes:
+            for op in lane:
+                self._apply(op)
+
+        round_time = (
+            plan.critical_path * self.op_cost + escalation.virtual_time
+        )
+        self.clock += round_time
+        chained_ops = sum(len(chain) for chain in chain_idx)
+        round_stats = WaveStats(
+            index=self.stats.waves,
+            window=len(window_ops),
+            wave_ops=len(singleton_idx),
+            barrier_ops=chained_ops - len(escalated_idx),
+            escalated_ops=len(escalated_idx),
+            lanes_used=plan.lanes_used,
+            critical_path=plan.critical_path,
+            hot_accounts=len(plan.hot_accounts),
+            virtual_time=round_time,
+            escalation_time=escalation.virtual_time,
+            escalation_messages=escalation.messages,
+        )
+        self.stats.record_round(round_stats)
+        return round_stats
+
+    def run(self) -> EngineStats:
+        """Drain the mempool; returns the aggregate statistics."""
+        while self.step() is not None:
+            pass
+        return self.stats
+
+    def run_workload(
+        self, items: Iterable[WorkloadItem]
+    ) -> tuple[Any, list[Any], EngineStats]:
+        """Feed a workload, drain it, and return
+        ``(final_state, responses, stats)`` — responses aligned with
+        ``items`` (prior workloads on a reused engine are excluded)."""
+        pending = self.feed(items)
+        self.run()
+        return (
+            self.state,
+            [self.responses[p.seq] for p in pending],
+            self.stats,
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _apply(self, op: PendingOp) -> None:
+        self.state, response = self.object_type.apply(
+            self.state, op.pid, op.operation
+        )
+        self.responses[op.seq] = response
+
+    def _escalate(self, ops: list[PendingOp]) -> EscalationResult:
+        result = self.escalator.order(ops)
+        if result.ordered != ops:
+            raise EngineError(
+                "total-order lane committed operations out of submission "
+                "order; deterministic merge would diverge from the serial "
+                "specification"
+            )
+        return result
+
+    def responses_in_order(self) -> list[Any]:
+        """Responses of all executed operations, in submission order."""
+        return [self.responses[seq] for seq in sorted(self.responses)]

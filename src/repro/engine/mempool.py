@@ -1,0 +1,77 @@
+"""Mempool: admission-ordered queue of pending token operations.
+
+The engine's client-facing edge.  Operations arrive (typically from a
+:mod:`repro.workloads` generator) and are stamped with a monotonically
+increasing sequence number — the *submission order* that defines the
+engine's serial-equivalence contract: the final state and every response
+are identical to executing the whole workload sequentially in submission
+order (see :mod:`repro.engine.executor`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import InvalidArgumentError
+from repro.spec.operation import Operation
+from repro.workloads.generators import WorkloadItem
+
+
+@dataclass(frozen=True, slots=True)
+class PendingOp:
+    """One submitted operation awaiting execution."""
+
+    seq: int
+    pid: int
+    operation: Operation
+
+    def __str__(self) -> str:
+        return f"#{self.seq} p{self.pid}.{self.operation}"
+
+    # ``repr`` doubles as the total-order digest for escalated operations,
+    # so keep it stable and compact.
+    def __repr__(self) -> str:
+        return f"op({self.seq},{self.pid},{self.operation})"
+
+
+class Mempool:
+    """FIFO of :class:`PendingOp` with submission-order sequence stamps."""
+
+    def __init__(self) -> None:
+        self._queue: deque[PendingOp] = deque()
+        self._next_seq = 0
+        self.submitted = 0
+
+    def submit(self, pid: int, operation: Operation) -> PendingOp:
+        """Admit one operation; returns its stamped record."""
+        if not isinstance(operation, Operation):
+            raise InvalidArgumentError("mempool accepts Operation instances")
+        pending = PendingOp(self._next_seq, pid, operation)
+        self._next_seq += 1
+        self.submitted += 1
+        self._queue.append(pending)
+        return pending
+
+    def feed(self, items: Iterable[WorkloadItem]) -> list[PendingOp]:
+        """Admit a workload (e.g. ``TokenWorkloadGenerator.generate(n)``)."""
+        return [self.submit(item.pid, item.operation) for item in items]
+
+    def pop_window(self, limit: int) -> list[PendingOp]:
+        """Remove and return up to ``limit`` oldest pending operations."""
+        if limit < 1:
+            raise InvalidArgumentError("window must be positive")
+        window = []
+        while self._queue and len(window) < limit:
+            window.append(self._queue.popleft())
+        return window
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def peek(self) -> PendingOp | None:
+        return self._queue[0] if self._queue else None

@@ -1,0 +1,159 @@
+"""Shard planning: assign a window's execution groups to parallel lanes.
+
+The scheduler hands the planner *groups* of pending operations:
+
+* **chains** — the multi-operation components of the conflict graph.  A
+  chain's operations must keep their submission order, so a chain is
+  atomic: it occupies one lane and costs its full length.
+* **singletons** — operations commuting with everything else in the
+  window.  They can run anywhere; the planner bundles them by primary
+  account so account-local traffic lands on one lane (hash sharding,
+  cache-friendly in a real deployment).
+
+Placement is hash sharding by primary account with two refinements for
+skewed traffic:
+
+* **hot-account splitting** — a popular account can own a large bundle of
+  mutually commuting operations (balance queries, approvals to distinct
+  spenders, incoming credits).  Hash sharding would pin the burst to one
+  lane; bundles larger than the per-lane target are split across the
+  least-loaded lanes instead.
+* **LPT chain placement + overflow spill** — chains go largest-first to
+  the least-loaded lane, and overloaded lanes shed singletons afterwards.
+
+Every operation in different groups pairwise commutes, so any assignment
+is *correct*; the planner only shapes the critical path.  It never
+consults mutable state, so the same window always produces the same plan —
+part of the engine's determinism guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.engine.classifier import OpClassifier
+from repro.engine.mempool import PendingOp
+from repro.errors import EngineError
+from repro.objects.footprint import accounts_in
+
+#: Knuth's multiplicative hash constant; stable across runs and platforms
+#: (unlike ``hash(str)``, which is randomized per process).
+_MIX = 2654435761
+
+
+def stable_account_hash(account: int) -> int:
+    return (account * _MIX) & 0xFFFFFFFF
+
+
+@dataclass
+class ShardPlan:
+    """The lane assignment of one scheduling round."""
+
+    #: Per lane: the operations in application order (chains kept intact).
+    lanes: list[list[PendingOp]]
+    hot_accounts: list[int]
+
+    @property
+    def critical_path(self) -> int:
+        """Length of the longest lane — the round's parallel execution time
+        in operation units."""
+        return max((len(lane) for lane in self.lanes), default=0)
+
+    @property
+    def lanes_used(self) -> int:
+        return sum(1 for lane in self.lanes if lane)
+
+    @property
+    def size(self) -> int:
+        return sum(len(lane) for lane in self.lanes)
+
+
+class ShardPlanner:
+    """Deterministic account-hash lane partitioner with hot-account splitting."""
+
+    def __init__(self, num_lanes: int, hot_split: bool = True) -> None:
+        if num_lanes < 1:
+            raise EngineError("need at least one lane")
+        self.num_lanes = num_lanes
+        self.hot_split = hot_split
+
+    # ------------------------------------------------------------------
+
+    def lane_of(self, account: int) -> int:
+        """Home lane of an account under pure hash sharding."""
+        return stable_account_hash(account) % self.num_lanes
+
+    def primary_account(self, classifier: OpClassifier, op: PendingOp) -> int:
+        """The account anchoring lane placement: the smallest written
+        account, else the smallest observed one, else the caller."""
+        fp = classifier.footprint(op)
+        if fp is not None:
+            for pool in (fp.writes, fp.observes):
+                accounts = accounts_in(pool)
+                if accounts:
+                    return accounts[0]
+        return op.pid
+
+    def plan(
+        self,
+        classifier: OpClassifier,
+        chains: list[list[PendingOp]],
+        singletons: list[PendingOp],
+    ) -> ShardPlan:
+        """Assign chains (atomic, ordered) and singletons to lanes."""
+        lanes: list[list[PendingOp]] = [[] for _ in range(self.num_lanes)]
+        total = sum(len(chain) for chain in chains) + len(singletons)
+        if not total:
+            return ShardPlan(lanes=lanes, hot_accounts=[])
+        target = math.ceil(total / self.num_lanes)
+
+        def least_loaded() -> int:
+            return min(range(self.num_lanes), key=lambda i: (len(lanes[i]), i))
+
+        # Chains: longest-processing-time first, deterministic tie-break on
+        # the chain's first sequence number.
+        for chain in sorted(chains, key=lambda c: (-len(c), c[0].seq)):
+            lanes[least_loaded()].extend(chain)
+
+        # Singletons: bundle by primary account, hash-shard the bundles.
+        bundles: dict[int, list[PendingOp]] = {}
+        for op in singletons:  # submission-ordered; bundles inherit that
+            bundles.setdefault(
+                self.primary_account(classifier, op), []
+            ).append(op)
+        hot_accounts: list[int] = []
+        for account, ops in sorted(
+            bundles.items(), key=lambda kv: (-len(kv[1]), kv[0])
+        ):
+            if self.hot_split and len(ops) > target:
+                # Hot account: split its commuting burst across lanes.
+                hot_accounts.append(account)
+                for op in ops:
+                    lanes[least_loaded()].append(op)
+            else:
+                lanes[self.lane_of(account)].extend(ops)
+
+        # Overflow spill: hash collisions can still overload a lane; shed
+        # singletons (never chain members) from the tail.  Chains were
+        # placed first, so a lane's tail holds its singletons.  With
+        # ``hot_split`` off the planner is pure hash sharding — the naive
+        # baseline the benchmarks compare against.
+        if not self.hot_split:
+            return ShardPlan(lanes=lanes, hot_accounts=[])
+        chain_ops = {op.seq for chain in chains for op in chain}
+        moved = 0
+        while moved < total:
+            heaviest = max(
+                range(self.num_lanes), key=lambda i: (len(lanes[i]), -i)
+            )
+            lightest = least_loaded()
+            if len(lanes[heaviest]) - len(lanes[lightest]) <= 1:
+                break
+            if len(lanes[heaviest]) <= target or not lanes[heaviest]:
+                break
+            if lanes[heaviest][-1].seq in chain_ops:
+                break  # only singleton tails are movable
+            lanes[lightest].append(lanes[heaviest].pop())
+            moved += 1
+        return ShardPlan(lanes=lanes, hot_accounts=sorted(hot_accounts))

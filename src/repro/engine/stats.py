@@ -1,0 +1,146 @@
+"""Engine measurements: what the theory's trichotomy buys in practice.
+
+Every round the executor records how the window split (wave / barrier /
+escalated), the wave's critical path, and the virtual time each phase
+consumed.  The aggregate exposes the headline quantities of the paper's
+scalability argument: the conflict rate (how much of the traffic actually
+needs total order), the escalation rate, and the speedup of lane-parallel
+execution over the serial baseline.
+
+All times are in the engine's virtual clock (operation units + simulated
+consensus latency), matching the repository's simulation philosophy —
+wall-clock threading in Python would measure the GIL, not the algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class WaveStats:
+    """One scheduling round.
+
+    ``wave_ops`` counts the fast path (singleton components, freely
+    parallel); ``barrier_ops`` the chain members ordered locally without
+    consensus; ``escalated_ops`` the chain members that paid for total
+    order.
+    """
+
+    index: int
+    window: int
+    wave_ops: int
+    barrier_ops: int
+    escalated_ops: int
+    lanes_used: int
+    critical_path: int
+    hot_accounts: int
+    virtual_time: float
+    escalation_time: float
+    escalation_messages: int
+
+
+@dataclass
+class EngineStats:
+    """Aggregate over a full engine run."""
+
+    num_lanes: int = 1
+    window: int = 0
+    op_cost: float = 1.0
+
+    ops_executed: int = 0
+    waves: int = 0
+    wave_ops: int = 0
+    barrier_ops: int = 0
+    escalated_ops: int = 0
+    virtual_time: float = 0.0
+    escalation_time: float = 0.0
+    escalation_messages: int = 0
+    wave_sizes: list[int] = field(default_factory=list)
+    critical_paths: list[int] = field(default_factory=list)
+    hot_account_waves: int = 0
+    rounds: list[WaveStats] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+
+    def record_round(self, round_stats: WaveStats) -> None:
+        self.waves += 1
+        self.ops_executed += (
+            round_stats.wave_ops
+            + round_stats.barrier_ops
+            + round_stats.escalated_ops
+        )
+        self.wave_ops += round_stats.wave_ops
+        self.barrier_ops += round_stats.barrier_ops
+        self.escalated_ops += round_stats.escalated_ops
+        self.virtual_time += round_stats.virtual_time
+        self.escalation_time += round_stats.escalation_time
+        self.escalation_messages += round_stats.escalation_messages
+        self.wave_sizes.append(round_stats.wave_ops)
+        self.critical_paths.append(round_stats.critical_path)
+        if round_stats.hot_accounts:
+            self.hot_account_waves += 1
+        self.rounds.append(round_stats)
+
+    # -- derived ---------------------------------------------------------
+
+    @property
+    def serial_virtual_time(self) -> float:
+        """What the same workload costs with one lane and no overlap (the
+        escalation time is paid either way)."""
+        return self.ops_executed * self.op_cost + self.escalation_time
+
+    @property
+    def speedup(self) -> float:
+        if self.virtual_time <= 0:
+            return 1.0
+        return self.serial_virtual_time / self.virtual_time
+
+    @property
+    def throughput(self) -> float:
+        """Operations per virtual time unit."""
+        if self.virtual_time <= 0:
+            return 0.0
+        return self.ops_executed / self.virtual_time
+
+    @property
+    def escalation_rate(self) -> float:
+        if not self.ops_executed:
+            return 0.0
+        return self.escalated_ops / self.ops_executed
+
+    @property
+    def fast_path_rate(self) -> float:
+        if not self.ops_executed:
+            return 0.0
+        return self.wave_ops / self.ops_executed
+
+    @property
+    def mean_wave_size(self) -> float:
+        if not self.wave_sizes:
+            return 0.0
+        return sum(self.wave_sizes) / len(self.wave_sizes)
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (used by ``benchmarks/bench_engine.py``)."""
+        return {
+            "num_lanes": self.num_lanes,
+            "window": self.window,
+            "op_cost": self.op_cost,
+            "ops_executed": self.ops_executed,
+            "waves": self.waves,
+            "wave_ops": self.wave_ops,
+            "barrier_ops": self.barrier_ops,
+            "escalated_ops": self.escalated_ops,
+            "escalation_rate": self.escalation_rate,
+            "fast_path_rate": self.fast_path_rate,
+            "mean_wave_size": self.mean_wave_size,
+            "max_critical_path": max(self.critical_paths, default=0),
+            "hot_account_waves": self.hot_account_waves,
+            "virtual_time": self.virtual_time,
+            "serial_virtual_time": self.serial_virtual_time,
+            "speedup": self.speedup,
+            "throughput": self.throughput,
+            "escalation_time": self.escalation_time,
+            "escalation_messages": self.escalation_messages,
+        }

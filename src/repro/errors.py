@@ -50,3 +50,7 @@ class NetworkError(ReproError):
 
 class ProtocolError(ReproError):
     """A distributed protocol reached an internally inconsistent state."""
+
+
+class EngineError(ReproError):
+    """The parallel execution engine was configured or driven inconsistently."""

@@ -31,11 +31,14 @@ class _Event:
 class EventHandle:
     """Handle to a scheduled event; supports cancellation."""
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, simulator: "Simulator") -> None:
         self._event = event
+        self._simulator = simulator
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            self._simulator._note_cancelled()
 
     @property
     def time(self) -> float:
@@ -49,7 +52,9 @@ class Simulator:
         self.now: float = 0.0
         self._queue: list[_Event] = []
         self._seq = itertools.count()
+        self._cancelled = 0
         self.events_processed = 0
+        self.purges = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` time units from now."""
@@ -57,7 +62,24 @@ class Simulator:
             raise NetworkError("cannot schedule events in the past")
         event = _Event(self.now + delay, next(self._seq), callback)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
+
+    def _note_cancelled(self) -> None:
+        """Track tombstones; compact the heap once they dominate.
+
+        A cancelled event used to linger until popped, so workloads that
+        schedule-and-cancel (timeouts, retransmission timers) grew the heap
+        without bound.  Rebuilding costs ``O(live)`` and is amortized free:
+        it runs only when more than half the queue is dead.
+        """
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._queue):
+            self._queue = [
+                event for event in self._queue if not event.cancelled
+            ]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
+            self.purges += 1
 
     def run(
         self, until: float | None = None, max_events: int | None = None
@@ -73,8 +95,12 @@ class Simulator:
                 break
             heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = max(self.now, event.time)
+            # Mark consumed so a late ``cancel()`` on the handle is a no-op
+            # rather than a phantom tombstone in the bookkeeping.
+            event.cancelled = True
             event.callback()
             processed += 1
         self.events_processed += processed
@@ -82,4 +108,9 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        return len(self._queue) - self._cancelled
+
+    @property
+    def queued_entries(self) -> int:
+        """Heap entries including tombstones (for leak diagnostics)."""
+        return len(self._queue)

@@ -13,6 +13,12 @@ from repro.objects.erc20 import ERC20Token, ERC20TokenType, TokenState
 from repro.objects.erc721 import NO_APPROVAL, ERC721Token, ERC721TokenType, NFTState
 from repro.objects.erc777 import ERC777State, ERC777Token, ERC777TokenType
 from repro.objects.erc1155 import ERC1155Token, ERC1155TokenType, MultiTokenState
+from repro.objects.footprint import (
+    EMPTY_FOOTPRINT,
+    SUPPLY,
+    OpFootprint,
+    static_pair_kind,
+)
 from repro.objects.register import (
     BOTTOM,
     AtomicRegister,
@@ -45,6 +51,10 @@ __all__ = [
     "ERC1155Token",
     "ERC1155TokenType",
     "MultiTokenState",
+    "EMPTY_FOOTPRINT",
+    "SUPPLY",
+    "OpFootprint",
+    "static_pair_kind",
     "BOTTOM",
     "AtomicRegister",
     "RegisterType",

@@ -24,6 +24,13 @@ from typing import Any, Iterable, Sequence
 
 from repro.errors import InvalidArgumentError
 from repro.objects.base import SharedObject
+from repro.objects.footprint import (
+    EMPTY_FOOTPRINT,
+    SUPPLY,
+    OpFootprint,
+    bal,
+    footprint,
+)
 from repro.runtime.calls import OpCall
 from repro.spec.object_type import FALSE, TRUE, SequentialObjectType
 from repro.spec.operation import Operation
@@ -156,6 +163,30 @@ class AssetTransferType(SequentialObjectType):
     def _apply_totalSupply(self, state: ATState, pid: int) -> tuple[ATState, Any]:
         return state, state.total_supply
 
+    # -- static footprints (engine fast path) -----------------------------
+
+    def footprint(self, pid: int, operation: Operation) -> OpFootprint:
+        """Static footprint; the owner map µ is static, so an unauthorized
+        transfer is a constant-``FALSE`` no-op with an empty footprint."""
+        self.validate_name(operation)
+        name, args = operation.name, operation.args
+        if name == "transfer":
+            source, dest, value = args
+            self._check_account(source)
+            if pid not in self.owner_map[source] or value == 0:
+                # Always fails (non-owner) or always a successful no-op:
+                # constant response, state never changes.
+                return EMPTY_FOOTPRINT
+            if dest == source:
+                return footprint(observes=[bal(source)])
+            return footprint(
+                observes=[bal(source)], adds=[bal(source), bal(dest)]
+            )
+        if name == "balanceOf":
+            return footprint(observes=[bal(args[0])])
+        # totalSupply — conserved by every transfer.
+        return footprint(observes=[SUPPLY])
+
 
 class DynamicOwnerATType(AssetTransferType):
     """Asset transfer whose owner map is part of the *state*.
@@ -232,6 +263,30 @@ class DynamicOwnerATType(AssetTransferType):
             return state, balances.balance(account)
         # totalSupply
         return state, balances.total_supply
+
+    def footprint(self, pid: int, operation: Operation) -> OpFootprint:
+        """Here µ is *state*, so authorization observes the owner-map cell
+        ``("own", a)`` and ``setOwners`` overwrites it."""
+        self.validate_name(operation)
+        name, args = operation.name, operation.args
+        if name == "transfer":
+            source, dest, value = args
+            self._check_account(source)
+            if value == 0:
+                # Response still depends on ownership; state never changes.
+                return footprint(observes=[("own", source)])
+            observes = [bal(source), ("own", source)]
+            if dest == source:
+                return footprint(observes=observes)
+            return footprint(observes=observes, adds=[bal(source), bal(dest)])
+        if name == "setOwners":
+            account = args[0]
+            self._check_account(account)
+            # Response depends only on the argument's size vs the k bound.
+            return footprint(sets=[("own", account)])
+        if name == "balanceOf":
+            return footprint(observes=[bal(args[0])])
+        return footprint(observes=[SUPPLY])
 
 
 class AssetTransfer(SharedObject):

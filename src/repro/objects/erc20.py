@@ -30,6 +30,14 @@ from typing import Any, Mapping, Sequence
 
 from repro.errors import InvalidArgumentError
 from repro.objects.base import SharedObject
+from repro.objects.footprint import (
+    EMPTY_FOOTPRINT,
+    SUPPLY,
+    OpFootprint,
+    allow,
+    bal,
+    footprint,
+)
 from repro.runtime.calls import OpCall
 from repro.spec.object_type import FALSE, TRUE, SequentialObjectType
 from repro.spec.operation import Operation
@@ -255,6 +263,65 @@ class ERC20TokenType(SequentialObjectType):
 
     def _apply_totalSupply(self, state: TokenState, pid: int) -> tuple[TokenState, Any]:
         return state, state.total_supply
+
+    # -- static footprints (engine fast path) -----------------------------
+
+    def footprint(self, pid: int, operation: Operation) -> OpFootprint:
+        """Static may-access footprint of Definition 3's operations.
+
+        Captures the paper's case analysis state-independently: transfers
+        observe their source balance and apply commutative deltas; approve
+        is an absolute write to one allowance cell; the read-only methods
+        observe their cells.  Degenerate invocations (zero value,
+        self-transfer) collapse to read-only or empty footprints, matching
+        the semantic oracle's judgment at every state.
+        """
+        self.validate_name(operation)
+        self._check_process(pid)
+        name, args = operation.name, operation.args
+        if name == "transfer":
+            dest, value = args
+            source = self.account_of(pid)
+            if value == 0:
+                return EMPTY_FOOTPRINT  # always succeeds, never writes
+            if dest == source:
+                return footprint(observes=[bal(source)])
+            return footprint(
+                observes=[bal(source)], adds=[bal(source), bal(dest)]
+            )
+        if name == "transferFrom":
+            source, dest, value = args
+            if value == 0:
+                return EMPTY_FOOTPRINT
+            cell = allow(source, pid)
+            if dest == source:
+                return footprint(observes=[bal(source), cell], adds=[cell])
+            return footprint(
+                observes=[bal(source), cell],
+                adds=[bal(source), bal(dest), cell],
+            )
+        if name == "approve":
+            spender, _value = args
+            return footprint(sets=[allow(self.account_of(pid), spender)])
+        if name == "balanceOf":
+            return footprint(observes=[bal(args[0])])
+        if name == "allowance":
+            return footprint(observes=[allow(args[0], args[1])])
+        if name == "totalSupply":
+            # Transfers conserve the supply, so supply queries commute with
+            # arbitrary transfer traffic (they observe only this pseudo-cell).
+            return footprint(observes=[SUPPLY])
+        if name == "increaseAllowance":
+            spender, delta = args
+            if delta == 0:
+                return EMPTY_FOOTPRINT
+            return footprint(adds=[allow(self.account_of(pid), spender)])
+        # decreaseAllowance: guarded by the current allowance value.
+        spender, delta = args
+        if delta == 0:
+            return EMPTY_FOOTPRINT
+        cell = allow(self.account_of(pid), spender)
+        return footprint(observes=[cell], adds=[cell])
 
     # -- extensions -------------------------------------------------------
 

@@ -22,6 +22,7 @@ from typing import Any, Sequence
 
 from repro.errors import InvalidArgumentError
 from repro.objects.base import SharedObject
+from repro.objects.footprint import EMPTY_FOOTPRINT, OpFootprint, footprint
 from repro.runtime.calls import OpCall
 from repro.spec.object_type import FALSE, TRUE, SequentialObjectType
 from repro.spec.operation import Operation
@@ -185,6 +186,55 @@ class ERC721TokenType(SequentialObjectType):
         self._check_account(holder)
         self._check_account(operator)
         return state, operator in state.operators[holder]
+
+    # -- static footprints (engine fast path) -----------------------------
+
+    def _nft(self, token_id: int):
+        return ("nft", token_id)
+
+    def _ops_cells(self):
+        """Authorization may consult *any* account's operator set (the owner
+        is state-dependent), so authorized methods observe all of them."""
+        return [("ops", a) for a in range(self.num_accounts)]
+
+    def footprint(self, pid: int, operation: Operation) -> OpFootprint:
+        """Static footprint over per-token cells ``("nft", t)`` (owner +
+        per-token approval, cleared together on transfer) and per-account
+        operator cells ``("ops", a)``.
+
+        Transfers of *different* tokens commute — the §6 race is always
+        about one specific token — while any two authorized mutations of
+        the same token conflict, which is exactly the ``ownerOf`` race
+        Algorithm 1 (adapted) decides by consensus.
+        """
+        self.validate_name(operation)
+        self._check_account(pid)
+        name, args = operation.name, operation.args
+        if name == "ownerOf" or name == "getApproved":
+            return footprint(observes=[self._nft(args[0])])
+        if name == "balanceOf":
+            return footprint(
+                observes=[self._nft(t) for t in range(self.num_tokens)]
+            )
+        if name == "transferFrom":
+            _source, _dest, token_id = args
+            cell = self._nft(token_id)
+            return footprint(
+                observes=[cell, *self._ops_cells()], sets=[cell]
+            )
+        if name == "approve":
+            token_id = args[1]
+            cell = self._nft(token_id)
+            return footprint(
+                observes=[cell, *self._ops_cells()], sets=[cell]
+            )
+        if name == "setApprovalForAll":
+            operator = args[0]
+            if operator == pid:
+                return EMPTY_FOOTPRINT  # EIP-721 self-approval: constant FALSE
+            return footprint(sets=[("ops", pid)])
+        # isApprovedForAll
+        return footprint(observes=[("ops", args[0])])
 
 
 class ERC721Token(SharedObject):

@@ -1,0 +1,161 @@
+"""Static read/write footprints of token operations.
+
+The paper's trichotomy (Theorem 3's case analysis) classifies a pair of
+operations *semantically*, by running the sequential specification both ways
+(:mod:`repro.analysis.commutativity`).  That oracle is exact but costs four
+``apply`` calls per pair per state.  The execution engine
+(:mod:`repro.engine`) needs the same judgment over every pair in a mempool
+window on every round, so each object type exposes a *static* footprint: the
+set of abstract state locations an invocation may observe or write,
+independent of the current state.
+
+A footprint distinguishes three access kinds:
+
+* ``observes`` — locations whose current value can influence the response,
+  a guard, or a written value (e.g. ``transfer`` observes the source
+  balance);
+* ``adds`` — locations updated by a commutative delta (balance increments
+  and decrements, allowance decrements): two deltas to the same cell
+  commute;
+* ``sets`` — locations overwritten with a state-independent value
+  (``approve``'s absolute assignment): order matters against any other
+  write.
+
+Token transfers conserve the total supply, so ``totalSupply`` observes the
+dedicated :data:`SUPPLY` location that no transfer writes — the engine can
+run supply queries in parallel with arbitrary transfer traffic.
+
+:func:`static_pair_kind` folds two footprints into the paper's trichotomy.
+The verdicts are *sound under-approximations* of the semantic oracle (see
+``tests/engine/test_classifier.py`` for the machine-checked contract):
+
+* static ``"commute"``  ⇒ the pair commutes at **every** state;
+* static ``"read-only"`` ⇒ one op never changes state, so the oracle says
+  read-only (or commute) at every state;
+* static ``"conflict"`` is the conservative fallback — at a particular
+  state the oracle may still find the pair commuting (e.g. two transfers
+  from a richly funded account).
+
+The string values deliberately match ``PairKind`` in
+:mod:`repro.analysis.commutativity` (which imports :mod:`repro.objects` and
+therefore cannot be imported from here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Abstract location: a hashable tuple such as ``("bal", 3)``,
+#: ``("allow", 1, 2)``, ``("nft", 7)`` or :data:`SUPPLY`.
+Location = tuple
+
+#: Pseudo-location read by supply queries; transfers conserve it.
+SUPPLY: Location = ("supply",)
+
+
+def bal(account: int) -> Location:
+    """The balance cell ``β(a)``."""
+    return ("bal", account)
+
+
+def allow(account: int, spender: int) -> Location:
+    """The allowance cell ``α(a, p)``."""
+    return ("allow", account, spender)
+
+
+@dataclass(frozen=True, slots=True)
+class OpFootprint:
+    """Static may-access summary of one invocation.
+
+    An empty footprint (no observes, no writes) describes an operation whose
+    response is a constant and whose execution never changes the state —
+    e.g. a zero-value ``transfer`` — which commutes with everything.
+    """
+
+    observes: frozenset = field(default_factory=frozenset)
+    adds: frozenset = field(default_factory=frozenset)
+    sets: frozenset = field(default_factory=frozenset)
+
+    @property
+    def writes(self) -> frozenset:
+        """All locations this invocation may modify."""
+        return self.adds | self.sets
+
+    @property
+    def is_read_only(self) -> bool:
+        """True when the invocation can never change the state."""
+        return not self.adds and not self.sets
+
+    @property
+    def touched(self) -> frozenset:
+        return self.observes | self.adds | self.sets
+
+    @property
+    def contended(self) -> frozenset:
+        """Locations this invocation *synchronizes on*: guarded decrements
+        (cells both observed and delta-written — a transfer's source
+        balance, a transferFrom's allowance) plus absolute writes.
+
+        This is the footprint-level image of the paper's per-account
+        synchronization groups: two operations of distinct processes need
+        consensus exactly when their contended sets intersect (two enabled
+        spenders debiting one balance, approve racing transferFrom on an
+        allowance cell, two transfers of one NFT).  Blind credits
+        (``adds`` that are never observed) are not contended — incoming
+        transfers commute CRDT-style and at worst *enable* a guard, which
+        an order (broadcast causality / the engine's barrier) resolves
+        without consensus; that is why single-owner traffic is the
+        consensus-number-1 regime."""
+        return (self.adds & self.observes) | self.sets
+
+    def accounts(self) -> frozenset:
+        """Account indices appearing in any touched location (for sharding)."""
+        return frozenset(accounts_in(self.touched))
+
+
+def accounts_in(locations) -> list[int]:
+    """Sorted account indices anchoring the given locations.
+
+    The convention — shared by footprint reporting and the shard planner —
+    is that a location's *first* index after its tag names the anchoring
+    account (``("bal", a)``, ``("allow", a, spender)``, ``("nft", t)``).
+    """
+    found = {
+        part
+        for location in locations
+        for part in location[1:2]
+        if isinstance(part, int)
+    }
+    return sorted(found)
+
+
+#: Footprint of a pure no-op (constant response, state never changes).
+EMPTY_FOOTPRINT = OpFootprint()
+
+
+def footprint(observes=(), adds=(), sets=()) -> OpFootprint:
+    """Convenience constructor from iterables."""
+    return OpFootprint(frozenset(observes), frozenset(adds), frozenset(sets))
+
+
+def static_pair_kind(first: OpFootprint | None, second: OpFootprint | None) -> str:
+    """Classify a pair of footprints into the paper's trichotomy.
+
+    Returns one of ``"commute"``, ``"read-only"``, ``"conflict"`` (the
+    values of ``PairKind``).  ``None`` footprints (unknown operations)
+    classify conservatively as ``"conflict"``.
+    """
+    if first is None or second is None:
+        return "conflict"
+    # An op whose writes stay clear of everything the other observes or
+    # writes (shared cells allowed only when both access them as commutative
+    # deltas) can be reordered freely: the other op takes the same branch,
+    # writes the same values, and returns the same response either way.
+    w1, w2 = first.writes, second.writes
+    if not (w1 & second.observes) and not (w2 & first.observes):
+        shared = w1 & w2
+        if shared <= first.adds and shared <= second.adds:
+            return "commute"
+    if first.is_read_only or second.is_read_only:
+        return "read-only"
+    return "conflict"

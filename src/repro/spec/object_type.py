@@ -73,6 +73,18 @@ class SequentialObjectType(ABC, Generic[S]):
                 f"supported: {', '.join(names)}"
             )
 
+    def footprint(self, pid: int, operation: Operation):
+        """Static may-access footprint of the invocation, or ``None``.
+
+        Object types that support the commutativity-aware execution engine
+        (:mod:`repro.engine`) return an ``OpFootprint``
+        (:mod:`repro.objects.footprint`) describing every state location the
+        invocation may observe or write, *independent of the current state*.
+        The default ``None`` means "unknown" and makes the engine fall back
+        to conservative conflict classification.
+        """
+        return None
+
     def is_read_only(self, state: S, pid: int, operation: Operation) -> bool:
         """True when the invocation does not modify the state.
 

@@ -1,6 +1,7 @@
 """Workload generators and canonical traces."""
 
 from repro.workloads.generators import (
+    APPROVAL_HEAVY_MIX,
     EXAMPLE1_BALANCES,
     EXAMPLE1_RESPONSES,
     OWNER_ONLY_MIX,
@@ -13,6 +14,7 @@ from repro.workloads.generators import (
 )
 
 __all__ = [
+    "APPROVAL_HEAVY_MIX",
     "EXAMPLE1_BALANCES",
     "EXAMPLE1_RESPONSES",
     "OWNER_ONLY_MIX",

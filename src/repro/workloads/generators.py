@@ -63,6 +63,12 @@ SPENDER_HEAVY_MIX = WorkloadMix(
     transfer=0.25, transfer_from=0.45, approve=0.2, balance_of=0.1, allowance=0.0
 )
 
+#: Approval-heavy mix: maximizes approve/transferFrom races (Theorem 3's
+#: Case 4) — the worst case for the execution engine's escalation path.
+APPROVAL_HEAVY_MIX = WorkloadMix(
+    transfer=0.15, transfer_from=0.35, approve=0.4, balance_of=0.1, allowance=0.0
+)
+
 
 @dataclass
 class TokenWorkloadGenerator:
@@ -71,6 +77,14 @@ class TokenWorkloadGenerator:
     Accounts are drawn either uniformly or with a Zipf-like skew
     (``zipf_s > 0``), reflecting the heavy-tailed account popularity measured
     on real ERC20 traffic (Victor & Lüders [27], cited by the paper).
+
+    On top of either base distribution, a *hot-spot* overlay
+    (``hotspot_fraction > 0``) routes that fraction of all account draws
+    uniformly into the first ``hotspot_accounts`` accounts — the
+    exchange-wallet pattern: a few accounts appear in a large share of all
+    transfers.  This is the contention knob the execution engine
+    (:mod:`repro.engine`) is benchmarked under; like everything here it is
+    deterministic per seed.
     """
 
     num_accounts: int
@@ -78,12 +92,20 @@ class TokenWorkloadGenerator:
     mix: WorkloadMix = field(default_factory=WorkloadMix)
     max_value: int = 10
     zipf_s: float = 0.0
+    hotspot_fraction: float = 0.0
+    hotspot_accounts: int = 1
 
     def __post_init__(self) -> None:
         if self.num_accounts < 1:
             raise InvalidArgumentError("need at least one account")
         if self.max_value < 0:
             raise InvalidArgumentError("max_value must be non-negative")
+        if not 0.0 <= self.hotspot_fraction <= 1.0:
+            raise InvalidArgumentError("hotspot_fraction must be in [0, 1]")
+        if not 1 <= self.hotspot_accounts <= self.num_accounts:
+            raise InvalidArgumentError(
+                "hotspot_accounts must be in [1, num_accounts]"
+            )
         self._rng = random.Random(self.seed)
         if self.zipf_s > 0:
             weights = [
@@ -98,6 +120,11 @@ class TokenWorkloadGenerator:
     # ------------------------------------------------------------------
 
     def _pick_account(self) -> int:
+        if (
+            self.hotspot_fraction > 0
+            and self._rng.random() < self.hotspot_fraction
+        ):
+            return self._rng.randrange(self.hotspot_accounts)
         if self._account_weights is None:
             return self._rng.randrange(self.num_accounts)
         return self._rng.choices(

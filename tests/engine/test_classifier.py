@@ -1,0 +1,272 @@
+"""The classifier's soundness contract against the semantic oracle.
+
+The static fast path may never claim more reorderability than the
+semantic ``PairKind`` oracle grants, at any reachable state:
+
+* static COMMUTE   ⇒ oracle COMMUTE (exactly);
+* static READ_ONLY ⇒ oracle READ_ONLY or COMMUTE;
+* static CONFLICT  ⇒ unconstrained (the conservative fallback).
+
+The hypothesis suites below drive random invocation pairs at random
+reachable states for ERC20 (with extensions), k-shared asset transfer and
+ERC721, through ``OpClassifier(validate=True)`` — which raises on any
+contract violation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.commutativity import CachedPairAnalyzer, Invocation, PairKind
+from repro.engine.classifier import OpClassifier
+from repro.engine.mempool import PendingOp
+from repro.objects.asset_transfer import AssetTransferType
+from repro.objects.erc20 import ERC20TokenType
+from repro.objects.erc721 import ERC721TokenType
+from repro.spec.operation import Operation, op
+
+N = 4  # accounts/processes in the generated universes
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+ACCOUNT = st.integers(0, N - 1)
+VALUE = st.integers(0, 6)
+
+
+@st.composite
+def erc20_invocation(draw):
+    pid = draw(ACCOUNT)
+    kind = draw(
+        st.sampled_from(
+            [
+                "transfer",
+                "transferFrom",
+                "approve",
+                "balanceOf",
+                "allowance",
+                "totalSupply",
+                "increaseAllowance",
+                "decreaseAllowance",
+            ]
+        )
+    )
+    if kind == "transfer":
+        operation = Operation(kind, (draw(ACCOUNT), draw(VALUE)))
+    elif kind == "transferFrom":
+        operation = Operation(kind, (draw(ACCOUNT), draw(ACCOUNT), draw(VALUE)))
+    elif kind in ("approve", "increaseAllowance", "decreaseAllowance"):
+        operation = Operation(kind, (draw(ACCOUNT), draw(VALUE)))
+    elif kind == "balanceOf":
+        operation = Operation(kind, (draw(ACCOUNT),))
+    elif kind == "allowance":
+        operation = Operation(kind, (draw(ACCOUNT), draw(ACCOUNT)))
+    else:
+        operation = Operation("totalSupply")
+    return pid, operation
+
+
+@st.composite
+def erc721_invocation(draw):
+    pid = draw(ACCOUNT)
+    kind = draw(
+        st.sampled_from(
+            [
+                "ownerOf",
+                "balanceOf",
+                "transferFrom",
+                "approve",
+                "getApproved",
+                "setApprovalForAll",
+                "isApprovedForAll",
+            ]
+        )
+    )
+    token = st.integers(0, 2)
+    if kind == "transferFrom":
+        operation = Operation(kind, (draw(ACCOUNT), draw(ACCOUNT), draw(token)))
+    elif kind == "approve":
+        operation = Operation(kind, (draw(ACCOUNT), draw(token)))
+    elif kind in ("ownerOf", "getApproved"):
+        operation = Operation(kind, (draw(token),))
+    elif kind == "balanceOf":
+        operation = Operation(kind, (draw(ACCOUNT),))
+    elif kind == "setApprovalForAll":
+        operation = Operation(kind, (draw(ACCOUNT), draw(st.booleans())))
+    else:
+        operation = Operation(kind, (draw(ACCOUNT), draw(ACCOUNT)))
+    return pid, operation
+
+
+def _reach_state(object_type, prefix):
+    """Apply a random prefix of valid ops to reach an arbitrary state."""
+    state = object_type.initial_state()
+    for pid, operation in prefix:
+        state, _ = object_type.apply(state, pid, operation)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Contract suites (validate=True raises on any soundness violation)
+# ---------------------------------------------------------------------------
+
+
+class TestSoundnessERC20:
+    @settings(max_examples=300, deadline=None)
+    @given(
+        prefix=st.lists(erc20_invocation(), max_size=8),
+        first=erc20_invocation(),
+        second=erc20_invocation(),
+    )
+    def test_static_agrees_with_oracle(self, prefix, first, second):
+        token = ERC20TokenType(N, total_supply=20, with_extensions=True)
+        classifier = OpClassifier(token, validate=True)
+        state = _reach_state(token, prefix)
+        classifier.classify(
+            PendingOp(0, first[0], first[1]),
+            PendingOp(1, second[0], second[1]),
+            state,
+        )  # raises ClassifierValidationError on violation
+
+
+class TestSoundnessAssetTransfer:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        data=st.data(),
+        prefix=st.lists(
+            st.tuples(ACCOUNT, ACCOUNT, ACCOUNT, VALUE), max_size=6
+        ),
+    )
+    def test_static_agrees_with_oracle(self, data, prefix):
+        # A 2-shared account 0 plus single-owner accounts.
+        at = AssetTransferType(
+            [10] * N, owner_map=[{0, 1}] + [{a} for a in range(1, N)]
+        )
+        classifier = OpClassifier(at, validate=True)
+        state = _reach_state(
+            at,
+            [
+                (pid, op("transfer", src, dst, val))
+                for pid, src, dst, val in prefix
+            ],
+        )
+        draw = data.draw
+        ops = []
+        for _ in range(2):
+            kind = draw(st.sampled_from(["transfer", "balanceOf", "totalSupply"]))
+            pid = draw(ACCOUNT)
+            if kind == "transfer":
+                operation = op("transfer", draw(ACCOUNT), draw(ACCOUNT), draw(VALUE))
+            elif kind == "balanceOf":
+                operation = op("balanceOf", draw(ACCOUNT))
+            else:
+                operation = op("totalSupply")
+            ops.append((pid, operation))
+        classifier.classify(
+            PendingOp(0, ops[0][0], ops[0][1]),
+            PendingOp(1, ops[1][0], ops[1][1]),
+            state,
+        )
+
+
+class TestSoundnessERC721:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        prefix=st.lists(erc721_invocation(), max_size=8),
+        first=erc721_invocation(),
+        second=erc721_invocation(),
+    )
+    def test_static_agrees_with_oracle(self, prefix, first, second):
+        nft = ERC721TokenType(N, initial_owners=[0, 1, 2])
+        classifier = OpClassifier(nft, validate=True)
+        state = _reach_state(nft, prefix)
+        classifier.classify(
+            PendingOp(0, first[0], first[1]),
+            PendingOp(1, second[0], second[1]),
+            state,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Classifier mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestClassifierMechanics:
+    def test_pair_cache_keyed_on_footprints(self):
+        """Same op shapes with different values share one cache entry."""
+        token = ERC20TokenType(N, total_supply=20)
+        classifier = OpClassifier(token)
+        a1 = PendingOp(0, 0, op("transfer", 1, 2))
+        b1 = PendingOp(1, 2, op("transfer", 3, 2))
+        a2 = PendingOp(2, 0, op("transfer", 1, 9))  # same accounts, new value
+        b2 = PendingOp(3, 2, op("transfer", 3, 9))
+        assert classifier.classify(a1, b1) is PairKind.COMMUTE
+        hits_before = classifier.stats.pair_cache_hits
+        assert classifier.classify(a2, b2) is PairKind.COMMUTE
+        assert classifier.stats.pair_cache_hits == hits_before + 1
+
+    def test_unknown_object_type_falls_back_to_conflict(self):
+        from repro.objects.erc777 import ERC777TokenType
+
+        erc777 = ERC777TokenType([5] * N)
+        classifier = OpClassifier(erc777)
+        a = PendingOp(0, 0, op("balanceOf", 1))
+        b = PendingOp(1, 1, op("balanceOf", 2))
+        assert classifier.classify(a, b) is PairKind.CONFLICT
+        assert classifier.stats.fallback_pairs == 1
+
+    def test_needs_consensus_same_process_never(self):
+        token = ERC20TokenType(N, total_supply=20)
+        classifier = OpClassifier(token)
+        a = PendingOp(0, 0, op("transfer", 1, 2))
+        b = PendingOp(1, 0, op("transfer", 2, 2))
+        assert not classifier.needs_consensus(a, b)
+
+    def test_needs_consensus_two_spenders(self):
+        token = ERC20TokenType(N, total_supply=20)
+        classifier = OpClassifier(token)
+        a = PendingOp(0, 1, op("transferFrom", 0, 2, 2))
+        b = PendingOp(1, 2, op("transferFrom", 0, 3, 2))
+        assert classifier.needs_consensus(a, b)
+
+    def test_credit_enabling_spend_needs_no_consensus(self):
+        """transfer into b vs b's own spend: ordered, but consensus-free
+        (the consensus-number-1 regime)."""
+        token = ERC20TokenType(N, total_supply=20)
+        classifier = OpClassifier(token)
+        credit = PendingOp(0, 0, op("transfer", 1, 2))
+        spend = PendingOp(1, 1, op("transfer", 2, 2))
+        assert classifier.classify(credit, spend) is PairKind.CONFLICT
+        assert not classifier.needs_consensus(credit, spend)
+
+    def test_conflict_precision_reported(self):
+        token = ERC20TokenType(N, total_supply=20)
+        classifier = OpClassifier(token, validate=True)
+        state = token.initial_state()
+        a = PendingOp(0, 1, op("transferFrom", 0, 2, 2))
+        b = PendingOp(1, 2, op("transferFrom", 0, 3, 2))
+        classifier.classify(a, b, state)
+        snapshot = classifier.stats.as_dict()
+        assert snapshot["validated"] == 1
+        assert 0.0 <= snapshot["conflict_precision"] <= 1.0
+
+
+class TestCachedPairAnalyzer:
+    def test_cache_hits_and_symmetry(self):
+        token = ERC20TokenType(N, total_supply=20)
+        oracle = CachedPairAnalyzer(token)
+        state = token.initial_state()
+        first = Invocation(0, op("transfer", 1, 2))
+        second = Invocation(1, op("transfer", 2, 2))
+        kind = oracle.kind(state, first, second)
+        assert oracle.misses == 1
+        assert oracle.kind(state, second, first) == kind
+        assert oracle.hits == 1
+        assert len(oracle) == 1
+        oracle.clear()
+        assert len(oracle) == 0

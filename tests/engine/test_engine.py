@@ -1,0 +1,237 @@
+"""Unit tests for the engine's moving parts (mempool, graph, shards,
+escalation, executor plumbing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.commutativity import PairKind
+from repro.engine import (
+    BatchExecutor,
+    ConflictGraph,
+    ConsensusEscalator,
+    Mempool,
+    OpClassifier,
+    PendingOp,
+    ShardPlanner,
+)
+from repro.errors import EngineError, InvalidArgumentError
+from repro.objects.erc20 import ERC20TokenType
+from repro.spec.operation import op
+from repro.workloads import (
+    EXAMPLE1_RESPONSES,
+    OWNER_ONLY_MIX,
+    TokenWorkloadGenerator,
+    example1_trace,
+)
+
+N = 8
+
+
+@pytest.fixture
+def token():
+    return ERC20TokenType(N, total_supply=10 * N)
+
+
+class TestMempool:
+    def test_sequence_stamps_are_submission_order(self):
+        pool = Mempool()
+        a = pool.submit(0, op("transfer", 1, 2))
+        b = pool.submit(1, op("balanceOf", 0))
+        assert (a.seq, b.seq) == (0, 1)
+        assert len(pool) == 2
+        assert pool.peek() == a
+
+    def test_pop_window_is_fifo(self):
+        pool = Mempool()
+        submitted = [pool.submit(0, op("balanceOf", 0)) for _ in range(5)]
+        assert pool.pop_window(3) == submitted[:3]
+        assert pool.pop_window(10) == submitted[3:]
+        assert not pool
+
+    def test_feed_workload_items(self):
+        pool = Mempool()
+        items = TokenWorkloadGenerator(N, seed=1).generate(7)
+        pending = pool.feed(items)
+        assert [p.operation for p in pending] == [i.operation for i in items]
+        assert pool.submitted == 7
+
+    def test_rejects_non_operations(self):
+        with pytest.raises(InvalidArgumentError):
+            Mempool().submit(0, "transfer")
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(InvalidArgumentError):
+            Mempool().pop_window(0)
+
+
+class TestConflictGraph:
+    def test_components_split_independent_accounts(self, token):
+        classifier = OpClassifier(token)
+        ops = [
+            PendingOp(0, 0, op("transfer", 1, 2)),  # chain {0,1}: bal(1)
+            PendingOp(1, 1, op("transfer", 2, 2)),
+            PendingOp(2, 4, op("transfer", 5, 2)),  # independent singleton
+            PendingOp(3, 6, op("balanceOf", 7)),  # singleton read
+        ]
+        graph = ConflictGraph.build(classifier, ops)
+        assert graph.components() == [[0, 1], [2], [3]]
+        assert graph.kind(0, 1) is PairKind.CONFLICT
+        assert graph.kind(2, 3) is PairKind.COMMUTE
+        assert graph.conflict_edges == 1
+        assert graph.conflict_rate() == pytest.approx(1 / 6)
+        assert graph.neighbors(0) == [1]
+        assert graph.degree(3) == 0
+
+    def test_commute_pairs_counted(self, token):
+        classifier = OpClassifier(token)
+        ops = [PendingOp(i, i, op("balanceOf", i)) for i in range(4)]
+        graph = ConflictGraph.build(classifier, ops)
+        assert graph.commute_pairs == 6
+        assert graph.read_only_edges == 0
+
+
+class TestShardPlanner:
+    def test_plan_is_deterministic(self, token):
+        classifier = OpClassifier(token)
+        singles = [PendingOp(i, i % N, op("balanceOf", i % N)) for i in range(20)]
+        chains = [[PendingOp(100 + j, 0, op("transfer", 1, 1)) for j in range(3)]]
+        planner = ShardPlanner(4)
+        p1 = planner.plan(classifier, chains, singles)
+        p2 = planner.plan(classifier, chains, singles)
+        assert [[o.seq for o in lane] for lane in p1.lanes] == [
+            [o.seq for o in lane] for lane in p2.lanes
+        ]
+
+    def test_chains_stay_intact_and_ordered(self, token):
+        classifier = OpClassifier(token)
+        chain = [PendingOp(j, 0, op("transfer", 1, 1)) for j in range(4)]
+        plan = ShardPlanner(3).plan(classifier, [chain], [])
+        lanes_with_ops = [lane for lane in plan.lanes if lane]
+        assert len(lanes_with_ops) == 1
+        assert [o.seq for o in lanes_with_ops[0]] == [0, 1, 2, 3]
+
+    def test_hot_account_burst_is_split(self, token):
+        """Commuting ops anchored on one account spread across lanes."""
+        classifier = OpClassifier(token)
+        burst = [PendingOp(i, i % N, op("balanceOf", 0)) for i in range(12)]
+        plan = ShardPlanner(4).plan(classifier, [], burst)
+        assert plan.hot_accounts == [0]
+        assert plan.critical_path == 3  # perfectly balanced
+        no_split = ShardPlanner(4, hot_split=False).plan(classifier, [], burst)
+        assert no_split.critical_path == 12  # all pinned to the home lane
+
+    def test_all_ops_preserved(self, token):
+        classifier = OpClassifier(token)
+        singles = [PendingOp(i, i % N, op("balanceOf", i % N)) for i in range(17)]
+        chain = [PendingOp(50 + j, 1, op("transfer", 2, 1)) for j in range(5)]
+        plan = ShardPlanner(4).plan(classifier, [chain], singles)
+        seqs = sorted(o.seq for lane in plan.lanes for o in lane)
+        assert seqs == sorted([o.seq for o in singles] + [o.seq for o in chain])
+        assert plan.size == 22
+
+    def test_rejects_zero_lanes(self):
+        with pytest.raises(EngineError):
+            ShardPlanner(0)
+
+
+class TestEscalation:
+    def test_orders_in_submission_order_with_costs(self):
+        escalator = ConsensusEscalator(num_replicas=4, seed=3)
+        ops = [PendingOp(i, i % 4, op("transfer", 1, 1)) for i in range(5)]
+        result = escalator.order(ops)
+        assert result.ordered == ops
+        assert result.virtual_time > 0
+        # 3-phase quorum protocol: strictly more than one message per op.
+        assert result.messages > len(ops)
+        assert escalator.batches == 1
+
+    def test_empty_batch_is_free(self):
+        escalator = ConsensusEscalator()
+        result = escalator.order([])
+        assert result.ordered == []
+        assert result.virtual_time == 0.0
+        assert result.messages == 0
+
+    def test_clock_accumulates_across_batches(self):
+        escalator = ConsensusEscalator(seed=5)
+        escalator.order([PendingOp(0, 0, op("transfer", 1, 1))])
+        t1 = escalator.simulator.now
+        escalator.order([PendingOp(1, 1, op("transfer", 2, 1))])
+        assert escalator.simulator.now > t1
+
+    def test_rejects_tiny_cluster(self):
+        with pytest.raises(EngineError):
+            ConsensusEscalator(num_replicas=3)
+
+
+class TestBatchExecutor:
+    def test_example1_trace(self):
+        """The paper's Example 1 executes with its published responses."""
+        token = ERC20TokenType(3, total_supply=10)
+        engine = BatchExecutor(token, num_lanes=2, window=4)
+        state, responses, stats = engine.run_workload(example1_trace())
+        assert tuple(responses) == EXAMPLE1_RESPONSES
+        assert state.balances == (8, 2, 0)
+        assert stats.ops_executed == 4
+
+    def test_owner_only_traffic_never_escalates(self, token):
+        engine = BatchExecutor(token, num_lanes=4, window=32)
+        items = TokenWorkloadGenerator(N, seed=11, mix=OWNER_ONLY_MIX).generate(200)
+        _, _, stats = engine.run_workload(items)
+        assert stats.escalated_ops == 0
+        assert stats.escalation_messages == 0
+
+    def test_two_spender_race_escalates(self, token):
+        engine = BatchExecutor(token, num_lanes=2, window=8)
+        engine.submit(0, op("approve", 1, 5))
+        engine.run()
+        engine.submit(1, op("transferFrom", 0, 2, 2))
+        engine.submit(0, op("transfer", 3, 2))  # owner spend: 2nd spender
+        stats = engine.run()
+        assert stats.escalated_ops >= 2
+        assert stats.escalation_messages > 0
+
+    def test_stats_round_trip(self, token):
+        engine = BatchExecutor(token, num_lanes=4, window=16)
+        items = TokenWorkloadGenerator(N, seed=2).generate(64)
+        _, _, stats = engine.run_workload(items)
+        snapshot = stats.as_dict()
+        assert snapshot["ops_executed"] == 64
+        assert snapshot["waves"] == stats.waves == len(stats.rounds)
+        assert (
+            snapshot["wave_ops"]
+            + snapshot["barrier_ops"]
+            + snapshot["escalated_ops"]
+            == 64
+        )
+        assert snapshot["virtual_time"] == pytest.approx(engine.clock)
+        assert 0.0 <= snapshot["escalation_rate"] <= 1.0
+
+    def test_step_returns_none_when_drained(self, token):
+        engine = BatchExecutor(token)
+        assert engine.step() is None
+
+    def test_rejects_bad_config(self, token):
+        with pytest.raises(EngineError):
+            BatchExecutor(token, num_lanes=0)
+        with pytest.raises(EngineError):
+            BatchExecutor(token, window=0)
+
+    def test_run_workload_on_reused_engine_scopes_responses(self, token):
+        engine = BatchExecutor(token, num_lanes=2, window=8)
+        first = TokenWorkloadGenerator(N, seed=1).generate(10)
+        second = TokenWorkloadGenerator(N, seed=2).generate(10)
+        _, r1, _ = engine.run_workload(first)
+        _, r2, _ = engine.run_workload(second)
+        assert len(r1) == 10 and len(r2) == 10
+        assert engine.mempool.submitted == 20
+
+    def test_responses_in_order(self, token):
+        engine = BatchExecutor(token, num_lanes=4, window=8)
+        engine.submit(1, op("balanceOf", 0))
+        engine.submit(0, op("transfer", 2, 3))
+        engine.submit(2, op("balanceOf", 2))
+        engine.run()
+        responses = engine.responses_in_order()
+        assert responses == [10 * N, True, 3]

@@ -1,0 +1,200 @@
+"""Engine determinism and serial equivalence (the ISSUE's property suite).
+
+Two machine-checked guarantees:
+
+* **lane determinism** — the same seed and workload produce the *same*
+  final token state (and responses) for 1, 2, 4 and 8 lanes;
+* **serial equivalence** — the engine's final state and every response
+  equal a plain sequential execution of the workload, in submission
+  order, against the object's sequential specification.
+
+Both are exercised across workload mixes, account skews (uniform, Zipf,
+hot-spot), window sizes, and object types.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import BatchExecutor
+from repro.objects.asset_transfer import AssetTransferType
+from repro.objects.erc20 import ERC20TokenType
+from repro.objects.erc721 import ERC721TokenType
+from repro.spec.operation import op
+from repro.workloads import (
+    APPROVAL_HEAVY_MIX,
+    OWNER_ONLY_MIX,
+    SPENDER_HEAVY_MIX,
+    TokenWorkloadGenerator,
+    WorkloadItem,
+    WorkloadMix,
+)
+
+LANE_COUNTS = (1, 2, 4, 8)
+
+MIXES = {
+    "owner_only": OWNER_ONLY_MIX,
+    "default": WorkloadMix(),
+    "spender_heavy": SPENDER_HEAVY_MIX,
+    "approval_heavy": APPROVAL_HEAVY_MIX,
+}
+
+
+def serial_reference(object_type, items):
+    return object_type.run([(item.pid, item.operation) for item in items])
+
+
+def engine_run(object_type_factory, items, lanes, window=32, **kwargs):
+    engine = BatchExecutor(
+        object_type_factory(), num_lanes=lanes, window=window, **kwargs
+    )
+    state, responses, stats = engine.run_workload(items)
+    return state, responses, stats
+
+
+class TestLaneDeterminism:
+    @pytest.mark.parametrize("mix_name", sorted(MIXES))
+    def test_final_state_identical_across_lane_counts(self, mix_name):
+        factory = lambda: ERC20TokenType(12, total_supply=240)  # noqa: E731
+        items = TokenWorkloadGenerator(
+            12, seed=29, mix=MIXES[mix_name]
+        ).generate(300)
+        outcomes = [
+            engine_run(factory, items, lanes)[:2] for lanes in LANE_COUNTS
+        ]
+        first_state, first_responses = outcomes[0]
+        for state, responses in outcomes[1:]:
+            assert state == first_state
+            assert responses == first_responses
+
+    def test_same_seed_same_everything(self):
+        factory = lambda: ERC20TokenType(10, total_supply=100)  # noqa: E731
+        items = TokenWorkloadGenerator(10, seed=5).generate(150)
+        s1, r1, st1 = engine_run(factory, items, 4)
+        s2, r2, st2 = engine_run(factory, items, 4)
+        assert (s1, r1) == (s2, r2)
+        assert st1.as_dict() == st2.as_dict()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        window=st.integers(1, 80),
+        zipf=st.sampled_from([0.0, 1.2]),
+    )
+    def test_determinism_under_random_seeds_and_windows(self, seed, window, zipf):
+        factory = lambda: ERC20TokenType(8, total_supply=80)  # noqa: E731
+        items = TokenWorkloadGenerator(8, seed=seed, zipf_s=zipf).generate(120)
+        states = {
+            engine_run(factory, items, lanes, window=window)[0]
+            for lanes in LANE_COUNTS
+        }
+        assert len(states) == 1
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("mix_name", sorted(MIXES))
+    @pytest.mark.parametrize("lanes", LANE_COUNTS)
+    def test_erc20_state_and_responses_match_spec(self, mix_name, lanes):
+        token = ERC20TokenType(12, total_supply=240)
+        items = TokenWorkloadGenerator(
+            12, seed=71, mix=MIXES[mix_name]
+        ).generate(300)
+        ref_state, ref_responses = serial_reference(token, items)
+        state, responses, _ = engine_run(
+            lambda: ERC20TokenType(12, total_supply=240), items, lanes
+        )
+        assert state == ref_state
+        assert responses == ref_responses
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        lanes=st.sampled_from(LANE_COUNTS),
+        hotspot=st.sampled_from([0.0, 0.6]),
+    )
+    def test_erc20_hypothesis_sweep(self, seed, lanes, hotspot):
+        token = ERC20TokenType(8, total_supply=80)
+        items = TokenWorkloadGenerator(
+            8,
+            seed=seed,
+            mix=SPENDER_HEAVY_MIX,
+            hotspot_fraction=hotspot,
+            hotspot_accounts=2,
+        ).generate(100)
+        ref_state, ref_responses = serial_reference(token, items)
+        state, responses, _ = engine_run(
+            lambda: ERC20TokenType(8, total_supply=80), items, lanes
+        )
+        assert state == ref_state
+        assert responses == ref_responses
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), lanes=st.sampled_from(LANE_COUNTS))
+    def test_asset_transfer_shared_accounts(self, seed, lanes):
+        import random
+
+        rng = random.Random(seed)
+        owner_map = [{0, 1}, {1}, {2}, {3}, {0, 3}]
+        factory = lambda: AssetTransferType(  # noqa: E731
+            [20] * 5, owner_map=owner_map, num_processes=4
+        )
+        items = [
+            WorkloadItem(
+                rng.randrange(4),
+                op(
+                    "transfer",
+                    rng.randrange(5),
+                    rng.randrange(5),
+                    rng.randint(0, 6),
+                ),
+            )
+            for _ in range(80)
+        ]
+        ref_state, ref_responses = serial_reference(factory(), items)
+        state, responses, _ = engine_run(factory, items, lanes, window=16)
+        assert state == ref_state
+        assert responses == ref_responses
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), lanes=st.sampled_from(LANE_COUNTS))
+    def test_erc721_races(self, seed, lanes):
+        import random
+
+        rng = random.Random(seed)
+        factory = lambda: ERC721TokenType(4, initial_owners=[0, 1, 2, 3, 0, 1])  # noqa: E731
+        names = ["transferFrom", "approve", "ownerOf", "setApprovalForAll"]
+        items = []
+        for _ in range(60):
+            name = rng.choice(names)
+            pid = rng.randrange(4)
+            if name == "transferFrom":
+                operation = op(
+                    name, rng.randrange(4), rng.randrange(4), rng.randrange(6)
+                )
+            elif name == "approve":
+                operation = op(name, rng.randrange(4), rng.randrange(6))
+            elif name == "ownerOf":
+                operation = op(name, rng.randrange(6))
+            else:
+                operation = op(name, rng.randrange(4), rng.random() < 0.5)
+            items.append(WorkloadItem(pid, operation))
+        ref_state, ref_responses = serial_reference(factory(), items)
+        state, responses, _ = engine_run(factory, items, lanes, window=16)
+        assert state == ref_state
+        assert responses == ref_responses
+
+
+class TestValidatedRuns:
+    """Full runs with oracle validation on: every static verdict the
+    engine acts on is cross-checked at the window state."""
+
+    @pytest.mark.parametrize("mix_name", sorted(MIXES))
+    def test_validated_against_oracle(self, mix_name):
+        factory = lambda: ERC20TokenType(10, total_supply=200)  # noqa: E731
+        items = TokenWorkloadGenerator(
+            10, seed=13, mix=MIXES[mix_name]
+        ).generate(200)
+        _, _, stats = engine_run(factory, items, 4, validate=True)
+        assert stats.ops_executed == 200

@@ -1,0 +1,196 @@
+"""Unit tests for static operation footprints and the pair rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.objects.asset_transfer import AssetTransferType, DynamicOwnerATType
+from repro.objects.erc20 import ERC20TokenType
+from repro.objects.erc721 import ERC721TokenType
+from repro.objects.footprint import (
+    EMPTY_FOOTPRINT,
+    SUPPLY,
+    OpFootprint,
+    allow,
+    bal,
+    footprint,
+    static_pair_kind,
+)
+from repro.spec.operation import op
+
+
+class TestPairRule:
+    def test_disjoint_writes_commute(self):
+        f1 = footprint(observes=[bal(0)], adds=[bal(0), bal(1)])
+        f2 = footprint(observes=[bal(2)], adds=[bal(2), bal(3)])
+        assert static_pair_kind(f1, f2) == "commute"
+
+    def test_shared_adds_commute(self):
+        # Two credits into the same account: deltas commute.
+        f1 = footprint(observes=[bal(0)], adds=[bal(0), bal(9)])
+        f2 = footprint(observes=[bal(1)], adds=[bal(1), bal(9)])
+        assert static_pair_kind(f1, f2) == "commute"
+
+    def test_write_into_observed_cell_conflicts(self):
+        f1 = footprint(observes=[bal(0)], adds=[bal(0), bal(1)])
+        f2 = footprint(observes=[bal(1)], adds=[bal(1), bal(2)])
+        assert static_pair_kind(f1, f2) == "conflict"
+
+    def test_read_only_side_degrades_to_read_only(self):
+        writer = footprint(sets=[allow(0, 1)])
+        reader = footprint(observes=[allow(0, 1)])
+        assert static_pair_kind(writer, reader) == "read-only"
+
+    def test_set_set_conflicts(self):
+        f = footprint(sets=[allow(0, 1)])
+        assert static_pair_kind(f, f) == "conflict"
+
+    def test_unknown_footprint_is_conservative(self):
+        assert static_pair_kind(None, EMPTY_FOOTPRINT) == "conflict"
+
+    def test_empty_commutes_with_everything(self):
+        writer = footprint(observes=[bal(0)], adds=[bal(0)], sets=[allow(0, 0)])
+        assert static_pair_kind(EMPTY_FOOTPRINT, writer) == "commute"
+
+
+class TestERC20Footprints:
+    @pytest.fixture
+    def token(self):
+        return ERC20TokenType(4, total_supply=40, with_extensions=True)
+
+    def test_transfer(self, token):
+        fp = token.footprint(0, op("transfer", 1, 5))
+        assert fp.observes == {bal(0)}
+        assert fp.adds == {bal(0), bal(1)}
+        assert fp.contended == {bal(0)}
+
+    def test_zero_value_transfer_is_empty(self, token):
+        assert token.footprint(0, op("transfer", 1, 0)) == EMPTY_FOOTPRINT
+
+    def test_self_transfer_is_read_only(self, token):
+        fp = token.footprint(0, op("transfer", 0, 5))
+        assert fp.is_read_only
+        assert fp.observes == {bal(0)}
+
+    def test_transfer_from(self, token):
+        fp = token.footprint(2, op("transferFrom", 0, 1, 5))
+        assert fp.observes == {bal(0), allow(0, 2)}
+        assert fp.adds == {bal(0), bal(1), allow(0, 2)}
+        # Both the balance and the allowance are spend-contended.
+        assert fp.contended == {bal(0), allow(0, 2)}
+
+    def test_approve_is_absolute_write(self, token):
+        fp = token.footprint(1, op("approve", 2, 7))
+        assert fp.sets == {allow(1, 2)}
+        assert not fp.observes
+
+    def test_reads(self, token):
+        assert token.footprint(0, op("balanceOf", 3)).observes == {bal(3)}
+        assert token.footprint(0, op("allowance", 1, 2)).observes == {
+            allow(1, 2)
+        }
+        assert token.footprint(0, op("totalSupply")).observes == {SUPPLY}
+
+    def test_total_supply_commutes_with_transfers(self, token):
+        supply = token.footprint(0, op("totalSupply"))
+        transfer = token.footprint(1, op("transfer", 2, 3))
+        assert static_pair_kind(supply, transfer) == "commute"
+
+    def test_increase_allowance_is_blind_delta(self, token):
+        fp = token.footprint(0, op("increaseAllowance", 1, 5))
+        assert fp.adds == {allow(0, 1)}
+        assert not fp.observes
+        other = token.footprint(0, op("increaseAllowance", 1, 9))
+        assert static_pair_kind(fp, other) == "commute"
+
+    def test_decrease_allowance_is_guarded(self, token):
+        fp = token.footprint(0, op("decreaseAllowance", 1, 5))
+        assert fp.observes == {allow(0, 1)}
+        assert fp.adds == {allow(0, 1)}
+
+    def test_paper_case4_conflicts(self, token):
+        """approve vs transferFrom on the same allowance cell (Case 4)."""
+        approve = token.footprint(0, op("approve", 2, 7))
+        spend = token.footprint(2, op("transferFrom", 0, 1, 5))
+        assert static_pair_kind(approve, spend) == "conflict"
+        assert approve.contended & spend.contended
+
+    def test_paper_commuting_base_case(self, token):
+        """approve/approve and approve/transfer commute (paper, Thm 3)."""
+        a1 = token.footprint(0, op("approve", 2, 7))
+        a2 = token.footprint(1, op("approve", 2, 7))
+        transfer = token.footprint(1, op("transfer", 3, 2))
+        assert static_pair_kind(a1, a2) == "commute"
+        assert static_pair_kind(a1, transfer) == "commute"
+
+
+class TestAssetTransferFootprints:
+    def test_single_owner_transfer(self):
+        at = AssetTransferType([10, 10, 10])
+        fp = at.footprint(0, op("transfer", 0, 1, 5))
+        assert fp.observes == {bal(0)}
+        assert fp.adds == {bal(0), bal(1)}
+
+    def test_unauthorized_transfer_is_empty(self):
+        at = AssetTransferType([10, 10, 10])
+        assert at.footprint(1, op("transfer", 0, 1, 5)) == EMPTY_FOOTPRINT
+
+    def test_shared_account_spends_contend(self):
+        """k=2 shared account: both owners' spends contend on the balance —
+        the k-AT consensus story at footprint level."""
+        at = AssetTransferType([10, 10], owner_map=[{0, 1}, {1}])
+        f0 = at.footprint(0, op("transfer", 0, 1, 2))
+        f1 = at.footprint(1, op("transfer", 0, 1, 3))
+        assert static_pair_kind(f0, f1) == "conflict"
+        assert f0.contended & f1.contended == {bal(0)}
+
+    def test_dynamic_owner_map_is_state(self):
+        dat = DynamicOwnerATType([10, 10], owner_map=[{0}, {1}])
+        transfer = dat.footprint(0, op("transfer", 0, 1, 5))
+        assert ("own", 0) in transfer.observes
+        set_owners = dat.footprint(0, op("setOwners", 0, frozenset({0, 1})))
+        assert set_owners.sets == {("own", 0)}
+        assert static_pair_kind(set_owners, transfer) == "conflict"
+
+
+class TestERC721Footprints:
+    @pytest.fixture
+    def nft(self):
+        return ERC721TokenType(3, initial_owners=[0, 1, 2])
+
+    def test_transfers_of_distinct_tokens_commute(self, nft):
+        f0 = nft.footprint(0, op("transferFrom", 0, 1, 0))
+        f1 = nft.footprint(1, op("transferFrom", 1, 2, 1))
+        assert static_pair_kind(f0, f1) == "commute"
+
+    def test_same_token_race_conflicts(self, nft):
+        """The §6 ownerOf race: two transfers of one token need consensus."""
+        f0 = nft.footprint(0, op("transferFrom", 0, 1, 0))
+        f1 = nft.footprint(2, op("transferFrom", 0, 2, 0))
+        assert static_pair_kind(f0, f1) == "conflict"
+        assert f0.contended & f1.contended
+
+    def test_owner_of_is_read_only(self, nft):
+        read = nft.footprint(1, op("ownerOf", 0))
+        write = nft.footprint(0, op("transferFrom", 0, 1, 0))
+        assert read.is_read_only
+        assert static_pair_kind(read, write) == "read-only"
+
+    def test_operator_grant_conflicts_with_transfers(self, nft):
+        grant = nft.footprint(0, op("setApprovalForAll", 1, True))
+        transfer = nft.footprint(1, op("transferFrom", 1, 2, 1))
+        assert static_pair_kind(grant, transfer) == "conflict"
+
+    def test_self_approval_is_empty(self, nft):
+        assert nft.footprint(0, op("setApprovalForAll", 0, True)) == EMPTY_FOOTPRINT
+
+
+class TestContended:
+    def test_blind_credit_not_contended(self):
+        fp = OpFootprint(
+            observes=frozenset({bal(0)}),
+            adds=frozenset({bal(0), bal(1)}),
+            sets=frozenset(),
+        )
+        assert bal(1) not in fp.contended
+        assert bal(0) in fp.contended

@@ -87,3 +87,80 @@ class TestRunLimits:
         simulator.schedule(2.0, lambda: None)
         simulator.run()
         assert simulator.events_processed == 2
+
+
+class TestTombstonePurge:
+    """Cancelled events must not accumulate in the heap (regression: they
+    used to linger as tombstones until popped)."""
+
+    def test_purge_compacts_the_heap(self):
+        simulator = Simulator()
+        log = []
+        handles = [
+            simulator.schedule(float(i + 1), lambda i=i: log.append(i))
+            for i in range(100)
+        ]
+        # Cancel more than half: the heap must shrink to the live events.
+        for handle in handles[:60]:
+            handle.cancel()
+        assert simulator.purges >= 1
+        # The purge fired once past the 50% mark (at 51 cancellations),
+        # compacting 100 entries down to the 49 then-live events; the last
+        # 9 cancellations stay below threshold as tombstones.
+        assert simulator.queued_entries == 49
+        assert simulator.pending_events == 40
+        simulator.run()
+        assert log == list(range(60, 100))
+
+    def test_no_purge_below_threshold(self):
+        simulator = Simulator()
+        handles = [simulator.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for handle in handles[:4]:
+            handle.cancel()
+        assert simulator.purges == 0
+        assert simulator.queued_entries == 10
+        assert simulator.pending_events == 6
+
+    def test_double_cancel_is_idempotent(self):
+        simulator = Simulator()
+        handle = simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert simulator.pending_events == 1
+        assert simulator.run() == 1
+
+    def test_cancel_after_execution_is_noop(self):
+        simulator = Simulator()
+        handle = simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        simulator.run(until=1.5)
+        handle.cancel()  # already executed: must not corrupt bookkeeping
+        assert simulator.pending_events == 1
+        assert simulator.run() == 1
+
+    def test_purge_preserves_order(self):
+        simulator = Simulator()
+        log = []
+        handles = [
+            simulator.schedule(float(i + 1), lambda i=i: log.append(i))
+            for i in range(50)
+        ]
+        # Cancel all even-indexed events plus one odd (26 of 50, interleaved
+        # with survivors): crosses the >50% threshold mid-stream.
+        for i in range(0, 50, 2):
+            handles[i].cancel()
+        handles[1].cancel()
+        assert simulator.purges >= 1
+        simulator.run()
+        assert log == list(range(3, 50, 2))
+
+    def test_cancel_heavy_workload_bounds_heap(self):
+        """Schedule-and-cancel churn (retransmission-timer pattern): the
+        heap stays proportional to the live events, not the churn."""
+        simulator = Simulator()
+        live = [simulator.schedule(1000.0 + i, lambda: None) for i in range(10)]
+        for _ in range(1000):
+            simulator.schedule(500.0, lambda: None).cancel()
+        assert simulator.queued_entries <= 2 * (len(live) + 1)
+        assert simulator.pending_events == 10

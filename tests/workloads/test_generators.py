@@ -65,6 +65,47 @@ class TestGenerator:
         first = next(stream)
         assert 0 <= first.pid < 3
 
+    def test_hotspot_skew_concentrates_accounts(self):
+        from collections import Counter
+
+        uniform = TokenWorkloadGenerator(20, seed=9)
+        hot = TokenWorkloadGenerator(
+            20, seed=9, hotspot_fraction=0.8, hotspot_accounts=2
+        )
+        uniform_counts = Counter(i.pid for i in uniform.generate(1000))
+        hot_counts = Counter(i.pid for i in hot.generate(1000))
+        hot_share = (hot_counts[0] + hot_counts[1]) / 1000
+        uniform_share = (uniform_counts[0] + uniform_counts[1]) / 1000
+        assert hot_share > 0.7
+        assert uniform_share < 0.3
+
+    def test_hotspot_is_deterministic_per_seed(self):
+        make = lambda: TokenWorkloadGenerator(  # noqa: E731
+            16, seed=42, hotspot_fraction=0.5, hotspot_accounts=3, zipf_s=1.1
+        )
+        assert make().generate(200) == make().generate(200)
+
+    def test_hotspot_composes_with_zipf(self):
+        """The overlay draws hot traffic; the Zipf base covers the rest."""
+        from collections import Counter
+
+        generator = TokenWorkloadGenerator(
+            30, seed=3, zipf_s=1.5, hotspot_fraction=0.5, hotspot_accounts=1
+        )
+        counts = Counter(i.pid for i in generator.generate(2000))
+        assert counts[0] > 1000  # hot overlay plus Zipf head
+        assert len(counts) > 5  # tail still covered
+
+    def test_hotspot_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            TokenWorkloadGenerator(4, hotspot_fraction=1.5)
+        with pytest.raises(InvalidArgumentError):
+            TokenWorkloadGenerator(4, hotspot_fraction=-0.1)
+        with pytest.raises(InvalidArgumentError):
+            TokenWorkloadGenerator(4, hotspot_accounts=0)
+        with pytest.raises(InvalidArgumentError):
+            TokenWorkloadGenerator(4, hotspot_accounts=5)
+
     def test_validation(self):
         with pytest.raises(InvalidArgumentError):
             TokenWorkloadGenerator(0)
