@@ -64,6 +64,7 @@ from repro.engine import (
     OpClassifier,
     ShardPlanner,
 )
+from repro.cluster import ClusterStats, ShardMap, TokenCluster
 from repro.runtime import (
     RandomScheduler,
     RoundRobinScheduler,
@@ -83,6 +84,9 @@ __all__ = [
     "Mempool",
     "OpClassifier",
     "ShardPlanner",
+    "ClusterStats",
+    "ShardMap",
+    "TokenCluster",
     "enabled_spenders",
     "is_synchronization_state",
     "make_synchronization_state",

@@ -1,0 +1,46 @@
+"""repro.cluster — distributed token processing with shard-ownership leases.
+
+The paper's claim that most token operations have consensus number 1 is
+fundamentally *distributed*: independent owners should be served by
+independent machines with zero coordination.  This package realizes that
+on the repository's virtual-time network: each lane of the single-process
+engine (:mod:`repro.engine`) becomes a real :mod:`repro.net` node running
+the same round loop over the account shards it owns.
+
+Topology and traffic classes::
+
+    clients -> Router -> ClusterNode 0..N-1        (point-to-point forwards)
+                  |  \\-> lease protocol            (3 msgs / migrated shard)
+                  \\---> ConsensusEscalator          (contended cross-node only)
+
+* owner-local components: forward + reply, zero coordination messages —
+  the consensus-number-1 regime at the message level;
+* cross-shard uncontended chains: a shard-ownership lease handoff
+  (request/grant/ack) migrates ownership to the busier node;
+* contended cross-node conflicts: exactly the contended members pay the
+  shared total-order lane's three-phase quadratic bill.
+
+Serial equivalence holds for any node count and any lease schedule
+because the router co-locates whole conflict-graph components per round
+(machine-checked in ``tests/cluster/``).
+"""
+
+from repro.cluster.cluster import TokenCluster
+from repro.cluster.node import ClusterNode
+from repro.cluster.router import LEASE_MESSAGE_TYPES, Router
+from repro.cluster.sharding import LeaseRecord, ShardMap
+from repro.cluster.stats import ClusterRound, ClusterStats, NodeBill
+from repro.cluster.workloads import owner_local_workload
+
+__all__ = [
+    "TokenCluster",
+    "ClusterNode",
+    "LEASE_MESSAGE_TYPES",
+    "Router",
+    "LeaseRecord",
+    "ShardMap",
+    "ClusterRound",
+    "ClusterStats",
+    "NodeBill",
+    "owner_local_workload",
+]

@@ -1,0 +1,171 @@
+"""A cluster worker: the engine's round loop running as a network node.
+
+Each :class:`ClusterNode` owns a set of account shards and executes the
+operations the router forwards to it.  A round's batch is buffered until
+complete (per-op ``cl_op`` forwards may be reordered by the network; the
+batch announcement ``cl_run`` carries the expected count), then laid out
+on the node's local lanes by the *same* :class:`~repro.engine.rounds.
+RoundScheduler` the single-process engine uses: the router co-locates
+every conflict-graph component, so rebuilding the graph over the batch
+recovers exactly the components assigned here and lane-major application
+is serially equivalent by the engine's argument.
+
+Owner-local execution involves no coordination at all — the node never
+sends or receives a lease or consensus message for it; its only traffic is
+the forward in and the (batched) reply out.  The lease protocol surfaces
+here as two handlers: ``cl_lease_request`` (hand the shard away) and
+``cl_lease_grant`` (adopt it and ack to the router).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.engine.classifier import OpClassifier
+from repro.engine.mempool import PendingOp
+from repro.engine.rounds import RoundScheduler
+from repro.engine.shard import ShardPlanner
+from repro.errors import ClusterError
+from repro.net.network import Message, Network
+from repro.net.node import Node
+
+from repro.cluster.stats import NodeBill
+
+#: Applies one operation to the authoritative state; returns the response.
+ApplyFn = Callable[[PendingOp], Any]
+
+
+class ClusterNode(Node):
+    """One shard-owning worker of the token-processing cluster."""
+
+    def __init__(
+        self,
+        node_id: int,
+        network: Network,
+        router_id: int,
+        apply_fn: ApplyFn,
+        classifier: OpClassifier,
+        lanes: int = 4,
+        op_cost: float = 1.0,
+    ) -> None:
+        super().__init__(node_id, network)
+        self.router_id = router_id
+        self.apply_fn = apply_fn
+        self.classifier = classifier
+        self.planner = ShardPlanner(lanes)
+        self.scheduler = RoundScheduler(classifier, self.planner)
+        self.op_cost = op_cost
+        self.bill = NodeBill(node_id=node_id)
+        self.owned_shards: set[int] = set()
+        self._batches: dict[int, list[PendingOp]] = {}
+        self._expected: dict[int, int] = {}
+        #: Lease grants this round's batch must wait for / has received.
+        self._leases_needed: dict[int, int] = {}
+        self._leases_granted: dict[int, int] = {}
+        self._running: set[int] = set()
+
+    # -- round execution --------------------------------------------------
+
+    def handle_cl_op(self, message: Message) -> None:
+        body = message.payload
+        self._batches.setdefault(body["round"], []).append(body["op"])
+        self.bill.forwards_received += 1
+        self._maybe_run(body["round"])
+
+    def handle_cl_run(self, message: Message) -> None:
+        body = message.payload
+        round_index, count = body["round"], body["count"]
+        if count < 1:
+            raise ClusterError("cl_run announced an empty batch")
+        self._expected[round_index] = count
+        self._leases_needed[round_index] = body.get("leases", 0)
+        self._maybe_run(round_index)
+
+    def _maybe_run(self, round_index: int) -> None:
+        expected = self._expected.get(round_index)
+        batch = self._batches.get(round_index, [])
+        if expected is None or len(batch) < expected:
+            return
+        # A batch that depends on migrated shards runs only once their
+        # leases arrived; the grant gates execution (the router's ack
+        # bookkeeping stays off the critical path).
+        needed = self._leases_needed.get(round_index, 0)
+        if self._leases_granted.get(round_index, 0) < needed:
+            return
+        if round_index in self._running:
+            return
+        self._running.add(round_index)
+        if len(batch) > expected:
+            raise ClusterError(
+                f"node {self.node_id} received {len(batch)} ops for round "
+                f"{round_index}, expected {expected}"
+            )
+        # Per-op forwards can arrive reordered; submission order is the
+        # deterministic ground truth the scheduler works from.
+        ops = sorted(batch, key=lambda op: op.seq)
+        plan = self.scheduler.plan_batch(ops)
+        delay = plan.critical_path * self.op_cost
+        self.schedule(delay, lambda: self._finish(round_index, plan, delay))
+
+    def _finish(self, round_index: int, plan, busy: float) -> None:
+        """Apply the round's plan lane-major and report the responses.
+
+        State mutation happens at the round's virtual completion time; any
+        interleaving with other nodes' rounds only ever reorders
+        statically-commuting operations (the router's co-location
+        invariant), so the wall-clock of the simulation cannot change the
+        outcome.
+        """
+        responses: dict[int, Any] = {}
+        for lane in plan.lanes:
+            for op in lane:
+                responses[op.seq] = self.apply_fn(op)
+        self._batches.pop(round_index, None)
+        self._expected.pop(round_index, None)
+        self._leases_needed.pop(round_index, None)
+        self._leases_granted.pop(round_index, None)
+        self._running.discard(round_index)
+        self.bill.ops_executed += len(responses)
+        self.bill.rounds_active += 1
+        self.bill.busy_time += busy
+        self.bill.results_sent += 1
+        self.send(
+            self.router_id,
+            "cl_result",
+            {"round": round_index, "responses": responses},
+        )
+
+    # -- lease protocol ---------------------------------------------------
+
+    def handle_cl_lease_request(self, message: Message) -> None:
+        """Hand the shard's lease to the announced new owner."""
+        body = message.payload
+        shard = body["shard"]
+        if shard not in self.owned_shards:
+            raise ClusterError(
+                f"node {self.node_id} asked to grant shard {shard} "
+                "it does not own"
+            )
+        self.owned_shards.discard(shard)
+        self.bill.leases_granted += 1
+        self.send(
+            body["new_owner"],
+            "cl_lease_grant",
+            {"shard": shard, "round": body["round"]},
+        )
+
+    def handle_cl_lease_grant(self, message: Message) -> None:
+        """Adopt a shard, unblock the waiting batch, ack the router."""
+        body = message.payload
+        round_index = body["round"]
+        self.owned_shards.add(body["shard"])
+        self.bill.leases_acquired += 1
+        self._leases_granted[round_index] = (
+            self._leases_granted.get(round_index, 0) + 1
+        )
+        self.send(
+            self.router_id,
+            "cl_lease_ack",
+            {"shard": body["shard"], "round": round_index},
+        )
+        self._maybe_run(round_index)

@@ -1,0 +1,406 @@
+"""The cluster's client edge: admission, routing, leases, escalation.
+
+The router is the distributed analogue of the engine's round loop.  Each
+round it pops a window from its (optionally bounded) mempool, classifies
+it with the shared :class:`~repro.engine.rounds.RoundScheduler`, and
+routes every conflict-graph component as a unit:
+
+* **owner-local components** — every operation anchors on an account whose
+  shard one node owns; the component is forwarded point-to-point and costs
+  no coordination at all (the paper's consensus-number-1 regime at the
+  message level);
+* **cross-shard but uncontended components** — a chain whose anchors span
+  several owners without any synchronization-group conflict inside it
+  (e.g. credit-enables-spend order across accounts).  The shard-ownership
+  *lease protocol* resolves it: the router asks the minority owners to
+  hand their shards to the busiest participant (``cl_lease_request`` →
+  ``cl_lease_grant`` → ``cl_lease_ack``), ownership migrates, and the
+  chain executes owner-locally on the new owner — three messages per
+  migrated shard instead of a consensus round;
+* **contended cross-node components** — synchronization-group conflicts
+  whose members span owners.  No single owner is entitled to sequence the
+  race, so exactly the contended members go through the shared total-order
+  lane (:class:`~repro.engine.escalation.ConsensusEscalator`), whose
+  latency delays only the nodes executing them.
+
+Oversized commuting bundles (hot shards) are sprayed across the least-
+loaded nodes using the engine planner's target heuristic — sound because
+singleton components commute with the whole window — and counted as hot
+splits rather than migrations.
+
+Co-locating whole components per round is the entire safety argument:
+any two operations applied on different nodes in one round statically
+commute, so every network interleaving is serially equivalent, for any
+node count and any lease schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.engine.classifier import OpClassifier
+from repro.engine.conflict_graph import ConflictGraph
+from repro.engine.escalation import ConsensusEscalator
+from repro.engine.mempool import Mempool, PendingOp
+from repro.engine.rounds import RoundScheduler
+from repro.engine.shard import ShardPlanner
+from repro.errors import ClusterError, MempoolFullError
+from repro.net.network import Message, Network
+from repro.net.node import Node
+from repro.objects.footprint import anchor_account
+from repro.workloads.generators import WorkloadItem
+
+from repro.cluster.sharding import ShardMap
+from repro.cluster.stats import ClusterRound, ClusterStats
+
+#: The lease handshake costs three messages per migrated shard.
+LEASE_MESSAGE_TYPES = ("cl_lease_request", "cl_lease_grant", "cl_lease_ack")
+
+
+@dataclass
+class _RoundState:
+    """In-flight bookkeeping for one routing round."""
+
+    index: int
+    started: float
+    assignment: dict[int, list[PendingOp]]
+    escalated_nodes: set[int]
+    leases_by_node: dict[int, int]
+    pending_acks: int
+    t_escalation: float
+    escalation_messages: int
+    owner_local: int
+    hot_split: int
+    spill: int
+    escalated: int
+    migrations: int
+    pending_results: set[int] = field(default_factory=set)
+
+
+class Router(Node):
+    """Client-edge node: admission control, footprint routing, leases."""
+
+    def __init__(
+        self,
+        node_id: int,
+        network: Network,
+        shard_map: ShardMap,
+        classifier: OpClassifier,
+        escalator: ConsensusEscalator,
+        stats: ClusterStats,
+        window: int = 64,
+        mempool_capacity: int | None = None,
+        state_fn: Callable[[], Any] | None = None,
+        lease_min_gain: int = 2,
+    ) -> None:
+        super().__init__(node_id, network)
+        self.shard_map = shard_map
+        self.classifier = classifier
+        self.escalator = escalator
+        self.stats = stats
+        self.window = window
+        if window < 1:
+            raise ClusterError("window must be positive")
+        self.mempool = Mempool(capacity=mempool_capacity)
+        #: A chain migrates leases only when its majority owner already has
+        #: at least this many of its operations — a 1-vs-1 split names no
+        #: "busier node" and a handoff would be pure ownership churn.
+        self.lease_min_gain = lease_min_gain
+        self.scheduler = RoundScheduler(
+            classifier, ShardPlanner(shard_map.num_nodes)
+        )
+        self._state_fn = state_fn
+        self.responses: dict[int, Any] = {}
+        self._round: _RoundState | None = None
+        self._rounds_started = 0
+
+    # -- intake -----------------------------------------------------------
+
+    def submit(self, pid: int, operation) -> PendingOp | None:
+        """Admit one operation; ``None`` (and a drop counter) when the
+        bounded mempool sheds it — the cluster's backpressure edge."""
+        try:
+            return self.mempool.submit(pid, operation)
+        except MempoolFullError:
+            self.stats.dropped_ops += 1
+            return None
+
+    def admit(self, items: Iterable[WorkloadItem]) -> list[PendingOp]:
+        """Admit a workload; returns the accepted operations only."""
+        admitted = [self.submit(item.pid, item.operation) for item in items]
+        return [pending for pending in admitted if pending is not None]
+
+    # -- routing ----------------------------------------------------------
+
+    def _anchor(self, op: PendingOp) -> int:
+        return anchor_account(self.classifier.footprint(op), op.pid)
+
+    def start_round(self) -> bool:
+        """Route one window; returns ``False`` when the mempool is empty.
+
+        The round then progresses purely through simulator events; it is
+        complete (``idle`` is true) once every participating node's
+        ``cl_result`` has arrived.
+        """
+        if self._round is not None:
+            raise ClusterError("previous round still in flight")
+        window = self.mempool.pop_window(self.window)
+        if not window:
+            return False
+        index = self._rounds_started
+        self._rounds_started += 1
+        num_nodes = self.shard_map.num_nodes
+        state = self._state_fn() if self._state_fn is not None else None
+        graph = ConflictGraph.build(self.classifier, window, state)
+        chain_idx, singleton_idx, contended_idx = self.scheduler.split(graph)
+        contended = set(contended_idx)
+
+        assignment: dict[int, list[PendingOp]] = {
+            node: [] for node in range(num_nodes)
+        }
+        #: Start-of-round home node per op — the owner-local yardstick
+        #: (this round's own migrations must not flatter the metric).
+        home = {
+            window[i].seq: self.shard_map.owner_of(self._anchor(window[i]))
+            for i in range(len(window))
+        }
+        escalated_ops: list[PendingOp] = []
+        escalated_nodes: set[int] = set()
+        migrations: list[tuple[int, int, int]] = []
+        migrated_shards: set[int] = set()
+        chain_seqs: set[int] = set()
+        hot_split = 0
+
+        # Components route as units (the co-location invariant).  Chains
+        # first, in submission order of their heads.
+        for chain in sorted(chain_idx, key=lambda c: c[0]):
+            ops = [window[i] for i in chain]
+            chain_seqs.update(op.seq for op in ops)
+            owners = Counter(
+                self.shard_map.owner_of(self._anchor(op)) for op in ops
+            )
+            # Majority owner wins; ties go to the currently least-loaded
+            # participant (an id tie-break would funnel every evenly-split
+            # chain — and, through leases, ever more ownership — onto the
+            # lowest node id).
+            target = min(
+                owners, key=lambda n: (-owners[n], len(assignment[n]), n)
+            )
+            chain_contended = [i for i in chain if i in contended]
+            if len(owners) > 1 and chain_contended:
+                # A race spanning owners: the shared lane sequences exactly
+                # the contended members; the chain executes on the node
+                # already owning most of it.
+                escalated_ops.extend(window[i] for i in chain_contended)
+                escalated_nodes.add(target)
+            elif len(owners) > 1 and owners[target] >= self.lease_min_gain:
+                # Uncontended cross-shard chain with a clearly busier node:
+                # migrate the minority shards' leases to it, then run
+                # owner-local.
+                foreign = sorted(
+                    {
+                        self.shard_map.shard_of(self._anchor(op))
+                        for op in ops
+                        if self.shard_map.owner_of(self._anchor(op)) != target
+                    }
+                )
+                for shard in foreign:
+                    if shard in migrated_shards:
+                        continue  # one lease move per shard per round
+                    migrated_shards.add(shard)
+                    from_node = self.shard_map.owner_of_shard(shard)
+                    self.shard_map.migrate(shard, target, index)
+                    migrations.append((shard, from_node, target))
+            assignment[target].extend(ops)
+
+        # Singletons bundle by anchor account; oversized commuting bundles
+        # are sprayed across the least-loaded nodes (hot-shard splitting,
+        # the engine planner's target heuristic at cluster granularity).
+        target_load = math.ceil(len(window) / num_nodes)
+        bundles: dict[int, list[PendingOp]] = {}
+        for i in singleton_idx:
+            op = window[i]
+            bundles.setdefault(self._anchor(op), []).append(op)
+
+        def least_loaded() -> int:
+            return min(
+                range(num_nodes), key=lambda n: (len(assignment[n]), n)
+            )
+
+        for account, ops in sorted(
+            bundles.items(), key=lambda kv: (-len(kv[1]), kv[0])
+        ):
+            if len(ops) > target_load and num_nodes > 1:
+                hot_split += len(ops)
+                for op in ops:
+                    assignment[least_loaded()].append(op)
+            else:
+                assignment[self.shard_map.owner_of(account)].extend(ops)
+
+        # Overflow spill, the engine planner's second heuristic at node
+        # granularity: shed commuting singletons (never chain members) from
+        # overloaded nodes.  Moving a singleton anywhere is sound — it
+        # commutes with the entire window.
+        spill = 0
+        exhausted: set[int] = set()
+        while num_nodes > 1:
+            heaviest = max(
+                (n for n in range(num_nodes) if n not in exhausted),
+                key=lambda n: (len(assignment[n]), -n),
+                default=None,
+            )
+            if heaviest is None:
+                break
+            lightest = least_loaded()
+            if len(assignment[heaviest]) - len(assignment[lightest]) <= 1:
+                break
+            if len(assignment[heaviest]) <= target_load:
+                break
+            movable = next(
+                (
+                    k
+                    for k in range(len(assignment[heaviest]) - 1, -1, -1)
+                    if assignment[heaviest][k].seq not in chain_seqs
+                ),
+                None,
+            )
+            if movable is None:
+                # All chain members: this node's load is atomic; try others.
+                exhausted.add(heaviest)
+                continue
+            assignment[lightest].append(assignment[heaviest].pop(movable))
+            spill += 1
+
+        owner_local = sum(
+            1
+            for node, ops in assignment.items()
+            for op in ops
+            if home[op.seq] == node
+        )
+
+        # A lease target must not execute before its handoffs complete; the
+        # batch announcement carries the count of grants it has to await.
+        leases_by_node = Counter(to_node for _, _, to_node in migrations)
+
+        # Escalation: one submission-ordered batch through the shared lane.
+        t_escalation = 0.0
+        escalation_messages = 0
+        if escalated_ops:
+            escalated_ops.sort(key=lambda op: op.seq)
+            result = self.escalator.order(escalated_ops)
+            t_escalation = result.virtual_time
+            escalation_messages = result.messages
+
+        assignment = {
+            node: sorted(ops, key=lambda op: op.seq)
+            for node, ops in assignment.items()
+            if ops
+        }
+        self._round = _RoundState(
+            index=index,
+            started=self.now,
+            assignment=assignment,
+            escalated_nodes=escalated_nodes & set(assignment),
+            leases_by_node=dict(leases_by_node),
+            pending_acks=len(migrations),
+            t_escalation=t_escalation,
+            escalation_messages=escalation_messages,
+            owner_local=owner_local,
+            hot_split=hot_split,
+            spill=spill,
+            escalated=len(escalated_ops),
+            migrations=len(migrations),
+            pending_results=set(assignment),
+        )
+        for shard, from_node, to_node in migrations:
+            self.send(
+                from_node,
+                "cl_lease_request",
+                {"shard": shard, "new_owner": to_node, "round": index},
+            )
+        for node in sorted(assignment):
+            self._dispatch(node)
+        return True
+
+    def _dispatch(self, node: int) -> None:
+        """Forward a node's round batch, delayed by the consensus latency
+        when the batch contains escalated operations.  Lease handoffs run
+        concurrently with the forwards — the grant gates execution at the
+        node, so the handshake costs two hops on the critical path, not
+        four."""
+        round_state = self._round
+        assert round_state is not None
+        delay = (
+            round_state.t_escalation
+            if node in round_state.escalated_nodes
+            else 0.0
+        )
+        ops = round_state.assignment[node]
+        leases = round_state.leases_by_node.get(node, 0)
+        index = round_state.index
+
+        def forward() -> None:
+            for op in ops:
+                self.send(node, "cl_op", {"round": index, "op": op})
+            self.send(
+                node,
+                "cl_run",
+                {"round": index, "count": len(ops), "leases": leases},
+            )
+
+        if delay > 0:
+            self.schedule(delay, forward)
+        else:
+            forward()
+
+    # -- message handlers -------------------------------------------------
+
+    def handle_cl_lease_ack(self, message: Message) -> None:
+        round_state = self._round
+        if round_state is None or message.payload["round"] != round_state.index:
+            raise ClusterError("stray lease ack outside its round")
+        round_state.pending_acks -= 1
+        self._maybe_finish_round()
+
+    def handle_cl_result(self, message: Message) -> None:
+        round_state = self._round
+        body = message.payload
+        if round_state is None or body["round"] != round_state.index:
+            raise ClusterError("stray result outside its round")
+        if message.src not in round_state.pending_results:
+            raise ClusterError(
+                f"duplicate result from node {message.src} in round "
+                f"{round_state.index}"
+            )
+        self.responses.update(body["responses"])
+        round_state.pending_results.discard(message.src)
+        self._maybe_finish_round()
+
+    def _maybe_finish_round(self) -> None:
+        round_state = self._round
+        assert round_state is not None
+        if round_state.pending_results or round_state.pending_acks > 0:
+            return
+        self.stats.record_round(
+            ClusterRound(
+                index=round_state.index,
+                window=sum(len(ops) for ops in round_state.assignment.values()),
+                owner_local_ops=round_state.owner_local,
+                hot_split_ops=round_state.hot_split,
+                spill_ops=round_state.spill,
+                escalated_ops=round_state.escalated,
+                lease_migrations=round_state.migrations,
+                nodes_used=len(round_state.assignment),
+                virtual_time=self.now - round_state.started,
+                escalation_time=round_state.t_escalation,
+                escalation_messages=round_state.escalation_messages,
+            )
+        )
+        self._round = None
+
+    @property
+    def idle(self) -> bool:
+        return self._round is None

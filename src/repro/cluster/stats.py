@@ -1,0 +1,181 @@
+"""Cluster measurements: what shard ownership buys at the message level.
+
+The single-process engine showed the trichotomy's value in lane-parallel
+virtual time; the cluster makes the same argument *distributed*: owner-local
+traffic costs two point-to-point messages (forward + reply) and zero
+coordination, lease handoffs cost three messages per migrated shard, and
+only contended cross-node components pay the total-order lane's quadratic
+bill.  Every round records how the window split along those lines, and each
+node keeps its own bill, so load imbalance and per-node coordination cost
+are first-class outputs.
+
+All times are in the cluster simulator's virtual clock (network latencies +
+operation units + simulated consensus latency), matching the repository's
+measurement philosophy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NodeBill:
+    """Per-node accounting over a full cluster run."""
+
+    node_id: int
+    ops_executed: int = 0
+    rounds_active: int = 0
+    #: Virtual time spent executing (sum of round critical paths × op cost).
+    busy_time: float = 0.0
+    forwards_received: int = 0
+    results_sent: int = 0
+    #: Shard leases handed away / acquired through the lease protocol.
+    leases_granted: int = 0
+    leases_acquired: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "node_id": self.node_id,
+            "ops_executed": self.ops_executed,
+            "rounds_active": self.rounds_active,
+            "busy_time": self.busy_time,
+            "forwards_received": self.forwards_received,
+            "results_sent": self.results_sent,
+            "leases_granted": self.leases_granted,
+            "leases_acquired": self.leases_acquired,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterRound:
+    """One routing round at the cluster's client edge."""
+
+    index: int
+    window: int
+    owner_local_ops: int
+    hot_split_ops: int
+    spill_ops: int
+    escalated_ops: int
+    lease_migrations: int
+    nodes_used: int
+    virtual_time: float
+    escalation_time: float
+    escalation_messages: int
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate over a full cluster run."""
+
+    num_nodes: int = 1
+    lanes_per_node: int = 1
+    window: int = 0
+    num_shards: int = 0
+    op_cost: float = 1.0
+
+    ops_executed: int = 0
+    rounds: int = 0
+    #: Ops executed on the node owning their anchor account (the zero-
+    #: coordination fast path: one forward, one reply, nothing else).
+    owner_local_ops: int = 0
+    #: Commuting-bundle ops sprayed off their owner by hot-shard splitting.
+    hot_split_ops: int = 0
+    #: Commuting singletons shed from overloaded nodes (overflow spill).
+    spill_ops: int = 0
+    #: Chain members ordered by the shared total-order lane.
+    escalated_ops: int = 0
+    #: Submissions shed by the router's bounded mempool (backpressure).
+    dropped_ops: int = 0
+
+    lease_migrations: int = 0
+    lease_messages: int = 0
+    escalations: int = 0
+    escalation_messages: int = 0
+    escalation_time: float = 0.0
+
+    #: Virtual-time end-to-end makespan (network + execution + consensus).
+    makespan: float = 0.0
+    #: Data-plane messages on the cluster network (forwards/results/leases).
+    cluster_messages: int = 0
+
+    node_bills: list[NodeBill] = field(default_factory=list)
+    round_log: list[ClusterRound] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+
+    def bill(self, node_id: int) -> NodeBill:
+        return self.node_bills[node_id]
+
+    def record_round(self, round_stats: ClusterRound) -> None:
+        self.rounds += 1
+        self.ops_executed += round_stats.window
+        self.owner_local_ops += round_stats.owner_local_ops
+        self.hot_split_ops += round_stats.hot_split_ops
+        self.spill_ops += round_stats.spill_ops
+        self.escalated_ops += round_stats.escalated_ops
+        self.lease_migrations += round_stats.lease_migrations
+        self.escalation_time += round_stats.escalation_time
+        self.escalation_messages += round_stats.escalation_messages
+        if round_stats.escalation_messages:
+            self.escalations += 1
+        self.round_log.append(round_stats)
+
+    # -- derived ---------------------------------------------------------
+
+    @property
+    def throughput(self) -> float:
+        """Operations per virtual time unit, end to end."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.ops_executed / self.makespan
+
+    @property
+    def escalation_rate(self) -> float:
+        if not self.ops_executed:
+            return 0.0
+        return self.escalated_ops / self.ops_executed
+
+    @property
+    def owner_local_rate(self) -> float:
+        if not self.ops_executed:
+            return 0.0
+        return self.owner_local_ops / self.ops_executed
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max over mean of per-node executed ops (1.0 = perfectly even)."""
+        loads = [bill.ops_executed for bill in self.node_bills]
+        if not loads or not sum(loads):
+            return 1.0
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean else 1.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (used by ``benchmarks/bench_cluster.py``)."""
+        return {
+            "num_nodes": self.num_nodes,
+            "lanes_per_node": self.lanes_per_node,
+            "window": self.window,
+            "num_shards": self.num_shards,
+            "op_cost": self.op_cost,
+            "ops_executed": self.ops_executed,
+            "rounds": self.rounds,
+            "owner_local_ops": self.owner_local_ops,
+            "owner_local_rate": self.owner_local_rate,
+            "hot_split_ops": self.hot_split_ops,
+            "spill_ops": self.spill_ops,
+            "escalated_ops": self.escalated_ops,
+            "escalation_rate": self.escalation_rate,
+            "dropped_ops": self.dropped_ops,
+            "lease_migrations": self.lease_migrations,
+            "lease_messages": self.lease_messages,
+            "escalations": self.escalations,
+            "escalation_messages": self.escalation_messages,
+            "escalation_time": self.escalation_time,
+            "makespan": self.makespan,
+            "throughput": self.throughput,
+            "cluster_messages": self.cluster_messages,
+            "load_imbalance": self.load_imbalance,
+            "node_bills": [bill.as_dict() for bill in self.node_bills],
+        }

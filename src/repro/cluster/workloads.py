@@ -1,0 +1,67 @@
+"""Cluster-aware workload construction.
+
+The cluster benchmarks need a workload that is *owner-local by
+construction* — every operation's accounts fall inside a single node's
+shards — to demonstrate the zero-coordination regime: N nodes, zero
+consensus messages, zero lease migrations.  Account placement depends on
+the deployment's :class:`~repro.cluster.sharding.ShardMap`, so the helper
+lives here rather than in :mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ClusterError
+from repro.spec.operation import Operation
+from repro.workloads.generators import WorkloadItem
+
+from repro.cluster.sharding import ShardMap
+
+
+def owner_local_workload(
+    shard_map: ShardMap,
+    num_accounts: int,
+    count: int,
+    seed: int = 0,
+    read_fraction: float = 0.2,
+    max_value: int = 10,
+) -> list[WorkloadItem]:
+    """Seeded ERC20 traffic whose every operation stays on one owner node.
+
+    Transfers pick source and destination from the same node's account
+    set and are issued by the source's owner process (``pid == source``);
+    reads query any account of one node.  Routed through a cluster
+    deployed with the same ``shard_map`` geometry, every conflict-graph
+    component anchors on a single owner: no leases, no consensus.
+    """
+    by_node: dict[int, list[int]] = {}
+    for account in range(num_accounts):
+        by_node.setdefault(shard_map.owner_of(account), []).append(account)
+    pools = [accounts for _, accounts in sorted(by_node.items())]
+    if not any(len(pool) >= 2 for pool in pools):
+        raise ClusterError(
+            "owner-local transfers need a node owning at least two accounts"
+        )
+    rng = random.Random(seed)
+    items: list[WorkloadItem] = []
+    for _ in range(count):
+        pool = rng.choice(pools)
+        if rng.random() < read_fraction or len(pool) < 2:
+            items.append(
+                WorkloadItem(
+                    pid=rng.choice(pool),
+                    operation=Operation("balanceOf", (rng.choice(pool),)),
+                )
+            )
+        else:
+            source, dest = rng.sample(pool, 2)
+            items.append(
+                WorkloadItem(
+                    pid=source,
+                    operation=Operation(
+                        "transfer", (dest, rng.randint(0, max_value))
+                    ),
+                )
+            )
+    return items

@@ -37,6 +37,7 @@ from repro.engine.conflict_graph import ConflictGraph
 from repro.engine.escalation import ConsensusEscalator, EscalationResult
 from repro.engine.executor import BatchExecutor
 from repro.engine.mempool import Mempool, PendingOp
+from repro.engine.rounds import RoundScheduler
 from repro.engine.shard import ShardPlan, ShardPlanner, stable_account_hash
 from repro.engine.stats import EngineStats, WaveStats
 
@@ -50,6 +51,7 @@ __all__ = [
     "BatchExecutor",
     "Mempool",
     "PendingOp",
+    "RoundScheduler",
     "ShardPlan",
     "ShardPlanner",
     "stable_account_hash",

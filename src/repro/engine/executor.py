@@ -36,11 +36,11 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
-from repro.analysis.commutativity import PairKind
 from repro.engine.classifier import OpClassifier
 from repro.engine.conflict_graph import ConflictGraph
 from repro.engine.escalation import ConsensusEscalator, EscalationResult
 from repro.engine.mempool import Mempool, PendingOp
+from repro.engine.rounds import RoundScheduler
 from repro.engine.shard import ShardPlanner
 from repro.engine.stats import EngineStats, WaveStats
 from repro.errors import EngineError
@@ -62,6 +62,7 @@ class BatchExecutor:
         escalator: ConsensusEscalator | None = None,
         validate: bool = False,
         seed: int = 0,
+        mempool_capacity: int | None = None,
     ) -> None:
         if num_lanes < 1:
             raise EngineError("need at least one lane")
@@ -77,10 +78,11 @@ class BatchExecutor:
             else OpClassifier(object_type, validate=validate)
         )
         self.planner = planner if planner is not None else ShardPlanner(num_lanes)
+        self.scheduler = RoundScheduler(self.classifier, self.planner)
         self.escalator = (
             escalator if escalator is not None else ConsensusEscalator(seed=seed)
         )
-        self.mempool = Mempool()
+        self.mempool = Mempool(capacity=mempool_capacity)
         self.state = object_type.initial_state()
         self.responses: dict[int, Any] = {}
         self.clock = 0.0
@@ -98,49 +100,16 @@ class BatchExecutor:
 
     # -- scheduling ------------------------------------------------------
 
-    def _split_window(
-        self, graph: ConflictGraph
-    ) -> tuple[list[list[int]], list[int], list[int]]:
-        """Partition window indices into (chains, singletons, escalated).
-
-        Components of the conflict graph are independent: operations in
-        different components statically commute, so components run in
-        parallel.  Within a component only the submission order is safe —
-        it becomes an ordered *chain* pinned to one lane.  Singleton
-        components commute with the entire window and can run anywhere.
-
-        ``escalated`` indices are the chain members that sit on a
-        synchronization-group conflict: a CONFLICT edge between *distinct*
-        processes contending on a shared cell (two enabled spenders of one
-        account, approve vs transferFrom on one allowance, one NFT) — see
-        ``OpClassifier.needs_consensus``.  Only those pay for total order;
-        same-process conflicts, credit-enables-spend races and READ_ONLY
-        pairs are resolved by chain order alone, which costs no messages.
-        """
-        chains: list[list[int]] = []
-        singletons: list[int] = []
-        for component in graph.components():
-            if len(component) == 1:
-                singletons.append(component[0])
-            else:
-                chains.append(component)
-        contended: set[int] = set()
-        for (a, b), kind in graph.edges.items():
-            if kind is PairKind.CONFLICT and self.classifier.needs_consensus(
-                graph.ops[a], graph.ops[b]
-            ):
-                contended.add(a)
-                contended.add(b)
-        escalated = [i for chain in chains for i in chain if i in contended]
-        return chains, singletons, sorted(escalated)
-
     def step(self) -> WaveStats | None:
         """Execute one round; returns its stats, or ``None`` when drained."""
+        self.stats.rejected_ops = self.mempool.rejected
         window_ops = self.mempool.pop_window(self.window)
         if not window_ops:
             return None
         graph = ConflictGraph.build(self.classifier, window_ops, self.state)
-        chain_idx, singleton_idx, escalated_idx = self._split_window(graph)
+        # The splitting logic lives in the shared RoundScheduler so the
+        # cluster's per-node round loop (repro.cluster) is the same code.
+        chain_idx, singleton_idx, escalated_idx = self.scheduler.split(graph)
 
         # Phase 1 — consensus for the synchronization groups only.  The
         # committed order must match submission order (asserted in
@@ -187,6 +156,7 @@ class BatchExecutor:
         """Drain the mempool; returns the aggregate statistics."""
         while self.step() is not None:
             pass
+        self.stats.rejected_ops = self.mempool.rejected
         return self.stats
 
     def run_workload(
@@ -194,8 +164,19 @@ class BatchExecutor:
     ) -> tuple[Any, list[Any], EngineStats]:
         """Feed a workload, drain it, and return
         ``(final_state, responses, stats)`` — responses aligned with
-        ``items`` (prior workloads on a reused engine are excluded)."""
-        pending = self.feed(items)
+        ``items`` (prior workloads on a reused engine are excluded).
+
+        A bounded mempool paces the intake instead of rejecting: when the
+        pool is full, rounds execute until there is room again, so a
+        capacity-limited engine still processes workloads of any length.
+        Direct ``submit`` against a full pool keeps its typed rejection.
+        """
+        pending = []
+        for item in items:
+            if self.mempool.capacity is not None:
+                while len(self.mempool) >= self.mempool.capacity:
+                    self.step()
+            pending.append(self.submit(item.pid, item.operation))
         self.run()
         return (
             self.state,

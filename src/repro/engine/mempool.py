@@ -6,6 +6,12 @@ increasing sequence number — the *submission order* that defines the
 engine's serial-equivalence contract: the final state and every response
 are identical to executing the whole workload sequentially in submission
 order (see :mod:`repro.engine.executor`).
+
+A mempool may be *bounded* (``capacity``): submissions beyond the bound
+raise :class:`~repro.errors.MempoolFullError` and are counted in
+``rejected``.  Backpressure is the admission-control knob of the cluster
+router (:mod:`repro.cluster`), which sheds load instead of queueing
+without limit.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.errors import InvalidArgumentError
+from repro.errors import InvalidArgumentError, MempoolFullError
 from repro.spec.operation import Operation
 from repro.workloads.generators import WorkloadItem
 
@@ -39,15 +45,28 @@ class PendingOp:
 class Mempool:
     """FIFO of :class:`PendingOp` with submission-order sequence stamps."""
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise InvalidArgumentError("mempool capacity must be positive")
+        self.capacity = capacity
         self._queue: deque[PendingOp] = deque()
         self._next_seq = 0
         self.submitted = 0
+        self.rejected = 0
 
     def submit(self, pid: int, operation: Operation) -> PendingOp:
-        """Admit one operation; returns its stamped record."""
+        """Admit one operation; returns its stamped record.
+
+        Raises :class:`MempoolFullError` (and counts the drop) when a
+        bounded mempool is at capacity.
+        """
         if not isinstance(operation, Operation):
             raise InvalidArgumentError("mempool accepts Operation instances")
+        if self.capacity is not None and len(self._queue) >= self.capacity:
+            self.rejected += 1
+            raise MempoolFullError(
+                f"mempool at capacity {self.capacity}; operation rejected"
+            )
         pending = PendingOp(self._next_seq, pid, operation)
         self._next_seq += 1
         self.submitted += 1

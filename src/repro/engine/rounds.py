@@ -1,0 +1,84 @@
+"""The round loop's scheduling core, factored out of the batch executor.
+
+One round of commutativity-aware execution is the same computation whether
+it runs inside a single process (:class:`~repro.engine.executor.BatchExecutor`)
+or on each node of a distributed cluster (:mod:`repro.cluster`): split a
+batch into conflict-graph components, decide which chain members are
+contended enough to need total order, and lay the groups out on parallel
+lanes.  :class:`RoundScheduler` owns exactly that logic so the cluster's
+per-node executors and the single-process engine share one implementation
+— and therefore one correctness argument.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.commutativity import PairKind
+from repro.engine.classifier import OpClassifier
+from repro.engine.conflict_graph import ConflictGraph
+from repro.engine.mempool import PendingOp
+from repro.engine.shard import ShardPlan, ShardPlanner
+
+
+class RoundScheduler:
+    """Window splitting + lane planning for one scheduling round."""
+
+    def __init__(self, classifier: OpClassifier, planner: ShardPlanner) -> None:
+        self.classifier = classifier
+        self.planner = planner
+
+    # ------------------------------------------------------------------
+
+    def split(
+        self, graph: ConflictGraph
+    ) -> tuple[list[list[int]], list[int], list[int]]:
+        """Partition window indices into (chains, singletons, contended).
+
+        Components of the conflict graph are independent: operations in
+        different components statically commute, so components run in
+        parallel.  Within a component only the submission order is safe —
+        it becomes an ordered *chain* pinned to one lane.  Singleton
+        components commute with the entire window and can run anywhere.
+
+        ``contended`` indices are the chain members that sit on a
+        synchronization-group conflict: a CONFLICT edge between *distinct*
+        processes contending on a shared cell (two enabled spenders of one
+        account, approve vs transferFrom on one allowance, one NFT) — see
+        ``OpClassifier.needs_consensus``.  Only those can ever need total
+        order; same-process conflicts, credit-enables-spend races and
+        READ_ONLY pairs are resolved by chain order alone, which costs no
+        messages.
+        """
+        chains: list[list[int]] = []
+        singletons: list[int] = []
+        for component in graph.components():
+            if len(component) == 1:
+                singletons.append(component[0])
+            else:
+                chains.append(component)
+        contended: set[int] = set()
+        for (a, b), kind in graph.edges.items():
+            if kind is PairKind.CONFLICT and self.classifier.needs_consensus(
+                graph.ops[a], graph.ops[b]
+            ):
+                contended.add(a)
+                contended.add(b)
+        flagged = [i for chain in chains for i in chain if i in contended]
+        return chains, singletons, sorted(flagged)
+
+    def plan_batch(self, ops: list[PendingOp], state=None) -> ShardPlan:
+        """Lay one already-routed batch out on this scheduler's lanes.
+
+        This is the per-node round loop of the cluster: the router has
+        already co-located every conflict-graph component (chains never
+        span nodes), so rebuilding the graph over the batch recovers
+        exactly the window components assigned here, and the lane-major
+        application order of the returned plan is serially equivalent for
+        the same reason as in the single-process engine.
+        """
+        graph = ConflictGraph.build(self.classifier, ops, state)
+        chain_idx, singleton_idx, _ = self.split(graph)
+        return self.planner.plan(
+            self.classifier,
+            [[ops[i] for i in chain] for chain in chain_idx],
+            [ops[i] for i in singleton_idx],
+        )

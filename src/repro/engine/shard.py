@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from repro.engine.classifier import OpClassifier
 from repro.engine.mempool import PendingOp
 from repro.errors import EngineError
-from repro.objects.footprint import accounts_in
+from repro.objects.footprint import anchor_account
 
 #: Knuth's multiplicative hash constant; stable across runs and platforms
 #: (unlike ``hash(str)``, which is randomized per process).
@@ -85,15 +85,12 @@ class ShardPlanner:
         return stable_account_hash(account) % self.num_lanes
 
     def primary_account(self, classifier: OpClassifier, op: PendingOp) -> int:
-        """The account anchoring lane placement: the smallest written
-        account, else the smallest observed one, else the caller."""
-        fp = classifier.footprint(op)
-        if fp is not None:
-            for pool in (fp.writes, fp.observes):
-                accounts = accounts_in(pool)
-                if accounts:
-                    return accounts[0]
-        return op.pid
+        """The account anchoring lane placement — the shared owner-extraction
+        rule (:func:`repro.objects.footprint.anchor_account`): the smallest
+        contended account, else written, else observed, else the caller.
+        The cluster router uses the same rule for node placement, so an
+        operation's lane affinity and its owner node agree."""
+        return anchor_account(classifier.footprint(op), op.pid)
 
     def plan(
         self,

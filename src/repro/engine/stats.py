@@ -49,6 +49,9 @@ class EngineStats:
     op_cost: float = 1.0
 
     ops_executed: int = 0
+    #: Submissions shed by a bounded mempool (backpressure; see
+    #: :class:`repro.engine.mempool.Mempool`).
+    rejected_ops: int = 0
     waves: int = 0
     wave_ops: int = 0
     barrier_ops: int = 0
@@ -128,6 +131,7 @@ class EngineStats:
             "window": self.window,
             "op_cost": self.op_cost,
             "ops_executed": self.ops_executed,
+            "rejected_ops": self.rejected_ops,
             "waves": self.waves,
             "wave_ops": self.wave_ops,
             "barrier_ops": self.barrier_ops,

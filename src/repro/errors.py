@@ -54,3 +54,18 @@ class ProtocolError(ReproError):
 
 class EngineError(ReproError):
     """The parallel execution engine was configured or driven inconsistently."""
+
+
+class MempoolFullError(EngineError):
+    """A bounded mempool rejected a submission at capacity (backpressure).
+
+    The typed rejection lets admission edges — the cluster router in
+    particular — distinguish "shed this operation and tell the client" from
+    genuine misconfiguration.  Rejected submissions are counted by the
+    mempool (``Mempool.rejected``) and surfaced in the engine/cluster stats.
+    """
+
+
+class ClusterError(ReproError):
+    """The distributed token-processing cluster was configured or driven
+    inconsistently (shard-ownership, lease protocol, or round wiring)."""

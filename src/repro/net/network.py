@@ -79,16 +79,33 @@ class LogNormalLatency(LatencyModel):
 
 @dataclass
 class NetworkStats:
-    """Counters maintained by the network."""
+    """Counters maintained by the network.
+
+    Besides the global and per-type tallies, sends and deliveries are
+    billed per node (``sent_by_node`` / ``delivered_by_node``) — the
+    per-node message bills the cluster layer (:mod:`repro.cluster`)
+    reports for its load-imbalance and coordination-cost accounting.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
     by_type: dict[str, int] = field(default_factory=dict)
+    sent_by_node: dict[int, int] = field(default_factory=dict)
+    delivered_by_node: dict[int, int] = field(default_factory=dict)
 
     def record_send(self, message: Message) -> None:
         self.messages_sent += 1
         self.by_type[message.type] = self.by_type.get(message.type, 0) + 1
+        self.sent_by_node[message.src] = (
+            self.sent_by_node.get(message.src, 0) + 1
+        )
+
+    def record_delivery(self, message: Message) -> None:
+        self.messages_delivered += 1
+        self.delivered_by_node[message.dst] = (
+            self.delivered_by_node.get(message.dst, 0) + 1
+        )
 
 
 class Network:
@@ -150,7 +167,7 @@ class Network:
         node = self.nodes[dst]
 
         def deliver() -> None:
-            self.stats.messages_delivered += 1
+            self.stats.record_delivery(message)
             node.on_message(message)
 
         self.simulator.schedule(delay, deliver)

@@ -129,6 +129,25 @@ def accounts_in(locations) -> list[int]:
     return sorted(found)
 
 
+def anchor_account(fp: "OpFootprint | None", default: int) -> int:
+    """The account an invocation *synchronizes on* — the owner-extraction
+    rule shared by the engine's shard planner and the cluster's router.
+
+    Preference order: the smallest contended account (the cell the paper's
+    synchronization groups form around), else the smallest written account,
+    else the smallest observed one, else ``default`` (conventionally the
+    calling process).  Anchoring on the contended cell keeps every
+    operation of one synchronization group on that account's owner — the
+    placement under which owner-local traffic needs no coordination at all.
+    """
+    if fp is not None:
+        for pool in (fp.contended, fp.writes, fp.observes):
+            accounts = accounts_in(pool)
+            if accounts:
+                return accounts[0]
+    return default
+
+
 #: Footprint of a pure no-op (constant response, state never changes).
 EMPTY_FOOTPRINT = OpFootprint()
 

@@ -100,36 +100,24 @@ class TokenWorkloadGenerator:
             raise InvalidArgumentError("need at least one account")
         if self.max_value < 0:
             raise InvalidArgumentError("max_value must be non-negative")
-        if not 0.0 <= self.hotspot_fraction <= 1.0:
-            raise InvalidArgumentError("hotspot_fraction must be in [0, 1]")
-        if not 1 <= self.hotspot_accounts <= self.num_accounts:
-            raise InvalidArgumentError(
-                "hotspot_accounts must be in [1, num_accounts]"
-            )
+        validate_skew(self.hotspot_fraction, self.hotspot_accounts, self.num_accounts)
         self._rng = random.Random(self.seed)
-        if self.zipf_s > 0:
-            weights = [
-                1.0 / ((rank + 1) ** self.zipf_s)
-                for rank in range(self.num_accounts)
-            ]
-            total = sum(weights)
-            self._account_weights = [weight / total for weight in weights]
-        else:
-            self._account_weights = None
+        self._account_weights = (
+            zipf_weights(self.num_accounts, self.zipf_s)
+            if self.zipf_s > 0
+            else None
+        )
 
     # ------------------------------------------------------------------
 
     def _pick_account(self) -> int:
-        if (
-            self.hotspot_fraction > 0
-            and self._rng.random() < self.hotspot_fraction
-        ):
-            return self._rng.randrange(self.hotspot_accounts)
-        if self._account_weights is None:
-            return self._rng.randrange(self.num_accounts)
-        return self._rng.choices(
-            range(self.num_accounts), weights=self._account_weights
-        )[0]
+        return skewed_index(
+            self._rng,
+            self.num_accounts,
+            self._account_weights,
+            self.hotspot_fraction,
+            self.hotspot_accounts,
+        )
 
     def _pick_value(self) -> int:
         return self._rng.randint(0, self.max_value)
@@ -164,6 +152,314 @@ class TokenWorkloadGenerator:
         """An unbounded operation stream."""
         while True:
             yield self.next_item()
+
+
+def validate_skew(
+    hotspot_fraction: float, hotspot_count: int, count: int
+) -> None:
+    """Shared validation of the hot-spot skew knobs."""
+    if not 0.0 <= hotspot_fraction <= 1.0:
+        raise InvalidArgumentError("hotspot_fraction must be in [0, 1]")
+    if not 1 <= hotspot_count <= count:
+        raise InvalidArgumentError(
+            f"hot-spot size must be in [1, {count}], got {hotspot_count}"
+        )
+
+
+def zipf_weights(count: int, s: float) -> list[float]:
+    """Normalized Zipf rank weights (``1/rank^s``) over ``count`` items."""
+    weights = [1.0 / ((rank + 1) ** s) for rank in range(count)]
+    total = sum(weights)
+    return [weight / total for weight in weights]
+
+
+def skewed_index(
+    rng: random.Random,
+    count: int,
+    weights: list[float] | None,
+    hotspot_fraction: float,
+    hotspot_count: int,
+) -> int:
+    """One index draw under the shared skew model: a hot-spot overlay over
+    either a uniform or Zipf base distribution.  The same knobs drive every
+    generator here, so cluster benchmarks can sweep contention identically
+    across contract types."""
+    if hotspot_fraction > 0 and rng.random() < hotspot_fraction:
+        return rng.randrange(hotspot_count)
+    if weights is None:
+        return rng.randrange(count)
+    return rng.choices(range(count), weights=weights)[0]
+
+
+@dataclass
+class NFTWorkloadGenerator:
+    """Seeded random generator of ERC721 operations.
+
+    Token-id popularity carries the skew (``zipf_s`` base distribution plus
+    a ``hotspot_fraction`` overlay on the first ``hotspot_tokens`` ids) —
+    the §6 contention pattern is always about one specific token, so a hot
+    token id is the NFT analogue of an exchange wallet.
+    """
+
+    num_processes: int
+    num_tokens: int
+    seed: int = 0
+    zipf_s: float = 0.0
+    hotspot_fraction: float = 0.0
+    hotspot_tokens: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_processes < 1 or self.num_tokens < 1:
+            raise InvalidArgumentError("need processes and tokens")
+        validate_skew(self.hotspot_fraction, self.hotspot_tokens, self.num_tokens)
+        self._rng = random.Random(self.seed)
+        self._token_weights = (
+            zipf_weights(self.num_tokens, self.zipf_s)
+            if self.zipf_s > 0
+            else None
+        )
+
+    def _pick_token(self) -> int:
+        return skewed_index(
+            self._rng,
+            self.num_tokens,
+            self._token_weights,
+            self.hotspot_fraction,
+            self.hotspot_tokens,
+        )
+
+    def next_item(self) -> WorkloadItem:
+        pid = self._rng.randrange(self.num_processes)
+        name = self._rng.choices(
+            ("transferFrom", "approve", "ownerOf", "setApprovalForAll"),
+            weights=(0.45, 0.2, 0.25, 0.1),
+        )[0]
+        if name == "transferFrom":
+            operation = Operation(
+                name,
+                (
+                    self._rng.randrange(self.num_processes),
+                    self._rng.randrange(self.num_processes),
+                    self._pick_token(),
+                ),
+            )
+        elif name == "approve":
+            operation = Operation(
+                name,
+                (self._rng.randrange(self.num_processes), self._pick_token()),
+            )
+        elif name == "ownerOf":
+            operation = Operation(name, (self._pick_token(),))
+        else:
+            operation = Operation(
+                name,
+                (
+                    self._rng.randrange(self.num_processes),
+                    self._rng.random() < 0.5,
+                ),
+            )
+        return WorkloadItem(pid=pid, operation=operation)
+
+    def generate(self, count: int) -> list[WorkloadItem]:
+        return [self.next_item() for _ in range(count)]
+
+
+@dataclass
+class AssetTransferWorkloadGenerator:
+    """Seeded random generator of asset-transfer operations (the paper's
+    §5 object), with the same account-skew knobs as the token generators."""
+
+    num_accounts: int
+    num_processes: int
+    seed: int = 0
+    zipf_s: float = 0.0
+    hotspot_fraction: float = 0.0
+    hotspot_accounts: int = 1
+    max_value: int = 10
+    read_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.num_accounts < 1 or self.num_processes < 1:
+            raise InvalidArgumentError("need accounts and processes")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise InvalidArgumentError("read_fraction must be in [0, 1]")
+        validate_skew(self.hotspot_fraction, self.hotspot_accounts, self.num_accounts)
+        self._rng = random.Random(self.seed)
+        self._account_weights = (
+            zipf_weights(self.num_accounts, self.zipf_s)
+            if self.zipf_s > 0
+            else None
+        )
+
+    def _pick_account(self) -> int:
+        return skewed_index(
+            self._rng,
+            self.num_accounts,
+            self._account_weights,
+            self.hotspot_fraction,
+            self.hotspot_accounts,
+        )
+
+    def next_item(self) -> WorkloadItem:
+        pid = self._rng.randrange(self.num_processes)
+        if self._rng.random() < self.read_fraction:
+            return WorkloadItem(
+                pid=pid, operation=Operation("balanceOf", (self._pick_account(),))
+            )
+        return WorkloadItem(
+            pid=pid,
+            operation=Operation(
+                "transfer",
+                (
+                    self._pick_account(),
+                    self._pick_account(),
+                    self._rng.randint(0, self.max_value),
+                ),
+            ),
+        )
+
+    def generate(self, count: int) -> list[WorkloadItem]:
+        return [self.next_item() for _ in range(count)]
+
+
+@dataclass(frozen=True, slots=True)
+class MultiContractItem:
+    """One operation of an interleaved multi-contract trace."""
+
+    contract: str
+    pid: int
+    operation: Operation
+
+    @property
+    def item(self) -> WorkloadItem:
+        return WorkloadItem(pid=self.pid, operation=self.operation)
+
+    def __str__(self) -> str:
+        return f"[{self.contract}] p{self.pid}: {self.operation}"
+
+
+@dataclass
+class ContractStream:
+    """One contract's operation stream inside a multi-contract mix."""
+
+    name: str
+    generator: object  # anything with next_item() -> WorkloadItem
+    weight: float = 1.0
+
+
+class MultiContractWorkloadGenerator:
+    """Interleaves per-contract streams into one submission-ordered trace.
+
+    Real token traffic is not one contract: exchanges settle ERC20
+    transfers while NFT mints and asset transfers share the same mempool.
+    Each draw picks a contract (seeded, weight-proportional) and takes that
+    stream's next operation, so per-contract subsequences keep their own
+    skew while the merged trace exercises multi-contract routing.  Use
+    :meth:`split` to recover per-contract engine/cluster feeds.
+    """
+
+    def __init__(self, streams: list[ContractStream], seed: int = 0) -> None:
+        if not streams:
+            raise InvalidArgumentError("need at least one contract stream")
+        names = [stream.name for stream in streams]
+        if len(set(names)) != len(names):
+            raise InvalidArgumentError("contract stream names must be unique")
+        if any(stream.weight <= 0 for stream in streams):
+            raise InvalidArgumentError("stream weights must be positive")
+        self.streams = list(streams)
+        self._rng = random.Random(seed)
+
+    def next_item(self) -> MultiContractItem:
+        stream = self._rng.choices(
+            self.streams, weights=[s.weight for s in self.streams]
+        )[0]
+        item = stream.generator.next_item()
+        return MultiContractItem(
+            contract=stream.name, pid=item.pid, operation=item.operation
+        )
+
+    def generate(self, count: int) -> list[MultiContractItem]:
+        return [self.next_item() for _ in range(count)]
+
+    @staticmethod
+    def split(
+        items: Sequence[MultiContractItem],
+    ) -> dict[str, list[WorkloadItem]]:
+        """Per-contract subsequences (order preserved) for per-contract
+        executors."""
+        buckets: dict[str, list[WorkloadItem]] = {}
+        for item in items:
+            buckets.setdefault(item.contract, []).append(item.item)
+        return buckets
+
+
+def standard_multi_contract(
+    num_accounts: int = 32,
+    seed: int = 0,
+    zipf_s: float = 0.0,
+    hotspot_fraction: float = 0.0,
+) -> tuple[dict, MultiContractWorkloadGenerator]:
+    """The canonical three-contract deployment: an ERC20 token, an ERC721
+    collection, and a §5 asset-transfer object, with one shared skew
+    setting.  Returns ``(object_types_by_name, generator)`` so callers can
+    route each subsequence to a matching executor (one engine or cluster
+    per contract, the multi-token pattern)."""
+    from repro.objects.asset_transfer import AssetTransferType
+    from repro.objects.erc20 import ERC20TokenType
+    from repro.objects.erc721 import ERC721TokenType
+
+    hotspot_count = max(1, min(2, num_accounts))
+    object_types = {
+        "erc20": ERC20TokenType(num_accounts, total_supply=100 * num_accounts),
+        "erc721": ERC721TokenType(
+            num_accounts,
+            initial_owners=[t % num_accounts for t in range(2 * num_accounts)],
+        ),
+        "asset": AssetTransferType(
+            [50] * num_accounts, num_processes=num_accounts
+        ),
+    }
+    generator = MultiContractWorkloadGenerator(
+        [
+            ContractStream(
+                "erc20",
+                TokenWorkloadGenerator(
+                    num_accounts,
+                    seed=seed,
+                    zipf_s=zipf_s,
+                    hotspot_fraction=hotspot_fraction,
+                    hotspot_accounts=hotspot_count,
+                ),
+                weight=0.5,
+            ),
+            ContractStream(
+                "erc721",
+                NFTWorkloadGenerator(
+                    num_accounts,
+                    num_tokens=2 * num_accounts,
+                    seed=seed + 1,
+                    zipf_s=zipf_s,
+                    hotspot_fraction=hotspot_fraction,
+                    hotspot_tokens=hotspot_count,
+                ),
+                weight=0.25,
+            ),
+            ContractStream(
+                "asset",
+                AssetTransferWorkloadGenerator(
+                    num_accounts,
+                    num_processes=num_accounts,
+                    seed=seed + 2,
+                    zipf_s=zipf_s,
+                    hotspot_fraction=hotspot_fraction,
+                    hotspot_accounts=hotspot_count,
+                ),
+                weight=0.25,
+            ),
+        ],
+        seed=seed,
+    )
+    return object_types, generator
 
 
 def example1_trace() -> list[WorkloadItem]:

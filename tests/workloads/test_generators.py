@@ -149,3 +149,140 @@ class TestPartition:
         items = TokenWorkloadGenerator(5, seed=0).generate(10)
         with pytest.raises(InvalidArgumentError):
             partition_by_process(items, 2)
+
+
+class TestNFTGenerator:
+    def test_deterministic_and_domain_valid(self):
+        from repro.objects.erc721 import ERC721TokenType
+        from repro.workloads.generators import NFTWorkloadGenerator
+
+        a = NFTWorkloadGenerator(4, num_tokens=8, seed=7).generate(100)
+        b = NFTWorkloadGenerator(4, num_tokens=8, seed=7).generate(100)
+        assert a == b
+        token = ERC721TokenType(4, initial_owners=[t % 4 for t in range(8)])
+        state = token.initial_state()
+        for item in a:
+            state, _ = token.apply(state, item.pid, item.operation)
+
+    def test_token_skew_concentrates_hot_tokens(self):
+        from collections import Counter
+
+        from repro.workloads.generators import NFTWorkloadGenerator
+
+        def touched_tokens(generator):
+            counts = Counter()
+            for item in generator.generate(800):
+                if item.operation.name in ("transferFrom", "ownerOf"):
+                    counts[item.operation.args[-1 if item.operation.name == "transferFrom" else 0]] += 1
+            return counts
+
+        uniform = touched_tokens(NFTWorkloadGenerator(4, num_tokens=20, seed=3))
+        hot = touched_tokens(
+            NFTWorkloadGenerator(
+                4, num_tokens=20, seed=3, hotspot_fraction=0.7, hotspot_tokens=2
+            )
+        )
+        assert hot[0] + hot[1] > uniform[0] + uniform[1]
+
+    def test_rejects_bad_config(self):
+        from repro.workloads.generators import NFTWorkloadGenerator
+
+        with pytest.raises(InvalidArgumentError):
+            NFTWorkloadGenerator(0, num_tokens=4)
+        with pytest.raises(InvalidArgumentError):
+            NFTWorkloadGenerator(4, num_tokens=4, hotspot_fraction=1.5)
+        with pytest.raises(InvalidArgumentError):
+            NFTWorkloadGenerator(4, num_tokens=4, hotspot_tokens=9)
+
+
+class TestAssetTransferGenerator:
+    def test_deterministic_and_domain_valid(self):
+        from repro.objects.asset_transfer import AssetTransferType
+        from repro.workloads.generators import AssetTransferWorkloadGenerator
+
+        a = AssetTransferWorkloadGenerator(6, num_processes=6, seed=5).generate(80)
+        b = AssetTransferWorkloadGenerator(6, num_processes=6, seed=5).generate(80)
+        assert a == b
+        asset = AssetTransferType([30] * 6, num_processes=6)
+        state = asset.initial_state()
+        for item in a:
+            state, _ = asset.apply(state, item.pid, item.operation)
+        assert state.total_supply == 180
+
+    def test_zipf_skew_exposed(self):
+        from collections import Counter
+
+        from repro.workloads.generators import AssetTransferWorkloadGenerator
+
+        def source_counts(generator):
+            counts = Counter()
+            for item in generator.generate(600):
+                if item.operation.name == "transfer":
+                    counts[item.operation.args[0]] += 1
+            return counts
+
+        uniform = source_counts(
+            AssetTransferWorkloadGenerator(10, num_processes=10, seed=2)
+        )
+        skewed = source_counts(
+            AssetTransferWorkloadGenerator(
+                10, num_processes=10, seed=2, zipf_s=1.5
+            )
+        )
+        assert skewed[0] > uniform[0]
+
+
+class TestMultiContractGenerator:
+    def test_interleaves_streams_deterministically(self):
+        from repro.workloads.generators import (
+            MultiContractWorkloadGenerator,
+            standard_multi_contract,
+        )
+
+        _, g1 = standard_multi_contract(12, seed=9)
+        _, g2 = standard_multi_contract(12, seed=9)
+        items = g1.generate(200)
+        assert items == g2.generate(200)
+        contracts = {item.contract for item in items}
+        assert contracts == {"erc20", "erc721", "asset"}
+        per = MultiContractWorkloadGenerator.split(items)
+        assert sum(len(sub) for sub in per.values()) == 200
+
+    def test_split_preserves_per_contract_order_and_validity(self):
+        from repro.workloads.generators import (
+            MultiContractWorkloadGenerator,
+            standard_multi_contract,
+        )
+
+        object_types, generator = standard_multi_contract(
+            8, seed=4, zipf_s=1.0, hotspot_fraction=0.3
+        )
+        items = generator.generate(150)
+        per_contract = MultiContractWorkloadGenerator.split(items)
+        for name, sub in per_contract.items():
+            object_type = object_types[name]
+            state = object_type.initial_state()
+            for item in sub:
+                state, _ = object_type.apply(state, item.pid, item.operation)
+
+    def test_rejects_bad_streams(self):
+        from repro.workloads.generators import (
+            ContractStream,
+            MultiContractWorkloadGenerator,
+            TokenWorkloadGenerator,
+        )
+
+        generator = TokenWorkloadGenerator(4, seed=0)
+        with pytest.raises(InvalidArgumentError):
+            MultiContractWorkloadGenerator([])
+        with pytest.raises(InvalidArgumentError):
+            MultiContractWorkloadGenerator(
+                [
+                    ContractStream("a", generator),
+                    ContractStream("a", generator),
+                ]
+            )
+        with pytest.raises(InvalidArgumentError):
+            MultiContractWorkloadGenerator(
+                [ContractStream("a", generator, weight=0)]
+            )
