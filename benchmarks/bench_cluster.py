@@ -259,7 +259,8 @@ def render_table(results: dict) -> list[str]:
             f"  {nodes} nodes: throughput {stats['throughput']:>7.3f}  "
             f"owner-local {stats['owner_local_rate']:.0%}  "
             f"consensus msgs {stats['escalation_messages']}  "
-            f"leases {stats['lease_migrations']}"
+            f"leases {stats['lease_migrations']}  "
+            f"dropped {stats.get('dropped_ops', 0)}"
         )
     lines.append("")
     lines.append("skew sweep (query-storm mix, 4 nodes):")
@@ -270,6 +271,21 @@ def render_table(results: dict) -> list[str]:
             f"leases {entry['lease_migrations']:>4}  "
             f"imbalance {entry['load_imbalance']:.2f}"
         )
+    # Backpressure must be visible: drops at the router's admission edge
+    # would otherwise silently flatter every throughput number above.
+    dropped = sum(
+        entry["cluster"][str(n)].get("dropped_ops", 0)
+        for entry in results["mixes"].values()
+        for n in NODE_COUNTS
+    ) + sum(
+        stats.get("dropped_ops", 0)
+        for stats in results["owner_local"].values()
+    )
+    lines.append("")
+    lines.append(
+        f"backpressure: {dropped} ops dropped at the router's admission"
+        " edge (0 = nothing dropped; throughput covers the full workload)"
+    )
     return lines
 
 

@@ -6,8 +6,10 @@ virtual-time network, shards the account space over the workers
 (:class:`~repro.cluster.sharding.ShardMap`), and drives round-synchronous
 execution: each round the router classifies a mempool window, forwards
 owner-local components point-to-point, migrates shard leases for
-uncontended cross-shard chains, and escalates contended cross-node
-conflicts to the shared total-order lane.  The makespan is whatever the
+uncontended cross-shard chains, and orders contended cross-node conflicts
+through the tiered sync layer (:mod:`repro.sync`): a team lane among just
+the component's owner nodes when ``team_threshold`` allows, the shared
+total-order lane otherwise.  The makespan is whatever the
 simulator clock says when the mempool drains — network latency, per-node
 lane execution, lease handshakes, and consensus latency all included.
 
@@ -67,6 +69,8 @@ class TokenCluster:
         escalator: ConsensusEscalator | None = None,
         validate: bool = False,
         lease_min_gain: int = 2,
+        lease_cooldown: int = 0,
+        team_threshold: int = 0,
     ) -> None:
         if num_nodes < 1:
             raise ClusterError("cluster needs at least one node")
@@ -118,6 +122,9 @@ class TokenCluster:
             mempool_capacity=mempool_capacity,
             state_fn=(lambda: self.state) if validate else None,
             lease_min_gain=lease_min_gain,
+            lease_cooldown=lease_cooldown,
+            team_threshold=team_threshold,
+            seed=seed,
         )
         self.stats.node_bills = [node.bill for node in self.nodes]
 

@@ -15,6 +15,14 @@ sends or receives a lease or consensus message for it; its only traffic is
 the forward in and the (batched) reply out.  The lease protocol surfaces
 here as two handlers: ``cl_lease_request`` (hand the shard away) and
 ``cl_lease_grant`` (adopt it and ack to the router).
+
+A batch containing contended components waits for its synchronization
+lanes first: the router's ``cl_run`` announcement carries ``sync_delay``,
+the virtual completion time of the slowest team/global lane ordering one
+of this node's components (:mod:`repro.sync`), and the node charges that
+wait to its bill (``sync_wait_time``) before executing — so a node whose
+races resolved on a small, fast team lane starts earlier than one stuck
+behind the shared global lane.
 """
 
 from __future__ import annotations
@@ -62,6 +70,8 @@ class ClusterNode(Node):
         #: Lease grants this round's batch must wait for / has received.
         self._leases_needed: dict[int, int] = {}
         self._leases_granted: dict[int, int] = {}
+        #: Sync-lane completion this round's batch must wait out first.
+        self._sync_delay: dict[int, float] = {}
         self._running: set[int] = set()
 
     # -- round execution --------------------------------------------------
@@ -79,6 +89,7 @@ class ClusterNode(Node):
             raise ClusterError("cl_run announced an empty batch")
         self._expected[round_index] = count
         self._leases_needed[round_index] = body.get("leases", 0)
+        self._sync_delay[round_index] = body.get("sync_delay", 0.0)
         self._maybe_run(round_index)
 
     def _maybe_run(self, round_index: int) -> None:
@@ -104,7 +115,12 @@ class ClusterNode(Node):
         # deterministic ground truth the scheduler works from.
         ops = sorted(batch, key=lambda op: op.seq)
         plan = self.scheduler.plan_batch(ops)
-        delay = plan.critical_path * self.op_cost
+        # The batch's contended components execute only after their sync
+        # lanes committed an order; the wait is this node's, not the
+        # round's — other nodes run their batches meanwhile.
+        sync_delay = self._sync_delay.get(round_index, 0.0)
+        self.bill.sync_wait_time += sync_delay
+        delay = plan.critical_path * self.op_cost + sync_delay
         self.schedule(delay, lambda: self._finish(round_index, plan, delay))
 
     def _finish(self, round_index: int, plan, busy: float) -> None:
@@ -124,6 +140,7 @@ class ClusterNode(Node):
         self._expected.pop(round_index, None)
         self._leases_needed.pop(round_index, None)
         self._leases_granted.pop(round_index, None)
+        self._sync_delay.pop(round_index, None)
         self._running.discard(round_index)
         self.bill.ops_executed += len(responses)
         self.bill.rounds_active += 1

@@ -19,14 +19,26 @@ routes every conflict-graph component as a unit:
   migrated shard instead of a consensus round;
 * **contended cross-node components** — synchronization-group conflicts
   whose members span owners.  No single owner is entitled to sequence the
-  race, so exactly the contended members go through the shared total-order
-  lane (:class:`~repro.engine.escalation.ConsensusEscalator`), whose
-  latency delays only the nodes executing them.
+  race, but — by the paper's Theorems 2–4 — only the *participants* have
+  to agree: each such component gets a **team lane** among just its owner
+  nodes (:mod:`repro.sync`, ``O(k²)`` messages for ``k`` owners, many
+  teams concurrent) when the owner set is within ``team_threshold``;
+  larger races fall back to the shared total-order lane
+  (:class:`~repro.engine.escalation.ConsensusEscalator`).  Either way the
+  ordering latency delays only the nodes executing those components (the
+  ``sync_delay`` carried by the batch announcement).
 
 Oversized commuting bundles (hot shards) are sprayed across the least-
 loaded nodes using the engine planner's target heuristic — sound because
 singleton components commute with the whole window — and counted as hot
 splits rather than migrations.
+
+Lease anti-churn: besides ``lease_min_gain``, a ``lease_cooldown`` of
+``c`` rounds pins a shard to its new owner for ``c`` rounds after every
+migration, so ownership cannot ping-pong between two nodes on alternating
+rounds (suppressed handoffs are counted, and the chain still executes
+correctly on its majority owner — co-location, not ownership, is the
+safety argument).
 
 Co-locating whole components per round is the entire safety argument:
 any two operations applied on different nodes in one round statically
@@ -43,7 +55,7 @@ from typing import Any, Callable, Iterable
 
 from repro.engine.classifier import OpClassifier
 from repro.engine.conflict_graph import ConflictGraph
-from repro.engine.escalation import ConsensusEscalator
+from repro.engine.escalation import ConsensusEscalator, tiered_escalator
 from repro.engine.mempool import Mempool, PendingOp
 from repro.engine.rounds import RoundScheduler
 from repro.engine.shard import ShardPlanner
@@ -51,6 +63,8 @@ from repro.errors import ClusterError, MempoolFullError
 from repro.net.network import Message, Network
 from repro.net.node import Node
 from repro.objects.footprint import anchor_account
+from repro.sync.escalation import TieredEscalator
+from repro.sync.planner import SyncAssignment
 from repro.workloads.generators import WorkloadItem
 
 from repro.cluster.sharding import ShardMap
@@ -67,7 +81,9 @@ class _RoundState:
     index: int
     started: float
     assignment: dict[int, list[PendingOp]]
-    escalated_nodes: set[int]
+    #: Per-node sync-lane completion the batch must wait out (team lanes
+    #: and the global lane finish at different virtual times).
+    node_delays: dict[int, float]
     leases_by_node: dict[int, int]
     pending_acks: int
     t_escalation: float
@@ -77,6 +93,13 @@ class _RoundState:
     spill: int
     escalated: int
     migrations: int
+    team_ops: int
+    global_ops: int
+    team_messages: int
+    global_messages: int
+    teams: int
+    team_sizes: tuple[int, ...]
+    cooldown_skips: int
     pending_results: set[int] = field(default_factory=set)
 
 
@@ -95,6 +118,10 @@ class Router(Node):
         mempool_capacity: int | None = None,
         state_fn: Callable[[], Any] | None = None,
         lease_min_gain: int = 2,
+        lease_cooldown: int = 0,
+        team_threshold: int = 0,
+        sync: TieredEscalator | None = None,
+        seed: int = 0,
     ) -> None:
         super().__init__(node_id, network)
         self.shard_map = shard_map
@@ -104,14 +131,31 @@ class Router(Node):
         self.window = window
         if window < 1:
             raise ClusterError("window must be positive")
+        if lease_cooldown < 0:
+            raise ClusterError("lease_cooldown must be non-negative")
         self.mempool = Mempool(capacity=mempool_capacity)
         #: A chain migrates leases only when its majority owner already has
         #: at least this many of its operations — a 1-vs-1 split names no
         #: "busier node" and a handoff would be pure ownership churn.
         self.lease_min_gain = lease_min_gain
+        #: Rounds a freshly migrated shard is pinned to its new owner
+        #: (hysteresis against alternating-round ping-pong).
+        self.lease_cooldown = lease_cooldown
+        #: The tiered sync layer: contended cross-node components get a
+        #: team lane among just their owner nodes when the owner set is
+        #: within ``team_threshold``; the shared global lane otherwise.
+        self.sync = (
+            sync
+            if sync is not None
+            else tiered_escalator(
+                escalator, team_threshold=team_threshold, seed=seed
+            )
+        )
         self.scheduler = RoundScheduler(
             classifier, ShardPlanner(shard_map.num_nodes)
         )
+        #: shard -> round of its last lease migration (cooldown bookkeeping).
+        self._last_migration: dict[int, int] = {}
         self._state_fn = state_fn
         self.responses: dict[int, Any] = {}
         self._round: _RoundState | None = None
@@ -168,11 +212,16 @@ class Router(Node):
             for i in range(len(window))
         }
         escalated_ops: list[PendingOp] = []
-        escalated_nodes: set[int] = set()
+        #: Per contended cross-node component: (owner-node team, ops, the
+        #: node executing the chain) — the unit the sync layer tiers.
+        escalated_components: list[
+            tuple[frozenset[int], tuple[PendingOp, ...], int]
+        ] = []
         migrations: list[tuple[int, int, int]] = []
         migrated_shards: set[int] = set()
         chain_seqs: set[int] = set()
         hot_split = 0
+        cooldown_skips = 0
 
         # Components route as units (the co-location invariant).  Chains
         # first, in submission order of their heads.
@@ -191,11 +240,16 @@ class Router(Node):
             )
             chain_contended = [i for i in chain if i in contended]
             if len(owners) > 1 and chain_contended:
-                # A race spanning owners: the shared lane sequences exactly
-                # the contended members; the chain executes on the node
+                # A race spanning owners: a sync lane sequences exactly the
+                # contended members — a team lane among just the owner
+                # nodes when their count fits the threshold, the shared
+                # global lane otherwise.  The chain executes on the node
                 # already owning most of it.
-                escalated_ops.extend(window[i] for i in chain_contended)
-                escalated_nodes.add(target)
+                component = tuple(window[i] for i in chain_contended)
+                escalated_ops.extend(component)
+                escalated_components.append(
+                    (frozenset(owners), component, target)
+                )
             elif len(owners) > 1 and owners[target] >= self.lease_min_gain:
                 # Uncontended cross-shard chain with a clearly busier node:
                 # migrate the minority shards' leases to it, then run
@@ -210,9 +264,21 @@ class Router(Node):
                 for shard in foreign:
                     if shard in migrated_shards:
                         continue  # one lease move per shard per round
+                    last = self._last_migration.get(shard)
+                    if (
+                        last is not None
+                        and index - last <= self.lease_cooldown
+                    ):
+                        # Hysteresis: the shard moved too recently; the
+                        # chain still executes correctly on the majority
+                        # owner (co-location is what safety needs), the
+                        # minority ops are simply not owner-local.
+                        cooldown_skips += 1
+                        continue
                     migrated_shards.add(shard)
                     from_node = self.shard_map.owner_of_shard(shard)
                     self.shard_map.migrate(shard, target, index)
+                    self._last_migration[shard] = index
                     migrations.append((shard, from_node, target))
             assignment[target].extend(ops)
 
@@ -285,14 +351,33 @@ class Router(Node):
         # batch announcement carries the count of grants it has to await.
         leases_by_node = Counter(to_node for _, _, to_node in migrations)
 
-        # Escalation: one submission-ordered batch through the shared lane.
+        # Synchronization: each contended cross-node component through its
+        # cheapest adequate lane.  Team-tier components (owner set within
+        # the threshold) run concurrently on the pool; the rest merge into
+        # one submission-ordered batch on the shared global lane.  A
+        # node's batch waits only for its *own* components' lanes.
         t_escalation = 0.0
         escalation_messages = 0
-        if escalated_ops:
-            escalated_ops.sort(key=lambda op: op.seq)
-            result = self.escalator.order(escalated_ops)
-            t_escalation = result.virtual_time
-            escalation_messages = result.messages
+        node_delays: dict[int, float] = {}
+        sync_round = None
+        if escalated_components:
+            assignments = []
+            for team, component, _ in escalated_components:
+                decision = self.sync.planner.decide(team)
+                assignments.append(
+                    SyncAssignment(
+                        tier=decision.tier, team=decision.team, ops=component
+                    )
+                )
+            sync_round = self.sync.order_assignments(assignments)
+            for (_, _, target), component_order in zip(
+                escalated_components, sync_round.components
+            ):
+                node_delays[target] = max(
+                    node_delays.get(target, 0.0), component_order.completed
+                )
+            t_escalation = sync_round.virtual_time
+            escalation_messages = sync_round.messages
 
         assignment = {
             node: sorted(ops, key=lambda op: op.seq)
@@ -303,7 +388,11 @@ class Router(Node):
             index=index,
             started=self.now,
             assignment=assignment,
-            escalated_nodes=escalated_nodes & set(assignment),
+            node_delays={
+                node: delay
+                for node, delay in node_delays.items()
+                if node in assignment
+            },
             leases_by_node=dict(leases_by_node),
             pending_acks=len(migrations),
             t_escalation=t_escalation,
@@ -313,6 +402,13 @@ class Router(Node):
             spill=spill,
             escalated=len(escalated_ops),
             migrations=len(migrations),
+            team_ops=sync_round.team_ops if sync_round else 0,
+            global_ops=sync_round.global_ops if sync_round else 0,
+            team_messages=sync_round.team_messages if sync_round else 0,
+            global_messages=sync_round.global_messages if sync_round else 0,
+            teams=sync_round.teams if sync_round else 0,
+            team_sizes=sync_round.team_sizes if sync_round else (),
+            cooldown_skips=cooldown_skips,
             pending_results=set(assignment),
         )
         for shard, from_node, to_node in migrations:
@@ -326,35 +422,26 @@ class Router(Node):
         return True
 
     def _dispatch(self, node: int) -> None:
-        """Forward a node's round batch, delayed by the consensus latency
-        when the batch contains escalated operations.  Lease handoffs run
-        concurrently with the forwards — the grant gates execution at the
-        node, so the handshake costs two hops on the critical path, not
-        four."""
+        """Forward a node's round batch immediately; the batch announcement
+        carries the node's sync-lane wait (``sync_delay``), which the node
+        pays before executing.  Lease handoffs run concurrently with the
+        forwards — the grant gates execution at the node, so the handshake
+        costs two hops on the critical path, not four."""
         round_state = self._round
         assert round_state is not None
-        delay = (
-            round_state.t_escalation
-            if node in round_state.escalated_nodes
-            else 0.0
-        )
         ops = round_state.assignment[node]
-        leases = round_state.leases_by_node.get(node, 0)
-        index = round_state.index
-
-        def forward() -> None:
-            for op in ops:
-                self.send(node, "cl_op", {"round": index, "op": op})
-            self.send(
-                node,
-                "cl_run",
-                {"round": index, "count": len(ops), "leases": leases},
-            )
-
-        if delay > 0:
-            self.schedule(delay, forward)
-        else:
-            forward()
+        self.send(
+            node,
+            "cl_run",
+            {
+                "round": round_state.index,
+                "count": len(ops),
+                "leases": round_state.leases_by_node.get(node, 0),
+                "sync_delay": round_state.node_delays.get(node, 0.0),
+            },
+        )
+        for op in ops:
+            self.send(node, "cl_op", {"round": round_state.index, "op": op})
 
     # -- message handlers -------------------------------------------------
 
@@ -397,6 +484,13 @@ class Router(Node):
                 virtual_time=self.now - round_state.started,
                 escalation_time=round_state.t_escalation,
                 escalation_messages=round_state.escalation_messages,
+                team_ops=round_state.team_ops,
+                global_ops=round_state.global_ops,
+                team_messages=round_state.team_messages,
+                global_messages=round_state.global_messages,
+                teams=round_state.teams,
+                team_sizes=round_state.team_sizes,
+                cooldown_skips=round_state.cooldown_skips,
             )
         )
         self._round = None

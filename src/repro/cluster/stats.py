@@ -33,6 +33,9 @@ class NodeBill:
     #: Shard leases handed away / acquired through the lease protocol.
     leases_granted: int = 0
     leases_acquired: int = 0
+    #: Virtual time spent waiting for this node's synchronization lanes
+    #: (team or global) before a round's batch could execute.
+    sync_wait_time: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -44,6 +47,7 @@ class NodeBill:
             "results_sent": self.results_sent,
             "leases_granted": self.leases_granted,
             "leases_acquired": self.leases_acquired,
+            "sync_wait_time": self.sync_wait_time,
         }
 
 
@@ -62,6 +66,17 @@ class ClusterRound:
     virtual_time: float
     escalation_time: float
     escalation_messages: int
+    #: Tiered split of the escalated traffic (:mod:`repro.sync`):
+    #: components ordered by a team lane among just their owner nodes vs
+    #: the shared global lane.
+    team_ops: int = 0
+    global_ops: int = 0
+    team_messages: int = 0
+    global_messages: int = 0
+    teams: int = 0
+    team_sizes: tuple[int, ...] = ()
+    #: Lease migrations suppressed by the anti-churn cooldown this round.
+    cooldown_skips: int = 0
 
 
 @dataclass
@@ -83,13 +98,25 @@ class ClusterStats:
     hot_split_ops: int = 0
     #: Commuting singletons shed from overloaded nodes (overflow spill).
     spill_ops: int = 0
-    #: Chain members ordered by the shared total-order lane.
+    #: Chain members ordered by a synchronization lane (team or global).
     escalated_ops: int = 0
+    #: Tiered split (:mod:`repro.sync`): team-lane ops pay ``O(k²)`` among
+    #: their owner nodes, global ops pay the shared Tier ∞ lane.
+    team_ops: int = 0
+    global_ops: int = 0
+    team_messages: int = 0
+    global_messages: int = 0
+    #: ``team size k -> team-lane components of that size`` over the run.
+    team_k_histogram: dict[int, int] = field(default_factory=dict)
+    #: High-water mark of team lanes active in a single round.
+    max_concurrent_teams: int = 0
     #: Submissions shed by the router's bounded mempool (backpressure).
     dropped_ops: int = 0
 
     lease_migrations: int = 0
     lease_messages: int = 0
+    #: Lease migrations suppressed by the anti-churn cooldown.
+    lease_cooldown_skips: int = 0
     escalations: int = 0
     escalation_messages: int = 0
     escalation_time: float = 0.0
@@ -114,7 +141,19 @@ class ClusterStats:
         self.hot_split_ops += round_stats.hot_split_ops
         self.spill_ops += round_stats.spill_ops
         self.escalated_ops += round_stats.escalated_ops
+        self.team_ops += round_stats.team_ops
+        self.global_ops += round_stats.global_ops
+        self.team_messages += round_stats.team_messages
+        self.global_messages += round_stats.global_messages
+        for size in round_stats.team_sizes:
+            self.team_k_histogram[size] = (
+                self.team_k_histogram.get(size, 0) + 1
+            )
+        self.max_concurrent_teams = max(
+            self.max_concurrent_teams, round_stats.teams
+        )
         self.lease_migrations += round_stats.lease_migrations
+        self.lease_cooldown_skips += round_stats.cooldown_skips
         self.escalation_time += round_stats.escalation_time
         self.escalation_messages += round_stats.escalation_messages
         if round_stats.escalation_messages:
@@ -143,6 +182,17 @@ class ClusterStats:
         return self.owner_local_ops / self.ops_executed
 
     @property
+    def mean_team_size(self) -> float:
+        """Mean *k* over all team-lane components (0.0 when none ran)."""
+        total = sum(self.team_k_histogram.values())
+        if not total:
+            return 0.0
+        return (
+            sum(k * count for k, count in self.team_k_histogram.items())
+            / total
+        )
+
+    @property
     def load_imbalance(self) -> float:
         """Max over mean of per-node executed ops (1.0 = perfectly even)."""
         loads = [bill.ops_executed for bill in self.node_bills]
@@ -167,9 +217,19 @@ class ClusterStats:
             "spill_ops": self.spill_ops,
             "escalated_ops": self.escalated_ops,
             "escalation_rate": self.escalation_rate,
+            "team_ops": self.team_ops,
+            "global_ops": self.global_ops,
+            "team_messages": self.team_messages,
+            "global_messages": self.global_messages,
+            "team_k_histogram": {
+                str(k): v for k, v in sorted(self.team_k_histogram.items())
+            },
+            "mean_team_size": self.mean_team_size,
+            "max_concurrent_teams": self.max_concurrent_teams,
             "dropped_ops": self.dropped_ops,
             "lease_migrations": self.lease_migrations,
             "lease_messages": self.lease_messages,
+            "lease_cooldown_skips": self.lease_cooldown_skips,
             "escalations": self.escalations,
             "escalation_messages": self.escalation_messages,
             "escalation_time": self.escalation_time,

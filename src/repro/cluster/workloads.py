@@ -5,7 +5,9 @@ construction* — every operation's accounts fall inside a single node's
 shards — to demonstrate the zero-coordination regime: N nodes, zero
 consensus messages, zero lease migrations.  Account placement depends on
 the deployment's :class:`~repro.cluster.sharding.ShardMap`, so the helper
-lives here rather than in :mod:`repro.workloads`.
+lives here rather than in :mod:`repro.workloads`; the *skew* model,
+however, is the shared one (:mod:`repro.workloads.skew`), so contention
+sweeps stay comparable with every other generator in the repository.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ import random
 from repro.errors import ClusterError
 from repro.spec.operation import Operation
 from repro.workloads.generators import WorkloadItem
+from repro.workloads.skew import skewed_index, validate_skew, zipf_weights
 
 from repro.cluster.sharding import ShardMap
 
@@ -26,6 +29,9 @@ def owner_local_workload(
     seed: int = 0,
     read_fraction: float = 0.2,
     max_value: int = 10,
+    zipf_s: float = 0.0,
+    hotspot_fraction: float = 0.0,
+    hotspot_nodes: int = 1,
 ) -> list[WorkloadItem]:
     """Seeded ERC20 traffic whose every operation stays on one owner node.
 
@@ -34,6 +40,12 @@ def owner_local_workload(
     reads query any account of one node.  Routed through a cluster
     deployed with the same ``shard_map`` geometry, every conflict-graph
     component anchors on a single owner: no leases, no consensus.
+
+    The *node* draw goes through the shared skew model
+    (:func:`repro.workloads.skew.skewed_index`): ``zipf_s`` gives nodes a
+    heavy-tailed popularity and ``hotspot_fraction`` routes that share of
+    traffic onto the first ``hotspot_nodes`` nodes — the load-imbalance
+    knob for lease and spill experiments, deterministic per seed.
     """
     by_node: dict[int, list[int]] = {}
     for account in range(num_accounts):
@@ -43,10 +55,16 @@ def owner_local_workload(
         raise ClusterError(
             "owner-local transfers need a node owning at least two accounts"
         )
+    validate_skew(hotspot_fraction, hotspot_nodes, len(pools))
     rng = random.Random(seed)
+    node_weights = zipf_weights(len(pools), zipf_s) if zipf_s > 0 else None
     items: list[WorkloadItem] = []
     for _ in range(count):
-        pool = rng.choice(pools)
+        pool = pools[
+            skewed_index(
+                rng, len(pools), node_weights, hotspot_fraction, hotspot_nodes
+            )
+        ]
         if rng.random() < read_fraction or len(pool) < 2:
             items.append(
                 WorkloadItem(

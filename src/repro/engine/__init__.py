@@ -34,7 +34,11 @@ from repro.engine.classifier import (
     OpClassifier,
 )
 from repro.engine.conflict_graph import ConflictGraph
-from repro.engine.escalation import ConsensusEscalator, EscalationResult
+from repro.engine.escalation import (
+    ConsensusEscalator,
+    EscalationResult,
+    tiered_escalator,
+)
 from repro.engine.executor import BatchExecutor
 from repro.engine.mempool import Mempool, PendingOp
 from repro.engine.rounds import RoundScheduler
@@ -48,6 +52,7 @@ __all__ = [
     "ConflictGraph",
     "ConsensusEscalator",
     "EscalationResult",
+    "tiered_escalator",
     "BatchExecutor",
     "Mempool",
     "PendingOp",

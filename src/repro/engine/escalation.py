@@ -8,6 +8,15 @@ replica cluster sequences the batch, and the engine charges the consensus
 latency and the full ``O(n²)`` message bill to its virtual clock.  The
 contrast *is* the paper's argument: commuting traffic costs lane-parallel
 operation units, conflicting traffic costs three quorum phases.
+
+Since the tiered synchronization lanes landed (:mod:`repro.sync`), the
+executor no longer calls :class:`ConsensusEscalator` unconditionally: a
+:class:`~repro.sync.planner.SyncPlanner` first sizes each contended
+component's spender bound, routes components within ``team_threshold`` to
+k-participant team lanes, and keeps this global lane as the Tier ∞
+fallback.  :func:`tiered_escalator` builds that wiring; with the default
+``team_threshold = 0`` it degenerates to the historical always-global
+behavior, bit for bit.
 """
 
 from __future__ import annotations
@@ -19,6 +28,8 @@ from repro.errors import EngineError
 from repro.net.network import LatencyModel, Network, UniformLatency
 from repro.net.simulation import Simulator
 from repro.net.total_order import TotalOrderNode
+from repro.sync.escalation import TieredEscalator
+from repro.sync.planner import SyncPlanner
 
 
 @dataclass(frozen=True, slots=True)
@@ -99,3 +110,29 @@ class ConsensusEscalator:
             virtual_time=self.simulator.now - started,
             messages=messages,
         )
+
+
+def tiered_escalator(
+    escalator: ConsensusEscalator | None = None,
+    team_threshold: int = 0,
+    latency: LatencyModel | None = None,
+    seed: int = 0,
+    max_batch: int = 64,
+) -> TieredEscalator:
+    """Wire a :class:`ConsensusEscalator` into the tiered sync layer.
+
+    The returned :class:`~repro.sync.escalation.TieredEscalator` keeps
+    this module's global lane as its Tier ∞ fallback and provisions
+    k-participant team lanes for contended components whose spender bound
+    is at most ``team_threshold`` (``0`` = always-global, the historical
+    behavior).
+    """
+    return TieredEscalator(
+        escalator
+        if escalator is not None
+        else ConsensusEscalator(seed=seed, latency=latency, max_batch=max_batch),
+        planner=SyncPlanner(team_threshold),
+        latency=latency,
+        seed=seed,
+        max_batch=max_batch,
+    )

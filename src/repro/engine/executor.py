@@ -14,10 +14,16 @@ schedules its connected components:
 * **escalated** — chain members on a cross-process CONFLICT edge with
   *contention* (two enabled spenders debiting one account, approve racing
   transferFrom on an allowance cell, one NFT): the only traffic that pays
-  for total order.  The batch goes through the
-  :class:`~repro.engine.escalation.ConsensusEscalator` (the existing
-  ``net/total_order.py`` protocol on the virtual-time simulator) and its
-  consensus latency and message bill are charged to the engine clock.
+  for an ordering lane.  Each contended component goes through the tiered
+  sync layer (:mod:`repro.sync`): a component whose spender bound has size
+  ``k ≤ team_threshold`` is ordered by a k-participant *team lane*
+  (``O(k²)`` messages, concurrent with every other team), the rest merge
+  into one batch on the global
+  :class:`~repro.engine.escalation.ConsensusEscalator` lane.  The phase's
+  makespan (global lane and team pool run concurrently) and message bill
+  are charged to the engine clock.  With the default ``team_threshold =
+  0`` every contended component takes the global lane — the historical
+  behavior, bit for bit.
 
 A round costs the lane critical path (longest lane, in operation units)
 plus the consensus latency of its escalations; conflict-free windows pay
@@ -38,13 +44,14 @@ from typing import Any, Iterable
 
 from repro.engine.classifier import OpClassifier
 from repro.engine.conflict_graph import ConflictGraph
-from repro.engine.escalation import ConsensusEscalator, EscalationResult
+from repro.engine.escalation import ConsensusEscalator, tiered_escalator
 from repro.engine.mempool import Mempool, PendingOp
 from repro.engine.rounds import RoundScheduler
 from repro.engine.shard import ShardPlanner
 from repro.engine.stats import EngineStats, WaveStats
 from repro.errors import EngineError
 from repro.spec.object_type import SequentialObjectType
+from repro.sync.escalation import SyncRoundResult, TieredEscalator
 from repro.workloads.generators import WorkloadItem
 
 
@@ -63,6 +70,8 @@ class BatchExecutor:
         validate: bool = False,
         seed: int = 0,
         mempool_capacity: int | None = None,
+        team_threshold: int = 0,
+        sync: TieredEscalator | None = None,
     ) -> None:
         if num_lanes < 1:
             raise EngineError("need at least one lane")
@@ -81,6 +90,16 @@ class BatchExecutor:
         self.scheduler = RoundScheduler(self.classifier, self.planner)
         self.escalator = (
             escalator if escalator is not None else ConsensusEscalator(seed=seed)
+        )
+        #: The tiered sync layer; its Tier ∞ fallback is ``self.escalator``,
+        #: so ``team_threshold=0`` (the default) reproduces the historical
+        #: always-global escalation exactly.
+        self.sync = (
+            sync
+            if sync is not None
+            else tiered_escalator(
+                self.escalator, team_threshold=team_threshold, seed=seed
+            )
         )
         self.mempool = Mempool(capacity=mempool_capacity)
         self.state = object_type.initial_state()
@@ -109,13 +128,27 @@ class BatchExecutor:
         graph = ConflictGraph.build(self.classifier, window_ops, self.state)
         # The splitting logic lives in the shared RoundScheduler so the
         # cluster's per-node round loop (repro.cluster) is the same code.
-        chain_idx, singleton_idx, escalated_idx = self.scheduler.split(graph)
+        chain_idx, singleton_idx, contended_groups = self.scheduler.split_sync(
+            graph
+        )
+        escalated_idx = [i for group in contended_groups for i in group]
 
-        # Phase 1 — consensus for the synchronization groups only.  The
-        # committed order must match submission order (asserted in
-        # _escalate); it fixes the relative order of contended chain
-        # members before the lanes start.
-        escalation = self._escalate([window_ops[i] for i in escalated_idx])
+        # Phase 1 — synchronization for the contended components only,
+        # each through the cheapest adequate lane (team lanes for small
+        # spender bounds, the global lane above the threshold).  Every
+        # lane's committed order must match submission order (enforced by
+        # the tiered escalator); it fixes the relative order of contended
+        # chain members before the lanes start.
+        escalation = (
+            self.sync.order_round(
+                [[window_ops[i] for i in group] for group in contended_groups],
+                self.classifier,
+                state=self.state,
+                object_type=self.object_type,
+            )
+            if contended_groups
+            else SyncRoundResult()
+        )
 
         # Phase 2 — lane-parallel execution.  Chains are atomic and stay
         # internally ordered; singletons commute with the whole window.
@@ -148,6 +181,12 @@ class BatchExecutor:
             virtual_time=round_time,
             escalation_time=escalation.virtual_time,
             escalation_messages=escalation.messages,
+            team_ops=escalation.team_ops,
+            global_ops=escalation.global_ops,
+            team_messages=escalation.team_messages,
+            global_messages=escalation.global_messages,
+            teams=escalation.teams,
+            team_sizes=escalation.team_sizes,
         )
         self.stats.record_round(round_stats)
         return round_stats
@@ -191,16 +230,6 @@ class BatchExecutor:
             self.state, op.pid, op.operation
         )
         self.responses[op.seq] = response
-
-    def _escalate(self, ops: list[PendingOp]) -> EscalationResult:
-        result = self.escalator.order(ops)
-        if result.ordered != ops:
-            raise EngineError(
-                "total-order lane committed operations out of submission "
-                "order; deterministic merge would diverge from the serial "
-                "specification"
-            )
-        return result
 
     def responses_in_order(self) -> list[Any]:
         """Responses of all executed operations, in submission order."""

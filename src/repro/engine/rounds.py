@@ -48,6 +48,19 @@ class RoundScheduler:
         READ_ONLY pairs are resolved by chain order alone, which costs no
         messages.
         """
+        chains, singletons, groups = self.split_sync(graph)
+        return chains, singletons, sorted(i for group in groups for i in group)
+
+    def split_sync(
+        self, graph: ConflictGraph
+    ) -> tuple[list[list[int]], list[int], list[list[int]]]:
+        """Like :meth:`split`, but keeps the contended indices grouped by
+        their conflict-graph component — the unit the tiered sync layer
+        (:mod:`repro.sync`) sizes teams for.  Each group is the contended
+        subset of one chain, in submission order; groups are ordered by
+        their first index.  Flattening the groups recovers :meth:`split`'s
+        third result exactly.
+        """
         chains: list[list[int]] = []
         singletons: list[int] = []
         for component in graph.components():
@@ -62,8 +75,12 @@ class RoundScheduler:
             ):
                 contended.add(a)
                 contended.add(b)
-        flagged = [i for chain in chains for i in chain if i in contended]
-        return chains, singletons, sorted(flagged)
+        groups = [
+            group
+            for chain in chains
+            if (group := [i for i in chain if i in contended])
+        ]
+        return chains, singletons, sorted(groups, key=lambda g: g[0])
 
     def plan_batch(self, ops: list[PendingOp], state=None) -> ShardPlan:
         """Lay one already-routed batch out on this scheduler's lanes.

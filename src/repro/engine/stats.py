@@ -23,8 +23,12 @@ class WaveStats:
 
     ``wave_ops`` counts the fast path (singleton components, freely
     parallel); ``barrier_ops`` the chain members ordered locally without
-    consensus; ``escalated_ops`` the chain members that paid for total
-    order.
+    consensus; ``escalated_ops`` the chain members that paid for an
+    ordering lane.  The tiered split of the escalated traffic
+    (:mod:`repro.sync`) is ``team_ops`` (k-consensus team lanes) vs
+    ``global_ops`` (the Tier ∞ fallback); ``teams`` counts the distinct
+    team lanes that ran concurrently this round and ``team_sizes`` their
+    k values, one per team-tier component.
     """
 
     index: int
@@ -38,6 +42,12 @@ class WaveStats:
     virtual_time: float
     escalation_time: float
     escalation_messages: int
+    team_ops: int = 0
+    global_ops: int = 0
+    team_messages: int = 0
+    global_messages: int = 0
+    teams: int = 0
+    team_sizes: tuple[int, ...] = ()
 
 
 @dataclass
@@ -56,6 +66,17 @@ class EngineStats:
     wave_ops: int = 0
     barrier_ops: int = 0
     escalated_ops: int = 0
+    #: Tiered split of the escalated traffic (:mod:`repro.sync`): team-lane
+    #: ops pay ``O(k²)`` among their spender bound, global ops pay the
+    #: shared Tier ∞ lane.
+    team_ops: int = 0
+    global_ops: int = 0
+    team_messages: int = 0
+    global_messages: int = 0
+    #: ``team size k -> team-lane instances of that size`` over the run.
+    k_histogram: dict[int, int] = field(default_factory=dict)
+    #: High-water mark of team lanes active in a single round.
+    max_concurrent_teams: int = 0
     virtual_time: float = 0.0
     escalation_time: float = 0.0
     escalation_messages: int = 0
@@ -76,6 +97,15 @@ class EngineStats:
         self.wave_ops += round_stats.wave_ops
         self.barrier_ops += round_stats.barrier_ops
         self.escalated_ops += round_stats.escalated_ops
+        self.team_ops += round_stats.team_ops
+        self.global_ops += round_stats.global_ops
+        self.team_messages += round_stats.team_messages
+        self.global_messages += round_stats.global_messages
+        for size in round_stats.team_sizes:
+            self.k_histogram[size] = self.k_histogram.get(size, 0) + 1
+        self.max_concurrent_teams = max(
+            self.max_concurrent_teams, round_stats.teams
+        )
         self.virtual_time += round_stats.virtual_time
         self.escalation_time += round_stats.escalation_time
         self.escalation_messages += round_stats.escalation_messages
@@ -124,6 +154,18 @@ class EngineStats:
             return 0.0
         return sum(self.wave_sizes) / len(self.wave_sizes)
 
+    @property
+    def mean_team_size(self) -> float:
+        """Mean *k* over all team-lane instances — the quantity the tiered
+        claim turns on: tiered sync wins once mean k ≪ n."""
+        total = sum(self.k_histogram.values())
+        if not total:
+            return 0.0
+        return (
+            sum(size * count for size, count in self.k_histogram.items())
+            / total
+        )
+
     def as_dict(self) -> dict:
         """JSON-ready summary (used by ``benchmarks/bench_engine.py``)."""
         return {
@@ -136,6 +178,15 @@ class EngineStats:
             "wave_ops": self.wave_ops,
             "barrier_ops": self.barrier_ops,
             "escalated_ops": self.escalated_ops,
+            "team_ops": self.team_ops,
+            "global_ops": self.global_ops,
+            "team_messages": self.team_messages,
+            "global_messages": self.global_messages,
+            "k_histogram": {
+                str(k): v for k, v in sorted(self.k_histogram.items())
+            },
+            "mean_team_size": self.mean_team_size,
+            "max_concurrent_teams": self.max_concurrent_teams,
             "escalation_rate": self.escalation_rate,
             "fast_path_rate": self.fast_path_rate,
             "mean_wave_size": self.mean_wave_size,

@@ -17,9 +17,14 @@ from repro.net.reliable_broadcast import (
     ReliableBroadcastNode,
 )
 from repro.net.simulation import EventHandle, Simulator
+from repro.net.team_lanes import LaneOrder, PoolRound, TeamLane, TeamLanePool
 from repro.net.total_order import TotalOrderNode
 
 __all__ = [
+    "LaneOrder",
+    "PoolRound",
+    "TeamLane",
+    "TeamLanePool",
     "ConstantLatency",
     "LatencyModel",
     "LogNormalLatency",

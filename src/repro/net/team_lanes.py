@@ -1,0 +1,237 @@
+"""Team lanes: a pool of independent total-order instances on one simulator.
+
+The paper's Theorems 2–4 say a token state whose largest enabled-spender
+set has size *k* is exactly a *k*-consensus object — so a contended
+component whose spenders number *k* only ever needs agreement among those
+*k* participants, not among all *n* processes.  A :class:`TeamLane` is the
+operational form of that observation: a private
+:class:`~repro.net.total_order.TotalOrderNode` replica group sized to one
+team, paying the three-phase quorum pattern over *k* nodes (``O(k²)``
+messages) instead of the global lane's ``O(n²)``.
+
+A :class:`TeamLanePool` keeps one lane per distinct team, **all on one
+shared** :class:`~repro.net.simulation.Simulator`: each lane has its own
+:class:`~repro.net.network.Network` (so node ids and broadcasts never
+cross lanes), but their events interleave on the common virtual clock —
+submitting batches to several lanes and running the simulator once makes
+the independent mini-consensus instances genuinely concurrent, which is
+the whole scalability point: the round's synchronization phase costs the
+*slowest team*, not the sum of teams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.errors import NetworkError
+from repro.net.network import ConstantLatency, LatencyModel, Network
+from repro.net.simulation import Simulator
+from repro.net.total_order import TotalOrderNode
+
+#: Seed mixer so each lane's latency stream is distinct but reproducible.
+_SEED_MIX = 1_000_003
+
+
+class TeamLane:
+    """One team-scoped total-order instance (k replicas, private network)."""
+
+    def __init__(
+        self,
+        team: frozenset[int],
+        simulator: Simulator,
+        latency: LatencyModel,
+        seed: int,
+        max_batch: int = 64,
+    ) -> None:
+        if not team:
+            raise NetworkError("a team lane needs at least one participant")
+        self.team = frozenset(team)
+        self.k = len(self.team)
+        #: The lane's network shares the pool's simulator but is otherwise
+        #: private: local node ids 0..k-1, broadcasts confined to the team.
+        self.network = Network(simulator, latency, seed=seed)
+        #: The current round's deliveries (drained by the pool each round,
+        #: so a long-lived lane never accumulates past operations) and
+        #: their per-operation delivery timestamps.
+        self.delivered: list[Any] = []
+        self.delivery_times: list[float] = []
+        self.last_delivery: float = 0.0
+        self.nodes = [
+            TotalOrderNode(
+                node_id,
+                self.network,
+                self.k,
+                deliver=self._on_deliver if node_id == 0 else None,
+                max_batch=max_batch,
+            )
+            for node_id in range(self.k)
+        ]
+        self.batches = 0
+        self.total_messages = 0
+
+    # ------------------------------------------------------------------
+
+    def _on_deliver(self, sequence: int, txs: list) -> None:
+        now = self.network.simulator.now
+        self.delivered.extend(txs)
+        self.delivery_times.extend(now for _ in txs)
+        self.last_delivery = now
+
+    def submit(self, ops: Iterable[Any]) -> int:
+        """Queue a submission-ordered batch at the lane's leader; returns
+        the number of operations submitted.  The caller runs the shared
+        simulator (usually via :meth:`TeamLanePool.order`)."""
+        count = 0
+        leader = self.nodes[0]
+        for op in ops:
+            leader.submit(op)
+            count += 1
+        return count
+
+
+@dataclass(frozen=True, slots=True)
+class LaneOrder:
+    """Outcome of one team batch within a pool round."""
+
+    team: frozenset[int]
+    ordered: tuple
+    #: Completion relative to the round's start on the shared clock: the
+    #: virtual time at which this batch's *own* last operation was
+    #: delivered (batches queued behind it on a shared lane finish later).
+    completed: float
+    #: Messages this lane's network carried for the round (``O(k²)``).
+    messages: int
+
+
+@dataclass(frozen=True, slots=True)
+class PoolRound:
+    """Outcome of one concurrent multi-team ordering round."""
+
+    orders: tuple[LaneOrder, ...]
+    #: Virtual time until every lane fully quiesced (trailing quorum
+    #: messages included) — comparable to the global lane's accounting.
+    makespan: float
+    messages: int
+    #: Distinct team lanes active this round (components naming the same
+    #: team share a lane, so this can be below ``len(orders)``).
+    teams: int = 0
+
+
+class TeamLanePool:
+    """Lanes keyed by team, sharing one simulator for true concurrency."""
+
+    def __init__(
+        self,
+        simulator: Simulator | None = None,
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+        max_batch: int = 64,
+    ) -> None:
+        self.simulator = simulator if simulator is not None else Simulator()
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self.seed = seed
+        self.max_batch = max_batch
+        self._lanes: dict[frozenset[int], TeamLane] = {}
+        self.rounds = 0
+        self.total_messages = 0
+        #: High-water mark of teams active in a single round.
+        self.max_concurrent = 0
+
+    # ------------------------------------------------------------------
+
+    def lane(self, team: Iterable[int]) -> TeamLane:
+        """The lane for a team, created on first use and reused after —
+        repeat contention among the same spenders pays no setup."""
+        key = frozenset(team)
+        existing = self._lanes.get(key)
+        if existing is not None:
+            return existing
+        lane = TeamLane(
+            key,
+            self.simulator,
+            self.latency,
+            seed=(self.seed * _SEED_MIX + len(self._lanes) + 1) & 0x7FFFFFFF,
+            max_batch=self.max_batch,
+        )
+        self._lanes[key] = lane
+        return lane
+
+    @property
+    def lanes_created(self) -> int:
+        return len(self._lanes)
+
+    def order(
+        self, batches: Sequence[tuple[Iterable[int], Sequence[Any]]]
+    ) -> PoolRound:
+        """Order every ``(team, ops)`` batch concurrently.
+
+        All batches are submitted to their lanes first, then the shared
+        simulator runs until quiescence — so lanes with disjoint teams make
+        progress in interleaved virtual time and the round costs the
+        slowest lane, not the sum.  Batches sharing a team serialize on
+        that team's lane (they contend by definition).  Returns per-batch
+        committed orders plus the round's makespan and message bill.
+        """
+        if not batches:
+            return PoolRound(orders=(), makespan=0.0, messages=0, teams=0)
+        started = self.simulator.now
+        # Group by lane first: batches naming the same team share one lane
+        # and must be submitted (and sliced back out) contiguously.
+        sequence: list[tuple[int, frozenset[int], tuple]] = [
+            (index, frozenset(team), tuple(ops))
+            for index, (team, ops) in enumerate(batches)
+        ]
+        by_lane: dict[frozenset[int], list[tuple[int, tuple]]] = {}
+        for index, key, ops in sequence:
+            by_lane.setdefault(key, []).append((index, ops))
+        sent_before: dict[frozenset[int], int] = {}
+        for key, lane_batches in by_lane.items():
+            lane = self.lane(key)
+            sent_before[key] = lane.network.stats.messages_sent
+            for _, ops in lane_batches:
+                lane.submit(ops)
+        self.simulator.run()
+        orders: list[LaneOrder | None] = [None] * len(sequence)
+        round_messages = 0
+        for key, lane_batches in by_lane.items():
+            lane = self._lanes[key]
+            expected = sum(len(ops) for _, ops in lane_batches)
+            if len(lane.delivered) != expected:
+                raise NetworkError(
+                    f"team lane {sorted(lane.team)} lost operations: "
+                    f"submitted {expected}, delivered {len(lane.delivered)}"
+                )
+            lane_messages = lane.network.stats.messages_sent - sent_before[key]
+            round_messages += lane_messages
+            lane.batches += len(lane_batches)
+            lane.total_messages += lane_messages
+            cursor = 0
+            for position, (index, ops) in enumerate(lane_batches):
+                end = cursor + len(ops)
+                orders[index] = LaneOrder(
+                    team=lane.team,
+                    ordered=tuple(lane.delivered[cursor:end]),
+                    # This batch's own last delivery: components queued
+                    # behind it on a shared lane complete later.
+                    completed=lane.delivery_times[end - 1] - started
+                    if ops
+                    else 0.0,
+                    # The lane's bill is shared by its batches; charge it
+                    # once (to the first) so round totals stay exact.
+                    messages=lane_messages if position == 0 else 0,
+                )
+                cursor = end
+            # Drain the round's deliveries so long-lived lanes never
+            # accumulate past operations.
+            lane.delivered.clear()
+            lane.delivery_times.clear()
+        self.rounds += 1
+        self.total_messages += round_messages
+        self.max_concurrent = max(self.max_concurrent, len(by_lane))
+        return PoolRound(
+            orders=tuple(order for order in orders if order is not None),
+            makespan=self.simulator.now - started,
+            messages=round_messages,
+            teams=len(by_lane),
+        )

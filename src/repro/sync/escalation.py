@@ -1,0 +1,201 @@
+"""Tiered escalation: route each contended component to its cheapest lane.
+
+:class:`TieredEscalator` is the drop-in replacement for the engine's
+unconditional global-escalation call: the :class:`~repro.sync.planner.
+SyncPlanner` decides, per contended conflict-graph component, whether a
+team lane (a *k*-replica total-order instance from the shared
+:class:`~repro.net.team_lanes.TeamLanePool`) suffices or the global lane
+must be paid.  All of a round's global-tier operations merge into **one**
+submission-ordered batch through the global lane — exactly the historical
+behavior — while every team-tier component runs concurrently on the pool;
+the round's synchronization phase therefore costs
+``max(global lane, slowest team)``, and with the default ``team_threshold
+= 0`` the tiered path is bit-identical to always-global escalation.
+
+The serial-equivalence contract is enforced here, not trusted: every
+lane must commit its operations in submission order (the deterministic
+merge the engine's correctness argument requires), and a violation raises
+immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import EngineError
+from repro.net.network import LatencyModel, UniformLatency
+from repro.net.team_lanes import TeamLanePool
+from repro.sync.planner import TIER_GLOBAL, SyncAssignment, SyncPlanner
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.mempool import PendingOp
+
+
+@dataclass(frozen=True, slots=True)
+class ComponentOrder:
+    """Outcome of ordering one contended component."""
+
+    tier: float
+    team: frozenset[int] | None
+    ordered: tuple
+    #: Virtual completion within the round's sync phase (when this
+    #: component's order is known; trailing quorum traffic may run later).
+    completed: float
+
+
+@dataclass
+class SyncRoundResult:
+    """Outcome of one round's synchronization phase across all tiers."""
+
+    components: list[ComponentOrder] = field(default_factory=list)
+    #: Phase makespan: global lane and team pool run concurrently.
+    virtual_time: float = 0.0
+    messages: int = 0
+    team_messages: int = 0
+    global_messages: int = 0
+    team_ops: int = 0
+    global_ops: int = 0
+    #: Distinct team lanes active this round (the concurrency the pool bought).
+    teams: int = 0
+    #: Team size per team-tier component (the k-distribution's raw data).
+    team_sizes: tuple[int, ...] = ()
+
+
+class TieredEscalator:
+    """Consensus-number-tiered ordering for contended components.
+
+    ``global_lane`` is any object with the
+    :meth:`~repro.engine.escalation.ConsensusEscalator.order` contract
+    (ordered batch, virtual time, message count); the engine and cluster
+    pass their existing :class:`~repro.engine.escalation.
+    ConsensusEscalator` so the fallback tier is the very lane the paper's
+    baseline argument is about.
+    """
+
+    def __init__(
+        self,
+        global_lane,
+        planner: SyncPlanner | None = None,
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+        max_batch: int = 64,
+    ) -> None:
+        self.global_lane = global_lane
+        self.planner = planner if planner is not None else SyncPlanner()
+        self.pool = TeamLanePool(
+            latency=latency if latency is not None else UniformLatency(0.5, 1.5),
+            seed=seed,
+            max_batch=max_batch,
+        )
+        self.rounds = 0
+        self.total_messages = 0
+        self.team_messages = 0
+        self.global_messages = 0
+        #: ``team size -> number of team-tier components`` over the run.
+        self.k_histogram: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def team_threshold(self) -> int:
+        return self.planner.team_threshold
+
+    def order_round(
+        self,
+        components: Sequence["Sequence[PendingOp]"],
+        classifier,
+        state=None,
+        object_type=None,
+    ) -> SyncRoundResult:
+        """Plan and order one round's contended components (engine path)."""
+        assignments = self.planner.assign(
+            components, classifier, state=state, object_type=object_type
+        )
+        return self.order_assignments(assignments)
+
+    def order_assignments(
+        self, assignments: Sequence[SyncAssignment]
+    ) -> SyncRoundResult:
+        """Order pre-planned assignments (cluster path: the router sizes
+        teams by owner nodes itself)."""
+        result = SyncRoundResult(components=[None] * len(assignments))
+        if not assignments:
+            return result
+
+        # Tier ∞ — one submission-ordered batch through the global lane,
+        # matching the historical single-batch escalation exactly.
+        global_index = [
+            i for i, a in enumerate(assignments) if not a.is_team
+        ]
+        global_time = 0.0
+        if global_index:
+            merged = sorted(
+                (op for i in global_index for op in assignments[i].ops),
+                key=lambda op: op.seq,
+            )
+            ordered = self._order_global(merged)
+            cursor = {id(op): pos for pos, op in enumerate(ordered)}
+            global_time = self._last_global.virtual_time
+            result.global_messages = self._last_global.messages
+            result.global_ops = len(merged)
+            for i in global_index:
+                ops = assignments[i].ops
+                committed = tuple(
+                    sorted(ops, key=lambda op: cursor[id(op)])
+                )
+                self._check_order(committed, ops, "global lane")
+                result.components[i] = ComponentOrder(
+                    tier=TIER_GLOBAL,
+                    team=None,
+                    ordered=committed,
+                    completed=global_time,
+                )
+
+        # Tier k — every team component concurrently on the shared pool.
+        team_index = [i for i, a in enumerate(assignments) if a.is_team]
+        pool_round = self.pool.order(
+            [(assignments[i].team, assignments[i].ops) for i in team_index]
+        )
+        for i, lane_order in zip(team_index, pool_round.orders):
+            ops = assignments[i].ops
+            self._check_order(
+                lane_order.ordered, ops, f"team lane {sorted(lane_order.team)}"
+            )
+            result.components[i] = ComponentOrder(
+                tier=len(lane_order.team),
+                team=lane_order.team,
+                ordered=lane_order.ordered,
+                completed=lane_order.completed,
+            )
+            result.team_ops += len(ops)
+            size = len(lane_order.team)
+            self.k_histogram[size] = self.k_histogram.get(size, 0) + 1
+        result.team_sizes = tuple(
+            len(assignments[i].team) for i in team_index
+        )
+        result.teams = pool_round.teams
+        result.team_messages = pool_round.messages
+        result.messages = result.team_messages + result.global_messages
+        result.virtual_time = max(global_time, pool_round.makespan)
+
+        self.rounds += 1
+        self.total_messages += result.messages
+        self.team_messages += result.team_messages
+        self.global_messages += result.global_messages
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _order_global(self, merged: list) -> tuple:
+        self._last_global = self.global_lane.order(merged)
+        return tuple(self._last_global.ordered)
+
+    @staticmethod
+    def _check_order(committed: tuple, submitted: tuple, lane: str) -> None:
+        if tuple(committed) != tuple(submitted):
+            raise EngineError(
+                f"{lane} committed operations out of submission order; "
+                "deterministic merge would diverge from the serial "
+                "specification"
+            )

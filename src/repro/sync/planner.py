@@ -1,0 +1,117 @@
+"""The sync planner: pick the minimal adequate ordering primitive per
+contended component.
+
+The trichotomy of lanes (the tentpole's tier table; see also
+:mod:`repro.analysis.hierarchy`):
+
+========  =======================  =====================================
+tier      primitive                who pays
+========  =======================  =====================================
+Tier 0    none (owner-only)        uncontended traffic: lane/chain order
+                                   is free — the consensus-number-1
+                                   regime (CN = 1)
+Tier *k*  team lane                a contended component whose spender
+          (:mod:`repro.net.       bound has size ``k ≤ team_threshold``:
+          team_lanes`)             a *k*-replica total-order instance,
+                                   ``O(k²)`` messages, concurrent with
+                                   every other team (CN = k, Thm 2–4)
+Tier ∞    global lane              spender set above the threshold or
+          (shared total order)     not statically boundable (CN = ∞ is
+                                   the only always-safe fallback)
+========  =======================  =====================================
+
+Tier 0 never reaches this module: the engine's scheduler only hands over
+the *contended* components (synchronization groups).  The planner's job is
+the Tier *k* / Tier ∞ split, sized by :func:`repro.sync.bounds.
+component_team` — and any assignment it makes is *correct*; sizing only
+moves the message bill and latency, never the outcome, because every
+component is ordered in submission order whichever lane carries it (the
+property suite checks serial equivalence for arbitrary thresholds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.errors import EngineError
+from repro.sync.bounds import component_team
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.mempool import PendingOp
+
+#: Tier of the global fallback lane.
+TIER_GLOBAL = math.inf
+
+
+@dataclass(frozen=True, slots=True)
+class SyncAssignment:
+    """One contended component's lane assignment."""
+
+    #: ``len(team)`` for a team lane, :data:`TIER_GLOBAL` for the fallback.
+    tier: float
+    #: Participants of the team lane; ``None`` on the global tier.
+    team: frozenset[int] | None
+    ops: tuple
+
+    @property
+    def is_team(self) -> bool:
+        return self.team is not None
+
+
+class SyncPlanner:
+    """Tier selection for contended components.
+
+    ``team_threshold`` is the largest team the planner will provision a
+    lane for; ``0`` (the default) disables team lanes entirely, which
+    makes the tiered path bit-identical to the historical always-global
+    escalation — the safe default existing deployments keep.
+    """
+
+    def __init__(
+        self,
+        team_threshold: int = 0,
+        bound_fn: Callable[..., frozenset[int] | None] = component_team,
+    ) -> None:
+        if team_threshold < 0:
+            raise EngineError("team_threshold must be non-negative")
+        self.team_threshold = team_threshold
+        self.bound_fn = bound_fn
+
+    # ------------------------------------------------------------------
+
+    def decide(self, team: frozenset[int] | None) -> SyncAssignment | None:
+        """Tier for a pre-computed team (no ops attached); helper for
+        callers that size teams themselves (the cluster router)."""
+        if team is not None and 0 < len(team) <= self.team_threshold:
+            return SyncAssignment(tier=len(team), team=team, ops=())
+        return SyncAssignment(tier=TIER_GLOBAL, team=None, ops=())
+
+    def assign(
+        self,
+        components: Sequence["Sequence[PendingOp]"],
+        classifier,
+        state=None,
+        object_type=None,
+    ) -> list[SyncAssignment]:
+        """One assignment per contended component, in the given order."""
+        assignments: list[SyncAssignment] = []
+        for ops in components:
+            ops = tuple(ops)
+            if not ops:
+                raise EngineError("cannot assign an empty contended component")
+            team = (
+                self.bound_fn(classifier, list(ops), state, object_type)
+                if self.team_threshold > 0
+                else None
+            )
+            if team is not None and 0 < len(team) <= self.team_threshold:
+                assignments.append(
+                    SyncAssignment(tier=len(team), team=team, ops=ops)
+                )
+            else:
+                assignments.append(
+                    SyncAssignment(tier=TIER_GLOBAL, team=None, ops=ops)
+                )
+        return assignments

@@ -16,10 +16,9 @@ from repro.workloads.generators import (
     WorkloadMix,
     example1_trace,
     partition_by_process,
-    skewed_index,
     standard_multi_contract,
-    zipf_weights,
 )
+from repro.workloads.skew import skewed_index, validate_skew, zipf_weights
 
 __all__ = [
     "APPROVAL_HEAVY_MIX",
@@ -39,5 +38,6 @@ __all__ = [
     "partition_by_process",
     "skewed_index",
     "standard_multi_contract",
+    "validate_skew",
     "zipf_weights",
 ]

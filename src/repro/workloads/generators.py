@@ -13,6 +13,7 @@ from typing import Iterator, Sequence
 
 from repro.errors import InvalidArgumentError
 from repro.spec.operation import Operation
+from repro.workloads.skew import skewed_index, validate_skew, zipf_weights
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,6 +86,16 @@ class TokenWorkloadGenerator:
     transfers.  This is the contention knob the execution engine
     (:mod:`repro.engine`) is benchmarked under; like everything here it is
     deterministic per seed.
+
+    ``spender_pool > 0`` confines the *spender relation* to contiguous
+    account groups of that size: ``approve`` picks its spender from the
+    caller's own group and ``transferFrom`` picks its source there too, so
+    every account's potential-spender set (:func:`repro.analysis.spenders.
+    potential_spenders`) stays within its group — the administrated-token
+    pattern (a bounded operator set per account, cf. Ivanov et al.) that
+    keeps the paper's consensus number ``k(q)`` at most ``spender_pool``
+    while ``n`` grows.  This is the traffic shape the tiered
+    synchronization lanes (:mod:`repro.sync`) are benchmarked under.
     """
 
     num_accounts: int
@@ -94,12 +105,17 @@ class TokenWorkloadGenerator:
     zipf_s: float = 0.0
     hotspot_fraction: float = 0.0
     hotspot_accounts: int = 1
+    spender_pool: int = 0
 
     def __post_init__(self) -> None:
         if self.num_accounts < 1:
             raise InvalidArgumentError("need at least one account")
         if self.max_value < 0:
             raise InvalidArgumentError("max_value must be non-negative")
+        if self.spender_pool < 0 or self.spender_pool > self.num_accounts:
+            raise InvalidArgumentError(
+                f"spender_pool must be in [0, {self.num_accounts}]"
+            )
         validate_skew(self.hotspot_fraction, self.hotspot_accounts, self.num_accounts)
         self._rng = random.Random(self.seed)
         self._account_weights = (
@@ -122,20 +138,29 @@ class TokenWorkloadGenerator:
     def _pick_value(self) -> int:
         return self._rng.randint(0, self.max_value)
 
+    def _pick_pool_member(self, pid: int) -> int:
+        """An account from ``pid``'s spender pool (``pid`` itself allowed)."""
+        base = pid - pid % self.spender_pool
+        size = min(self.spender_pool, self.num_accounts - base)
+        return base + self._rng.randrange(size)
+
     def next_item(self) -> WorkloadItem:
         """Generate one operation."""
         names, weights = zip(*self.mix.weights())
         name = self._rng.choices(names, weights=weights)[0]
         pid = self._pick_account()
+        pooled = self.spender_pool > 0
         if name == "transfer":
             operation = Operation(name, (self._pick_account(), self._pick_value()))
         elif name == "transferFrom":
+            source = self._pick_pool_member(pid) if pooled else self._pick_account()
             operation = Operation(
                 name,
-                (self._pick_account(), self._pick_account(), self._pick_value()),
+                (source, self._pick_account(), self._pick_value()),
             )
         elif name == "approve":
-            operation = Operation(name, (self._pick_account(), self._pick_value()))
+            spender = self._pick_pool_member(pid) if pooled else self._pick_account()
+            operation = Operation(name, (spender, self._pick_value()))
         elif name == "balanceOf":
             operation = Operation(name, (self._pick_account(),))
         elif name == "allowance":
@@ -152,43 +177,6 @@ class TokenWorkloadGenerator:
         """An unbounded operation stream."""
         while True:
             yield self.next_item()
-
-
-def validate_skew(
-    hotspot_fraction: float, hotspot_count: int, count: int
-) -> None:
-    """Shared validation of the hot-spot skew knobs."""
-    if not 0.0 <= hotspot_fraction <= 1.0:
-        raise InvalidArgumentError("hotspot_fraction must be in [0, 1]")
-    if not 1 <= hotspot_count <= count:
-        raise InvalidArgumentError(
-            f"hot-spot size must be in [1, {count}], got {hotspot_count}"
-        )
-
-
-def zipf_weights(count: int, s: float) -> list[float]:
-    """Normalized Zipf rank weights (``1/rank^s``) over ``count`` items."""
-    weights = [1.0 / ((rank + 1) ** s) for rank in range(count)]
-    total = sum(weights)
-    return [weight / total for weight in weights]
-
-
-def skewed_index(
-    rng: random.Random,
-    count: int,
-    weights: list[float] | None,
-    hotspot_fraction: float,
-    hotspot_count: int,
-) -> int:
-    """One index draw under the shared skew model: a hot-spot overlay over
-    either a uniform or Zipf base distribution.  The same knobs drive every
-    generator here, so cluster benchmarks can sweep contention identically
-    across contract types."""
-    if hotspot_fraction > 0 and rng.random() < hotspot_fraction:
-        return rng.randrange(hotspot_count)
-    if weights is None:
-        return rng.randrange(count)
-    return rng.choices(range(count), weights=weights)[0]
 
 
 @dataclass

@@ -1,0 +1,179 @@
+"""SyncPlanner tier selection and the TieredEscalator's accounting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine import ConsensusEscalator, OpClassifier, tiered_escalator
+from repro.engine.mempool import PendingOp
+from repro.errors import EngineError
+from repro.objects.asset_transfer import AssetTransferType
+from repro.objects.erc20 import ERC20TokenType, TokenState
+from repro.objects.erc721 import ERC721TokenType
+from repro.spec.operation import op
+from repro.sync import SyncPlanner, TIER_GLOBAL, component_team
+
+
+def erc20_fixture():
+    token = ERC20TokenType(
+        8,
+        initial_state=TokenState.create(
+            [10] * 8, allowances={(0, 1): 5, (0, 2): 3}
+        ),
+    )
+    return token, OpClassifier(token), token.initial_state()
+
+
+class TestComponentTeam:
+    def test_erc20_team_is_spenders_plus_participants(self):
+        token, classifier, state = erc20_fixture()
+        # Two enabled spenders of account 0 racing a transfer by its owner.
+        ops = [
+            PendingOp(0, 1, op("transferFrom", 0, 3, 2)),
+            PendingOp(1, 0, op("transfer", 4, 2)),
+        ]
+        team = component_team(classifier, ops, state, token)
+        # Spender bound of account 0 = {0 (owner), 1, 2 (allowances)};
+        # participants {0, 1} are already inside.
+        assert team == frozenset({0, 1, 2})
+
+    def test_asset_transfer_uses_static_owner_map(self):
+        owner_map = [{0, 1, 2}, {3}, {3, 4}]
+        asset = AssetTransferType(
+            [10, 10, 10], owner_map=owner_map, num_processes=5
+        )
+        classifier = OpClassifier(asset)
+        ops = [
+            PendingOp(0, 0, op("transfer", 0, 1, 2)),
+            PendingOp(1, 2, op("transfer", 0, 2, 1)),
+        ]
+        team = component_team(
+            classifier, ops, asset.initial_state(), asset
+        )
+        assert team == frozenset({0, 1, 2})
+
+    def test_unboundable_object_returns_none(self):
+        nft = ERC721TokenType(4, initial_owners=[0, 1, 2, 3])
+        classifier = OpClassifier(nft)
+        ops = [
+            PendingOp(0, 0, op("transferFrom", 0, 1, 0)),
+            PendingOp(1, 2, op("transferFrom", 0, 2, 0)),
+        ]
+        assert component_team(classifier, ops, nft.initial_state(), nft) is None
+
+    def test_no_state_returns_none(self):
+        token, classifier, _ = erc20_fixture()
+        ops = [
+            PendingOp(0, 1, op("transferFrom", 0, 3, 2)),
+            PendingOp(1, 0, op("transfer", 4, 2)),
+        ]
+        assert component_team(classifier, ops, None, token) is None
+
+
+class TestSyncPlanner:
+    def test_threshold_zero_is_always_global(self):
+        token, classifier, state = erc20_fixture()
+        ops = [
+            PendingOp(0, 1, op("transferFrom", 0, 3, 2)),
+            PendingOp(1, 0, op("transfer", 4, 2)),
+        ]
+        [assignment] = SyncPlanner(0).assign([ops], classifier, state, token)
+        assert assignment.tier == TIER_GLOBAL
+        assert assignment.team is None
+
+    def test_small_team_gets_a_lane_large_goes_global(self):
+        token, classifier, state = erc20_fixture()
+        ops = [
+            PendingOp(0, 1, op("transferFrom", 0, 3, 2)),
+            PendingOp(1, 0, op("transfer", 4, 2)),
+        ]
+        [small] = SyncPlanner(3).assign([ops], classifier, state, token)
+        assert small.tier == 3
+        assert small.team == frozenset({0, 1, 2})
+        [over] = SyncPlanner(2).assign([ops], classifier, state, token)
+        assert over.tier == TIER_GLOBAL
+
+    def test_decide_sizes_precomputed_teams(self):
+        planner = SyncPlanner(4)
+        assert planner.decide(frozenset({1, 2})).tier == 2
+        assert planner.decide(frozenset(range(9))).tier == TIER_GLOBAL
+        assert planner.decide(None).tier == TIER_GLOBAL
+
+    def test_empty_component_rejected(self):
+        token, classifier, state = erc20_fixture()
+        with pytest.raises(EngineError):
+            SyncPlanner(2).assign([[]], classifier, state, token)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(EngineError):
+            SyncPlanner(-1)
+
+
+class TestTieredEscalator:
+    def test_threshold_zero_matches_the_global_lane_exactly(self):
+        """Bit-compatibility: the tiered path with no team lanes produces
+        the same committed order, time, and bill as the raw escalator."""
+        token, classifier, state = erc20_fixture()
+        ops = [
+            PendingOp(0, 1, op("transferFrom", 0, 3, 2)),
+            PendingOp(1, 2, op("transferFrom", 0, 4, 1)),
+            PendingOp(2, 0, op("transfer", 5, 2)),
+        ]
+        raw = ConsensusEscalator(seed=9).order(list(ops))
+        sync = tiered_escalator(ConsensusEscalator(seed=9), team_threshold=0)
+        result = sync.order_round([ops], classifier, state, token)
+        assert [o for c in result.components for o in c.ordered] == raw.ordered
+        assert result.messages == raw.messages
+        assert result.virtual_time == raw.virtual_time
+        assert result.team_ops == 0 and result.global_ops == len(ops)
+
+    def test_team_tier_bills_k_squared_not_global(self):
+        token, classifier, state = erc20_fixture()
+        ops = [
+            PendingOp(0, 1, op("transferFrom", 0, 3, 2)),
+            PendingOp(1, 2, op("transferFrom", 0, 4, 1)),
+        ]
+        sync = tiered_escalator(
+            ConsensusEscalator(num_replicas=8, seed=9), team_threshold=4
+        )
+        result = sync.order_round([ops], classifier, state, token)
+        assert result.team_ops == 2 and result.global_ops == 0
+        assert result.global_messages == 0
+        # 3-replica team, 2 ops in 2 proposal batches (the first proposes
+        # alone while the second is in flight): 2 + 2·(3 + 2·9) = 44 —
+        # far below the same pattern over 8 replicas (2 + 2·136 = 274).
+        assert result.team_messages == 2 + 2 * (3 + 2 * 9)
+        assert sync.k_histogram == {3: 1}
+        assert result.components[0].team == frozenset({0, 1, 2})
+
+    def test_mixed_round_pays_the_slower_phase_once(self):
+        nft_like = [
+            PendingOp(10, 0, op("transfer", 1, 1)),
+            PendingOp(11, 3, op("transferFrom", 0, 2, 1)),
+        ]
+        team_comp = [
+            PendingOp(0, 1, op("transferFrom", 0, 3, 2)),
+            PendingOp(1, 2, op("transferFrom", 0, 4, 1)),
+        ]
+        token, classifier, state = erc20_fixture()
+        sync = tiered_escalator(
+            ConsensusEscalator(seed=4), team_threshold=3
+        )
+        # Force the second component global via an oversized threshold
+        # miss: its team is {0, 3} plus spenders {1, 2} = 4 > 3.
+        result = sync.order_round(
+            [team_comp, nft_like], classifier, state, token
+        )
+        tiers = sorted(c.tier for c in result.components)
+        assert tiers[0] == 3 and math.isinf(tiers[1])
+        # The phase is concurrent: it costs the slower lane (plus that
+        # lane's trailing quorum traffic), never the sum of both.
+        assert result.virtual_time >= max(
+            c.completed for c in result.components
+        )
+        assert (
+            result.messages
+            == result.team_messages + result.global_messages
+        )

@@ -1,0 +1,116 @@
+"""TeamLane pool: independent k-consensus instances on one simulator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine.mempool import PendingOp
+from repro.errors import NetworkError
+from repro.net import ConstantLatency, TeamLanePool
+from repro.spec.operation import op
+
+
+def batch(start: int, count: int, pid: int = 0) -> list[PendingOp]:
+    return [
+        PendingOp(start + i, pid, op("transfer", 1, 1)) for i in range(count)
+    ]
+
+
+def quadratic_bill(ops: int, k: int, max_batch: int = 64) -> int:
+    """The three-phase bill for one lane of ``k`` replicas (mirrors
+    ``tests/engine/test_escalation.py``'s closed form)."""
+    batches = 1 if ops == 1 else 1 + math.ceil((ops - 1) / max_batch)
+    return ops + batches * (k + 2 * k * k)
+
+
+class TestTeamLane:
+    def test_single_lane_orders_in_submission_order(self):
+        pool = TeamLanePool(latency=ConstantLatency(1.0), seed=3)
+        ops = batch(0, 5)
+        round_result = pool.order([(frozenset({1, 2, 3}), ops)])
+        assert len(round_result.orders) == 1
+        assert list(round_result.orders[0].ordered) == ops
+        assert round_result.orders[0].team == frozenset({1, 2, 3})
+        assert round_result.makespan > 0
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 7])
+    def test_message_bill_is_quadratic_in_team_size(self, k):
+        pool = TeamLanePool(latency=ConstantLatency(1.0), seed=5)
+        ops = batch(0, 6)
+        round_result = pool.order([(frozenset(range(k)), ops)])
+        assert round_result.messages == quadratic_bill(6, k)
+
+    def test_lane_reuse_per_team(self):
+        pool = TeamLanePool(seed=1)
+        lane = pool.lane({5, 9})
+        assert pool.lane(frozenset({9, 5})) is lane
+        assert pool.lane({5, 9, 11}) is not lane
+        assert pool.lanes_created == 2
+
+    def test_empty_round_is_free(self):
+        pool = TeamLanePool(seed=0)
+        round_result = pool.order([])
+        assert round_result.orders == ()
+        assert round_result.makespan == 0.0
+        assert round_result.messages == 0
+
+    def test_empty_team_rejected(self):
+        pool = TeamLanePool(seed=0)
+        with pytest.raises(NetworkError):
+            pool.lane(frozenset())
+
+
+class TestConcurrency:
+    def test_disjoint_teams_run_concurrently(self):
+        """Two teams ordered together cost (about) the slower team, not
+        the sum — the makespan argument for many independent instances."""
+        solo_costs = []
+        for seed in (11, 12):
+            pool = TeamLanePool(latency=ConstantLatency(1.0), seed=seed)
+            solo_costs.append(
+                pool.order([(frozenset({0, 1, 2}), batch(0, 4))]).makespan
+            )
+        together = TeamLanePool(latency=ConstantLatency(1.0), seed=11)
+        round_result = together.order(
+            [
+                (frozenset({0, 1, 2}), batch(0, 4)),
+                (frozenset({3, 4, 5}), batch(10, 4)),
+            ]
+        )
+        assert round_result.teams == 2
+        assert round_result.makespan < sum(solo_costs)
+        assert together.max_concurrent == 2
+
+    def test_per_batch_orders_stay_aligned(self):
+        pool = TeamLanePool(latency=ConstantLatency(1.0), seed=2)
+        first, second = batch(0, 3), batch(100, 2)
+        round_result = pool.order(
+            [(frozenset({0, 1}), first), (frozenset({7, 8, 9}), second)]
+        )
+        assert list(round_result.orders[0].ordered) == first
+        assert list(round_result.orders[1].ordered) == second
+
+    def test_shared_team_batches_serialize_on_one_lane(self):
+        """Two components naming the same team share a lane: both orders
+        are preserved and the lane's bill is charged exactly once."""
+        pool = TeamLanePool(latency=ConstantLatency(1.0), seed=4)
+        first, second = batch(0, 2), batch(50, 3)
+        round_result = pool.order(
+            [(frozenset({0, 1}), first), (frozenset({1, 0}), second)]
+        )
+        assert pool.lanes_created == 1
+        assert round_result.teams == 1  # one lane, even with two batches
+        assert list(round_result.orders[0].ordered) == first
+        assert list(round_result.orders[1].ordered) == second
+        assert round_result.orders[1].messages == 0  # charged on the first
+        assert round_result.messages == round_result.orders[0].messages
+
+    def test_clock_is_cumulative_across_rounds(self):
+        pool = TeamLanePool(latency=ConstantLatency(1.0), seed=6)
+        pool.order([(frozenset({0, 1}), batch(0, 2))])
+        t1 = pool.simulator.now
+        pool.order([(frozenset({0, 1}), batch(10, 2))])
+        assert pool.simulator.now > t1
+        assert pool.rounds == 2
