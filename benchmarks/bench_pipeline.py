@@ -1,0 +1,322 @@
+"""E12 — cross-round pipelining: retiring the global round barrier.
+
+The barrier engine and cluster pay a *global round barrier*: window N+1
+waits for every lane and every node to finish window N.  Cross-round
+pipelining (:mod:`repro.engine.pipeline`, the pipelined router of
+:mod:`repro.cluster`) replaces the barrier with per-account frontier
+dependencies: an operation of window N+1 starts once every earlier
+component touching its footprint has committed, and the shared
+synchronization lanes overlap with execution instead of extending every
+round.  This experiment measures, in virtual time, what that buys:
+
+* **engine**: barrier vs pipelined virtual-time makespan per workload
+  mix and pipeline depth, with stall attribution (sync vs frontier);
+* **cluster**: barrier vs pipelined makespan at >= 4 nodes on the
+  OWNER_ONLY and APPROVAL_HEAVY mixes — the headline: the pipelined
+  cluster is strictly faster on both, and stall time concentrates on the
+  contended components (per escalated op, stall is an order of magnitude
+  above the uncontended traffic's);
+* **identity**: ``pipeline_depth=1`` reproduces the historical barrier
+  executor and cluster bit for bit (stats dictionaries compared).
+
+Every run is checked for serial equivalence against the sequential
+specification.
+
+Standalone (writes ``BENCH_pipeline.json``, used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.cluster import TokenCluster
+from repro.engine import BatchExecutor, PipelinedExecutor
+from repro.objects.erc20 import ERC20TokenType
+from repro.workloads import (
+    APPROVAL_HEAVY_MIX,
+    OWNER_ONLY_MIX,
+    SPENDER_HEAVY_MIX,
+    TokenWorkloadGenerator,
+)
+
+SEED = 23
+ACCOUNTS = 256
+WINDOW = 128
+LANES = 8
+NODE_COUNTS = (4, 8)
+DEPTHS = (2, 3, 4)
+#: The depth the cluster headline comparison uses.
+CLUSTER_DEPTH = 3
+
+MIXES = {
+    "owner_only": OWNER_ONLY_MIX,
+    "approval_heavy": APPROVAL_HEAVY_MIX,
+    "spender_heavy": SPENDER_HEAVY_MIX,
+}
+
+
+def make_token() -> ERC20TokenType:
+    return ERC20TokenType(ACCOUNTS, total_supply=100 * ACCOUNTS)
+
+
+def make_items(mix, ops: int):
+    return TokenWorkloadGenerator(ACCOUNTS, seed=SEED, mix=mix).generate(ops)
+
+
+def serial_reference(items):
+    return make_token().run([(item.pid, item.operation) for item in items])
+
+
+def run_engine(items, depth: int | None) -> dict:
+    """One engine run (barrier when ``depth`` is None), spec-checked."""
+    if depth is None:
+        engine = BatchExecutor(
+            make_token(), num_lanes=LANES, window=WINDOW, seed=SEED
+        )
+    else:
+        engine = PipelinedExecutor(
+            make_token(),
+            pipeline_depth=depth,
+            num_lanes=LANES,
+            window=WINDOW,
+            seed=SEED,
+        )
+    state, responses, stats = engine.run_workload(items)
+    ref_state, ref_responses = serial_reference(items)
+    assert state == ref_state, "engine diverged from the sequential spec"
+    assert responses == ref_responses, "engine responses diverged"
+    return stats.as_dict()
+
+
+def run_cluster(items, nodes: int, depth: int) -> dict:
+    """One cluster run, spec-checked; adds the node sync-wait total."""
+    cluster = TokenCluster(
+        make_token(),
+        num_nodes=nodes,
+        lanes_per_node=LANES,
+        window=WINDOW,
+        seed=SEED,
+        pipeline_depth=depth,
+    )
+    state, responses, stats = cluster.run_workload(items)
+    ref_state, ref_responses = serial_reference(items)
+    assert state == ref_state, "cluster diverged from the sequential spec"
+    assert responses == ref_responses, "cluster responses diverged"
+    summary = stats.as_dict()
+    summary["sync_wait_time"] = sum(
+        bill.sync_wait_time for bill in stats.node_bills
+    )
+    return summary
+
+
+def measure(ops: int) -> dict:
+    results: dict = {
+        "params": {
+            "ops": ops,
+            "accounts": ACCOUNTS,
+            "window": WINDOW,
+            "lanes": LANES,
+            "node_counts": list(NODE_COUNTS),
+            "depths": list(DEPTHS),
+            "cluster_depth": CLUSTER_DEPTH,
+            "seed": SEED,
+        },
+        "engine": {},
+        "cluster": {},
+        "identity": {},
+    }
+
+    for name, mix in MIXES.items():
+        items = make_items(mix, ops)
+        barrier = run_engine(items, None)
+        entry = {"barrier": barrier, "pipelined": {}}
+        for depth in DEPTHS:
+            entry["pipelined"][str(depth)] = run_engine(items, depth)
+        results["engine"][name] = entry
+
+    # Bit-for-bit identity of the depth-1 path with the barrier path,
+    # checked on the contended mix (stats dictionaries compared whole).
+    items = make_items(APPROVAL_HEAVY_MIX, ops)
+    results["identity"]["engine_depth1_identical"] = (
+        run_engine(items, 1) == results["engine"]["approval_heavy"]["barrier"]
+    )
+
+    for name in ("owner_only", "approval_heavy"):
+        items = make_items(MIXES[name], ops)
+        entry: dict = {}
+        for nodes in NODE_COUNTS:
+            barrier = run_cluster(items, nodes, 1)
+            piped = run_cluster(items, nodes, CLUSTER_DEPTH)
+            entry[str(nodes)] = {
+                "barrier": barrier,
+                "pipelined": piped,
+                "makespan_ratio": barrier["makespan"] / piped["makespan"],
+            }
+        results["cluster"][name] = entry
+
+    items = make_items(APPROVAL_HEAVY_MIX, ops)
+    results["identity"]["cluster_depth1_identical"] = (
+        run_cluster(items, 4, 1)
+        == results["cluster"]["approval_heavy"]["4"]["barrier"]
+    )
+    return results
+
+
+def stall_concentration(cluster_entry: dict) -> tuple[float, float]:
+    """(stall per escalated op, stall per uncontended op) for one run.
+
+    Contended stall = the sync-lane wait the nodes actually paid plus the
+    frontier-gate stall on nodes executing sync-ordered components;
+    uncontended stall = the remaining frontier-gate stall.
+    """
+    piped = cluster_entry["pipelined"]
+    escalated = piped["escalated_ops"]
+    rest = piped["ops_executed"] - escalated
+    contended = (
+        piped["sync_wait_time"] + piped["frontier_stall_time_contended"]
+    )
+    uncontended = (
+        piped["frontier_stall_time"] - piped["frontier_stall_time_contended"]
+    )
+    per_escalated = contended / escalated if escalated else 0.0
+    per_uncontended = uncontended / rest if rest else 0.0
+    return per_escalated, per_uncontended
+
+
+def check_claims(results: dict) -> None:
+    """The acceptance criteria, enforced."""
+    # pipeline_depth=1 is the historical barrier path, bit for bit.
+    assert results["identity"]["engine_depth1_identical"]
+    assert results["identity"]["cluster_depth1_identical"]
+    # The pipelined cluster beats the barrier cluster in virtual-time
+    # makespan on OWNER_ONLY and APPROVAL_HEAVY at every node count >= 4.
+    for mix_name, entry in results["cluster"].items():
+        for nodes, comparison in entry.items():
+            assert comparison["makespan_ratio"] > 1.0, (
+                mix_name,
+                nodes,
+                comparison["makespan_ratio"],
+            )
+    # ... and decisively on the contended mix (sync overlaps execution).
+    assert (
+        results["cluster"]["approval_heavy"]["4"]["makespan_ratio"] > 1.25
+    )
+    # The engine sheds the barrier too where synchronization dominates.
+    approval = results["engine"]["approval_heavy"]
+    assert (
+        approval["pipelined"][str(CLUSTER_DEPTH)]["virtual_time"]
+        < approval["barrier"]["virtual_time"]
+    )
+    # Stall concentrates on the contended components: per escalated op,
+    # at least 5x the uncontended traffic's stall; the consensus-number-1
+    # mix (no contended components) pays zero contended stall anywhere.
+    for nodes in map(str, NODE_COUNTS):
+        per_escalated, per_uncontended = stall_concentration(
+            results["cluster"]["approval_heavy"][nodes]
+        )
+        assert per_escalated > 5 * per_uncontended, (
+            nodes,
+            per_escalated,
+            per_uncontended,
+        )
+        owner = results["cluster"]["owner_only"][nodes]["pipelined"]
+        assert owner["escalated_ops"] == 0
+        assert owner["frontier_stall_time_contended"] == 0.0
+        assert owner["sync_wait_time"] == 0.0
+    engine_approval = approval["pipelined"][str(CLUSTER_DEPTH)]
+    assert (
+        engine_approval["stall_time_contended"]
+        >= 0.9 * engine_approval["stall_time"]
+    )
+
+
+def render_table(results: dict) -> list[str]:
+    params = results["params"]
+    lines = [
+        "E12: cross-round pipelining vs the global round barrier "
+        f"({params['ops']} ops, {params['accounts']} accounts, "
+        f"{params['lanes']} lanes, virtual time)",
+        "",
+        f"engine (window {params['window']}):",
+        f"{'mix':>15} | {'barrier':>8} | "
+        + " ".join(f"{'depth ' + str(d):>9}" for d in DEPTHS),
+    ]
+    for name, entry in results["engine"].items():
+        cells = " ".join(
+            f"{entry['pipelined'][str(d)]['virtual_time']:>9.1f}"
+            for d in DEPTHS
+        )
+        lines.append(
+            f"{name:>15} | {entry['barrier']['virtual_time']:>8.1f} | {cells}"
+        )
+    lines.append("")
+    lines.append(
+        f"cluster (depth {params['cluster_depth']}, makespan and speedup):"
+    )
+    for name, entry in results["cluster"].items():
+        for nodes, comparison in entry.items():
+            per_escalated, per_uncontended = stall_concentration(comparison)
+            lines.append(
+                f"  {name:>15} n={nodes}: "
+                f"barrier {comparison['barrier']['makespan']:>7.2f}  "
+                f"pipelined {comparison['pipelined']['makespan']:>7.2f}  "
+                f"({comparison['makespan_ratio']:.2f}x)  "
+                f"stall/op contended {per_escalated:>6.3f} "
+                f"vs uncontended {per_uncontended:>6.3f}"
+            )
+    lines.append("")
+    lines.append(
+        "pipeline_depth=1 bit-identical to the barrier path: "
+        f"engine {results['identity']['engine_depth1_identical']}, "
+        f"cluster {results['identity']['cluster_depth1_identical']}"
+    )
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry point (collected by `pytest benchmarks/`)
+# ---------------------------------------------------------------------------
+
+
+def test_pipeline_scaling(benchmark, write_table):
+    results = benchmark.pedantic(lambda: measure(ops=512), rounds=1, iterations=1)
+    check_claims(results)
+    write_table("E12_pipeline", render_table(results))
+
+
+# ---------------------------------------------------------------------------
+# standalone smoke entry point (used by CI; writes BENCH_pipeline.json)
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ops", type=int, default=1200, help="ops per run")
+    parser.add_argument(
+        "--smoke", action="store_true", help="small, fast configuration"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_pipeline.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+    if args.ops < 1:
+        parser.error("--ops must be >= 1")
+    ops = 512 if args.smoke else args.ops
+    results = measure(ops)
+    check_claims(results)
+    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print("\n".join(render_table(results)))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

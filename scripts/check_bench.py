@@ -1,0 +1,195 @@
+"""Bench-regression gate: compare a smoke run against its committed baseline.
+
+Every CI bench job runs its benchmark with ``--smoke --out BENCH_<name>.json``
+and then calls this script, which compares the run's *headline metrics*
+(message bills, virtual-time makespans, escalation rates, throughput)
+against the baseline committed under ``benchmarks/baselines/``.  A metric
+drifting outside the tolerance band fails the job — the point is to catch
+silent performance regressions (a scheduling change that doubles the
+consensus bill, a lease policy that stops migrating) that the functional
+suites cannot see.
+
+The simulations are deterministic (seeded virtual-time discrete-event
+runs), so on an unchanged tree every metric reproduces *exactly*; the
+tolerance band (default ±25%, tighter for counters that must stay zero)
+only leaves room for intentional small shifts.  Anything outside the band
+should be a conscious decision:
+
+**Re-baselining** (after a change that legitimately moves the numbers)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py   --smoke --out benchmarks/baselines/BENCH_engine.json
+    PYTHONPATH=src python benchmarks/bench_cluster.py  --smoke --out benchmarks/baselines/BENCH_cluster.json
+    PYTHONPATH=src python benchmarks/bench_sync.py     --smoke --out benchmarks/baselines/BENCH_sync.json
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --smoke --out benchmarks/baselines/BENCH_pipeline.json
+
+and commit the updated JSON together with the change that caused it, with
+a line in the commit message saying *why* the numbers moved.
+
+Usage::
+
+    python scripts/check_bench.py <engine|cluster|sync|pipeline> \
+        --run BENCH_<name>.json [--baseline PATH] [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Headline metrics per bench, as dotted paths into the result JSON.
+#: ``zero`` metrics are invariants (must match the baseline exactly —
+#: in practice: stay zero); the rest use the relative tolerance band.
+METRICS: dict[str, dict[str, list[str]]] = {
+    "engine": {
+        "band": [
+            "mixes.owner_only.speedup",
+            "mixes.owner_only.sharded.throughput",
+            "mixes.default.sharded.virtual_time",
+            "mixes.spender_heavy.sharded.escalation_rate",
+            "mixes.spender_heavy.sharded.escalation_messages",
+            "mixes.approval_heavy.sharded.escalation_messages",
+        ],
+        "zero": [
+            "mixes.owner_only.sharded.escalation_messages",
+        ],
+    },
+    "cluster": {
+        "band": [
+            "mixes.owner_only.cluster.4.makespan",
+            "mixes.owner_only.cluster.4.throughput",
+            "mixes.owner_only.cluster.4.cluster_messages",
+            "mixes.spender_heavy.cluster.4.escalation_rate",
+            "mixes.spender_heavy.cluster.4.escalation_messages",
+            "mixes.default.cluster.4.lease_migrations",
+            "owner_local.4.makespan",
+        ],
+        "zero": [
+            "owner_local.4.escalation_messages",
+            "owner_local.4.lease_migrations",
+        ],
+    },
+    "sync": {
+        "band": [
+            "engine.global.escalation_messages",
+            "engine.tiered.escalation_messages",
+            "engine.tiered.virtual_time",
+            "engine.tiered.escalation_rate",
+            "cluster.global.makespan",
+            "cluster.tiered.makespan",
+            "multi_contract.tiered.messages",
+        ],
+        "zero": [],
+    },
+    "pipeline": {
+        "band": [
+            "engine.approval_heavy.barrier.virtual_time",
+            "engine.approval_heavy.pipelined.3.virtual_time",
+            "cluster.owner_only.4.makespan_ratio",
+            "cluster.approval_heavy.4.makespan_ratio",
+            "cluster.approval_heavy.4.pipelined.makespan",
+            "cluster.approval_heavy.4.pipelined.escalation_messages",
+        ],
+        "zero": [
+            "cluster.owner_only.4.pipelined.escalation_messages",
+        ],
+    },
+}
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def lookup(data: dict, path: str):
+    node = data
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(path)
+        node = node[part]
+    if not isinstance(node, (int, float)) or isinstance(node, bool):
+        raise TypeError(f"{path} is not numeric: {node!r}")
+    return node
+
+
+def compare(
+    bench: str, baseline: dict, run: dict, tolerance: float
+) -> list[str]:
+    """Return a list of human-readable regression descriptions."""
+    failures = []
+    spec = METRICS[bench]
+    for path in spec["band"]:
+        base, got = lookup(baseline, path), lookup(run, path)
+        bound = tolerance * max(abs(base), 1e-9)
+        if abs(got - base) > bound:
+            failures.append(
+                f"{path}: baseline {base:g}, run {got:g} "
+                f"(drift {got - base:+g}, allowed ±{bound:g})"
+            )
+    for path in spec["zero"]:
+        base, got = lookup(baseline, path), lookup(run, path)
+        if got != base:
+            failures.append(
+                f"{path}: invariant metric changed — baseline {base:g}, "
+                f"run {got:g}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare a bench smoke run against its committed baseline"
+    )
+    parser.add_argument("bench", choices=sorted(METRICS))
+    parser.add_argument(
+        "--run", type=Path, required=True, help="the smoke run's JSON output"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline JSON (default: benchmarks/baselines/BENCH_<name>.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative tolerance band (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        parser.error("--tolerance must be in [0, 1)")
+    baseline_path = (
+        args.baseline
+        if args.baseline is not None
+        else Path(__file__).resolve().parent.parent
+        / "benchmarks"
+        / "baselines"
+        / f"BENCH_{args.bench}.json"
+    )
+    baseline = json.loads(baseline_path.read_text())
+    run = json.loads(args.run.read_text())
+    failures = compare(args.bench, baseline, run, args.tolerance)
+    spec = METRICS[args.bench]
+    checked = len(spec["band"]) + len(spec["zero"])
+    if failures:
+        print(
+            f"bench-regression gate FAILED for {args.bench} "
+            f"({len(failures)}/{checked} metrics out of band):"
+        )
+        for failure in failures:
+            print(f"  - {failure}")
+        print(
+            "\nIf the drift is intentional, re-baseline (see "
+            "scripts/check_bench.py docstring) and commit the updated JSON."
+        )
+        return 1
+    print(
+        f"bench-regression gate OK for {args.bench}: {checked} headline "
+        f"metrics within ±{args.tolerance:.0%} of "
+        f"{baseline_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

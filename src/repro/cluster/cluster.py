@@ -71,6 +71,7 @@ class TokenCluster:
         lease_min_gain: int = 2,
         lease_cooldown: int = 0,
         team_threshold: int = 0,
+        pipeline_depth: int = 1,
     ) -> None:
         if num_nodes < 1:
             raise ClusterError("cluster needs at least one node")
@@ -125,6 +126,7 @@ class TokenCluster:
             lease_cooldown=lease_cooldown,
             team_threshold=team_threshold,
             seed=seed,
+            pipeline_depth=pipeline_depth,
         )
         self.stats.node_bills = [node.bill for node in self.nodes]
 
@@ -141,11 +143,28 @@ class TokenCluster:
     # -- execution --------------------------------------------------------
 
     def run(self) -> ClusterStats:
-        """Drain the router's mempool round by round."""
-        while self.router.start_round():
-            self.simulator.run()
-            if not self.router.idle:
-                raise ClusterError("round did not quiesce")
+        """Drain the router's mempool.
+
+        Barrier mode (``pipeline_depth=1``): round by round, each one
+        quiescing before the next is classified.  Pipelined mode: the
+        router keeps up to ``pipeline_depth`` rounds in flight, dispatching
+        per-node batches as their frontier gates clear; round completions
+        pump new classifications from inside the event loop, so one
+        simulator run drains everything.
+        """
+        if self.router.pipeline_depth > 1:
+            while True:
+                self.router.pump()
+                self.simulator.run()
+                if not self.router.idle:
+                    raise ClusterError("pipelined rounds did not quiesce")
+                if not self.router.mempool:
+                    break
+        else:
+            while self.router.start_round():
+                self.simulator.run()
+                if not self.router.idle:
+                    raise ClusterError("round did not quiesce")
         self._sync_stats()
         return self.stats
 

@@ -70,9 +70,17 @@ class ClusterNode(Node):
         #: Lease grants this round's batch must wait for / has received.
         self._leases_needed: dict[int, int] = {}
         self._leases_granted: dict[int, int] = {}
-        #: Sync-lane completion this round's batch must wait out first.
+        #: Sync-lane completion this round's batch must wait out first:
+        #: a relative delay (barrier router) or an absolute completion
+        #: time on the simulator clock (pipelined router).
         self._sync_delay: dict[int, float] = {}
+        self._sync_ready: dict[int, float] = {}
         self._running: set[int] = set()
+        #: Per-node frontier: the highest round this node has started.
+        #: The pipelined router dispatches a node's rounds strictly in
+        #: order, one at a time — this check turns that safety argument
+        #: into an enforced invariant.
+        self.frontier_round = -1
 
     # -- round execution --------------------------------------------------
 
@@ -90,6 +98,7 @@ class ClusterNode(Node):
         self._expected[round_index] = count
         self._leases_needed[round_index] = body.get("leases", 0)
         self._sync_delay[round_index] = body.get("sync_delay", 0.0)
+        self._sync_ready[round_index] = body.get("sync_ready", 0.0)
         self._maybe_run(round_index)
 
     def _maybe_run(self, round_index: int) -> None:
@@ -111,14 +120,26 @@ class ClusterNode(Node):
                 f"node {self.node_id} received {len(batch)} ops for round "
                 f"{round_index}, expected {expected}"
             )
+        if round_index <= self.frontier_round:
+            raise ClusterError(
+                f"node {self.node_id} asked to run round {round_index} "
+                f"behind its frontier {self.frontier_round}"
+            )
+        self.frontier_round = round_index
         # Per-op forwards can arrive reordered; submission order is the
         # deterministic ground truth the scheduler works from.
         ops = sorted(batch, key=lambda op: op.seq)
         plan = self.scheduler.plan_batch(ops)
         # The batch's contended components execute only after their sync
         # lanes committed an order; the wait is this node's, not the
-        # round's — other nodes run their batches meanwhile.
+        # round's — other nodes run their batches meanwhile.  The barrier
+        # router bills the lane latency as a relative ``sync_delay``; the
+        # pipelined router sends the lane's absolute completion time, so a
+        # batch that waited out its dependencies pays only the remainder.
         sync_delay = self._sync_delay.get(round_index, 0.0)
+        sync_ready = self._sync_ready.get(round_index, 0.0)
+        if sync_ready:
+            sync_delay = max(sync_delay, sync_ready - self.now, 0.0)
         self.bill.sync_wait_time += sync_delay
         delay = plan.critical_path * self.op_cost + sync_delay
         self.schedule(delay, lambda: self._finish(round_index, plan, delay))
@@ -141,6 +162,7 @@ class ClusterNode(Node):
         self._leases_needed.pop(round_index, None)
         self._leases_granted.pop(round_index, None)
         self._sync_delay.pop(round_index, None)
+        self._sync_ready.pop(round_index, None)
         self._running.discard(round_index)
         self.bill.ops_executed += len(responses)
         self.bill.rounds_active += 1

@@ -49,7 +49,7 @@ node count and any lease schedule.
 from __future__ import annotations
 
 import math
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
@@ -62,7 +62,7 @@ from repro.engine.shard import ShardPlanner
 from repro.errors import ClusterError, MempoolFullError
 from repro.net.network import Message, Network
 from repro.net.node import Node
-from repro.objects.footprint import anchor_account
+from repro.objects.footprint import FootprintSummary, anchor_account
 from repro.sync.escalation import TieredEscalator
 from repro.sync.planner import SyncAssignment
 from repro.workloads.generators import WorkloadItem
@@ -75,24 +75,30 @@ LEASE_MESSAGE_TYPES = ("cl_lease_request", "cl_lease_grant", "cl_lease_ack")
 
 
 @dataclass
-class _RoundState:
-    """In-flight bookkeeping for one routing round."""
+class _RoutedWindow:
+    """Pure outcome of routing one window (no messages sent yet).
+
+    The computation — component co-location, lease planning, hot-shard
+    splitting, spill, tiered synchronization — is identical for the
+    barrier and the pipelined round loops; only *when* the per-node
+    batches and lease requests go out differs.  Factoring it here is what
+    keeps ``pipeline_depth=1`` the historical behavior: there is a single
+    routing implementation for both paths.
+    """
 
     index: int
-    started: float
     assignment: dict[int, list[PendingOp]]
-    #: Per-node sync-lane completion the batch must wait out (team lanes
-    #: and the global lane finish at different virtual times).
+    #: Per-node sync-lane completion the batch must wait out (relative to
+    #: the start of the round's synchronization phase).
     node_delays: dict[int, float]
     leases_by_node: dict[int, int]
-    pending_acks: int
+    migrations: list[tuple[int, int, int]]
     t_escalation: float
     escalation_messages: int
     owner_local: int
     hot_split: int
     spill: int
     escalated: int
-    migrations: int
     team_ops: int
     global_ops: int
     team_messages: int
@@ -100,7 +106,52 @@ class _RoundState:
     teams: int
     team_sizes: tuple[int, ...]
     cooldown_skips: int
+    #: Nodes executing a contended (sync-ordered) component this round —
+    #: the stall-attribution split of the pipelined path.
+    contended_nodes: frozenset[int]
+
+
+@dataclass
+class _RoundState:
+    """In-flight bookkeeping for one barrier routing round."""
+
+    routed: _RoutedWindow
+    started: float
+    pending_acks: int
     pending_results: set[int] = field(default_factory=set)
+
+    @property
+    def index(self) -> int:
+        return self.routed.index
+
+
+@dataclass
+class _PipelinedRound:
+    """In-flight bookkeeping for one round of the pipelined router."""
+
+    routed: _RoutedWindow
+    classified: float
+    #: Absolute start of this round's synchronization phase (the shared
+    #: sync lanes are one resource: phases serialize across rounds but
+    #: overlap node execution).
+    sync_start: float
+    #: Batch may-access summaries, the cross-round frontier test's input.
+    summaries: dict[int, FootprintSummary]
+    #: Rounds in flight (this one included) right after classification.
+    inflight: int
+    pending_results: set[int]
+    pending_acks: int
+    #: Lease requests not yet sent (per-shard handoffs serialize).
+    lease_pending: list[tuple[int, int, int]]
+    dispatched: set[int] = field(default_factory=set)
+    completed: set[int] = field(default_factory=set)
+    dispatch_stall: float = 0.0
+    dispatch_stall_contended: float = 0.0
+    #: node -> time its ready-to-go batch was first blocked by the
+    #: cross-round footprint gate (as opposed to its node being busy).
+    gate_blocked_since: dict[int, float] = field(default_factory=dict)
+    frontier_stall: float = 0.0
+    frontier_stall_contended: float = 0.0
 
 
 class Router(Node):
@@ -122,8 +173,11 @@ class Router(Node):
         team_threshold: int = 0,
         sync: TieredEscalator | None = None,
         seed: int = 0,
+        pipeline_depth: int = 1,
     ) -> None:
         super().__init__(node_id, network)
+        if pipeline_depth < 1:
+            raise ClusterError("pipeline_depth must be >= 1")
         self.shard_map = shard_map
         self.classifier = classifier
         self.escalator = escalator
@@ -160,6 +214,22 @@ class Router(Node):
         self.responses: dict[int, Any] = {}
         self._round: _RoundState | None = None
         self._rounds_started = 0
+        #: Cross-round pipelining (``pipeline_depth > 1``): rounds in
+        #: flight, per-node dispatch FIFOs, and the gates that replace the
+        #: global round barrier (see :meth:`pump`).
+        self.pipeline_depth = pipeline_depth
+        stats.pipeline_depth = pipeline_depth
+        self._inflight: dict[int, _PipelinedRound] = {}
+        self._node_queue: dict[int, deque[int]] = {
+            node: deque() for node in range(shard_map.num_nodes)
+        }
+        #: Nodes with a dispatched batch whose result is still out.
+        self._node_outstanding: set[int] = set()
+        #: shard -> round of its in-flight lease handoff (handoffs of one
+        #: shard serialize: the next request waits for the previous ack).
+        self._shard_ack_round: dict[int, int] = {}
+        #: Absolute time the shared sync lanes are busy until.
+        self._sync_free = 0.0
 
     # -- intake -----------------------------------------------------------
 
@@ -182,20 +252,13 @@ class Router(Node):
     def _anchor(self, op: PendingOp) -> int:
         return anchor_account(self.classifier.footprint(op), op.pid)
 
-    def start_round(self) -> bool:
-        """Route one window; returns ``False`` when the mempool is empty.
-
-        The round then progresses purely through simulator events; it is
-        complete (``idle`` is true) once every participating node's
-        ``cl_result`` has arrived.
-        """
-        if self._round is not None:
-            raise ClusterError("previous round still in flight")
-        window = self.mempool.pop_window(self.window)
-        if not window:
-            return False
-        index = self._rounds_started
-        self._rounds_started += 1
+    def _route_window(
+        self, window: list[PendingOp], index: int
+    ) -> _RoutedWindow:
+        """Route one window: co-locate components, plan leases, order the
+        contended components through the sync layer.  Pure computation —
+        no messages are sent — shared verbatim by the barrier
+        (:meth:`start_round`) and pipelined (:meth:`pump`) round loops."""
         num_nodes = self.shard_map.num_nodes
         state = self._state_fn() if self._state_fn is not None else None
         graph = ConflictGraph.build(self.classifier, window, state)
@@ -384,9 +447,8 @@ class Router(Node):
             for node, ops in assignment.items()
             if ops
         }
-        self._round = _RoundState(
+        return _RoutedWindow(
             index=index,
-            started=self.now,
             assignment=assignment,
             node_delays={
                 node: delay
@@ -394,14 +456,13 @@ class Router(Node):
                 if node in assignment
             },
             leases_by_node=dict(leases_by_node),
-            pending_acks=len(migrations),
+            migrations=migrations,
             t_escalation=t_escalation,
             escalation_messages=escalation_messages,
             owner_local=owner_local,
             hot_split=hot_split,
             spill=spill,
             escalated=len(escalated_ops),
-            migrations=len(migrations),
             team_ops=sync_round.team_ops if sync_round else 0,
             global_ops=sync_round.global_ops if sync_round else 0,
             team_messages=sync_round.team_messages if sync_round else 0,
@@ -409,15 +470,43 @@ class Router(Node):
             teams=sync_round.teams if sync_round else 0,
             team_sizes=sync_round.team_sizes if sync_round else (),
             cooldown_skips=cooldown_skips,
-            pending_results=set(assignment),
+            contended_nodes=frozenset(
+                target for _, _, target in escalated_components
+            ),
         )
-        for shard, from_node, to_node in migrations:
+
+    def start_round(self) -> bool:
+        """Route one window; returns ``False`` when the mempool is empty.
+
+        The barrier round loop (``pipeline_depth=1``): one round in flight
+        at a time, every per-node batch and lease request sent at
+        classification.  The round then progresses purely through
+        simulator events; it is complete (``idle`` is true) once every
+        participating node's ``cl_result`` has arrived.
+        """
+        if self.pipeline_depth > 1:
+            raise ClusterError("pipelined router rounds start through pump()")
+        if self._round is not None:
+            raise ClusterError("previous round still in flight")
+        window = self.mempool.pop_window(self.window)
+        if not window:
+            return False
+        index = self._rounds_started
+        self._rounds_started += 1
+        routed = self._route_window(window, index)
+        self._round = _RoundState(
+            routed=routed,
+            started=self.now,
+            pending_acks=len(routed.migrations),
+            pending_results=set(routed.assignment),
+        )
+        for shard, from_node, to_node in routed.migrations:
             self.send(
                 from_node,
                 "cl_lease_request",
                 {"shard": shard, "new_owner": to_node, "round": index},
             )
-        for node in sorted(assignment):
+        for node in sorted(routed.assignment):
             self._dispatch(node)
         return True
 
@@ -429,32 +518,240 @@ class Router(Node):
         costs two hops on the critical path, not four."""
         round_state = self._round
         assert round_state is not None
-        ops = round_state.assignment[node]
+        routed = round_state.routed
+        ops = routed.assignment[node]
         self.send(
             node,
             "cl_run",
             {
-                "round": round_state.index,
+                "round": routed.index,
                 "count": len(ops),
-                "leases": round_state.leases_by_node.get(node, 0),
-                "sync_delay": round_state.node_delays.get(node, 0.0),
+                "leases": routed.leases_by_node.get(node, 0),
+                "sync_delay": routed.node_delays.get(node, 0.0),
             },
         )
         for op in ops:
-            self.send(node, "cl_op", {"round": round_state.index, "op": op})
+            self.send(node, "cl_op", {"round": routed.index, "op": op})
+
+    # -- pipelined round loop ---------------------------------------------
+
+    def pump(self) -> int:
+        """Classify as many windows as the pipeline has room for, then
+        dispatch every batch whose gates cleared; returns the number of
+        rounds classified.
+
+        The global round barrier is replaced by three per-resource gates:
+
+        * **per-node frontier** — a node receives round N+1's batch only
+          after its own round-N result arrived (nodes execute their rounds
+          in order, one at a time);
+        * **cross-round footprint** — a batch waits for every earlier
+          in-flight batch (on any node) whose may-access summary does not
+          statically commute with it (:class:`~repro.objects.footprint.
+          FootprintSummary`), so overlapped rounds only ever reorder
+          commuting operations;
+        * **per-shard lease order** — handoffs of one shard serialize:
+          round N+1's request goes out once round N's handoff of the same
+          shard has been acknowledged.
+
+        Every gate references strictly earlier rounds, so the pipeline
+        cannot deadlock; with ``pipeline_depth=1`` none of this runs and
+        the barrier loop (:meth:`start_round`) is used unchanged.
+        """
+        if self.pipeline_depth == 1:
+            raise ClusterError("barrier router rounds start via start_round()")
+        classified = 0
+        while len(self._inflight) < self.pipeline_depth:
+            window = self.mempool.pop_window(self.window)
+            if not window:
+                break
+            index = self._rounds_started
+            self._rounds_started += 1
+            routed = self._route_window(window, index)
+            sync_start = max(self.now, self._sync_free)
+            if routed.t_escalation > 0:
+                self._sync_free = sync_start + routed.t_escalation
+            self._inflight[index] = _PipelinedRound(
+                routed=routed,
+                classified=self.now,
+                sync_start=sync_start,
+                summaries={
+                    node: FootprintSummary.over(
+                        self.classifier.footprint(op) for op in ops
+                    )
+                    for node, ops in routed.assignment.items()
+                },
+                inflight=len(self._inflight) + 1,
+                pending_results=set(routed.assignment),
+                pending_acks=len(routed.migrations),
+                lease_pending=list(routed.migrations),
+            )
+            for node in sorted(routed.assignment):
+                self._node_queue[node].append(index)
+            classified += 1
+        self._drain_gates()
+        return classified
+
+    def _drain_gates(self) -> None:
+        """Send every lease request and batch whose gates now pass."""
+        progress = True
+        while progress:
+            progress = False
+            for index in sorted(self._inflight):
+                round_state = self._inflight[index]
+                for migration in list(round_state.lease_pending):
+                    shard, from_node, to_node = migration
+                    if shard in self._shard_ack_round:
+                        continue  # an earlier handoff of this shard is out
+                    round_state.lease_pending.remove(migration)
+                    self._shard_ack_round[shard] = index
+                    self.send(
+                        from_node,
+                        "cl_lease_request",
+                        {"shard": shard, "new_owner": to_node, "round": index},
+                    )
+                    progress = True
+            for node in sorted(self._node_queue):
+                queue = self._node_queue[node]
+                if not queue or node in self._node_outstanding:
+                    continue
+                index = queue[0]
+                round_state = self._inflight[index]
+                if self._batch_blocked(index, node):
+                    # The node is free but the footprint gate holds the
+                    # batch back — that wait (unlike pipeline fill) is
+                    # attributable to cross-round conflicts.
+                    round_state.gate_blocked_since.setdefault(node, self.now)
+                    continue
+                queue.popleft()
+                self._node_outstanding.add(node)
+                round_state.dispatched.add(node)
+                stall = self.now - round_state.classified
+                gate_stall = self.now - round_state.gate_blocked_since.pop(
+                    node, self.now
+                )
+                round_state.dispatch_stall += stall
+                round_state.frontier_stall += gate_stall
+                if node in round_state.routed.contended_nodes:
+                    round_state.dispatch_stall_contended += stall
+                    round_state.frontier_stall_contended += gate_stall
+                self._send_batch(index, node)
+                progress = True
+
+    def _batch_blocked(self, index: int, node: int) -> bool:
+        """The cross-round footprint gate: may this batch overlap every
+        still-incomplete batch of every earlier in-flight round?"""
+        summary = self._inflight[index].summaries[node]
+        for earlier in self._inflight:
+            if earlier >= index:
+                continue
+            earlier_state = self._inflight[earlier]
+            for other, other_summary in earlier_state.summaries.items():
+                if other in earlier_state.completed or other == node:
+                    # Same-node ordering is the per-node FIFO's job.
+                    continue
+                if summary.conflicts_with(other_summary):
+                    return True
+        return False
+
+    def _send_batch(self, index: int, node: int) -> None:
+        round_state = self._inflight[index]
+        routed = round_state.routed
+        ops = routed.assignment[node]
+        delay = routed.node_delays.get(node, 0.0)
+        self.send(
+            node,
+            "cl_run",
+            {
+                "round": index,
+                "count": len(ops),
+                "leases": routed.leases_by_node.get(node, 0),
+                # Absolute completion of this node's slowest sync lane:
+                # the lanes ran while the batch waited in the pipeline, so
+                # the node pays only the remainder, not the full latency.
+                "sync_ready": round_state.sync_start + delay if delay else 0.0,
+            },
+        )
+        for op in ops:
+            self.send(node, "cl_op", {"round": index, "op": op})
+
+    def _finish_pipelined_round(self, index: int) -> None:
+        round_state = self._inflight[index]
+        if round_state.pending_results or round_state.pending_acks > 0:
+            return
+        routed = round_state.routed
+        self.stats.record_round(
+            ClusterRound(
+                index=index,
+                window=sum(len(ops) for ops in routed.assignment.values()),
+                owner_local_ops=routed.owner_local,
+                hot_split_ops=routed.hot_split,
+                spill_ops=routed.spill,
+                escalated_ops=routed.escalated,
+                lease_migrations=len(routed.migrations),
+                nodes_used=len(routed.assignment),
+                virtual_time=self.now - round_state.classified,
+                escalation_time=routed.t_escalation,
+                escalation_messages=routed.escalation_messages,
+                team_ops=routed.team_ops,
+                global_ops=routed.global_ops,
+                team_messages=routed.team_messages,
+                global_messages=routed.global_messages,
+                teams=routed.teams,
+                team_sizes=routed.team_sizes,
+                cooldown_skips=routed.cooldown_skips,
+                inflight=round_state.inflight,
+                dispatch_stall=round_state.dispatch_stall,
+                dispatch_stall_contended=round_state.dispatch_stall_contended,
+                frontier_stall=round_state.frontier_stall,
+                frontier_stall_contended=round_state.frontier_stall_contended,
+                completed_at=self.now,
+            )
+        )
+        del self._inflight[index]
+        self.pump()
 
     # -- message handlers -------------------------------------------------
 
     def handle_cl_lease_ack(self, message: Message) -> None:
+        body = message.payload
+        if self.pipeline_depth > 1:
+            index = body["round"]
+            round_state = self._inflight.get(index)
+            if round_state is None:
+                raise ClusterError("stray lease ack outside its round")
+            round_state.pending_acks -= 1
+            self._shard_ack_round.pop(body["shard"], None)
+            self._finish_pipelined_round(index)
+            self._drain_gates()
+            return
         round_state = self._round
-        if round_state is None or message.payload["round"] != round_state.index:
+        if round_state is None or body["round"] != round_state.index:
             raise ClusterError("stray lease ack outside its round")
         round_state.pending_acks -= 1
         self._maybe_finish_round()
 
     def handle_cl_result(self, message: Message) -> None:
-        round_state = self._round
         body = message.payload
+        if self.pipeline_depth > 1:
+            index = body["round"]
+            round_state = self._inflight.get(index)
+            if (
+                round_state is None
+                or message.src not in round_state.pending_results
+            ):
+                raise ClusterError(
+                    f"stray or duplicate result from node {message.src} "
+                    f"in round {index}"
+                )
+            self.responses.update(body["responses"])
+            round_state.pending_results.discard(message.src)
+            round_state.completed.add(message.src)
+            self._node_outstanding.discard(message.src)
+            self._finish_pipelined_round(index)
+            self._drain_gates()
+            return
+        round_state = self._round
         if round_state is None or body["round"] != round_state.index:
             raise ClusterError("stray result outside its round")
         if message.src not in round_state.pending_results:
@@ -471,30 +768,33 @@ class Router(Node):
         assert round_state is not None
         if round_state.pending_results or round_state.pending_acks > 0:
             return
+        routed = round_state.routed
         self.stats.record_round(
             ClusterRound(
-                index=round_state.index,
-                window=sum(len(ops) for ops in round_state.assignment.values()),
-                owner_local_ops=round_state.owner_local,
-                hot_split_ops=round_state.hot_split,
-                spill_ops=round_state.spill,
-                escalated_ops=round_state.escalated,
-                lease_migrations=round_state.migrations,
-                nodes_used=len(round_state.assignment),
+                index=routed.index,
+                window=sum(len(ops) for ops in routed.assignment.values()),
+                owner_local_ops=routed.owner_local,
+                hot_split_ops=routed.hot_split,
+                spill_ops=routed.spill,
+                escalated_ops=routed.escalated,
+                lease_migrations=len(routed.migrations),
+                nodes_used=len(routed.assignment),
                 virtual_time=self.now - round_state.started,
-                escalation_time=round_state.t_escalation,
-                escalation_messages=round_state.escalation_messages,
-                team_ops=round_state.team_ops,
-                global_ops=round_state.global_ops,
-                team_messages=round_state.team_messages,
-                global_messages=round_state.global_messages,
-                teams=round_state.teams,
-                team_sizes=round_state.team_sizes,
-                cooldown_skips=round_state.cooldown_skips,
+                escalation_time=routed.t_escalation,
+                escalation_messages=routed.escalation_messages,
+                team_ops=routed.team_ops,
+                global_ops=routed.global_ops,
+                team_messages=routed.team_messages,
+                global_messages=routed.global_messages,
+                teams=routed.teams,
+                team_sizes=routed.team_sizes,
+                cooldown_skips=routed.cooldown_skips,
             )
         )
         self._round = None
 
     @property
     def idle(self) -> bool:
+        if self.pipeline_depth > 1:
+            return not self._inflight
         return self._round is None

@@ -77,6 +77,21 @@ class ClusterRound:
     team_sizes: tuple[int, ...] = ()
     #: Lease migrations suppressed by the anti-churn cooldown this round.
     cooldown_skips: int = 0
+    #: Cross-round pipelining only (:class:`~repro.cluster.router.Router`
+    #: with ``pipeline_depth > 1``): rounds in flight when this one was
+    #: classified, virtual time its per-node batches spent gated at the
+    #: router before dispatch (``dispatch_stall_contended`` is the share
+    #: on nodes executing sync-ordered components), and the round's
+    #: absolute completion time.  Barrier rounds leave the defaults.
+    inflight: int = 1
+    dispatch_stall: float = 0.0
+    dispatch_stall_contended: float = 0.0
+    #: The share of the dispatch stall caused by the cross-round footprint
+    #: gate specifically (the node was free; a conflicting earlier batch
+    #: had not committed yet) — pipeline fill excluded.
+    frontier_stall: float = 0.0
+    frontier_stall_contended: float = 0.0
+    completed_at: float = 0.0
 
 
 @dataclass
@@ -88,6 +103,8 @@ class ClusterStats:
     window: int = 0
     num_shards: int = 0
     op_cost: float = 1.0
+    #: Configured window overlap depth (1 = the historical barrier).
+    pipeline_depth: int = 1
 
     ops_executed: int = 0
     rounds: int = 0
@@ -121,6 +138,17 @@ class ClusterStats:
     escalation_messages: int = 0
     escalation_time: float = 0.0
 
+    #: Cross-round pipelining: high-water mark of rounds in flight and
+    #: total router-side dispatch stall (split by contended attribution).
+    #: ``dispatch_stall_time`` includes benign pipeline fill (the node was
+    #: still executing its previous round); ``frontier_stall_time`` is the
+    #: cross-round footprint gate alone.
+    max_inflight_rounds: int = 0
+    dispatch_stall_time: float = 0.0
+    dispatch_stall_time_contended: float = 0.0
+    frontier_stall_time: float = 0.0
+    frontier_stall_time_contended: float = 0.0
+
     #: Virtual-time end-to-end makespan (network + execution + consensus).
     makespan: float = 0.0
     #: Data-plane messages on the cluster network (forwards/results/leases).
@@ -151,6 +179,17 @@ class ClusterStats:
             )
         self.max_concurrent_teams = max(
             self.max_concurrent_teams, round_stats.teams
+        )
+        self.max_inflight_rounds = max(
+            self.max_inflight_rounds, round_stats.inflight
+        )
+        self.dispatch_stall_time += round_stats.dispatch_stall
+        self.dispatch_stall_time_contended += (
+            round_stats.dispatch_stall_contended
+        )
+        self.frontier_stall_time += round_stats.frontier_stall
+        self.frontier_stall_time_contended += (
+            round_stats.frontier_stall_contended
         )
         self.lease_migrations += round_stats.lease_migrations
         self.lease_cooldown_skips += round_stats.cooldown_skips
@@ -209,6 +248,14 @@ class ClusterStats:
             "window": self.window,
             "num_shards": self.num_shards,
             "op_cost": self.op_cost,
+            "pipeline_depth": self.pipeline_depth,
+            "max_inflight_rounds": self.max_inflight_rounds,
+            "dispatch_stall_time": self.dispatch_stall_time,
+            "dispatch_stall_time_contended": self.dispatch_stall_time_contended,
+            "frontier_stall_time": self.frontier_stall_time,
+            "frontier_stall_time_contended": (
+                self.frontier_stall_time_contended
+            ),
             "ops_executed": self.ops_executed,
             "rounds": self.rounds,
             "owner_local_ops": self.owner_local_ops,

@@ -41,7 +41,13 @@ from repro.engine.escalation import (
 )
 from repro.engine.executor import BatchExecutor
 from repro.engine.mempool import Mempool, PendingOp
-from repro.engine.rounds import RoundScheduler
+from repro.engine.pipeline import PipelinedExecutor, ScheduledUnit
+from repro.engine.rounds import (
+    Round,
+    RoundLifecycle,
+    RoundScheduler,
+    RoundStage,
+)
 from repro.engine.shard import ShardPlan, ShardPlanner, stable_account_hash
 from repro.engine.stats import EngineStats, WaveStats
 
@@ -56,7 +62,12 @@ __all__ = [
     "BatchExecutor",
     "Mempool",
     "PendingOp",
+    "PipelinedExecutor",
+    "ScheduledUnit",
+    "Round",
+    "RoundLifecycle",
     "RoundScheduler",
+    "RoundStage",
     "ShardPlan",
     "ShardPlanner",
     "stable_account_hash",

@@ -118,6 +118,7 @@ def tiered_escalator(
     latency: LatencyModel | None = None,
     seed: int = 0,
     max_batch: int = 64,
+    lane_ttl: int | None = None,
 ) -> TieredEscalator:
     """Wire a :class:`ConsensusEscalator` into the tiered sync layer.
 
@@ -125,7 +126,10 @@ def tiered_escalator(
     this module's global lane as its Tier ∞ fallback and provisions
     k-participant team lanes for contended components whose spender bound
     is at most ``team_threshold`` (``0`` = always-global, the historical
-    behavior).
+    behavior).  ``lane_ttl`` garbage-collects team lanes idle for that
+    many sync rounds (``None`` keeps them forever), so long runs over
+    shifting approval patterns do not accumulate one live replica group
+    per distinct team.
     """
     return TieredEscalator(
         escalator
@@ -135,4 +139,5 @@ def tiered_escalator(
         latency=latency,
         seed=seed,
         max_batch=max_batch,
+        lane_ttl=lane_ttl,
     )

@@ -43,15 +43,14 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from repro.engine.classifier import OpClassifier
-from repro.engine.conflict_graph import ConflictGraph
 from repro.engine.escalation import ConsensusEscalator, tiered_escalator
 from repro.engine.mempool import Mempool, PendingOp
-from repro.engine.rounds import RoundScheduler
+from repro.engine.rounds import RoundLifecycle, RoundScheduler
 from repro.engine.shard import ShardPlanner
 from repro.engine.stats import EngineStats, WaveStats
 from repro.errors import EngineError
 from repro.spec.object_type import SequentialObjectType
-from repro.sync.escalation import SyncRoundResult, TieredEscalator
+from repro.sync.escalation import TieredEscalator
 from repro.workloads.generators import WorkloadItem
 
 
@@ -101,6 +100,12 @@ class BatchExecutor:
                 self.escalator, team_threshold=team_threshold, seed=seed
             )
         )
+        #: The shared round stage machine (drain → classify → sync → plan);
+        #: the pipelined executor drives the same lifecycle, which is what
+        #: keeps ``pipeline_depth=1`` bit-identical to this barrier path.
+        self.lifecycle = RoundLifecycle(
+            self.scheduler, self.sync, object_type, op_cost=op_cost
+        )
         self.mempool = Mempool(capacity=mempool_capacity)
         self.state = object_type.initial_state()
         self.responses: dict[int, Any] = {}
@@ -120,74 +125,30 @@ class BatchExecutor:
     # -- scheduling ------------------------------------------------------
 
     def step(self) -> WaveStats | None:
-        """Execute one round; returns its stats, or ``None`` when drained."""
+        """Execute one round; returns its stats, or ``None`` when drained.
+
+        One full pass of the round stage machine (:mod:`repro.engine.
+        rounds`): drain a window, classify it, synchronize the contended
+        components (phase 1 — team lanes for small spender bounds, the
+        global lane above the threshold; every lane commits in submission
+        order, fixing the relative order of contended chain members before
+        the lanes start), lay the window out on lanes, and apply it
+        lane-major (phase 2 — a deterministic merge: any two operations
+        applied out of submission order belong to different components and
+        therefore statically commute).
+        """
         self.stats.rejected_ops = self.mempool.rejected
-        window_ops = self.mempool.pop_window(self.window)
-        if not window_ops:
+        round_ = self.lifecycle.drain(self.mempool, self.window, self.stats.waves)
+        if round_ is None:
             return None
-        graph = ConflictGraph.build(self.classifier, window_ops, self.state)
-        # The splitting logic lives in the shared RoundScheduler so the
-        # cluster's per-node round loop (repro.cluster) is the same code.
-        chain_idx, singleton_idx, contended_groups = self.scheduler.split_sync(
-            graph
-        )
-        escalated_idx = [i for group in contended_groups for i in group]
-
-        # Phase 1 — synchronization for the contended components only,
-        # each through the cheapest adequate lane (team lanes for small
-        # spender bounds, the global lane above the threshold).  Every
-        # lane's committed order must match submission order (enforced by
-        # the tiered escalator); it fixes the relative order of contended
-        # chain members before the lanes start.
-        escalation = (
-            self.sync.order_round(
-                [[window_ops[i] for i in group] for group in contended_groups],
-                self.classifier,
-                state=self.state,
-                object_type=self.object_type,
-            )
-            if contended_groups
-            else SyncRoundResult()
-        )
-
-        # Phase 2 — lane-parallel execution.  Chains are atomic and stay
-        # internally ordered; singletons commute with the whole window.
-        # Lane-major application is a deterministic merge: any two
-        # operations applied out of submission order here belong to
-        # different components and therefore statically commute.
-        plan = self.planner.plan(
-            self.classifier,
-            [[window_ops[i] for i in chain] for chain in chain_idx],
-            [window_ops[i] for i in singleton_idx],
-        )
-        for lane in plan.lanes:
+        self.lifecycle.classify(round_, self.state)
+        self.lifecycle.synchronize(round_, self.state)
+        self.lifecycle.plan(round_)
+        for lane in round_.plan.lanes:
             for op in lane:
                 self._apply(op)
-
-        round_time = (
-            plan.critical_path * self.op_cost + escalation.virtual_time
-        )
-        self.clock += round_time
-        chained_ops = sum(len(chain) for chain in chain_idx)
-        round_stats = WaveStats(
-            index=self.stats.waves,
-            window=len(window_ops),
-            wave_ops=len(singleton_idx),
-            barrier_ops=chained_ops - len(escalated_idx),
-            escalated_ops=len(escalated_idx),
-            lanes_used=plan.lanes_used,
-            critical_path=plan.critical_path,
-            hot_accounts=len(plan.hot_accounts),
-            virtual_time=round_time,
-            escalation_time=escalation.virtual_time,
-            escalation_messages=escalation.messages,
-            team_ops=escalation.team_ops,
-            global_ops=escalation.global_ops,
-            team_messages=escalation.team_messages,
-            global_messages=escalation.global_messages,
-            teams=escalation.teams,
-            team_sizes=escalation.team_sizes,
-        )
+        round_stats = self.lifecycle.barrier_stats(round_)
+        self.clock += round_stats.virtual_time
         self.stats.record_round(round_stats)
         return round_stats
 

@@ -1,0 +1,360 @@
+"""Cross-round pipelined execution: no global barrier between windows.
+
+The barrier executor (:class:`~repro.engine.executor.BatchExecutor`) pays
+a *global round barrier*: window N+1's classification waits until every
+lane — and, in the cluster, every node — has finished window N, so one
+slow chain or one consensus round stalls traffic that provably commutes
+with it.  :class:`PipelinedExecutor` removes the barrier and replaces it
+with the weakest dependency the serial-equivalence contract needs:
+
+**Frontier rule.**  An operation of window N+1 may start executing as
+soon as every window-N (or earlier) component *touching its footprint*
+has committed.  Operations with disjoint footprints statically commute
+(:func:`repro.objects.footprint.static_pair_kind`), so running them in
+overlapped windows reorders only commuting pairs; operations with
+overlapping footprints are forced to start after their predecessors
+finish, which preserves submission order between them.  Unknown
+footprints degrade soundly: such a unit waits for *everything* earlier
+and gates everything later.
+
+Mechanically the executor keeps a per-location **frontier** — the virtual
+time at which the last scheduled unit touching that location finishes —
+plus per-lane free times, and schedules each window's units (chains are
+atomic units, singletons are single-op units) greedily onto the earliest
+free lane at ``max(classify time, frontier of its footprint, its sync
+lane's completion)``.  Window N+1 is classified (conflict graph, tiered
+synchronization) as soon as the pipeline has a free slot — i.e. while
+window N's lanes are still executing — and the shared synchronization
+lanes serialize across windows (they are one physical resource) but
+overlap with lane execution, which is where most of the win on contended
+mixes comes from.
+
+``pipeline_depth`` bounds how many windows may be in flight at once.
+``pipeline_depth=1`` *is* the barrier: the executor inherits
+:class:`BatchExecutor`'s round loop unchanged, so the historical behavior
+— state, responses, clock, and stats — is reproduced bit for bit
+(property-tested in ``tests/engine/test_pipeline.py``).
+
+State application happens at commit time in ascending unit start time
+(ties broken by submission order).  That order is serially equivalent to
+submission order: two units applied out of submission order either share
+no location (they statically commute) or the frontier rule forced the
+later one to start after the earlier one finished, in which case the sort
+never swaps them.  The property suite machine-checks this against the
+sequential specification for random workloads, depths, and lane counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.executor import BatchExecutor
+from repro.engine.mempool import PendingOp
+from repro.engine.stats import EngineStats, WaveStats
+from repro.errors import EngineError
+from repro.objects.footprint import FootprintSummary
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduledUnit:
+    """One atomic execution unit (a chain or a singleton) on the timeline."""
+
+    start: float
+    finish: float
+    lane: int
+    first_seq: int
+    ops: tuple[PendingOp, ...]
+    contended: bool
+    #: Stall attributed to this unit: time spent waiting on its sync lane
+    #: and on cross-round frontier dependencies beyond what admission and
+    #: lane availability already imposed.
+    sync_stall: float
+    frontier_stall: float
+
+
+class PipelinedExecutor(BatchExecutor):
+    """Cross-round pipelined executor for one token object.
+
+    Drop-in replacement for :class:`BatchExecutor` (same constructor
+    arguments plus ``pipeline_depth``).  ``run()`` / ``run_workload()``
+    are the intended API; ``step()`` schedules one window onto the
+    pipeline timeline, and state/responses materialize at commit (the end
+    of ``run()``) — the engine's virtual clock then reads the pipelined
+    *makespan*, not the sum of per-round times.
+    """
+
+    def __init__(self, object_type, pipeline_depth: int = 2, **kwargs) -> None:
+        if pipeline_depth < 1:
+            raise EngineError("pipeline_depth must be >= 1")
+        super().__init__(object_type, **kwargs)
+        self.pipeline_depth = pipeline_depth
+        self.stats.pipeline_depth = pipeline_depth
+        #: Earliest free time per lane (the pipeline never resets these —
+        #: lanes flow from one window into the next).
+        self._lane_free = [0.0] * self.num_lanes
+        #: Per-location frontier, split by access kind so that the
+        #: dependency test is *exactly* the static commutativity test
+        #: (:func:`repro.objects.footprint.static_pair_kind`): reads gate
+        #: on earlier writes, writes gate on earlier reads, absolute
+        #: writes gate on everything — but read-read and delta-delta
+        #: (credit-credit) sharing stays dependency-free, which is what
+        #: lets disjoint-owner traffic run ahead across windows.
+        self._frontier_obs: dict[tuple, float] = {}
+        self._frontier_add: dict[tuple, float] = {}
+        self._frontier_set: dict[tuple, float] = {}
+        #: Finish high-water marks: of unknown-footprint units (which gate
+        #: everything after them) and of all units (which gate unknown ones).
+        self._frontier_top = 0.0
+        self._frontier_max = 0.0
+        #: Completion time of each drained window, in window order.
+        self._completions: list[float] = []
+        self._classify_clock = 0.0
+        #: The shared sync lanes are one physical resource: their phases
+        #: serialize across windows (but overlap lane execution).
+        self._sync_free = 0.0
+        #: Units scheduled but not yet applied (committed at end of run).
+        self._pending_units: list[ScheduledUnit] = []
+        #: The serial prefix state after all drained windows — what the
+        #: barrier executor would hold before the next round.  It feeds
+        #: classification validation and spender-bound sizing with exactly
+        #: the inputs the barrier path would use.  Maintained only when
+        #: something consults it (oracle validation or team sizing) — the
+        #: default path would otherwise apply every operation twice.
+        self._track_state = (
+            self.classifier.validate or self.sync.team_threshold > 0
+        )
+        self._classify_state = (
+            object_type.initial_state() if self._track_state else None
+        )
+
+    # -- scheduling ------------------------------------------------------
+
+    def step(self) -> WaveStats | None:
+        """Schedule one window onto the pipeline; ``None`` when drained.
+
+        With ``pipeline_depth=1`` this is the inherited barrier round,
+        unchanged.  Otherwise the window is drained, classified, and
+        synchronized immediately (subject only to the depth gate), its
+        units are placed on the lane timeline under the frontier rule,
+        and application is deferred to :meth:`run`'s commit.
+        """
+        if self.pipeline_depth == 1:
+            return super().step()
+        self.stats.rejected_ops = self.mempool.rejected
+        index = self.stats.waves
+        round_ = self.lifecycle.drain(self.mempool, self.window, index)
+        if round_ is None:
+            return None
+
+        # Depth gate: at most ``pipeline_depth`` windows in flight.  The
+        # classification clock is monotonic — windows classify in order.
+        gate = 0.0
+        if index >= self.pipeline_depth:
+            gate = self._completions[index - self.pipeline_depth]
+        t_classify = max(self._classify_clock, gate)
+        self._classify_clock = t_classify
+        inflight = 1 + sum(
+            1 for done in self._completions if done > t_classify
+        )
+
+        self.lifecycle.classify(round_, self._classify_state)
+        sync_start = max(t_classify, self._sync_free)
+        self.lifecycle.synchronize(round_, self._classify_state)
+        escalation = round_.escalation
+        assert escalation is not None
+        if escalation.virtual_time > 0:
+            self._sync_free = sync_start + escalation.virtual_time
+
+        # Advance the serial prefix state past this window (submission
+        # order; equals the barrier executor's state after the round).
+        if self._track_state:
+            for op in round_.ops:
+                self._classify_state, _ = self.object_type.apply(
+                    self._classify_state, op.pid, op.operation
+                )
+
+        # Per-chain sync completion: a chain with a contended group may
+        # not start before its lane committed the group's order.
+        chain_sync: dict[int, float] = {}
+        chain_of = {
+            i: ci for ci, chain in enumerate(round_.chain_idx) for i in chain
+        }
+        for group, component in zip(
+            round_.contended_groups, escalation.components
+        ):
+            owner = chain_of[group[0]]
+            chain_sync[owner] = max(
+                chain_sync.get(owner, 0.0), sync_start + component.completed
+            )
+
+        # Units in submission order of their heads: chains are atomic,
+        # singletons are single-op units (hot accounts spread implicitly).
+        units: list[tuple[int, list[PendingOp], bool, float]] = []
+        for ci, chain in enumerate(round_.chain_idx):
+            units.append(
+                (
+                    chain[0],
+                    [round_.ops[i] for i in chain],
+                    ci in chain_sync,
+                    chain_sync.get(ci, 0.0),
+                )
+            )
+        for i in round_.singleton_idx:
+            units.append((i, [round_.ops[i]], False, 0.0))
+        units.sort(key=lambda unit: unit[0])
+
+        scheduled: list[ScheduledUnit] = []
+        frontier_updates: list[
+            tuple[frozenset | None, frozenset, frozenset, float]
+        ] = []
+        stall = stall_contended = 0.0
+        lanes_used: set[int] = set()
+        for _, ops, contended, sync_ready in units:
+            summary = FootprintSummary.over(
+                self.classifier.footprint(op) for op in ops
+            )
+            observes, adds, sets = summary.observes, summary.adds, summary.sets
+            if summary.unknown:
+                dep_ready = self._frontier_max
+            else:
+                dep_ready = self._frontier_top
+                for loc in observes:
+                    # A read waits for earlier writes to the cell.
+                    dep_ready = max(
+                        dep_ready,
+                        self._frontier_add.get(loc, 0.0),
+                        self._frontier_set.get(loc, 0.0),
+                    )
+                for loc in adds:
+                    # A delta waits for earlier reads and absolute writes,
+                    # but deltas to one cell commute with each other.
+                    dep_ready = max(
+                        dep_ready,
+                        self._frontier_obs.get(loc, 0.0),
+                        self._frontier_set.get(loc, 0.0),
+                    )
+                for loc in sets:
+                    # An absolute write waits for every earlier access.
+                    dep_ready = max(
+                        dep_ready,
+                        self._frontier_obs.get(loc, 0.0),
+                        self._frontier_add.get(loc, 0.0),
+                        self._frontier_set.get(loc, 0.0),
+                    )
+            lane = min(
+                range(self.num_lanes),
+                key=lambda lane_id: (self._lane_free[lane_id], lane_id),
+            )
+            base = max(t_classify, self._lane_free[lane])
+            sync_stall = max(0.0, sync_ready - base) if contended else 0.0
+            frontier_stall = max(0.0, dep_ready - max(base, sync_ready))
+            start = max(base, dep_ready, sync_ready)
+            finish = start + len(ops) * self.op_cost
+            self._lane_free[lane] = finish
+            lanes_used.add(lane)
+            unit = ScheduledUnit(
+                start=start,
+                finish=finish,
+                lane=lane,
+                first_seq=ops[0].seq,
+                ops=tuple(ops),
+                contended=contended,
+                sync_stall=sync_stall,
+                frontier_stall=frontier_stall,
+            )
+            scheduled.append(unit)
+            frontier_updates.append(
+                (
+                    None if summary.unknown else observes,
+                    adds,
+                    sets,
+                    finish,
+                )
+            )
+            unit_stall = sync_stall + frontier_stall
+            stall += unit_stall
+            if contended:
+                stall_contended += unit_stall
+
+        # Frontier updates apply after the whole window: units of one
+        # window never gate each other (they are distinct components and
+        # statically commute — the barrier executor's own argument).
+        for observes, adds, sets, finish in frontier_updates:
+            self._frontier_max = max(self._frontier_max, finish)
+            if observes is None:
+                self._frontier_top = max(self._frontier_top, finish)
+                continue
+            for frontier, locations in (
+                (self._frontier_obs, observes),
+                (self._frontier_add, adds),
+                (self._frontier_set, sets),
+            ):
+                for loc in locations:
+                    if finish > frontier.get(loc, 0.0):
+                        frontier[loc] = finish
+
+        completed = max(unit.finish for unit in scheduled)
+        first_start = min(unit.start for unit in scheduled)
+        overlap = 0.0
+        if self._completions:
+            overlap = max(0.0, self._completions[-1] - first_start)
+        self._completions.append(completed)
+        self._pending_units.extend(scheduled)
+
+        escalated = len(round_.escalated_idx)
+        round_stats = WaveStats(
+            index=index,
+            window=len(round_.ops),
+            wave_ops=len(round_.singleton_idx),
+            barrier_ops=round_.chained_ops - escalated,
+            escalated_ops=escalated,
+            lanes_used=len(lanes_used),
+            critical_path=max(len(unit.ops) for unit in scheduled),
+            hot_accounts=0,
+            virtual_time=completed - t_classify,
+            escalation_time=escalation.virtual_time,
+            escalation_messages=escalation.messages,
+            team_ops=escalation.team_ops,
+            global_ops=escalation.global_ops,
+            team_messages=escalation.team_messages,
+            global_messages=escalation.global_messages,
+            teams=escalation.teams,
+            team_sizes=escalation.team_sizes,
+            stall_time=stall,
+            stall_time_contended=stall_contended,
+            overlap_time=overlap,
+            inflight=inflight,
+            completed_at=completed,
+        )
+        self.stats.record_round(round_stats)
+        return round_stats
+
+    def run(self) -> EngineStats:
+        """Drain the mempool through the pipeline, then commit.
+
+        Commit applies every scheduled unit in ascending start time
+        (submission order on ties) — the serially-equivalent merge of the
+        pipelined timeline — and sets the engine clock to the makespan.
+        """
+        if self.pipeline_depth == 1:
+            return super().run()
+        while self.step() is not None:
+            pass
+        self._commit()
+        self.stats.rejected_ops = self.mempool.rejected
+        return self.stats
+
+    # -- commit ----------------------------------------------------------
+
+    def _commit(self) -> None:
+        for unit in sorted(
+            self._pending_units, key=lambda u: (u.start, u.first_seq)
+        ):
+            for op in unit.ops:
+                self._apply(op)
+        self._pending_units.clear()
+        if self._completions:
+            self.clock = max(self._completions)
+            # The aggregate clock is the *makespan* of the overlapped
+            # timeline, not the (overcounting) sum of per-round times.
+            self.stats.virtual_time = self.clock

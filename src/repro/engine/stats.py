@@ -48,6 +48,18 @@ class WaveStats:
     global_messages: int = 0
     teams: int = 0
     team_sizes: tuple[int, ...] = ()
+    #: Pipelined execution only (:mod:`repro.engine.pipeline`): virtual
+    #: time this round's units spent blocked on cross-round frontier
+    #: dependencies or their sync lanes (``stall_time_contended`` is the
+    #: share attributed to contended components), how long this round's
+    #: execution overlapped the previous round's, how many windows were in
+    #: flight when this one was classified, and the round's absolute
+    #: completion on the engine clock.  Barrier rounds leave the defaults.
+    stall_time: float = 0.0
+    stall_time_contended: float = 0.0
+    overlap_time: float = 0.0
+    inflight: int = 1
+    completed_at: float = 0.0
 
 
 @dataclass
@@ -77,6 +89,15 @@ class EngineStats:
     k_histogram: dict[int, int] = field(default_factory=dict)
     #: High-water mark of team lanes active in a single round.
     max_concurrent_teams: int = 0
+    #: Cross-round pipelining (:mod:`repro.engine.pipeline`): configured
+    #: window overlap depth (1 = the historical barrier), total stall time
+    #: (split by contended attribution), total execution overlap between
+    #: consecutive windows, and the high-water mark of in-flight windows.
+    pipeline_depth: int = 1
+    stall_time: float = 0.0
+    stall_time_contended: float = 0.0
+    overlap_time: float = 0.0
+    max_inflight_windows: int = 0
     virtual_time: float = 0.0
     escalation_time: float = 0.0
     escalation_messages: int = 0
@@ -105,6 +126,12 @@ class EngineStats:
             self.k_histogram[size] = self.k_histogram.get(size, 0) + 1
         self.max_concurrent_teams = max(
             self.max_concurrent_teams, round_stats.teams
+        )
+        self.stall_time += round_stats.stall_time
+        self.stall_time_contended += round_stats.stall_time_contended
+        self.overlap_time += round_stats.overlap_time
+        self.max_inflight_windows = max(
+            self.max_inflight_windows, round_stats.inflight
         )
         self.virtual_time += round_stats.virtual_time
         self.escalation_time += round_stats.escalation_time
@@ -187,6 +214,11 @@ class EngineStats:
             },
             "mean_team_size": self.mean_team_size,
             "max_concurrent_teams": self.max_concurrent_teams,
+            "pipeline_depth": self.pipeline_depth,
+            "stall_time": self.stall_time,
+            "stall_time_contended": self.stall_time_contended,
+            "overlap_time": self.overlap_time,
+            "max_inflight_windows": self.max_inflight_windows,
             "escalation_rate": self.escalation_rate,
             "fast_path_rate": self.fast_path_rate,
             "mean_wave_size": self.mean_wave_size,

@@ -15,7 +15,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable
 
 from repro.errors import NetworkError
 

@@ -127,14 +127,28 @@ class TeamLanePool:
         latency: LatencyModel | None = None,
         seed: int = 0,
         max_batch: int = 64,
+        idle_ttl: int | None = None,
     ) -> None:
+        if idle_ttl is not None and idle_ttl < 1:
+            raise NetworkError("idle_ttl must be positive (or None to disable)")
         self.simulator = simulator if simulator is not None else Simulator()
         self.latency = latency if latency is not None else ConstantLatency(1.0)
         self.seed = seed
         self.max_batch = max_batch
+        #: Garbage-collect a lane unused for this many ordering rounds
+        #: (``None`` = keep lanes forever, the historical behavior).  A
+        #: long run over shifting approval patterns otherwise accumulates
+        #: one live lane — k replicas, a private network — per distinct
+        #: team it ever saw.
+        self.idle_ttl = idle_ttl
         self._lanes: dict[frozenset[int], TeamLane] = {}
+        #: team -> round count at its last use (GC bookkeeping).
+        self._last_used: dict[frozenset[int], int] = {}
         self.rounds = 0
         self.total_messages = 0
+        #: Lanes ever provisioned / garbage-collected over the pool's life.
+        self._created = 0
+        self.lanes_gcd = 0
         #: High-water mark of teams active in a single round.
         self.max_concurrent = 0
 
@@ -142,7 +156,8 @@ class TeamLanePool:
 
     def lane(self, team: Iterable[int]) -> TeamLane:
         """The lane for a team, created on first use and reused after —
-        repeat contention among the same spenders pays no setup."""
+        repeat contention among the same spenders pays no setup (a
+        GC'd lane is simply re-provisioned on next use)."""
         key = frozenset(team)
         existing = self._lanes.get(key)
         if existing is not None:
@@ -151,15 +166,39 @@ class TeamLanePool:
             key,
             self.simulator,
             self.latency,
-            seed=(self.seed * _SEED_MIX + len(self._lanes) + 1) & 0x7FFFFFFF,
+            seed=(self.seed * _SEED_MIX + self._created + 1) & 0x7FFFFFFF,
             max_batch=self.max_batch,
         )
         self._lanes[key] = lane
+        self._last_used[key] = self.rounds
+        self._created += 1
         return lane
 
     @property
     def lanes_created(self) -> int:
+        """Lanes ever provisioned (GC does not decrement this)."""
+        return self._created
+
+    @property
+    def live_lanes(self) -> int:
+        """Lanes currently held — the quantity ``idle_ttl`` bounds."""
         return len(self._lanes)
+
+    def _collect_idle(self) -> None:
+        """Drop lanes unused for ``idle_ttl`` rounds.  Safe at a round
+        boundary: every lane quiesced (the shared simulator ran dry), so a
+        dropped lane holds no pending events — only replicas and a private
+        network, which is exactly the state worth reclaiming."""
+        if self.idle_ttl is None:
+            return
+        for key in [
+            key
+            for key in self._lanes
+            if self.rounds - self._last_used.get(key, 0) >= self.idle_ttl
+        ]:
+            del self._lanes[key]
+            self._last_used.pop(key, None)
+            self.lanes_gcd += 1
 
     def order(
         self, batches: Sequence[tuple[Iterable[int], Sequence[Any]]]
@@ -229,6 +268,9 @@ class TeamLanePool:
         self.rounds += 1
         self.total_messages += round_messages
         self.max_concurrent = max(self.max_concurrent, len(by_lane))
+        for key in by_lane:
+            self._last_used[key] = self.rounds
+        self._collect_idle()
         return PoolRound(
             orders=tuple(order for order in orders if order is not None),
             makespan=self.simulator.now - started,

@@ -148,6 +148,59 @@ def anchor_account(fp: "OpFootprint | None", default: int) -> int:
     return default
 
 
+@dataclass(frozen=True, slots=True)
+class FootprintSummary:
+    """Kind-aware union of many footprints — one batch's may-access set.
+
+    The cross-round pipelining layers (:mod:`repro.engine.pipeline`, the
+    cluster router's frontier gating) need a *batch*-level commutativity
+    test: may every operation of batch A be reordered against every
+    operation of batch B?  :meth:`conflicts_with` answers with exactly the
+    per-pair rule of :func:`static_pair_kind` lifted to unions — sound
+    because a union can only over-approximate each member's accesses.  An
+    ``unknown`` summary (some member had no footprint) conflicts with
+    everything, the same conservative fallback the classifier uses.
+    """
+
+    observes: frozenset = field(default_factory=frozenset)
+    adds: frozenset = field(default_factory=frozenset)
+    sets: frozenset = field(default_factory=frozenset)
+    unknown: bool = False
+
+    @classmethod
+    def over(cls, footprints) -> "FootprintSummary":
+        """Summarize an iterable of ``OpFootprint | None``."""
+        observes: set = set()
+        adds: set = set()
+        sets: set = set()
+        unknown = False
+        for fp in footprints:
+            if fp is None:
+                unknown = True
+            else:
+                observes |= fp.observes
+                adds |= fp.adds
+                sets |= fp.sets
+        return cls(
+            frozenset(observes), frozenset(adds), frozenset(sets), unknown
+        )
+
+    @property
+    def writes(self) -> frozenset:
+        return self.adds | self.sets
+
+    def conflicts_with(self, other: "FootprintSummary") -> bool:
+        """True unless every cross pair statically commutes: no write may
+        touch what the other side observes, and shared written cells must
+        be commutative deltas on both sides."""
+        if self.unknown or other.unknown:
+            return True
+        if self.writes & other.observes or other.writes & self.observes:
+            return True
+        shared = self.writes & other.writes
+        return not (shared <= self.adds and shared <= other.adds)
+
+
 #: Footprint of a pure no-op (constant response, state never changes).
 EMPTY_FOOTPRINT = OpFootprint()
 

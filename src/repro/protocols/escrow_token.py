@@ -38,7 +38,6 @@ from repro.errors import InvalidArgumentError
 from repro.objects.asset_transfer import AssetTransfer
 from repro.objects.erc20 import TokenState
 from repro.runtime.calls import OpCall
-from repro.spec.object_type import FALSE, TRUE
 
 EscrowOp = Generator[OpCall, Any, Any]
 

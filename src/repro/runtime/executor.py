@@ -21,7 +21,6 @@ from repro.runtime.scheduler import (
     CrashAction,
     RoundRobinScheduler,
     Scheduler,
-    StepAction,
 )
 from repro.spec.history import History
 

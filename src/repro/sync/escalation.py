@@ -80,6 +80,7 @@ class TieredEscalator:
         latency: LatencyModel | None = None,
         seed: int = 0,
         max_batch: int = 64,
+        lane_ttl: int | None = None,
     ) -> None:
         self.global_lane = global_lane
         self.planner = planner if planner is not None else SyncPlanner()
@@ -87,6 +88,7 @@ class TieredEscalator:
             latency=latency if latency is not None else UniformLatency(0.5, 1.5),
             seed=seed,
             max_batch=max_batch,
+            idle_ttl=lane_ttl,
         )
         self.rounds = 0
         self.total_messages = 0

@@ -1,0 +1,294 @@
+"""Cross-round pipelined execution: equivalence and stage-machine tests.
+
+Machine-checked guarantees of :mod:`repro.engine.pipeline`:
+
+* **barrier identity** — ``pipeline_depth=1`` reproduces the historical
+  barrier executor bit for bit: same final state, same responses, same
+  clock, same stats dictionary;
+* **serial equivalence** — for *any* pipeline depth, lane count, window
+  size, and workload mix, the pipelined final state and every response
+  equal a plain sequential execution in submission order;
+* **depth invariance** — all depths produce the same state and responses;
+* **stage machine** — rounds advance ``DRAINED → CLASSIFIED → SYNCED →
+  PLANNED → COMMITTED`` and refuse skips and regressions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import BatchExecutor, PipelinedExecutor, RoundStage
+from repro.engine.rounds import Round
+from repro.errors import EngineError
+from repro.objects.asset_transfer import AssetTransferType
+from repro.objects.erc20 import ERC20TokenType
+from repro.objects.erc721 import ERC721TokenType
+from repro.spec.operation import op
+from repro.workloads import (
+    APPROVAL_HEAVY_MIX,
+    OWNER_ONLY_MIX,
+    SPENDER_HEAVY_MIX,
+    TokenWorkloadGenerator,
+    WorkloadItem,
+    WorkloadMix,
+)
+
+DEPTHS = (1, 2, 3, 5)
+
+MIXES = {
+    "owner_only": OWNER_ONLY_MIX,
+    "default": WorkloadMix(),
+    "spender_heavy": SPENDER_HEAVY_MIX,
+    "approval_heavy": APPROVAL_HEAVY_MIX,
+}
+
+
+def serial_reference(object_type, items):
+    return object_type.run([(item.pid, item.operation) for item in items])
+
+
+def pipelined_run(factory, items, depth, lanes=4, window=32, **kwargs):
+    engine = PipelinedExecutor(
+        factory(),
+        pipeline_depth=depth,
+        num_lanes=lanes,
+        window=window,
+        **kwargs,
+    )
+    return engine.run_workload(items)
+
+
+class TestBarrierIdentity:
+    """``pipeline_depth=1`` is the historical barrier path, bit for bit."""
+
+    @pytest.mark.parametrize("mix_name", sorted(MIXES))
+    def test_depth_one_matches_batch_executor_exactly(self, mix_name):
+        items = TokenWorkloadGenerator(
+            12, seed=37, mix=MIXES[mix_name]
+        ).generate(240)
+        barrier = BatchExecutor(
+            ERC20TokenType(12, total_supply=240), num_lanes=4, window=32
+        )
+        b_state, b_responses, b_stats = barrier.run_workload(items)
+        piped = PipelinedExecutor(
+            ERC20TokenType(12, total_supply=240),
+            pipeline_depth=1,
+            num_lanes=4,
+            window=32,
+        )
+        p_state, p_responses, p_stats = piped.run_workload(items)
+        assert p_state == b_state
+        assert p_responses == b_responses
+        assert piped.clock == barrier.clock
+        assert p_stats.as_dict() == b_stats.as_dict()
+
+    def test_depth_one_with_team_lanes_matches(self):
+        items = TokenWorkloadGenerator(
+            10, seed=5, mix=APPROVAL_HEAVY_MIX, spender_pool=3
+        ).generate(150)
+        kwargs = dict(num_lanes=4, window=16, team_threshold=3, seed=9)
+        barrier = BatchExecutor(ERC20TokenType(10, total_supply=200), **kwargs)
+        piped = PipelinedExecutor(
+            ERC20TokenType(10, total_supply=200), pipeline_depth=1, **kwargs
+        )
+        assert piped.run_workload(items) == barrier.run_workload(items)
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(EngineError):
+            PipelinedExecutor(
+                ERC20TokenType(4, total_supply=40), pipeline_depth=0
+            )
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("mix_name", sorted(MIXES))
+    @pytest.mark.parametrize("depth", DEPTHS)
+    def test_erc20_state_and_responses_match_spec(self, mix_name, depth):
+        token = ERC20TokenType(12, total_supply=240)
+        items = TokenWorkloadGenerator(
+            12, seed=71, mix=MIXES[mix_name]
+        ).generate(300)
+        ref_state, ref_responses = serial_reference(token, items)
+        state, responses, _ = pipelined_run(
+            lambda: ERC20TokenType(12, total_supply=240), items, depth
+        )
+        assert state == ref_state
+        assert responses == ref_responses
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        depth=st.integers(1, 6),
+        lanes=st.sampled_from([1, 2, 4, 8]),
+        window=st.integers(4, 48),
+    )
+    def test_erc20_hypothesis_sweep(self, seed, depth, lanes, window):
+        token = ERC20TokenType(8, total_supply=80)
+        items = TokenWorkloadGenerator(
+            8, seed=seed, mix=SPENDER_HEAVY_MIX, hotspot_fraction=0.4,
+            hotspot_accounts=2,
+        ).generate(100)
+        ref_state, ref_responses = serial_reference(token, items)
+        state, responses, _ = pipelined_run(
+            lambda: ERC20TokenType(8, total_supply=80),
+            items,
+            depth,
+            lanes=lanes,
+            window=window,
+        )
+        assert state == ref_state
+        assert responses == ref_responses
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), depth=st.integers(1, 5))
+    def test_erc721_races(self, seed, depth):
+        rng = random.Random(seed)
+        factory = lambda: ERC721TokenType(  # noqa: E731
+            4, initial_owners=[0, 1, 2, 3, 0, 1]
+        )
+        names = ["transferFrom", "approve", "ownerOf", "setApprovalForAll"]
+        items = []
+        for _ in range(60):
+            name = rng.choice(names)
+            pid = rng.randrange(4)
+            if name == "transferFrom":
+                operation = op(
+                    name, rng.randrange(4), rng.randrange(4), rng.randrange(6)
+                )
+            elif name == "approve":
+                operation = op(name, rng.randrange(4), rng.randrange(6))
+            elif name == "ownerOf":
+                operation = op(name, rng.randrange(6))
+            else:
+                operation = op(name, rng.randrange(4), rng.random() < 0.5)
+            items.append(WorkloadItem(pid, operation))
+        ref_state, ref_responses = serial_reference(factory(), items)
+        state, responses, _ = pipelined_run(factory, items, depth, window=16)
+        assert state == ref_state
+        assert responses == ref_responses
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), depth=st.integers(1, 5))
+    def test_asset_transfer_shared_accounts(self, seed, depth):
+        rng = random.Random(seed)
+        owner_map = [{0, 1}, {1}, {2}, {3}, {0, 3}]
+        factory = lambda: AssetTransferType(  # noqa: E731
+            [20] * 5, owner_map=owner_map, num_processes=4
+        )
+        items = [
+            WorkloadItem(
+                rng.randrange(4),
+                op(
+                    "transfer",
+                    rng.randrange(5),
+                    rng.randrange(5),
+                    rng.randint(0, 6),
+                ),
+            )
+            for _ in range(80)
+        ]
+        ref_state, ref_responses = serial_reference(factory(), items)
+        state, responses, _ = pipelined_run(factory, items, depth, window=16)
+        assert state == ref_state
+        assert responses == ref_responses
+
+    def test_validated_against_oracle(self):
+        """Validation mode cross-checks every static verdict at the serial
+        prefix state the pipeline maintains for classification."""
+        items = TokenWorkloadGenerator(
+            10, seed=13, mix=SPENDER_HEAVY_MIX
+        ).generate(150)
+        _, _, stats = pipelined_run(
+            lambda: ERC20TokenType(10, total_supply=200),
+            items,
+            3,
+            validate=True,
+        )
+        assert stats.ops_executed == 150
+
+
+class TestDepthInvariance:
+    @pytest.mark.parametrize("mix_name", sorted(MIXES))
+    def test_all_depths_agree(self, mix_name):
+        items = TokenWorkloadGenerator(
+            12, seed=29, mix=MIXES[mix_name]
+        ).generate(200)
+        outcomes = [
+            pipelined_run(
+                lambda: ERC20TokenType(12, total_supply=240), items, depth
+            )[:2]
+            for depth in DEPTHS
+        ]
+        first_state, first_responses = outcomes[0]
+        for state, responses in outcomes[1:]:
+            assert state == first_state
+            assert responses == first_responses
+
+    def test_same_config_same_stats(self):
+        items = TokenWorkloadGenerator(10, seed=5).generate(150)
+        runs = [
+            pipelined_run(
+                lambda: ERC20TokenType(10, total_supply=100), items, 3
+            )
+            for _ in range(2)
+        ]
+        assert runs[0][:2] == runs[1][:2]
+        assert runs[0][2].as_dict() == runs[1][2].as_dict()
+
+    def test_pipeline_metrics_populated(self):
+        items = TokenWorkloadGenerator(
+            10, seed=11, mix=SPENDER_HEAVY_MIX
+        ).generate(300)
+        _, _, stats = pipelined_run(
+            lambda: ERC20TokenType(10, total_supply=200), items, 3, window=16
+        )
+        assert stats.pipeline_depth == 3
+        assert 1 <= stats.max_inflight_windows <= 3
+        assert stats.virtual_time > 0
+        # The clock is the makespan of the overlapped timeline, never the
+        # sum of per-round latencies.
+        assert stats.virtual_time <= sum(
+            r.virtual_time for r in stats.rounds
+        )
+
+
+class TestStageMachine:
+    def test_stages_progress_in_order(self):
+        engine = BatchExecutor(
+            ERC20TokenType(6, total_supply=60), num_lanes=2, window=8
+        )
+        engine.feed(TokenWorkloadGenerator(6, seed=3).generate(8))
+        round_ = engine.lifecycle.drain(engine.mempool, 8, 0)
+        assert round_.stage is RoundStage.DRAINED
+        engine.lifecycle.classify(round_, engine.state)
+        assert round_.stage is RoundStage.CLASSIFIED
+        engine.lifecycle.synchronize(round_, engine.state)
+        assert round_.stage is RoundStage.SYNCED
+        engine.lifecycle.plan(round_)
+        assert round_.stage is RoundStage.PLANNED
+        engine.lifecycle.barrier_stats(round_)
+        assert round_.stage is RoundStage.COMMITTED
+
+    def test_stage_skips_are_rejected(self):
+        engine = BatchExecutor(
+            ERC20TokenType(6, total_supply=60), num_lanes=2, window=8
+        )
+        engine.feed(TokenWorkloadGenerator(6, seed=3).generate(8))
+        round_ = engine.lifecycle.drain(engine.mempool, 8, 0)
+        with pytest.raises(EngineError):
+            engine.lifecycle.synchronize(round_)  # skips CLASSIFIED
+        with pytest.raises(EngineError):
+            round_.advance(RoundStage.DRAINED)  # regression
+
+    def test_drain_on_empty_mempool_returns_none(self):
+        engine = BatchExecutor(ERC20TokenType(4, total_supply=40))
+        assert engine.lifecycle.drain(engine.mempool, 8, 0) is None
+
+    def test_round_exposes_contended_split(self):
+        round_ = Round(index=0, ops=[])
+        assert round_.escalated_idx == []
+        assert round_.chained_ops == 0

@@ -4,11 +4,11 @@ from __future__ import annotations
 
 import random
 
-from repro.ledger.blockchain import LedgerNode, build_ledger, measure_ledger
+from repro.ledger.blockchain import build_ledger, measure_ledger
 from repro.net.network import Network, UniformLatency
 from repro.net.simulation import Simulator
 from repro.objects.erc20 import ERC20TokenType
-from repro.spec.operation import Operation, op
+from repro.spec.operation import op
 
 
 def make_chain(n: int = 4, supply: int = 100, seed: int = 0, max_batch: int = 64):

@@ -7,7 +7,7 @@ import pytest
 from repro.analysis.partition import synchronization_level
 from repro.analysis.spenders import potential_level
 from repro.errors import InvalidArgumentError
-from repro.objects.erc20 import ERC20TokenType, TokenState
+from repro.objects.erc20 import ERC20TokenType
 from repro.objects.register import RegisterType
 from repro.objects.restricted import (
     RestrictedObject,

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.analysis.partition import synchronization_level
 from repro.analysis.spenders import enabled_spenders, potential_spenders
-from repro.objects.erc20 import ERC20TokenType, TokenState
+from repro.objects.erc20 import ERC20TokenType
 from repro.spec.operation import Operation
 
 MAX_ACCOUNTS = 5

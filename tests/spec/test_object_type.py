@@ -7,7 +7,7 @@ import pytest
 from repro.errors import UnknownOperationError
 from repro.objects.erc20 import ERC20TokenType
 from repro.objects.register import RegisterType
-from repro.spec.operation import Operation, op
+from repro.spec.operation import op
 
 
 class TestRegisterAsObjectType:

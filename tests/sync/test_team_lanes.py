@@ -114,3 +114,66 @@ class TestConcurrency:
         pool.order([(frozenset({0, 1}), batch(10, 2))])
         assert pool.simulator.now > t1
         assert pool.rounds == 2
+
+
+class TestIdleLaneGC:
+    """Regression: a long run over shifting approval patterns must not
+    accumulate one live replica group per distinct team it ever saw."""
+
+    def test_idle_lane_collected_after_ttl(self):
+        pool = TeamLanePool(latency=ConstantLatency(1.0), seed=7, idle_ttl=2)
+        pool.order([(frozenset({0, 1}), batch(0, 2))])
+        # Two rounds on a different team: {0, 1} goes idle past the TTL.
+        pool.order([(frozenset({2, 3}), batch(10, 2))])
+        assert pool.live_lanes == 2
+        pool.order([(frozenset({2, 3}), batch(20, 2))])
+        assert pool.live_lanes == 1
+        assert pool.lanes_gcd == 1
+        assert pool.lanes_created == 2  # cumulative, GC does not decrement
+
+    def test_shifting_teams_bound_live_lanes(self):
+        """Distinct team per round: without GC the pool holds one lane per
+        round ever seen; with a TTL the live set stays bounded by it."""
+        pool = TeamLanePool(latency=ConstantLatency(1.0), seed=8, idle_ttl=3)
+        for i in range(12):
+            pool.order([(frozenset({2 * i, 2 * i + 1}), batch(10 * i, 2))])
+        assert pool.lanes_created == 12
+        assert pool.live_lanes <= 3
+        assert pool.lanes_gcd == 12 - pool.live_lanes
+
+    def test_collected_lane_is_reprovisioned_and_reordered_correctly(self):
+        pool = TeamLanePool(latency=ConstantLatency(1.0), seed=9, idle_ttl=1)
+        team = frozenset({4, 5})
+        pool.order([(team, batch(0, 3))])
+        pool.order([(frozenset({6, 7}), batch(10, 2))])  # {4,5} collected
+        assert pool.live_lanes == 1
+        ops = batch(20, 4)
+        round_result = pool.order([(team, ops)])
+        assert list(round_result.orders[0].ordered) == ops
+        assert pool.lanes_created == 3
+
+    def test_reuse_within_ttl_keeps_the_lane(self):
+        pool = TeamLanePool(latency=ConstantLatency(1.0), seed=10, idle_ttl=2)
+        team = frozenset({0, 1})
+        lane = pool.lane(team)
+        for i in range(6):
+            pool.order([(team, batch(10 * i, 1))])
+        assert pool.lane(team) is lane
+        assert pool.lanes_gcd == 0
+
+    def test_ttl_validation(self):
+        with pytest.raises(NetworkError):
+            TeamLanePool(idle_ttl=0)
+
+    def test_default_keeps_lanes_forever(self):
+        pool = TeamLanePool(latency=ConstantLatency(1.0), seed=11)
+        for i in range(8):
+            pool.order([(frozenset({2 * i, 2 * i + 1}), batch(10 * i, 1))])
+        assert pool.live_lanes == 8
+        assert pool.lanes_gcd == 0
+
+    def test_tiered_escalator_exposes_lane_ttl(self):
+        from repro.engine.escalation import tiered_escalator
+
+        sync = tiered_escalator(team_threshold=3, lane_ttl=4, seed=1)
+        assert sync.pool.idle_ttl == 4
