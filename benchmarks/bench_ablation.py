@@ -27,7 +27,9 @@ def test_memoization_ablation(benchmark, write_table):
             memo_report = memoized.explore(
                 checks=[consensus_checks(proposals)]
             )
-            raw = ScheduleExplorer(factory, memoize=False, max_configs=10_000_000)
+            raw = ScheduleExplorer(
+                factory, memoize=False, max_configs=10_000_000
+            )
             raw_report = raw.explore(checks=[consensus_checks(proposals)])
             assert memo_report.ok and raw_report.ok
             assert memo_report.outcomes == raw_report.outcomes
@@ -79,8 +81,18 @@ def test_escrow_vs_emulation_step_costs(benchmark, write_table):
             rows.append(
                 (
                     method,
-                    count_steps(emulated, 1 if method != "transfer" else 0, method, *args),
-                    count_steps(escrow, 1 if method != "transfer" else 0, escrow_method, *args),
+                    count_steps(
+                        emulated,
+                        1 if method != "transfer" else 0,
+                        method,
+                        *args,
+                    ),
+                    count_steps(
+                        escrow,
+                        1 if method != "transfer" else 0,
+                        escrow_method,
+                        *args,
+                    ),
                 )
             )
         return rows

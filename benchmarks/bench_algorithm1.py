@@ -29,7 +29,9 @@ def sweep_k(k: int) -> dict:
         max_steps = max(max_steps, max(r.steps_taken for r in result.runners))
     crash_ok = 0
     for seed in range(RANDOM_SEEDS):
-        scheduler = RandomScheduler(seed, crash_probability=0.15, crash_budget=k - 1)
+        scheduler = RandomScheduler(
+            seed, crash_probability=0.15, crash_budget=k - 1
+        )
         result = run_system(algorithm1_system(proposals), scheduler)
         assert len(set(result.decisions.values())) <= 1
         crash_ok += 1

@@ -49,7 +49,9 @@ def run_differential(n: int, k: int, ops: int, seed: int):
     matches = rejected_approves = 0
     for _ in range(ops):
         pid, name, args = random_invocation(rng, n)
-        spec_state, expected = spec.apply(spec_state, pid, Operation(name, args))
+        spec_state, expected = spec.apply(
+            spec_state, pid, Operation(name, args)
+        )
         actual = run_sequential(emulated, pid, METHODS[name], *args)
         assert actual == expected
         matches += 1
@@ -62,7 +64,9 @@ def test_differential_equivalence(benchmark, write_table):
     def sweep():
         rows = []
         for n, k in ((3, 2), (4, 2), (4, 3), (5, 3)):
-            matches, rejections = run_differential(n, k, ops=400, seed=n * 10 + k)
+            matches, rejections = run_differential(
+                n, k, ops=400, seed=n * 10 + k
+            )
             rows.append((n, k, matches, rejections))
         return rows
 

@@ -229,9 +229,7 @@ def check_claims(results: dict) -> None:
     assert spender["escalation_messages"] > 0
     assert spender["escalation_rate"] < 0.5  # most traffic still avoids it
     # Skewed traffic exercises hot-shard splitting.
-    assert any(
-        entry["hot_split_ops"] > 0 for entry in results["skew"].values()
-    )
+    assert any(entry["hot_split_ops"] > 0 for entry in results["skew"].values())
 
 
 def render_table(results: dict) -> list[str]:
@@ -295,7 +293,9 @@ def render_table(results: dict) -> list[str]:
 
 
 def test_cluster_scaling(benchmark, write_table):
-    results = benchmark.pedantic(lambda: measure(ops=600), rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: measure(ops=600), rounds=1, iterations=1
+    )
     check_claims(results)
     write_table("E10_cluster", render_table(results))
 

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 from repro.analysis.hierarchy import token_consensus_number_bounds
 from repro.analysis.partition import synchronization_level
-from repro.analysis.reachability import level_trajectory, verify_level_change_ops
+from repro.analysis.reachability import (
+    level_trajectory,
+    verify_level_change_ops,
+)
 from repro.objects.erc20 import ERC20TokenType
 from repro.workloads.generators import (
     SPENDER_HEAVY_MIX,
@@ -44,7 +47,9 @@ def test_level_trajectory(benchmark, write_table):
     lines = [
         "E5: synchronization level along 600 random operations (n=6)",
         f"level histogram: "
-        + ", ".join(f"k={k}: {count}" for k, count in sorted(histogram.items())),
+        + ", ".join(
+            f"k={k}: {count}" for k, count in sorted(histogram.items())
+        ),
         f"level rises: {rises}   level falls: {falls}",
         f"max level reached: {max(levels)}   min: {min(levels)}",
         f"rise-attribution violations (must be 0): {len(violations)}",

@@ -133,7 +133,9 @@ def measure(ops: int) -> dict:
             "classifier": classifier.as_dict(),
         }
     # Hot-spot skew: contention knob on the conflict-free mixes.
-    for mix_name, mix in (("owner_only", OWNER_ONLY_MIX), ("read_heavy", READ_HEAVY_MIX)):
+    for mix_name, mix in (
+        ("owner_only", OWNER_ONLY_MIX), ("read_heavy", READ_HEAVY_MIX)
+    ):
         for fraction in (0.0, 0.6):
             engine, stats = run_engine(
                 mix, SHARDED_LANES, ops, hotspot_fraction=fraction
@@ -212,7 +214,9 @@ def render_table(results: dict) -> list[str]:
 
 
 def test_engine_scaling(benchmark, write_table):
-    results = benchmark.pedantic(lambda: measure(ops=600), rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: measure(ops=600), rounds=1, iterations=1
+    )
     check_claims(results)
     write_table("E9_engine", render_table(results))
 

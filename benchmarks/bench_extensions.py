@@ -17,7 +17,9 @@ def sweep(system_factory, ks):
         proposals = {pid: f"v{pid}" for pid in range(k)}
         winners = set()
         for seed in range(15):
-            result = run_system(system_factory(proposals), RandomScheduler(seed))
+            result = run_system(
+                system_factory(proposals), RandomScheduler(seed)
+            )
             values = set(result.decisions.values())
             assert len(values) == 1
             winners |= values
@@ -89,7 +91,9 @@ def test_erc721_round_latency(benchmark):
     proposals = {pid: pid for pid in range(4)}
 
     def one_round():
-        return run_system(erc721_consensus_system(proposals), RandomScheduler(1))
+        return run_system(
+            erc721_consensus_system(proposals), RandomScheduler(1)
+        )
 
     result = benchmark(one_round)
     assert len(set(result.decisions.values())) == 1

@@ -203,9 +203,7 @@ def check_claims(results: dict) -> None:
                 comparison["makespan_ratio"],
             )
     # ... and decisively on the contended mix (sync overlaps execution).
-    assert (
-        results["cluster"]["approval_heavy"]["4"]["makespan_ratio"] > 1.25
-    )
+    assert results["cluster"]["approval_heavy"]["4"]["makespan_ratio"] > 1.25
     # The engine sheds the barrier too where synchronization dominates.
     approval = results["engine"]["approval_heavy"]
     assert (
@@ -284,7 +282,9 @@ def render_table(results: dict) -> list[str]:
 
 
 def test_pipeline_scaling(benchmark, write_table):
-    results = benchmark.pedantic(lambda: measure(ops=512), rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: measure(ops=512), rounds=1, iterations=1
+    )
     check_claims(results)
     write_table("E12_pipeline", render_table(results))
 

@@ -362,7 +362,9 @@ def render_table(results: dict) -> list[str]:
 
 
 def test_tiered_sync(benchmark, write_table):
-    results = benchmark.pedantic(lambda: measure(ops=600), rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: measure(ops=600), rounds=1, iterations=1
+    )
     check_claims(results)
     write_table("E11_sync", render_table(results))
 

@@ -39,7 +39,9 @@ def build_matrix():
     rows = []
     for i in range(len(invocations)):
         for j in range(i + 1, len(invocations)):
-            analysis = analyze_pair(token, state, invocations[i], invocations[j])
+            analysis = analyze_pair(
+                token, state, invocations[i], invocations[j]
+            )
             rows.append(
                 (
                     str(invocations[i]),

@@ -23,7 +23,11 @@ from __future__ import annotations
 from repro.cluster import TokenCluster, owner_local_workload
 from repro.engine import BatchExecutor
 from repro.objects.erc20 import ERC20TokenType
-from repro.workloads import OWNER_ONLY_MIX, SPENDER_HEAVY_MIX, TokenWorkloadGenerator
+from repro.workloads import (
+    OWNER_ONLY_MIX,
+    SPENDER_HEAVY_MIX,
+    TokenWorkloadGenerator,
+)
 
 RULE = "=" * 72
 ACCOUNTS = 256

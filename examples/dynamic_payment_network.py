@@ -43,7 +43,11 @@ def build_traffic(n: int, ops: int, seed: int):
         if rng.random() < 0.3:
             source = (actor - 1) % n
             traffic.append(
-                ("transferFrom", actor, (source, rng.randrange(n), rng.randint(1, 3)))
+                (
+                    "transferFrom",
+                    actor,
+                    (source, rng.randrange(n), rng.randint(1, 3)),
+                )
             )
         else:
             traffic.append(

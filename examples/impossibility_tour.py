@@ -33,12 +33,30 @@ def demo_case_analysis() -> None:
     # A synchronization state: account 0 with 10 tokens, spenders 1 and 2.
     state = TokenState.create([10, 0, 0], {(0, 1): 10, (0, 2): 10})
     pairs = [
-        (Invocation(1, op("balanceOf", 0)), Invocation(2, op("transferFrom", 0, 2, 10))),
-        (Invocation(0, op("approve", 1, 3)), Invocation(1, op("approve", 0, 3))),
-        (Invocation(0, op("transfer", 1, 10)), Invocation(0, op("transfer", 2, 10))),
-        (Invocation(1, op("transferFrom", 0, 1, 10)), Invocation(2, op("transferFrom", 0, 2, 10))),
-        (Invocation(0, op("transfer", 1, 10)), Invocation(2, op("transferFrom", 0, 2, 10))),
-        (Invocation(0, op("approve", 1, 3)), Invocation(1, op("transferFrom", 0, 1, 10))),
+        (
+            Invocation(1, op("balanceOf", 0)),
+            Invocation(2, op("transferFrom", 0, 2, 10)),
+        ),
+        (
+            Invocation(0, op("approve", 1, 3)),
+            Invocation(1, op("approve", 0, 3)),
+        ),
+        (
+            Invocation(0, op("transfer", 1, 10)),
+            Invocation(0, op("transfer", 2, 10)),
+        ),
+        (
+            Invocation(1, op("transferFrom", 0, 1, 10)),
+            Invocation(2, op("transferFrom", 0, 2, 10)),
+        ),
+        (
+            Invocation(0, op("transfer", 1, 10)),
+            Invocation(2, op("transferFrom", 0, 2, 10)),
+        ),
+        (
+            Invocation(0, op("approve", 1, 3)),
+            Invocation(1, op("transferFrom", 0, 1, 10)),
+        ),
     ]
     print(f"{'pair':<58} {'kind':<10} case")
     for first, second in pairs:
@@ -48,7 +66,9 @@ def demo_case_analysis() -> None:
             f"{rendered:<58} {analysis.kind.value:<10} "
             f"{erc20_case_label(first, second)}"
         )
-    print("\nOnly races between enabled spenders of the SAME account conflict —")
+    print(
+        "\nOnly races between enabled spenders of the SAME account conflict —"
+    )
     print("exactly the pairs the proof's decision steps must be.")
 
 

@@ -54,7 +54,9 @@ def main() -> None:
     ):
         response = token.invoke(item.pid, item.operation)
         assert response == expected, "the trace must match the paper"
-        print(f"\nq{index}: {NAMES[item.pid]}: {item.operation}  ->  {response}")
+        print(
+            f"\nq{index}: {NAMES[item.pid]}: {item.operation}  ->  {response}"
+        )
         print(f"    ({comment})")
         print(describe(token))
 

@@ -17,24 +17,27 @@ should be a conscious decision:
 
 **Re-baselining** (after a change that legitimately moves the numbers)::
 
-    PYTHONPATH=src python benchmarks/bench_engine.py   --smoke --out benchmarks/baselines/BENCH_engine.json
-    PYTHONPATH=src python benchmarks/bench_cluster.py  --smoke --out benchmarks/baselines/BENCH_cluster.json
-    PYTHONPATH=src python benchmarks/bench_sync.py     --smoke --out benchmarks/baselines/BENCH_sync.json
-    PYTHONPATH=src python benchmarks/bench_pipeline.py --smoke --out benchmarks/baselines/BENCH_pipeline.json
+    PYTHONPATH=src python scripts/check_bench.py --update-baselines
 
-and commit the updated JSON together with the change that caused it, with
-a line in the commit message saying *why* the numbers moved.
+re-runs every benchmark in smoke mode and rewrites the committed
+baselines under ``benchmarks/baselines/`` (pass bench names to restrict:
+``--update-baselines engine dag``).  Commit the updated JSON together
+with the change that caused it, with a line in the commit message saying
+*why* the numbers moved.
 
 Usage::
 
-    python scripts/check_bench.py <engine|cluster|sync|pipeline> \
+    python scripts/check_bench.py <engine|cluster|sync|pipeline|dag> \
         --run BENCH_<name>.json [--baseline PATH] [--tolerance 0.25]
+    python scripts/check_bench.py --update-baselines [bench ...]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
 from pathlib import Path
 
@@ -95,9 +98,57 @@ METRICS: dict[str, dict[str, list[str]]] = {
             "cluster.owner_only.4.pipelined.escalation_messages",
         ],
     },
+    "dag": {
+        "band": [
+            "engine.chain_heavy.atomic.virtual_time",
+            "engine.chain_heavy.dag.virtual_time",
+            "engine.chain_heavy.ratio",
+            "engine.chain_heavy.dag.dag_speedup",
+            "engine.approval_heavy.dag.virtual_time",
+            "cluster.chain_heavy.4.ratio",
+            "cluster.approval_heavy.4.dag.makespan",
+            "cluster.chain_heavy.4.dag.units_dispatched",
+        ],
+        "zero": [
+            "cluster.chain_heavy.4.atomic.units_dispatched",
+        ],
+    },
 }
 
 DEFAULT_TOLERANCE = 0.25
+
+
+def update_baselines(benches: list[str]) -> int:
+    """Re-run each benchmark in smoke mode and rewrite its committed
+    baseline JSON — the one-command re-baselining path after a change
+    that legitimately moves the numbers."""
+    root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    src = str(root / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    for bench in benches:
+        baseline = root / "benchmarks" / "baselines" / f"BENCH_{bench}.json"
+        print(f"re-baselining {bench} -> {baseline}")
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(root / "benchmarks" / f"bench_{bench}.py"),
+                "--smoke",
+                "--out",
+                str(baseline),
+            ],
+            env=env,
+            cwd=root,
+        )
+        if result.returncode != 0:
+            print(f"re-baselining {bench} FAILED ({result.returncode})")
+            return result.returncode
+    print(f"updated {len(benches)} baseline(s); review and commit them")
+    return 0
 
 
 def lookup(data: dict, path: str):
@@ -139,9 +190,22 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="compare a bench smoke run against its committed baseline"
     )
-    parser.add_argument("bench", choices=sorted(METRICS))
     parser.add_argument(
-        "--run", type=Path, required=True, help="the smoke run's JSON output"
+        "bench",
+        nargs="*",
+        metavar="bench",
+        help=f"one of {', '.join(sorted(METRICS))}: the bench to gate "
+        "(exactly one), or the benches to re-baseline (default: all) "
+        "with --update-baselines",
+    )
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="re-run the benchmarks in smoke mode and rewrite their "
+        "committed baselines instead of gating",
+    )
+    parser.add_argument(
+        "--run", type=Path, default=None, help="the smoke run's JSON output"
     )
     parser.add_argument(
         "--baseline",
@@ -158,22 +222,35 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if not 0 <= args.tolerance < 1:
         parser.error("--tolerance must be in [0, 1)")
+    for bench in args.bench:
+        if bench not in METRICS:
+            parser.error(
+                f"unknown bench {bench!r} (choose from "
+                f"{', '.join(sorted(METRICS))})"
+            )
+    if args.update_baselines:
+        return update_baselines(args.bench or sorted(METRICS))
+    if len(args.bench) != 1:
+        parser.error("gating takes exactly one bench name")
+    if args.run is None:
+        parser.error("--run is required when gating")
+    bench = args.bench[0]
     baseline_path = (
         args.baseline
         if args.baseline is not None
         else Path(__file__).resolve().parent.parent
         / "benchmarks"
         / "baselines"
-        / f"BENCH_{args.bench}.json"
+        / f"BENCH_{bench}.json"
     )
     baseline = json.loads(baseline_path.read_text())
     run = json.loads(args.run.read_text())
-    failures = compare(args.bench, baseline, run, args.tolerance)
-    spec = METRICS[args.bench]
+    failures = compare(bench, baseline, run, args.tolerance)
+    spec = METRICS[bench]
     checked = len(spec["band"]) + len(spec["zero"])
     if failures:
         print(
-            f"bench-regression gate FAILED for {args.bench} "
+            f"bench-regression gate FAILED for {bench} "
             f"({len(failures)}/{checked} metrics out of band):"
         )
         for failure in failures:
@@ -184,7 +261,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 1
     print(
-        f"bench-regression gate OK for {args.bench}: {checked} headline "
+        f"bench-regression gate OK for {bench}: {checked} headline "
         f"metrics within ±{args.tolerance:.0%} of "
         f"{baseline_path}"
     )

@@ -75,7 +75,10 @@ def commutes(
 ) -> bool:
     """True when executing the pair in either order yields the same final
     state *and* the same response for each invocation."""
-    return analyze_pair(object_type, state, first, second).kind is PairKind.COMMUTE
+    return (
+        analyze_pair(object_type, state, first, second).kind
+        is PairKind.COMMUTE
+    )
 
 
 def analyze_pair(
@@ -174,7 +177,9 @@ class CachedPairAnalyzer:
             self.hits += 1
         return found
 
-    def kind(self, state: Any, first: Invocation, second: Invocation) -> PairKind:
+    def kind(
+        self, state: Any, first: Invocation, second: Invocation
+    ) -> PairKind:
         # The kind is symmetric in the pair; reuse a mirrored entry if one
         # is already cached.
         mirrored = self._cache.get((state, second, first))

@@ -28,7 +28,10 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.analysis.partition import synchronization_level
-from repro.analysis.spenders import accounts_with_spender_count, enabled_spenders
+from repro.analysis.spenders import (
+    accounts_with_spender_count,
+    enabled_spenders,
+)
 from repro.errors import InvalidArgumentError
 from repro.objects.erc20 import ERC20TokenType, TokenState
 from repro.spec.operation import Operation

@@ -37,7 +37,8 @@ def enabled_spenders(state: TokenState, account: int) -> frozenset[int]:
 def spender_map(state: TokenState) -> tuple[frozenset[int], ...]:
     """The full mapping ``σ_q`` as a tuple indexed by account."""
     return tuple(
-        enabled_spenders(state, account) for account in range(state.num_accounts)
+        enabled_spenders(state, account)
+        for account in range(state.num_accounts)
     )
 
 

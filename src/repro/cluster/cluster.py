@@ -72,6 +72,7 @@ class TokenCluster:
         lease_cooldown: int = 0,
         team_threshold: int = 0,
         pipeline_depth: int = 1,
+        dag_scheduling: bool = False,
     ) -> None:
         if num_nodes < 1:
             raise ClusterError("cluster needs at least one node")
@@ -94,9 +95,12 @@ class TokenCluster:
             window=window,
             num_shards=num_shards,
             op_cost=op_cost,
+            dag_scheduling=dag_scheduling,
         )
         self.escalator = (
-            escalator if escalator is not None else ConsensusEscalator(seed=seed)
+            escalator
+            if escalator is not None
+            else ConsensusEscalator(seed=seed)
         )
         self.nodes = [
             ClusterNode(
@@ -107,6 +111,7 @@ class TokenCluster:
                 classifier=OpClassifier(object_type),
                 lanes=lanes_per_node,
                 op_cost=op_cost,
+                dag_scheduling=dag_scheduling,
             )
             for node_id in range(num_nodes)
         ]
@@ -127,6 +132,7 @@ class TokenCluster:
             team_threshold=team_threshold,
             seed=seed,
             pipeline_depth=pipeline_depth,
+            dag_scheduling=dag_scheduling,
         )
         self.stats.node_bills = [node.bill for node in self.nodes]
 

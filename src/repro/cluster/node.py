@@ -23,6 +23,19 @@ of this node's components (:mod:`repro.sync`), and the node charges that
 wait to its bill (``sync_wait_time``) before executing — so a node whose
 races resolved on a small, fast team lane starts earlier than one stuck
 behind the shared global lane.
+
+**Component-granular dispatch** (the pipelined router with
+``dag_scheduling``): the round batch stops being the execution unit.  The
+router forwards each conflict-graph component (plus one residual unit of
+the node's singletons) as its own ``cl_run``, individually gated, and the
+node runs units incrementally on a *persistent lane timeline* — the
+op-granular list scheduler (:meth:`~repro.engine.shard.ShardPlanner.
+dag_schedule`) places each arriving unit's ops onto whichever lanes free
+up first, so one unit blocked behind its sync lane or a cross-round
+footprint conflict no longer holds up everything else routed to the node
+that round.  Units of one round are distinct components (statically
+commuting) and cross-round conflicts are dispatch-gated at the router, so
+any unit interleaving stays serially equivalent.
 """
 
 from __future__ import annotations
@@ -30,6 +43,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.engine.classifier import OpClassifier
+from repro.engine.conflict_graph import ConflictGraph
 from repro.engine.mempool import PendingOp
 from repro.engine.rounds import RoundScheduler
 from repro.engine.shard import ShardPlanner
@@ -55,14 +69,21 @@ class ClusterNode(Node):
         classifier: OpClassifier,
         lanes: int = 4,
         op_cost: float = 1.0,
+        dag_scheduling: bool = False,
     ) -> None:
         super().__init__(node_id, network)
         self.router_id = router_id
         self.apply_fn = apply_fn
         self.classifier = classifier
-        self.planner = ShardPlanner(lanes)
+        self.planner = ShardPlanner(lanes, dag_scheduling=dag_scheduling)
         self.scheduler = RoundScheduler(classifier, self.planner)
         self.op_cost = op_cost
+        #: Persistent lane timeline for component-granular units (absolute
+        #: virtual times; only the unit path touches it), and the rounds
+        #: this node has executed at least one unit of (so
+        #: ``rounds_active`` stays comparable across dispatch modes).
+        self._lane_free = [0.0] * lanes
+        self._unit_rounds: set[int] = set()
         self.bill = NodeBill(node_id=node_id)
         self.owned_shards: set[int] = set()
         self._batches: dict[int, list[PendingOp]] = {}
@@ -84,22 +105,38 @@ class ClusterNode(Node):
 
     # -- round execution --------------------------------------------------
 
+    @staticmethod
+    def _batch_key(body: dict):
+        """Batch-granular rounds key on the round index; component-
+        granular units on ``(round, unit)``.  One run never mixes the
+        two — the router picks the granularity at construction."""
+        if "unit" in body:
+            return (body["round"], body["unit"])
+        return body["round"]
+
     def handle_cl_op(self, message: Message) -> None:
         body = message.payload
-        self._batches.setdefault(body["round"], []).append(body["op"])
+        key = self._batch_key(body)
+        self._batches.setdefault(key, []).append(body["op"])
         self.bill.forwards_received += 1
-        self._maybe_run(body["round"])
+        if isinstance(key, tuple):
+            self._maybe_run_unit(key)
+        else:
+            self._maybe_run(key)
 
     def handle_cl_run(self, message: Message) -> None:
         body = message.payload
-        round_index, count = body["round"], body["count"]
+        key, count = self._batch_key(body), body["count"]
         if count < 1:
             raise ClusterError("cl_run announced an empty batch")
-        self._expected[round_index] = count
-        self._leases_needed[round_index] = body.get("leases", 0)
-        self._sync_delay[round_index] = body.get("sync_delay", 0.0)
-        self._sync_ready[round_index] = body.get("sync_ready", 0.0)
-        self._maybe_run(round_index)
+        self._expected[key] = count
+        self._leases_needed[key] = body.get("leases", 0)
+        self._sync_delay[key] = body.get("sync_delay", 0.0)
+        self._sync_ready[key] = body.get("sync_ready", 0.0)
+        if isinstance(key, tuple):
+            self._maybe_run_unit(key)
+        else:
+            self._maybe_run(key)
 
     def _maybe_run(self, round_index: int) -> None:
         expected = self._expected.get(round_index)
@@ -130,6 +167,12 @@ class ClusterNode(Node):
         # deterministic ground truth the scheduler works from.
         ops = sorted(batch, key=lambda op: op.seq)
         plan = self.scheduler.plan_batch(ops)
+        self._bill_dag(
+            plan.dag_chain_ops,
+            plan.dag_critical_ops,
+            plan.dag_critical_path,
+            plan.dag_width,
+        )
         # The batch's contended components execute only after their sync
         # lanes committed an order; the wait is this node's, not the
         # round's — other nodes run their batches meanwhile.  The barrier
@@ -154,9 +197,16 @@ class ClusterNode(Node):
         outcome.
         """
         responses: dict[int, Any] = {}
-        for lane in plan.lanes:
-            for op in lane:
+        if plan.apply_order is not None:
+            # DAG plans carry an explicit linear extension of every
+            # component DAG (lane-major application is unsound once one
+            # chain spans lanes).
+            for op in plan.apply_order:
                 responses[op.seq] = self.apply_fn(op)
+        else:
+            for lane in plan.lanes:
+                for op in lane:
+                    responses[op.seq] = self.apply_fn(op)
         self._batches.pop(round_index, None)
         self._expected.pop(round_index, None)
         self._leases_needed.pop(round_index, None)
@@ -174,6 +224,120 @@ class ClusterNode(Node):
             {"round": round_index, "responses": responses},
         )
 
+    # -- component-granular units -----------------------------------------
+
+    def _bill_dag(
+        self, chain_ops: int, critical_ops: int, critical_path: int, width: int
+    ) -> None:
+        self.bill.dag_chain_ops += chain_ops
+        self.bill.dag_critical_ops += critical_ops
+        self.bill.max_dag_critical_path = max(
+            self.bill.max_dag_critical_path, critical_path
+        )
+        self.bill.max_dag_width = max(self.bill.max_dag_width, width)
+
+    def _maybe_run_unit(self, key: tuple) -> None:
+        """Run one dispatch unit (a component, or a round's singletons)
+        on the persistent lane timeline as soon as it is complete.
+
+        Units interleave freely on the node: units of one round are
+        distinct components (statically commuting), and conflicting units
+        of different rounds are dispatch-gated at the router, so the lane
+        timeline only ever overlaps commuting work.  The op-granular list
+        scheduler places each op on the earliest lane its component
+        predecessors allow, continuing wherever earlier units left the
+        lanes.
+        """
+        expected = self._expected.get(key)
+        batch = self._batches.get(key, [])
+        if expected is None or len(batch) < expected:
+            return
+        needed = self._leases_needed.get(key, 0)
+        if self._leases_granted.get(key, 0) < needed:
+            return
+        if key in self._running:
+            return
+        self._running.add(key)
+        if len(batch) > expected:
+            raise ClusterError(
+                f"node {self.node_id} received {len(batch)} ops for unit "
+                f"{key}, expected {expected}"
+            )
+        if not self.planner.dag_scheduling:
+            raise ClusterError(
+                "component-granular units require a DAG-scheduling planner"
+            )
+        ops = sorted(batch, key=lambda op: op.seq)
+        # The unit's contended ops execute only after their sync lane
+        # committed an order; the pipelined router sends the lane's
+        # absolute completion, so the unit pays only the remainder.
+        sync_ready = self._sync_ready.get(key, 0.0)
+        ready = max(self.now, sync_ready)
+        self.bill.sync_wait_time += max(0.0, sync_ready - self.now)
+        graph = ConflictGraph.build(self.classifier, ops)
+        chain_idx, singleton_idx, _ = self.scheduler.split(graph)
+        dags = graph.component_dags()
+        tasks, placed = self.planner.dag_schedule(
+            [[ops[i] for i in chain] for chain in chain_idx],
+            [ops[i] for i in singleton_idx],
+            dags,
+            self._lane_free,
+            floor=ready,
+            cost=self.op_cost,
+        )
+        order = [
+            tasks[i]
+            for i in sorted(
+                range(len(tasks)),
+                key=lambda i: (placed[i][0], tasks[i].seq),
+            )
+        ]
+        finish = max((f for _, f, _ in placed), default=ready)
+        # Bill the unit's execution span (first op start -> last finish),
+        # not its wall time since arrival — time spent queued behind
+        # other units' lane occupancy is not this unit's work.
+        started = min((s for s, _, _ in placed), default=ready)
+        self._bill_dag(
+            sum(dag.size for dag in dags),
+            sum(dag.critical_path for dag in dags),
+            max((dag.critical_path for dag in dags), default=0),
+            max((dag.width for dag in dags), default=0),
+        )
+        self.schedule(
+            finish - self.now,
+            lambda: self._finish_unit(key, order, finish - started),
+        )
+
+    def _finish_unit(
+        self, key: tuple, order: list[PendingOp], busy: float
+    ) -> None:
+        """Apply the unit in its schedule's linear-extension order and
+        report per-unit responses (state mutates at the unit's virtual
+        completion, like the batch path's round completion)."""
+        responses: dict[int, Any] = {}
+        for op in order:
+            responses[op.seq] = self.apply_fn(op)
+        round_index, unit = key
+        self._batches.pop(key, None)
+        self._expected.pop(key, None)
+        self._leases_needed.pop(key, None)
+        self._leases_granted.pop(key, None)
+        self._sync_delay.pop(key, None)
+        self._sync_ready.pop(key, None)
+        self._running.discard(key)
+        self.bill.ops_executed += len(responses)
+        self.bill.units_executed += 1
+        if round_index not in self._unit_rounds:
+            self._unit_rounds.add(round_index)
+            self.bill.rounds_active += 1
+        self.bill.busy_time += busy
+        self.bill.results_sent += 1
+        self.send(
+            self.router_id,
+            "cl_result",
+            {"round": round_index, "unit": unit, "responses": responses},
+        )
+
     # -- lease protocol ---------------------------------------------------
 
     def handle_cl_lease_request(self, message: Message) -> None:
@@ -187,24 +351,27 @@ class ClusterNode(Node):
             )
         self.owned_shards.discard(shard)
         self.bill.leases_granted += 1
-        self.send(
-            body["new_owner"],
-            "cl_lease_grant",
-            {"shard": shard, "round": body["round"]},
-        )
+        grant = {"shard": shard, "round": body["round"]}
+        if "unit" in body:
+            # Component-granular dispatch: the grant unblocks exactly the
+            # unit whose chain triggered the migration.
+            grant["unit"] = body["unit"]
+        self.send(body["new_owner"], "cl_lease_grant", grant)
 
     def handle_cl_lease_grant(self, message: Message) -> None:
-        """Adopt a shard, unblock the waiting batch, ack the router."""
+        """Adopt a shard, unblock the waiting batch or unit, ack the
+        router."""
         body = message.payload
-        round_index = body["round"]
+        key = self._batch_key(body)
         self.owned_shards.add(body["shard"])
         self.bill.leases_acquired += 1
-        self._leases_granted[round_index] = (
-            self._leases_granted.get(round_index, 0) + 1
-        )
+        self._leases_granted[key] = self._leases_granted.get(key, 0) + 1
         self.send(
             self.router_id,
             "cl_lease_ack",
-            {"shard": body["shard"], "round": round_index},
+            {"shard": body["shard"], "round": body["round"]},
         )
-        self._maybe_run(round_index)
+        if isinstance(key, tuple):
+            self._maybe_run_unit(key)
+        else:
+            self._maybe_run(key)

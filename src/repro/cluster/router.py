@@ -74,6 +74,27 @@ from repro.cluster.stats import ClusterRound, ClusterStats
 LEASE_MESSAGE_TYPES = ("cl_lease_request", "cl_lease_grant", "cl_lease_ack")
 
 
+@dataclass(frozen=True, slots=True)
+class _DispatchUnit:
+    """One component-granular dispatch unit of a routed window.
+
+    A unit is a single conflict-graph component co-located on one node —
+    or the residual set of the node's singletons, which commute with the
+    whole window.  Units are the gate granularity of the pipelined router
+    under ``dag_scheduling``: each carries its own footprint summary, its
+    own sync-lane delay, and its own lease count, so one blocked component
+    no longer holds up everything else routed to its node that round.
+    """
+
+    ops: tuple[PendingOp, ...]
+    contended: bool
+    #: This unit's sync-lane completion, relative to the round's sync
+    #: phase start (0.0 for uncontended units).
+    sync_delay: float
+    #: Lease grants the unit's node must hold before running it.
+    leases: int
+
+
 @dataclass
 class _RoutedWindow:
     """Pure outcome of routing one window (no messages sent yet).
@@ -109,6 +130,11 @@ class _RoutedWindow:
     #: Nodes executing a contended (sync-ordered) component this round —
     #: the stall-attribution split of the pipelined path.
     contended_nodes: frozenset[int]
+    #: Component-granular dispatch only: per node, the window's dispatch
+    #: units in submission order of their heads (``None`` = batch mode).
+    units_by_node: dict[int, list[_DispatchUnit]] | None = None
+    #: shard -> (node, unit index) whose chain triggered the migration.
+    lease_units: dict[int, tuple[int, int]] | None = None
 
 
 @dataclass
@@ -135,21 +161,23 @@ class _PipelinedRound:
     #: sync lanes are one resource: phases serialize across rounds but
     #: overlap node execution).
     sync_start: float
-    #: Batch may-access summaries, the cross-round frontier test's input.
-    summaries: dict[int, FootprintSummary]
+    #: May-access summaries, the cross-round frontier test's input —
+    #: keyed by node (batch dispatch) or ``(node, unit)`` (component-
+    #: granular dispatch).
+    summaries: dict
     #: Rounds in flight (this one included) right after classification.
     inflight: int
-    pending_results: set[int]
+    pending_results: set
     pending_acks: int
     #: Lease requests not yet sent (per-shard handoffs serialize).
     lease_pending: list[tuple[int, int, int]]
-    dispatched: set[int] = field(default_factory=set)
-    completed: set[int] = field(default_factory=set)
+    dispatched: set = field(default_factory=set)
+    completed: set = field(default_factory=set)
     dispatch_stall: float = 0.0
     dispatch_stall_contended: float = 0.0
-    #: node -> time its ready-to-go batch was first blocked by the
-    #: cross-round footprint gate (as opposed to its node being busy).
-    gate_blocked_since: dict[int, float] = field(default_factory=dict)
+    #: Dispatch key -> time its ready-to-go batch/unit was first blocked
+    #: by the cross-round footprint gate (not by its node being busy).
+    gate_blocked_since: dict = field(default_factory=dict)
     frontier_stall: float = 0.0
     frontier_stall_contended: float = 0.0
 
@@ -174,10 +202,18 @@ class Router(Node):
         sync: TieredEscalator | None = None,
         seed: int = 0,
         pipeline_depth: int = 1,
+        dag_scheduling: bool = False,
     ) -> None:
         super().__init__(node_id, network)
         if pipeline_depth < 1:
             raise ClusterError("pipeline_depth must be >= 1")
+        #: Component-granular dispatch: with op-granular DAG scheduling on
+        #: and the pipeline active, every conflict-graph component travels
+        #: as its own individually gated ``cl_run`` unit.  The barrier
+        #: loop (depth 1) keeps batch dispatch either way — there is
+        #: nothing to overlap within a quiescing round.
+        self.dag_scheduling = dag_scheduling
+        self.unit_dispatch = dag_scheduling and pipeline_depth > 1
         self.shard_map = shard_map
         self.classifier = classifier
         self.escalator = escalator
@@ -276,13 +312,20 @@ class Router(Node):
         }
         escalated_ops: list[PendingOp] = []
         #: Per contended cross-node component: (owner-node team, ops, the
-        #: node executing the chain) — the unit the sync layer tiers.
+        #: node executing the chain, index into ``placed_chains``) — the
+        #: unit the sync layer tiers.
         escalated_components: list[
-            tuple[frozenset[int], tuple[PendingOp, ...], int]
+            tuple[frozenset[int], tuple[PendingOp, ...], int, int]
         ] = []
         migrations: list[tuple[int, int, int]] = []
         migrated_shards: set[int] = set()
         chain_seqs: set[int] = set()
+        #: Per routed chain (head submission order): target node, ops,
+        #: lease count, contended flag, sync-lane delay — the raw material
+        #: of component-granular dispatch units.
+        placed_chains: list[dict] = []
+        #: shard -> index into ``placed_chains`` of the migrating chain.
+        lease_chains: dict[int, int] = {}
         hot_split = 0
         cooldown_skips = 0
 
@@ -301,6 +344,13 @@ class Router(Node):
             target = min(
                 owners, key=lambda n: (-owners[n], len(assignment[n]), n)
             )
+            record = {
+                "target": target,
+                "ops": ops,
+                "leases": 0,
+                "contended": False,
+                "delay": 0.0,
+            }
             chain_contended = [i for i in chain if i in contended]
             if len(owners) > 1 and chain_contended:
                 # A race spanning owners: a sync lane sequences exactly the
@@ -310,8 +360,9 @@ class Router(Node):
                 # already owning most of it.
                 component = tuple(window[i] for i in chain_contended)
                 escalated_ops.extend(component)
+                record["contended"] = True
                 escalated_components.append(
-                    (frozenset(owners), component, target)
+                    (frozenset(owners), component, target, len(placed_chains))
                 )
             elif len(owners) > 1 and owners[target] >= self.lease_min_gain:
                 # Uncontended cross-shard chain with a clearly busier node:
@@ -328,10 +379,7 @@ class Router(Node):
                     if shard in migrated_shards:
                         continue  # one lease move per shard per round
                     last = self._last_migration.get(shard)
-                    if (
-                        last is not None
-                        and index - last <= self.lease_cooldown
-                    ):
+                    if last is not None and index - last <= self.lease_cooldown:
                         # Hysteresis: the shard moved too recently; the
                         # chain still executes correctly on the majority
                         # owner (co-location is what safety needs), the
@@ -343,6 +391,9 @@ class Router(Node):
                     self.shard_map.migrate(shard, target, index)
                     self._last_migration[shard] = index
                     migrations.append((shard, from_node, target))
+                    record["leases"] += 1
+                    lease_chains[shard] = len(placed_chains)
+            placed_chains.append(record)
             assignment[target].extend(ops)
 
         # Singletons bundle by anchor account; oversized commuting bundles
@@ -425,7 +476,7 @@ class Router(Node):
         sync_round = None
         if escalated_components:
             assignments = []
-            for team, component, _ in escalated_components:
+            for team, component, _, _ in escalated_components:
                 decision = self.sync.planner.decide(team)
                 assignments.append(
                     SyncAssignment(
@@ -433,12 +484,13 @@ class Router(Node):
                     )
                 )
             sync_round = self.sync.order_assignments(assignments)
-            for (_, _, target), component_order in zip(
+            for (_, _, target, chain_pos), component_order in zip(
                 escalated_components, sync_round.components
             ):
                 node_delays[target] = max(
                     node_delays.get(target, 0.0), component_order.completed
                 )
+                placed_chains[chain_pos]["delay"] = component_order.completed
             t_escalation = sync_round.virtual_time
             escalation_messages = sync_round.messages
 
@@ -447,6 +499,41 @@ class Router(Node):
             for node, ops in assignment.items()
             if ops
         }
+
+        # Component-granular dispatch: one unit per routed chain plus one
+        # residual unit of each node's singletons (all of which commute
+        # with the whole window, so they share a gate).
+        units_by_node: dict[int, list[_DispatchUnit]] | None = None
+        lease_units: dict[int, tuple[int, int]] | None = None
+        if self.unit_dispatch:
+            units_by_node = {}
+            unit_of_chain: dict[int, tuple[int, int]] = {}
+            for chain_pos, record in enumerate(placed_chains):
+                node_units = units_by_node.setdefault(record["target"], [])
+                unit_of_chain[chain_pos] = (record["target"], len(node_units))
+                node_units.append(
+                    _DispatchUnit(
+                        ops=tuple(record["ops"]),
+                        contended=record["contended"],
+                        sync_delay=record["delay"],
+                        leases=record["leases"],
+                    )
+                )
+            for node, ops in assignment.items():
+                rest = [op for op in ops if op.seq not in chain_seqs]
+                if rest:
+                    units_by_node.setdefault(node, []).append(
+                        _DispatchUnit(
+                            ops=tuple(rest),
+                            contended=False,
+                            sync_delay=0.0,
+                            leases=0,
+                        )
+                    )
+            lease_units = {
+                shard: unit_of_chain[chain_pos]
+                for shard, chain_pos in lease_chains.items()
+            }
         return _RoutedWindow(
             index=index,
             assignment=assignment,
@@ -471,8 +558,10 @@ class Router(Node):
             team_sizes=sync_round.team_sizes if sync_round else (),
             cooldown_skips=cooldown_skips,
             contended_nodes=frozenset(
-                target for _, _, target in escalated_components
+                target for _, _, target, _ in escalated_components
             ),
+            units_by_node=units_by_node,
+            lease_units=lease_units,
         )
 
     def start_round(self) -> bool:
@@ -571,29 +660,47 @@ class Router(Node):
             sync_start = max(self.now, self._sync_free)
             if routed.t_escalation > 0:
                 self._sync_free = sync_start + routed.t_escalation
-            self._inflight[index] = _PipelinedRound(
-                routed=routed,
-                classified=self.now,
-                sync_start=sync_start,
-                summaries={
+            if self.unit_dispatch:
+                assert routed.units_by_node is not None
+                # Unit granularity: summaries, results, and queue entries
+                # key on (node, unit) instead of the whole node batch.
+                summaries = {
+                    (node, uidx): FootprintSummary.over(
+                        self.classifier.footprint(op) for op in unit.ops
+                    )
+                    for node, units in routed.units_by_node.items()
+                    for uidx, unit in enumerate(units)
+                }
+            else:
+                summaries = {
                     node: FootprintSummary.over(
                         self.classifier.footprint(op) for op in ops
                     )
                     for node, ops in routed.assignment.items()
-                },
+                }
+            self._inflight[index] = _PipelinedRound(
+                routed=routed,
+                classified=self.now,
+                sync_start=sync_start,
+                summaries=summaries,
                 inflight=len(self._inflight) + 1,
-                pending_results=set(routed.assignment),
+                pending_results=set(summaries),
                 pending_acks=len(routed.migrations),
                 lease_pending=list(routed.migrations),
             )
-            for node in sorted(routed.assignment):
-                self._node_queue[node].append(index)
+            if self.unit_dispatch:
+                for node in sorted(routed.units_by_node):
+                    for uidx in range(len(routed.units_by_node[node])):
+                        self._node_queue[node].append((index, uidx))
+            else:
+                for node in sorted(routed.assignment):
+                    self._node_queue[node].append(index)
             classified += 1
         self._drain_gates()
         return classified
 
     def _drain_gates(self) -> None:
-        """Send every lease request and batch whose gates now pass."""
+        """Send every lease request and batch/unit whose gates now pass."""
         progress = True
         while progress:
             progress = False
@@ -605,12 +712,23 @@ class Router(Node):
                         continue  # an earlier handoff of this shard is out
                     round_state.lease_pending.remove(migration)
                     self._shard_ack_round[shard] = index
-                    self.send(
-                        from_node,
-                        "cl_lease_request",
-                        {"shard": shard, "new_owner": to_node, "round": index},
-                    )
+                    request = {
+                        "shard": shard,
+                        "new_owner": to_node,
+                        "round": index,
+                    }
+                    if self.unit_dispatch:
+                        assert round_state.routed.lease_units is not None
+                        # The grant must unblock exactly the unit whose
+                        # chain migrated this shard.
+                        request["unit"] = round_state.routed.lease_units[
+                            shard
+                        ][1]
+                    self.send(from_node, "cl_lease_request", request)
                     progress = True
+            if self.unit_dispatch:
+                progress |= self._drain_unit_queues()
+                continue
             for node in sorted(self._node_queue):
                 queue = self._node_queue[node]
                 if not queue or node in self._node_outstanding:
@@ -638,6 +756,40 @@ class Router(Node):
                 self._send_batch(index, node)
                 progress = True
 
+    def _drain_unit_queues(self) -> bool:
+        """Component-granular dispatch: send every unit whose footprint
+        gate passes.  Unlike the batch path there is no per-node FIFO and
+        no one-outstanding-batch limit — a node's units interleave on its
+        lane timeline, and a blocked unit is simply *skipped* (that is the
+        whole point: it no longer holds up the rest of its round's batch).
+        Cross-round conflicts stay ordered because a conflicting later
+        unit is exactly what the gate refuses to dispatch."""
+        progress = False
+        for node in sorted(self._node_queue):
+            queue = self._node_queue[node]
+            for entry in list(queue):
+                index, uidx = entry
+                round_state = self._inflight[index]
+                key = (node, uidx)
+                if self._unit_blocked(index, key):
+                    round_state.gate_blocked_since.setdefault(key, self.now)
+                    continue
+                queue.remove(entry)
+                round_state.dispatched.add(key)
+                stall = self.now - round_state.classified
+                gate_stall = self.now - round_state.gate_blocked_since.pop(
+                    key, self.now
+                )
+                round_state.dispatch_stall += stall
+                round_state.frontier_stall += gate_stall
+                unit = round_state.routed.units_by_node[node][uidx]
+                if unit.contended:
+                    round_state.dispatch_stall_contended += stall
+                    round_state.frontier_stall_contended += gate_stall
+                self._send_unit(index, node, uidx)
+                progress = True
+        return progress
+
     def _batch_blocked(self, index: int, node: int) -> bool:
         """The cross-round footprint gate: may this batch overlap every
         still-incomplete batch of every earlier in-flight round?"""
@@ -649,6 +801,24 @@ class Router(Node):
             for other, other_summary in earlier_state.summaries.items():
                 if other in earlier_state.completed or other == node:
                     # Same-node ordering is the per-node FIFO's job.
+                    continue
+                if summary.conflicts_with(other_summary):
+                    return True
+        return False
+
+    def _unit_blocked(self, index: int, key: tuple[int, int]) -> bool:
+        """The per-unit footprint gate: may this unit overlap every
+        still-incomplete unit of every earlier in-flight round?  Same-node
+        units are *not* exempt — the unit path has no per-node FIFO, so
+        cross-round same-node ordering is this gate's job too.  Units of
+        one round never gate each other (distinct components commute)."""
+        summary = self._inflight[index].summaries[key]
+        for earlier in self._inflight:
+            if earlier >= index:
+                continue
+            earlier_state = self._inflight[earlier]
+            for other, other_summary in earlier_state.summaries.items():
+                if other in earlier_state.completed:
                     continue
                 if summary.conflicts_with(other_summary):
                     return True
@@ -674,6 +844,29 @@ class Router(Node):
         )
         for op in ops:
             self.send(node, "cl_op", {"round": index, "op": op})
+
+    def _send_unit(self, index: int, node: int, uidx: int) -> None:
+        round_state = self._inflight[index]
+        unit = round_state.routed.units_by_node[node][uidx]
+        delay = unit.sync_delay
+        self.send(
+            node,
+            "cl_run",
+            {
+                "round": index,
+                "unit": uidx,
+                "count": len(unit.ops),
+                "leases": unit.leases,
+                # Absolute completion of this unit's sync lane (0.0 for
+                # uncontended units): the lane ran while the unit waited
+                # in the pipeline, so the node pays only the remainder.
+                "sync_ready": (
+                    round_state.sync_start + delay if delay else 0.0
+                ),
+            },
+        )
+        for op in unit.ops:
+            self.send(node, "cl_op", {"round": index, "unit": uidx, "op": op})
 
     def _finish_pipelined_round(self, index: int) -> None:
         round_state = self._inflight[index]
@@ -706,6 +899,14 @@ class Router(Node):
                 frontier_stall=round_state.frontier_stall,
                 frontier_stall_contended=round_state.frontier_stall_contended,
                 completed_at=self.now,
+                units_dispatched=(
+                    sum(
+                        len(units)
+                        for units in routed.units_by_node.values()
+                    )
+                    if routed.units_by_node is not None
+                    else 0
+                ),
             )
         )
         del self._inflight[index]
@@ -736,18 +937,21 @@ class Router(Node):
         if self.pipeline_depth > 1:
             index = body["round"]
             round_state = self._inflight.get(index)
-            if (
-                round_state is None
-                or message.src not in round_state.pending_results
-            ):
+            key = (
+                (message.src, body["unit"])
+                if self.unit_dispatch
+                else message.src
+            )
+            if round_state is None or key not in round_state.pending_results:
                 raise ClusterError(
                     f"stray or duplicate result from node {message.src} "
                     f"in round {index}"
                 )
             self.responses.update(body["responses"])
-            round_state.pending_results.discard(message.src)
-            round_state.completed.add(message.src)
-            self._node_outstanding.discard(message.src)
+            round_state.pending_results.discard(key)
+            round_state.completed.add(key)
+            if not self.unit_dispatch:
+                self._node_outstanding.discard(message.src)
             self._finish_pipelined_round(index)
             self._drain_gates()
             return

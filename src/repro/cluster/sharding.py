@@ -71,7 +71,9 @@ class ShardMap:
         """All shards a node currently owns (sorted)."""
         return sorted(s for s, n in self._owner.items() if n == node_id)
 
-    def migrate(self, shard: int, to_node: int, round_index: int = -1) -> LeaseRecord:
+    def migrate(
+        self, shard: int, to_node: int, round_index: int = -1
+    ) -> LeaseRecord:
         """Hand a shard's lease to another node; returns the record."""
         if not 0 <= to_node < self.num_nodes:
             raise ClusterError(f"unknown node {to_node}")

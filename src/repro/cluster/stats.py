@@ -26,7 +26,10 @@ class NodeBill:
     node_id: int
     ops_executed: int = 0
     rounds_active: int = 0
-    #: Virtual time spent executing (sum of round critical paths × op cost).
+    #: Virtual time spent executing: sum of round critical paths × op
+    #: cost (batch dispatch), or each unit's execution span — first op
+    #: start to last finish, queueing excluded — under component-granular
+    #: dispatch (spans of units overlapping on disjoint lanes both count).
     busy_time: float = 0.0
     forwards_received: int = 0
     results_sent: int = 0
@@ -36,6 +39,16 @@ class NodeBill:
     #: Virtual time spent waiting for this node's synchronization lanes
     #: (team or global) before a round's batch could execute.
     sync_wait_time: float = 0.0
+    #: Component-granular dispatch only: units executed on this node (a
+    #: unit is one conflict-graph component, or a round's singleton set).
+    units_executed: int = 0
+    #: Op-granular DAG scheduling only: chained ops this node planned vs
+    #: the sum of their components' critical paths, and the high-water
+    #: marks of component critical path / antichain width it saw.
+    dag_chain_ops: int = 0
+    dag_critical_ops: int = 0
+    max_dag_critical_path: int = 0
+    max_dag_width: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -48,6 +61,11 @@ class NodeBill:
             "leases_granted": self.leases_granted,
             "leases_acquired": self.leases_acquired,
             "sync_wait_time": self.sync_wait_time,
+            "units_executed": self.units_executed,
+            "dag_chain_ops": self.dag_chain_ops,
+            "dag_critical_ops": self.dag_critical_ops,
+            "max_dag_critical_path": self.max_dag_critical_path,
+            "max_dag_width": self.max_dag_width,
         }
 
 
@@ -77,6 +95,9 @@ class ClusterRound:
     team_sizes: tuple[int, ...] = ()
     #: Lease migrations suppressed by the anti-churn cooldown this round.
     cooldown_skips: int = 0
+    #: Component-granular dispatch only: independently gated ``cl_run``
+    #: units this round fanned out as (0 = batch-granular dispatch).
+    units_dispatched: int = 0
     #: Cross-round pipelining only (:class:`~repro.cluster.router.Router`
     #: with ``pipeline_depth > 1``): rounds in flight when this one was
     #: classified, virtual time its per-node batches spent gated at the
@@ -105,6 +126,8 @@ class ClusterStats:
     op_cost: float = 1.0
     #: Configured window overlap depth (1 = the historical barrier).
     pipeline_depth: int = 1
+    #: Op-granular DAG scheduling + component-granular dispatch enabled.
+    dag_scheduling: bool = False
 
     ops_executed: int = 0
     rounds: int = 0
@@ -162,8 +185,12 @@ class ClusterStats:
     def bill(self, node_id: int) -> NodeBill:
         return self.node_bills[node_id]
 
+    #: Component-granular dispatch: total independently gated units.
+    units_dispatched: int = 0
+
     def record_round(self, round_stats: ClusterRound) -> None:
         self.rounds += 1
+        self.units_dispatched += round_stats.units_dispatched
         self.ops_executed += round_stats.window
         self.owner_local_ops += round_stats.owner_local_ops
         self.hot_split_ops += round_stats.hot_split_ops
@@ -232,6 +259,37 @@ class ClusterStats:
         )
 
     @property
+    def dag_chain_ops(self) -> int:
+        return sum(bill.dag_chain_ops for bill in self.node_bills)
+
+    @property
+    def dag_critical_ops(self) -> int:
+        return sum(bill.dag_critical_ops for bill in self.node_bills)
+
+    @property
+    def dag_speedup(self) -> float:
+        """Chained ops over summed component critical paths across all
+        nodes — the intra-component parallelism op-granular node planning
+        exploited (1.0 under chain-atomic scheduling)."""
+        critical = self.dag_critical_ops
+        if not critical:
+            return 1.0
+        return self.dag_chain_ops / critical
+
+    @property
+    def max_dag_critical_path(self) -> int:
+        return max(
+            (bill.max_dag_critical_path for bill in self.node_bills),
+            default=0,
+        )
+
+    @property
+    def max_dag_width(self) -> int:
+        return max(
+            (bill.max_dag_width for bill in self.node_bills), default=0
+        )
+
+    @property
     def load_imbalance(self) -> float:
         """Max over mean of per-node executed ops (1.0 = perfectly even)."""
         loads = [bill.ops_executed for bill in self.node_bills]
@@ -249,6 +307,13 @@ class ClusterStats:
             "num_shards": self.num_shards,
             "op_cost": self.op_cost,
             "pipeline_depth": self.pipeline_depth,
+            "dag_scheduling": self.dag_scheduling,
+            "units_dispatched": self.units_dispatched,
+            "dag_chain_ops": self.dag_chain_ops,
+            "dag_critical_ops": self.dag_critical_ops,
+            "dag_speedup": self.dag_speedup,
+            "max_dag_critical_path": self.max_dag_critical_path,
+            "max_dag_width": self.max_dag_width,
             "max_inflight_rounds": self.max_inflight_rounds,
             "dispatch_stall_time": self.dispatch_stall_time,
             "dispatch_stall_time_contended": self.dispatch_stall_time_contended,

@@ -110,7 +110,9 @@ class DynamicTokenNode(Node):
         super().__init__(node_id, network)
         self.n = num_nodes
         self.state = ReplicaTokenState.create(num_nodes, deployer, supply)
-        self.fifo = FifoReliableBroadcast(self, num_nodes, self._apply_delivered)
+        self.fifo = FifoReliableBroadcast(
+            self, num_nodes, self._apply_delivered
+        )
         #: Client-side records of operations submitted at this node.
         self.records: dict[int, OpRecord] = {}
         #: Ops applied by this replica, in application order.
@@ -154,7 +156,9 @@ class DynamicTokenNode(Node):
         self._finalize_own_op(op, record)
         return record
 
-    def submit_transfer_from(self, source: int, dest: int, value: int) -> OpRecord:
+    def submit_transfer_from(
+        self, source: int, dest: int, value: int
+    ) -> OpRecord:
         """Spender operation: route through the source account's owner for
         group-ordered sequencing."""
         op = TokenOp(
@@ -242,7 +246,10 @@ class DynamicTokenNode(Node):
             self._commit_group_op(op, requester)
             return
         round_state = _PendingGroupRound(
-            op=op, submitted_at=self.now, requester=requester, awaiting=set(others)
+            op=op,
+            submitted_at=self.now,
+            requester=requester,
+            awaiting=set(others),
         )
         self._group_rounds[op.op_id] = round_state
         for member in others:
@@ -309,7 +316,9 @@ class DynamicTokenNode(Node):
         if op.account == self.node_id:
             # Our own sequenced op settled locally; it is no longer pending.
             self._pending_own = [
-                pending for pending in self._pending_own if pending.op_id != op.op_id
+                pending
+                for pending in self._pending_own
+                if pending.op_id != op.op_id
             ]
         self.applied.append((self.now, op))
         if self.tracker is not None:

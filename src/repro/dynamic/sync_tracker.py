@@ -61,7 +61,8 @@ def sync_group(state: ReplicaTokenState, account: int) -> frozenset[int]:
 def sync_levels(state: ReplicaTokenState) -> list[int]:
     """Group size per account."""
     return [
-        len(sync_group(state, account)) for account in range(len(state.balances))
+        len(sync_group(state, account))
+        for account in range(len(state.balances))
     ]
 
 

@@ -33,7 +33,7 @@ from repro.engine.classifier import (
     ClassifierValidationError,
     OpClassifier,
 )
-from repro.engine.conflict_graph import ConflictGraph
+from repro.engine.conflict_graph import ComponentDAG, ConflictGraph
 from repro.engine.escalation import (
     ConsensusEscalator,
     EscalationResult,
@@ -48,14 +48,21 @@ from repro.engine.rounds import (
     RoundScheduler,
     RoundStage,
 )
-from repro.engine.shard import ShardPlan, ShardPlanner, stable_account_hash
+from repro.engine.shard import (
+    ShardPlan,
+    ShardPlanner,
+    dag_list_schedule,
+    stable_account_hash,
+)
 from repro.engine.stats import EngineStats, WaveStats
 
 __all__ = [
     "ClassifierStats",
     "ClassifierValidationError",
     "OpClassifier",
+    "ComponentDAG",
     "ConflictGraph",
+    "dag_list_schedule",
     "ConsensusEscalator",
     "EscalationResult",
     "tiered_escalator",

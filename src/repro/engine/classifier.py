@@ -25,7 +25,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.commutativity import CachedPairAnalyzer, Invocation, PairKind
+from repro.analysis.commutativity import (
+    CachedPairAnalyzer,
+    Invocation,
+    PairKind,
+)
 from repro.engine.mempool import PendingOp
 from repro.errors import EngineError
 from repro.objects.footprint import OpFootprint, static_pair_kind
@@ -109,7 +113,9 @@ class OpClassifier:
         self._footprints[key] = fp
         return fp
 
-    def classify(self, first: PendingOp, second: PendingOp, state=None) -> PairKind:
+    def classify(
+        self, first: PendingOp, second: PendingOp, state=None
+    ) -> PairKind:
         """Classify an (unordered) pair of pending operations.
 
         The verdict is state-independent: COMMUTE and READ_ONLY hold at

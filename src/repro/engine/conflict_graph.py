@@ -7,6 +7,18 @@ reads it for conflict-rate reporting, and ``components()`` exposes the
 synchronization groups — the engine-level analogue of the paper's per-
 account coordination groups: only operations inside one component ever need
 an order relative to each other.
+
+The paper's result is per-*pair*: only non-commuting operation pairs need
+a relative order.  A component is therefore not a chain but a *partial*
+order — :class:`ComponentDAG` materializes it by orienting every
+non-commute edge by submission order (COMMUTE pairs inside the component
+carry no edge at all).  Any linear extension of that DAG is serially
+equivalent to submission order: two ops without a path between them have
+no edge, hence statically commute, and adjacent-transposing commuting
+pairs transforms one extension into any other.  The DAG's critical path
+and antichain width are exactly the component's intrinsic makespan lower
+bound and its exploitable parallelism — the quantities op-granular
+scheduling (``dag_scheduling=True`` on the planner) trades on.
 """
 
 from __future__ import annotations
@@ -16,6 +28,93 @@ from dataclasses import dataclass, field
 from repro.analysis.commutativity import PairKind
 from repro.engine.classifier import OpClassifier
 from repro.engine.mempool import PendingOp
+
+
+@dataclass(frozen=True, slots=True)
+class ComponentDAG:
+    """Precedence DAG of one multi-op conflict-graph component.
+
+    ``nodes`` are window indices in ascending (= submission) order;
+    ``preds``/``succs`` map each node to its direct non-commute
+    predecessors/successors, every edge oriented from the earlier
+    submission to the later one.  All derived quantities are in operation
+    units (unit op cost); the scheduler scales by ``op_cost`` itself.
+    """
+
+    nodes: tuple[int, ...]
+    preds: dict[int, tuple[int, ...]]
+    succs: dict[int, tuple[int, ...]]
+
+    @classmethod
+    def over(cls, component: list[int], edges) -> "ComponentDAG":
+        """Build the DAG for ``component`` from a window's edge dict."""
+        members = set(component)
+        preds: dict[int, list[int]] = {i: [] for i in component}
+        succs: dict[int, list[int]] = {i: [] for i in component}
+        for a, b in edges:
+            if a in members and b in members:
+                # Edge keys are (i, j) with i < j — already submission-
+                # oriented; COMMUTE pairs were never stored.
+                preds[b].append(a)
+                succs[a].append(b)
+        return cls(
+            nodes=tuple(sorted(component)),
+            preds={i: tuple(sorted(found)) for i, found in preds.items()},
+            succs={i: tuple(sorted(found)) for i, found in succs.items()},
+        )
+
+    # ------------------------------------------------------------------
+
+    def depths(self) -> dict[int, int]:
+        """Longest-path depth from the component's sources (sources = 0).
+
+        Submission order is a topological order (edges point from lower to
+        higher index), so one ascending pass suffices.
+        """
+        depth: dict[int, int] = {}
+        for i in self.nodes:
+            depth[i] = 1 + max((depth[p] for p in self.preds[i]), default=-1)
+        return depth
+
+    def bottom_levels(self) -> dict[int, int]:
+        """Longest path from each node to a sink, the node included — the
+        critical-path-first priority of the list scheduler."""
+        level: dict[int, int] = {}
+        for i in reversed(self.nodes):
+            level[i] = 1 + max((level[s] for s in self.succs[i]), default=0)
+        return level
+
+    def levels(self) -> list[list[int]]:
+        """Antichain waves: nodes grouped by longest-path depth.
+
+        Same-depth nodes admit no path between them (a path strictly
+        increases depth), so each level is an antichain — ops free to run
+        lane-parallel once the previous waves committed.
+        """
+        depth = self.depths()
+        waves: list[list[int]] = [
+            [] for _ in range(max(depth.values(), default=-1) + 1)
+        ]
+        for i in self.nodes:
+            waves[depth[i]].append(i)
+        return waves
+
+    @property
+    def critical_path(self) -> int:
+        """Longest chain of non-commuting ops — the component's makespan
+        lower bound in operation units (``len(nodes)`` when the component
+        is a total order, less when the conflict structure admits width)."""
+        return max(self.depths().values(), default=-1) + 1
+
+    @property
+    def width(self) -> int:
+        """Largest antichain wave — the intra-component parallelism an
+        op-granular schedule can exploit (1 = effectively a chain)."""
+        return max((len(wave) for wave in self.levels()), default=0)
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
 
 
 @dataclass
@@ -59,11 +158,15 @@ class ConflictGraph:
 
     @property
     def conflict_edges(self) -> int:
-        return sum(1 for kind in self.edges.values() if kind is PairKind.CONFLICT)
+        return sum(
+            1 for kind in self.edges.values() if kind is PairKind.CONFLICT
+        )
 
     @property
     def read_only_edges(self) -> int:
-        return sum(1 for kind in self.edges.values() if kind is PairKind.READ_ONLY)
+        return sum(
+            1 for kind in self.edges.values() if kind is PairKind.READ_ONLY
+        )
 
     @property
     def commute_pairs(self) -> int:
@@ -98,3 +201,24 @@ class ConflictGraph:
         for i in range(len(self.ops)):
             groups.setdefault(find(i), []).append(i)
         return [sorted(members) for _, members in sorted(groups.items())]
+
+    def component_dags(self) -> list[ComponentDAG]:
+        """Precedence DAGs of the multi-op components, in component order.
+
+        Aligned with the chains produced by
+        :meth:`repro.engine.rounds.RoundScheduler.split` (which keeps the
+        multi-op components of :meth:`components` in the same order), so
+        ``dags[k].nodes == tuple(chains[k])`` — the planner relies on that
+        positional correspondence.  Edges are bucketed per component in
+        one pass (every edge belongs to exactly one component), so a
+        window costs O(V + E), not O(components × E).
+        """
+        multi = [c for c in self.components() if len(c) > 1]
+        owner = {i: k for k, component in enumerate(multi) for i in component}
+        buckets: list[dict] = [{} for _ in multi]
+        for (a, b), kind in self.edges.items():
+            buckets[owner[a]][(a, b)] = kind
+        return [
+            ComponentDAG.over(component, bucket)
+            for component, bucket in zip(multi, buckets)
+        ]

@@ -134,7 +134,9 @@ def tiered_escalator(
     return TieredEscalator(
         escalator
         if escalator is not None
-        else ConsensusEscalator(seed=seed, latency=latency, max_batch=max_batch),
+        else ConsensusEscalator(
+            seed=seed, latency=latency, max_batch=max_batch
+        ),
         planner=SyncPlanner(team_threshold),
         latency=latency,
         seed=seed,

@@ -71,6 +71,7 @@ class BatchExecutor:
         mempool_capacity: int | None = None,
         team_threshold: int = 0,
         sync: TieredEscalator | None = None,
+        dag_scheduling: bool = False,
     ) -> None:
         if num_lanes < 1:
             raise EngineError("need at least one lane")
@@ -85,10 +86,19 @@ class BatchExecutor:
             if classifier is not None
             else OpClassifier(object_type, validate=validate)
         )
-        self.planner = planner if planner is not None else ShardPlanner(num_lanes)
+        #: ``dag_scheduling=True`` dissolves chain-atomic components into
+        #: their precedence DAGs (op-granular scheduling); the default
+        #: ``False`` is the historical chain-atomic behavior bit for bit.
+        self.planner = (
+            planner
+            if planner is not None
+            else ShardPlanner(num_lanes, dag_scheduling=dag_scheduling)
+        )
         self.scheduler = RoundScheduler(self.classifier, self.planner)
         self.escalator = (
-            escalator if escalator is not None else ConsensusEscalator(seed=seed)
+            escalator
+            if escalator is not None
+            else ConsensusEscalator(seed=seed)
         )
         #: The tiered sync layer; its Tier ∞ fallback is ``self.escalator``,
         #: so ``team_threshold=0`` (the default) reproduces the historical
@@ -138,15 +148,24 @@ class BatchExecutor:
         therefore statically commute).
         """
         self.stats.rejected_ops = self.mempool.rejected
-        round_ = self.lifecycle.drain(self.mempool, self.window, self.stats.waves)
+        round_ = self.lifecycle.drain(
+            self.mempool, self.window, self.stats.waves
+        )
         if round_ is None:
             return None
         self.lifecycle.classify(round_, self.state)
         self.lifecycle.synchronize(round_, self.state)
         self.lifecycle.plan(round_)
-        for lane in round_.plan.lanes:
-            for op in lane:
+        if round_.plan.apply_order is not None:
+            # DAG plans carry an explicit linear extension of every
+            # component DAG; lane-major application would be unsound once
+            # one chain spans lanes.
+            for op in round_.plan.apply_order:
                 self._apply(op)
+        else:
+            for lane in round_.plan.lanes:
+                for op in lane:
+                    self._apply(op)
         round_stats = self.lifecycle.barrier_stats(round_)
         self.clock += round_stats.virtual_time
         self.stats.record_round(round_stats)

@@ -19,15 +19,30 @@ and gates everything later.
 
 Mechanically the executor keeps a per-location **frontier** — the virtual
 time at which the last scheduled unit touching that location finishes —
-plus per-lane free times, and schedules each window's units (chains are
-atomic units, singletons are single-op units) greedily onto the earliest
-free lane at ``max(classify time, frontier of its footprint, its sync
-lane's completion)``.  Window N+1 is classified (conflict graph, tiered
-synchronization) as soon as the pipeline has a free slot — i.e. while
-window N's lanes are still executing — and the shared synchronization
-lanes serialize across windows (they are one physical resource) but
-overlap with lane execution, which is where most of the win on contended
-mixes comes from.
+plus per-lane free times, and schedules each window's units greedily onto
+the earliest free lane at ``max(classify time, frontier of its footprint,
+its sync lane's completion)``.  Window N+1 is classified (conflict graph,
+tiered synchronization) as soon as the pipeline has a free slot — i.e.
+while window N's lanes are still executing — and the shared
+synchronization lanes serialize across windows (they are one physical
+resource) but overlap with lane execution, which is where most of the win
+on contended mixes comes from.
+
+What a *unit* is depends on the scheduling granularity:
+
+* **chain-atomic** (the default): chains are atomic units, singletons
+  single-op units.  Units place with the barrier planner's heuristics
+  ported onto the timeline — chains longest-first (LPT), singletons
+  bundled by primary account with oversized bundles split across the
+  earliest-free lanes (hot-account splitting) — closing the owner-only
+  gap the greedy head-order placement left against the barrier planner.
+* **op-granular** (``dag_scheduling=True``): every operation is its own
+  unit.  Within a component, the precedence DAG
+  (:class:`~repro.engine.conflict_graph.ComponentDAG`) supplies the
+  intra-window dependencies and a critical-path-first priority; the
+  frontier then keys on per-*op* footprints, so an op of window N+1
+  starts behind only the specific earlier ops it touches — not behind
+  the union footprint of every chain those ops belong to.
 
 ``pipeline_depth`` bounds how many windows may be in flight at once.
 ``pipeline_depth=1`` *is* the barrier: the executor inherits
@@ -46,6 +61,8 @@ sequential specification for random workloads, depths, and lane counts.
 
 from __future__ import annotations
 
+import heapq
+import math
 from dataclasses import dataclass
 
 from repro.engine.executor import BatchExecutor
@@ -153,9 +170,7 @@ class PipelinedExecutor(BatchExecutor):
             gate = self._completions[index - self.pipeline_depth]
         t_classify = max(self._classify_clock, gate)
         self._classify_clock = t_classify
-        inflight = 1 + sum(
-            1 for done in self._completions if done > t_classify
-        )
+        inflight = 1 + sum(1 for done in self._completions if done > t_classify)
 
         self.lifecycle.classify(round_, self._classify_state)
         sync_start = max(t_classify, self._sync_free)
@@ -173,112 +188,43 @@ class PipelinedExecutor(BatchExecutor):
                     self._classify_state, op.pid, op.operation
                 )
 
-        # Per-chain sync completion: a chain with a contended group may
-        # not start before its lane committed the group's order.
+        # Per-chain and per-op sync completion: a contended component may
+        # not start (chain-atomic) — or its contended *members* may not
+        # start (op-granular) — before its lane committed the order.
         chain_sync: dict[int, float] = {}
+        op_sync: dict[int, float] = {}
         chain_of = {
             i: ci for ci, chain in enumerate(round_.chain_idx) for i in chain
         }
         for group, component in zip(
             round_.contended_groups, escalation.components
         ):
+            done = sync_start + component.completed
             owner = chain_of[group[0]]
-            chain_sync[owner] = max(
-                chain_sync.get(owner, 0.0), sync_start + component.completed
-            )
+            chain_sync[owner] = max(chain_sync.get(owner, 0.0), done)
+            for i in group:
+                op_sync[i] = done
 
-        # Units in submission order of their heads: chains are atomic,
-        # singletons are single-op units (hot accounts spread implicitly).
-        units: list[tuple[int, list[PendingOp], bool, float]] = []
-        for ci, chain in enumerate(round_.chain_idx):
-            units.append(
-                (
-                    chain[0],
-                    [round_.ops[i] for i in chain],
-                    ci in chain_sync,
-                    chain_sync.get(ci, 0.0),
-                )
+        if self.planner.dag_scheduling:
+            placement = self._place_window_dag(round_, t_classify, op_sync)
+        else:
+            placement = self._place_window_units(
+                round_, t_classify, chain_sync
             )
-        for i in round_.singleton_idx:
-            units.append((i, [round_.ops[i]], False, 0.0))
-        units.sort(key=lambda unit: unit[0])
-
-        scheduled: list[ScheduledUnit] = []
-        frontier_updates: list[
-            tuple[frozenset | None, frozenset, frozenset, float]
-        ] = []
-        stall = stall_contended = 0.0
-        lanes_used: set[int] = set()
-        for _, ops, contended, sync_ready in units:
-            summary = FootprintSummary.over(
-                self.classifier.footprint(op) for op in ops
-            )
-            observes, adds, sets = summary.observes, summary.adds, summary.sets
-            if summary.unknown:
-                dep_ready = self._frontier_max
-            else:
-                dep_ready = self._frontier_top
-                for loc in observes:
-                    # A read waits for earlier writes to the cell.
-                    dep_ready = max(
-                        dep_ready,
-                        self._frontier_add.get(loc, 0.0),
-                        self._frontier_set.get(loc, 0.0),
-                    )
-                for loc in adds:
-                    # A delta waits for earlier reads and absolute writes,
-                    # but deltas to one cell commute with each other.
-                    dep_ready = max(
-                        dep_ready,
-                        self._frontier_obs.get(loc, 0.0),
-                        self._frontier_set.get(loc, 0.0),
-                    )
-                for loc in sets:
-                    # An absolute write waits for every earlier access.
-                    dep_ready = max(
-                        dep_ready,
-                        self._frontier_obs.get(loc, 0.0),
-                        self._frontier_add.get(loc, 0.0),
-                        self._frontier_set.get(loc, 0.0),
-                    )
-            lane = min(
-                range(self.num_lanes),
-                key=lambda lane_id: (self._lane_free[lane_id], lane_id),
-            )
-            base = max(t_classify, self._lane_free[lane])
-            sync_stall = max(0.0, sync_ready - base) if contended else 0.0
-            frontier_stall = max(0.0, dep_ready - max(base, sync_ready))
-            start = max(base, dep_ready, sync_ready)
-            finish = start + len(ops) * self.op_cost
-            self._lane_free[lane] = finish
-            lanes_used.add(lane)
-            unit = ScheduledUnit(
-                start=start,
-                finish=finish,
-                lane=lane,
-                first_seq=ops[0].seq,
-                ops=tuple(ops),
-                contended=contended,
-                sync_stall=sync_stall,
-                frontier_stall=frontier_stall,
-            )
-            scheduled.append(unit)
-            frontier_updates.append(
-                (
-                    None if summary.unknown else observes,
-                    adds,
-                    sets,
-                    finish,
-                )
-            )
-            unit_stall = sync_stall + frontier_stall
-            stall += unit_stall
-            if contended:
-                stall_contended += unit_stall
+        (
+            scheduled,
+            frontier_updates,
+            stall,
+            stall_contended,
+            lanes_used,
+            hot_accounts,
+            critical_path,
+        ) = placement
 
         # Frontier updates apply after the whole window: units of one
-        # window never gate each other (they are distinct components and
-        # statically commute — the barrier executor's own argument).
+        # window never gate each other through the frontier — distinct
+        # components statically commute (the barrier executor's own
+        # argument), and same-component ordering is the DAG edges' job.
         for observes, adds, sets, finish in frontier_updates:
             self._frontier_max = max(self._frontier_max, finish)
             if observes is None:
@@ -309,8 +255,8 @@ class PipelinedExecutor(BatchExecutor):
             barrier_ops=round_.chained_ops - escalated,
             escalated_ops=escalated,
             lanes_used=len(lanes_used),
-            critical_path=max(len(unit.ops) for unit in scheduled),
-            hot_accounts=0,
+            critical_path=critical_path,
+            hot_accounts=len(hot_accounts),
             virtual_time=completed - t_classify,
             escalation_time=escalation.virtual_time,
             escalation_messages=escalation.messages,
@@ -325,9 +271,297 @@ class PipelinedExecutor(BatchExecutor):
             overlap_time=overlap,
             inflight=inflight,
             completed_at=completed,
+            dag_critical_path=max(
+                (dag.critical_path for dag in round_.dags), default=0
+            ),
+            dag_width=max((dag.width for dag in round_.dags), default=0),
+            dag_chain_ops=sum(dag.size for dag in round_.dags),
+            dag_critical_ops=sum(dag.critical_path for dag in round_.dags),
         )
         self.stats.record_round(round_stats)
         return round_stats
+
+    # -- window placement ------------------------------------------------
+
+    def _dep_ready(self, summary: FootprintSummary) -> float:
+        """Earliest start the cross-window frontier allows for a unit with
+        this may-access summary — exactly the static commutativity test
+        per access kind: reads gate on earlier writes, deltas on earlier
+        reads and absolute writes (delta-delta sharing is free), absolute
+        writes on every earlier access; unknown footprints degrade to
+        waiting for everything."""
+        if summary.unknown:
+            return self._frontier_max
+        dep_ready = self._frontier_top
+        for loc in summary.observes:
+            dep_ready = max(
+                dep_ready,
+                self._frontier_add.get(loc, 0.0),
+                self._frontier_set.get(loc, 0.0),
+            )
+        for loc in summary.adds:
+            dep_ready = max(
+                dep_ready,
+                self._frontier_obs.get(loc, 0.0),
+                self._frontier_set.get(loc, 0.0),
+            )
+        for loc in summary.sets:
+            dep_ready = max(
+                dep_ready,
+                self._frontier_obs.get(loc, 0.0),
+                self._frontier_add.get(loc, 0.0),
+                self._frontier_set.get(loc, 0.0),
+            )
+        return dep_ready
+
+    def _place_window_units(
+        self,
+        round_,
+        t_classify: float,
+        chain_sync: dict[int, float],
+    ):
+        """Chain-atomic placement with the barrier planner's heuristics.
+
+        Chains place longest-first (LPT) onto the earliest-free lane;
+        singletons bundle by primary account — a bundle lands consecutively
+        on one lane, except oversized (hot-account) bundles, which split
+        per-op across the earliest-free lanes, mirroring
+        :class:`~repro.engine.shard.ShardPlanner`'s target heuristic on
+        the rolling timeline.
+        """
+        scheduled: list[ScheduledUnit] = []
+        frontier_updates: list[
+            tuple[frozenset | None, frozenset, frozenset, float]
+        ] = []
+        stall = stall_contended = 0.0
+        lanes_used: set[int] = set()
+
+        def place(
+            ops: list[PendingOp],
+            contended: bool,
+            sync_ready: float,
+            lane: int | None = None,
+        ) -> int:
+            summary = FootprintSummary.over(
+                self.classifier.footprint(op) for op in ops
+            )
+            dep_ready = self._dep_ready(summary)
+            if lane is None:
+                lane = min(
+                    range(self.num_lanes),
+                    key=lambda lane_id: (self._lane_free[lane_id], lane_id),
+                )
+            base = max(t_classify, self._lane_free[lane])
+            sync_stall = max(0.0, sync_ready - base) if contended else 0.0
+            frontier_stall = max(0.0, dep_ready - max(base, sync_ready))
+            start = max(base, dep_ready, sync_ready)
+            finish = start + len(ops) * self.op_cost
+            self._lane_free[lane] = finish
+            lanes_used.add(lane)
+            scheduled.append(
+                ScheduledUnit(
+                    start=start,
+                    finish=finish,
+                    lane=lane,
+                    first_seq=ops[0].seq,
+                    ops=tuple(ops),
+                    contended=contended,
+                    sync_stall=sync_stall,
+                    frontier_stall=frontier_stall,
+                )
+            )
+            frontier_updates.append(
+                (
+                    None if summary.unknown else summary.observes,
+                    summary.adds,
+                    summary.sets,
+                    finish,
+                )
+            )
+            nonlocal stall, stall_contended
+            stall += sync_stall + frontier_stall
+            if contended:
+                stall_contended += sync_stall + frontier_stall
+            return lane
+
+        # Chains: longest-processing-time first (the barrier planner's
+        # LPT), deterministic tie-break on the head's sequence number.
+        chain_units = sorted(
+            (
+                (
+                    [round_.ops[i] for i in chain],
+                    ci in chain_sync,
+                    chain_sync.get(ci, 0.0),
+                )
+                for ci, chain in enumerate(round_.chain_idx)
+            ),
+            key=lambda unit: (-len(unit[0]), unit[0][0].seq),
+        )
+        for ops, contended, sync_ready in chain_units:
+            place(ops, contended, sync_ready)
+
+        # Singletons: bundle by primary account; hot bundles split.
+        target = math.ceil(len(round_.ops) / self.num_lanes)
+        bundles: dict[int, list[PendingOp]] = {}
+        for i in round_.singleton_idx:
+            op = round_.ops[i]
+            bundles.setdefault(
+                self.planner.primary_account(self.classifier, op), []
+            ).append(op)
+        hot_accounts: list[int] = []
+        for account, ops in sorted(
+            bundles.items(), key=lambda kv: (-len(kv[1]), kv[0])
+        ):
+            if len(ops) > target:
+                hot_accounts.append(account)
+                for op in ops:
+                    place([op], False, 0.0)
+            else:
+                lane: int | None = None
+                for op in ops:
+                    lane = place([op], False, 0.0, lane=lane)
+
+        critical_path = max(len(unit.ops) for unit in scheduled)
+        return (
+            scheduled,
+            frontier_updates,
+            stall,
+            stall_contended,
+            lanes_used,
+            sorted(hot_accounts),
+            critical_path,
+        )
+
+    def _place_window_dag(
+        self,
+        round_,
+        t_classify: float,
+        op_sync: dict[int, float],
+    ):
+        """Op-granular placement: critical-path-first list scheduling.
+
+        Every operation is its own timeline unit.  Intra-window order
+        comes from the component DAGs (predecessor finish times), the
+        cross-window order from the per-*op* frontier, and contended ops
+        additionally wait for their component's sync lane.  Priority is
+        the DAG bottom level (deepest remaining chain first), ties broken
+        by submission order; singletons carry bottom level 1 and backfill.
+        """
+        ops = round_.ops
+        tasks: list[int] = []
+        priorities: list[int] = []
+        task_of: dict[int, int] = {}
+        for dag in round_.dags:
+            bottom = dag.bottom_levels()
+            for node in dag.nodes:
+                task_of[node] = len(tasks)
+                tasks.append(node)
+                priorities.append(bottom[node])
+        for i in round_.singleton_idx:
+            task_of[i] = len(tasks)
+            tasks.append(i)
+            priorities.append(1)
+        preds: list[tuple[int, ...]] = [()] * len(tasks)
+        succs: list[list[int]] = [[] for _ in range(len(tasks))]
+        for dag in round_.dags:
+            for node in dag.nodes:
+                t = task_of[node]
+                preds[t] = tuple(task_of[p] for p in dag.preds[node])
+                for s in dag.succs[node]:
+                    succs[t].append(task_of[s])
+
+        scheduled: list[ScheduledUnit] = []
+        frontier_updates: list[
+            tuple[frozenset | None, frozenset, frozenset, float]
+        ] = []
+        stall = stall_contended = 0.0
+        lanes_used: set[int] = set()
+        est = [0.0] * len(tasks)
+        missing = [len(found) for found in preds]
+        ready = [
+            (-priorities[t], ops[tasks[t]].seq, t)
+            for t in range(len(tasks))
+            if not missing[t]
+        ]
+        heapq.heapify(ready)
+        placed = 0
+        while ready:
+            _, _, t = heapq.heappop(ready)
+            i = tasks[t]
+            op = ops[i]
+            summary = FootprintSummary.over([self.classifier.footprint(op)])
+            dep_ready = self._dep_ready(summary)
+            contended = i in op_sync
+            sync_ready = op_sync.get(i, 0.0)
+            # Earliest-start lane choice (not least-loaded): an op floored
+            # far in the future by its dependencies must not strand the
+            # earliest-free lane idle when another lane starts it no later.
+            ready_at = max(t_classify, est[t], dep_ready, sync_ready)
+            lane = min(
+                range(self.num_lanes),
+                key=lambda lane_id: (
+                    max(self._lane_free[lane_id], ready_at),
+                    self._lane_free[lane_id],
+                    lane_id,
+                ),
+            )
+            # Admission, lane availability, and intra-window predecessor
+            # finishes form the baseline; waiting beyond it is stall,
+            # attributed to the sync lane first, then the frontier.
+            base = max(t_classify, self._lane_free[lane], est[t])
+            sync_stall = max(0.0, sync_ready - base) if contended else 0.0
+            frontier_stall = max(0.0, dep_ready - max(base, sync_ready))
+            start = max(base, dep_ready, sync_ready)
+            finish = start + self.op_cost
+            self._lane_free[lane] = finish
+            lanes_used.add(lane)
+            scheduled.append(
+                ScheduledUnit(
+                    start=start,
+                    finish=finish,
+                    lane=lane,
+                    first_seq=op.seq,
+                    ops=(op,),
+                    contended=contended,
+                    sync_stall=sync_stall,
+                    frontier_stall=frontier_stall,
+                )
+            )
+            frontier_updates.append(
+                (
+                    None if summary.unknown else summary.observes,
+                    summary.adds,
+                    summary.sets,
+                    finish,
+                )
+            )
+            stall += sync_stall + frontier_stall
+            if contended:
+                stall_contended += sync_stall + frontier_stall
+            placed += 1
+            for s in succs[t]:
+                if finish > est[s]:
+                    est[s] = finish
+                missing[s] -= 1
+                if not missing[s]:
+                    heapq.heappush(
+                        ready, (-priorities[s], ops[tasks[s]].seq, s)
+                    )
+        if placed != len(tasks):
+            raise EngineError("dependency cycle in pipelined DAG schedule")
+
+        critical_path = max(
+            (dag.critical_path for dag in round_.dags), default=1
+        )
+        return (
+            scheduled,
+            frontier_updates,
+            stall,
+            stall_contended,
+            lanes_used,
+            [],
+            critical_path,
+        )
 
     def run(self) -> EngineStats:
         """Drain the mempool through the pipeline, then commit.

@@ -105,9 +105,10 @@ class RoundScheduler:
         This is the per-node round loop of the cluster: the router has
         already co-located every conflict-graph component (chains never
         span nodes), so rebuilding the graph over the batch recovers
-        exactly the window components assigned here, and the lane-major
-        application order of the returned plan is serially equivalent for
-        the same reason as in the single-process engine.
+        exactly the window components assigned here, and the application
+        order of the returned plan (lane-major, or the DAG plan's explicit
+        linear extension) is serially equivalent for the same reason as in
+        the single-process engine.
         """
         graph = ConflictGraph.build(self.classifier, ops, state)
         chain_idx, singleton_idx, _ = self.split(graph)
@@ -115,6 +116,9 @@ class RoundScheduler:
             self.classifier,
             [[ops[i] for i in chain] for chain in chain_idx],
             [ops[i] for i in singleton_idx],
+            dags=(
+                graph.component_dags() if self.planner.dag_scheduling else None
+            ),
         )
 
 
@@ -152,6 +156,9 @@ class Round:
     #: Contended subset of each chain, grouped by component (the unit the
     #: tiered sync layer sizes teams for).
     contended_groups: list[list[int]] = field(default_factory=list)
+    #: Per-chain precedence DAGs (populated only under op-granular
+    #: scheduling; positionally aligned with ``chain_idx``).
+    dags: list = field(default_factory=list)
     escalation: SyncRoundResult | None = None
     plan: ShardPlan | None = None
 
@@ -216,6 +223,8 @@ class RoundLifecycle:
             round_.singleton_idx,
             round_.contended_groups,
         ) = self.scheduler.split_sync(round_.graph)
+        if self.scheduler.planner.dag_scheduling:
+            round_.dags = round_.graph.component_dags()
         round_.advance(RoundStage.CLASSIFIED)
         return round_
 
@@ -241,11 +250,14 @@ class RoundLifecycle:
     def plan(self, round_: Round) -> Round:
         """PLANNED: lay chains and singletons out on the parallel lanes
         (the barrier layout; the pipelined executor schedules at unit
-        granularity instead and skips this stage)."""
+        granularity instead and skips this stage).  Under op-granular
+        scheduling the per-chain DAGs flow through and the plan carries an
+        explicit serially-equivalent application order."""
         round_.plan = self.scheduler.planner.plan(
             self.scheduler.classifier,
             [[round_.ops[i] for i in chain] for chain in round_.chain_idx],
             [round_.ops[i] for i in round_.singleton_idx],
+            dags=round_.dags if round_.dags else None,
         )
         round_.advance(RoundStage.PLANNED)
         return round_
@@ -260,6 +272,14 @@ class RoundLifecycle:
         escalated = len(round_.escalated_idx)
         round_.advance(RoundStage.COMMITTED)
         return WaveStats(
+            dag_critical_path=max(
+                (dag.critical_path for dag in round_.dags), default=0
+            ),
+            dag_width=max((dag.width for dag in round_.dags), default=0),
+            dag_chain_ops=sum(dag.size for dag in round_.dags),
+            dag_critical_ops=sum(
+                dag.critical_path for dag in round_.dags
+            ),
             index=round_.index,
             window=len(round_.ops),
             wave_ops=len(round_.singleton_idx),

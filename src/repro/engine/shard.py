@@ -25,14 +25,30 @@ Every operation in different groups pairwise commutes, so any assignment
 is *correct*; the planner only shapes the critical path.  It never
 consults mutable state, so the same window always produces the same plan —
 part of the engine's determinism guarantee.
+
+**Op-granular DAG scheduling** (``dag_scheduling=True``): a chain is not
+actually atomic — only its non-commuting pairs need an order, and the
+component's :class:`~repro.engine.conflict_graph.ComponentDAG` carries
+exactly those constraints.  The DAG planner schedules *operations*, not
+components, with a critical-path-first list scheduler (highest bottom
+level first, earliest-available lane), so a component's makespan drops
+from its op count toward its critical path.  The returned plan carries an
+explicit ``apply_order`` — a linear extension of every component DAG —
+because lane-major application is no longer sound once one chain spans
+lanes.  Any linear extension is serially equivalent to submission order:
+ops without a DAG path have no non-commute edge and may be transposed
+freely.  The default (``dag_scheduling=False``) reproduces the historical
+chain-atomic plans bit for bit.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 
 from repro.engine.classifier import OpClassifier
+from repro.engine.conflict_graph import ComponentDAG
 from repro.engine.mempool import PendingOp
 from repro.errors import EngineError
 from repro.objects.footprint import anchor_account
@@ -46,18 +62,90 @@ def stable_account_hash(account: int) -> int:
     return (account * _MIX) & 0xFFFFFFFF
 
 
+def dag_list_schedule(
+    seqs: list[int],
+    preds: list[tuple[int, ...]],
+    priorities: list[int],
+    lane_free: list[float],
+    floors: list[float] | None = None,
+    cost: float = 1,
+) -> list[tuple[float, float, int]]:
+    """Critical-path-first list scheduling of equal-cost tasks onto lanes.
+
+    ``preds[i]`` are task indices that must finish before task ``i``
+    starts; ``priorities[i]`` is its bottom level (ties broken by
+    ``seqs[i]``, i.e. submission order); ``floors[i]`` is an external
+    earliest-start (sync-lane completion, cross-window frontier); every
+    task runs for ``cost``.  Each task picks the lane giving the earliest
+    start.  ``lane_free`` is mutated in place so callers with a
+    persistent lane timeline (the cluster node) schedule incrementally.
+    Times stay integers when every input is an integer — the planner's
+    operation-unit invariant at the default ``cost=1``.
+
+    Returns ``(start, finish, lane)`` per task.  Deterministic: the heap
+    orders by (priority desc, seq), the lane choice by (start, free, id).
+    """
+    n = len(seqs)
+    succs: list[list[int]] = [[] for _ in range(n)]
+    missing = [0] * n
+    for i, below in enumerate(preds):
+        missing[i] = len(below)
+        for p in below:
+            succs[p].append(i)
+    est = list(floors) if floors is not None else [0.0] * n
+    ready = [(-priorities[i], seqs[i], i) for i in range(n) if not missing[i]]
+    heapq.heapify(ready)
+    out: list[tuple[float, float, int] | None] = [None] * n
+    scheduled = 0
+    while ready:
+        _, _, i = heapq.heappop(ready)
+        lane = min(
+            range(len(lane_free)),
+            key=lambda l: (max(lane_free[l], est[i]), lane_free[l], l),
+        )
+        start = max(lane_free[lane], est[i])
+        finish = start + cost
+        lane_free[lane] = finish
+        out[i] = (start, finish, lane)
+        scheduled += 1
+        for s in succs[i]:
+            if finish > est[s]:
+                est[s] = finish
+            missing[s] -= 1
+            if not missing[s]:
+                heapq.heappush(ready, (-priorities[s], seqs[s], s))
+    if scheduled != n:
+        raise EngineError("dependency cycle in DAG schedule")
+    return out  # type: ignore[return-value]
+
+
 @dataclass
 class ShardPlan:
     """The lane assignment of one scheduling round."""
 
-    #: Per lane: the operations in application order (chains kept intact).
+    #: Per lane: the operations in application order (chains kept intact
+    #: under chain-atomic planning; start-time order under DAG planning).
     lanes: list[list[PendingOp]]
     hot_accounts: list[int]
+    #: DAG planning only: the application order (a linear extension of
+    #: every component DAG — lane-major application is unsound once a
+    #: chain spans lanes) and the scheduled makespan in operation units.
+    apply_order: list[PendingOp] | None = None
+    dag_makespan: int | None = None
+    #: DAG planning only: component structure metrics of the planned batch
+    #: (the cluster node's bills aggregate these).
+    dag_critical_path: int = 0
+    dag_width: int = 0
+    dag_chain_ops: int = 0
+    dag_critical_ops: int = 0
 
     @property
     def critical_path(self) -> int:
-        """Length of the longest lane — the round's parallel execution time
-        in operation units."""
+        """The round's parallel execution time in operation units: the
+        longest lane under chain-atomic planning, the scheduled makespan
+        (which includes dependency-induced idle gaps) under DAG planning."""
+        if self.dag_makespan is not None:
+            return self.dag_makespan
         return max((len(lane) for lane in self.lanes), default=0)
 
     @property
@@ -72,11 +160,20 @@ class ShardPlan:
 class ShardPlanner:
     """Deterministic account-hash lane partitioner with hot-account splitting."""
 
-    def __init__(self, num_lanes: int, hot_split: bool = True) -> None:
+    def __init__(
+        self,
+        num_lanes: int,
+        hot_split: bool = True,
+        dag_scheduling: bool = False,
+    ) -> None:
         if num_lanes < 1:
             raise EngineError("need at least one lane")
         self.num_lanes = num_lanes
         self.hot_split = hot_split
+        #: Op-granular scheduling inside components (off by default until
+        #: re-baselined): chains stop being lane-atomic and schedule op by
+        #: op along their precedence DAG.
+        self.dag_scheduling = dag_scheduling
 
     # ------------------------------------------------------------------
 
@@ -97,8 +194,16 @@ class ShardPlanner:
         classifier: OpClassifier,
         chains: list[list[PendingOp]],
         singletons: list[PendingOp],
+        dags: list[ComponentDAG] | None = None,
     ) -> ShardPlan:
-        """Assign chains (atomic, ordered) and singletons to lanes."""
+        """Assign chains (atomic, ordered) and singletons to lanes.
+
+        With ``dag_scheduling`` on and per-chain ``dags`` supplied
+        (positionally aligned with ``chains``), chains dissolve into their
+        precedence DAGs and the op-granular list scheduler takes over.
+        """
+        if self.dag_scheduling and dags is not None:
+            return self._plan_dag(chains, singletons, dags)
         lanes: list[list[PendingOp]] = [[] for _ in range(self.num_lanes)]
         total = sum(len(chain) for chain in chains) + len(singletons)
         if not total:
@@ -154,3 +259,92 @@ class ShardPlanner:
             lanes[lightest].append(lanes[heaviest].pop())
             moved += 1
         return ShardPlan(lanes=lanes, hot_accounts=sorted(hot_accounts))
+
+    # -- op-granular DAG scheduling --------------------------------------
+
+    def dag_schedule(
+        self,
+        chains: list[list[PendingOp]],
+        singletons: list[PendingOp],
+        dags: list[ComponentDAG],
+        lane_free: list,
+        floor=0,
+        cost: float = 1,
+    ) -> tuple[list[PendingOp], list[tuple]]:
+        """Schedule ops (not components) with critical-path-first listing.
+
+        Chain ops carry their DAG precedence constraints and their bottom
+        level as priority, so the longest remaining dependency chains
+        start first; singletons (bottom level 1) backfill.  ``lane_free``
+        is a live lane timeline mutated in place and ``floor`` an external
+        earliest start, so callers with persistent lanes (the cluster
+        node's unit executor) schedule incrementally.  Returns the task
+        list and its ``(start, finish, lane)`` placements.
+        """
+        if len(dags) != len(chains):
+            raise EngineError("need one precedence DAG per chain")
+        ops: list[PendingOp] = []
+        seqs: list[int] = []
+        preds: list[tuple[int, ...]] = []
+        priorities: list[int] = []
+        for chain, dag in zip(chains, dags):
+            if len(chain) != len(dag.nodes):
+                raise EngineError("chain and its DAG disagree on size")
+            base = len(ops)
+            position = {node: k for k, node in enumerate(dag.nodes)}
+            bottom = dag.bottom_levels()
+            for k, op in enumerate(chain):
+                node = dag.nodes[k]
+                ops.append(op)
+                seqs.append(op.seq)
+                preds.append(
+                    tuple(base + position[p] for p in dag.preds[node])
+                )
+                priorities.append(bottom[node])
+        for op in singletons:
+            ops.append(op)
+            seqs.append(op.seq)
+            preds.append(())
+            priorities.append(1)
+        placed = dag_list_schedule(
+            seqs,
+            preds,
+            priorities,
+            lane_free,
+            floors=[floor] * len(ops),
+            cost=cost,
+        )
+        return ops, placed
+
+    def _plan_dag(
+        self,
+        chains: list[list[PendingOp]],
+        singletons: list[PendingOp],
+        dags: list[ComponentDAG],
+    ) -> ShardPlan:
+        """One round's op-granular plan on fresh lanes.  The makespan is
+        the largest finish time — possibly below the longest chain's
+        length when the component has antichain width to exploit."""
+        ops, placed = self.dag_schedule(
+            chains, singletons, dags, [0] * self.num_lanes, floor=0
+        )
+        lanes: list[list[PendingOp]] = [[] for _ in range(self.num_lanes)]
+        timeline = sorted(
+            range(len(ops)), key=lambda i: (placed[i][0], ops[i].seq)
+        )
+        for i in timeline:
+            lanes[placed[i][2]].append(ops[i])
+        return ShardPlan(
+            lanes=lanes,
+            hot_accounts=[],
+            apply_order=[ops[i] for i in timeline],
+            dag_makespan=max(
+                (int(finish) for _, finish, _ in placed), default=0
+            ),
+            dag_critical_path=max(
+                (dag.critical_path for dag in dags), default=0
+            ),
+            dag_width=max((dag.width for dag in dags), default=0),
+            dag_chain_ops=sum(dag.size for dag in dags),
+            dag_critical_ops=sum(dag.critical_path for dag in dags),
+        )

@@ -60,6 +60,15 @@ class WaveStats:
     overlap_time: float = 0.0
     inflight: int = 1
     completed_at: float = 0.0
+    #: Op-granular DAG scheduling only (``dag_scheduling=True``): longest
+    #: component critical path and widest component antichain this round,
+    #: plus the round's chained-op count against the sum of component
+    #: critical paths — the intrinsic intra-component parallelism the DAG
+    #: schedule can exploit.  Chain-atomic rounds leave the defaults.
+    dag_critical_path: int = 0
+    dag_width: int = 0
+    dag_chain_ops: int = 0
+    dag_critical_ops: int = 0
 
 
 @dataclass
@@ -98,6 +107,14 @@ class EngineStats:
     stall_time_contended: float = 0.0
     overlap_time: float = 0.0
     max_inflight_windows: int = 0
+    #: Op-granular DAG scheduling (:mod:`repro.engine.conflict_graph`
+    #: ``ComponentDAG``): high-water marks of component critical path and
+    #: antichain width, plus the run totals behind :attr:`dag_speedup`.
+    #: All zero under chain-atomic scheduling (the default).
+    max_dag_critical_path: int = 0
+    max_dag_width: int = 0
+    dag_chain_ops: int = 0
+    dag_critical_ops: int = 0
     virtual_time: float = 0.0
     escalation_time: float = 0.0
     escalation_messages: int = 0
@@ -133,6 +150,12 @@ class EngineStats:
         self.max_inflight_windows = max(
             self.max_inflight_windows, round_stats.inflight
         )
+        self.max_dag_critical_path = max(
+            self.max_dag_critical_path, round_stats.dag_critical_path
+        )
+        self.max_dag_width = max(self.max_dag_width, round_stats.dag_width)
+        self.dag_chain_ops += round_stats.dag_chain_ops
+        self.dag_critical_ops += round_stats.dag_critical_ops
         self.virtual_time += round_stats.virtual_time
         self.escalation_time += round_stats.escalation_time
         self.escalation_messages += round_stats.escalation_messages
@@ -182,6 +205,16 @@ class EngineStats:
         return sum(self.wave_sizes) / len(self.wave_sizes)
 
     @property
+    def dag_speedup(self) -> float:
+        """Chained ops over summed component critical paths — how much
+        op-granular scheduling shortens components *intrinsically* (1.0
+        when every component is a total order, or under chain-atomic
+        scheduling where the DAGs are never built)."""
+        if not self.dag_critical_ops:
+            return 1.0
+        return self.dag_chain_ops / self.dag_critical_ops
+
+    @property
     def mean_team_size(self) -> float:
         """Mean *k* over all team-lane instances — the quantity the tiered
         claim turns on: tiered sync wins once mean k ≪ n."""
@@ -219,6 +252,11 @@ class EngineStats:
             "stall_time_contended": self.stall_time_contended,
             "overlap_time": self.overlap_time,
             "max_inflight_windows": self.max_inflight_windows,
+            "max_dag_critical_path": self.max_dag_critical_path,
+            "max_dag_width": self.max_dag_width,
+            "dag_chain_ops": self.dag_chain_ops,
+            "dag_critical_ops": self.dag_critical_ops,
+            "dag_speedup": self.dag_speedup,
             "escalation_rate": self.escalation_rate,
             "fast_path_rate": self.fast_path_rate,
             "mean_wave_size": self.mean_wave_size,

@@ -106,7 +106,8 @@ class BrachaBroadcast:
         seq = self._next_seq
         self._next_seq += 1
         self.node.broadcast(
-            "brb_send", {"sender": self.node.node_id, "seq": seq, "value": payload}
+            "brb_send",
+            {"sender": self.node.node_id, "seq": seq, "value": payload},
         )
         return seq
 

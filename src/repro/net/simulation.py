@@ -56,7 +56,9 @@ class Simulator:
         self.events_processed = 0
         self.purges = 0
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` time units from now."""
         if delay < 0:
             raise NetworkError("cannot schedule events in the past")

@@ -10,9 +10,18 @@ from repro.objects.asset_transfer import (
 from repro.objects.base import SharedObject
 from repro.objects.consensus import UNDECIDED, ConsensusObject, ConsensusType
 from repro.objects.erc20 import ERC20Token, ERC20TokenType, TokenState
-from repro.objects.erc721 import NO_APPROVAL, ERC721Token, ERC721TokenType, NFTState
+from repro.objects.erc721 import (
+    NO_APPROVAL,
+    ERC721Token,
+    ERC721TokenType,
+    NFTState,
+)
 from repro.objects.erc777 import ERC777State, ERC777Token, ERC777TokenType
-from repro.objects.erc1155 import ERC1155Token, ERC1155TokenType, MultiTokenState
+from repro.objects.erc1155 import (
+    ERC1155Token,
+    ERC1155TokenType,
+    MultiTokenState,
+)
 from repro.objects.footprint import (
     EMPTY_FOOTPRINT,
     SUPPLY,
@@ -26,7 +35,11 @@ from repro.objects.register import (
     register_array,
     register_matrix,
 )
-from repro.objects.restricted import RestrictedObject, RestrictedType, restrict_to_qk
+from repro.objects.restricted import (
+    RestrictedObject,
+    RestrictedType,
+    restrict_to_qk,
+)
 
 __all__ = [
     "AssetTransfer",

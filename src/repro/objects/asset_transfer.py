@@ -139,7 +139,9 @@ class AssetTransferType(SequentialObjectType):
         if not isinstance(value, int) or value < 0:
             raise InvalidArgumentError(f"amount must be a natural number: {value!r}")
 
-    def apply(self, state: ATState, pid: int, operation: Operation) -> tuple[ATState, Any]:
+    def apply(
+        self, state: ATState, pid: int, operation: Operation
+    ) -> tuple[ATState, Any]:
         self.validate_name(operation)
         handler = getattr(self, f"_apply_{operation.name}")
         return handler(state, pid, *operation.args)
@@ -156,11 +158,15 @@ class AssetTransferType(SequentialObjectType):
             return state, FALSE
         return state.with_transfer(source, dest, value), TRUE
 
-    def _apply_balanceOf(self, state: ATState, pid: int, account: int) -> tuple[ATState, Any]:
+    def _apply_balanceOf(
+        self, state: ATState, pid: int, account: int
+    ) -> tuple[ATState, Any]:
         self._check_account(account)
         return state, state.balance(account)
 
-    def _apply_totalSupply(self, state: ATState, pid: int) -> tuple[ATState, Any]:
+    def _apply_totalSupply(
+        self, state: ATState, pid: int
+    ) -> tuple[ATState, Any]:
         return state, state.total_supply
 
     # -- static footprints (engine fast path) -----------------------------

@@ -33,7 +33,9 @@ class SharedObject:
     ) -> None:
         self.object_type = object_type
         self._state = (
-            object_type.initial_state() if initial_state is None else initial_state
+            object_type.initial_state()
+            if initial_state is None
+            else initial_state
         )
         if name is None:
             SharedObject._counter += 1
@@ -41,9 +43,9 @@ class SharedObject:
         self.name = name
         #: Optional hook invoked after each operation, used by executors to
         #: record histories: ``hook(pid, object, operation, result)``.
-        self.on_invoke: Callable[[int, "SharedObject", Operation, Any], None] | None = (
-            None
-        )
+        self.on_invoke: (
+            Callable[[int, "SharedObject", Operation, Any], None] | None
+        ) = None
 
     # ------------------------------------------------------------------
 
@@ -60,7 +62,9 @@ class SharedObject:
 
     def invoke(self, pid: int, operation: Operation) -> Any:
         """Atomically execute one operation and return its response."""
-        self._state, result = self.object_type.apply(self._state, pid, operation)
+        self._state, result = self.object_type.apply(
+            self._state, pid, operation
+        )
         if self.on_invoke is not None:
             self.on_invoke(pid, self, operation, result)
         return result

@@ -36,7 +36,9 @@ class ConsensusType(SequentialObjectType):
     def operation_names(self) -> tuple[str, ...]:
         return ("propose",)
 
-    def apply(self, state: Any, pid: int, operation: Operation) -> tuple[Any, Any]:
+    def apply(
+        self, state: Any, pid: int, operation: Operation
+    ) -> tuple[Any, Any]:
         self.validate_name(operation)
         if len(operation.args) != 1:
             raise InvalidArgumentError("propose takes exactly one argument")

@@ -172,7 +172,9 @@ class ERC20TokenType(SequentialObjectType):
                 raise InvalidArgumentError("initial state has wrong account count")
             self._initial = initial_state
         elif total_supply is not None:
-            self._initial = TokenState.deploy(num_accounts, total_supply, deployer)
+            self._initial = TokenState.deploy(
+                num_accounts, total_supply, deployer
+            )
         else:
             self._initial = TokenState.create([0] * num_accounts)
 
@@ -236,7 +238,10 @@ class ERC20TokenType(SequentialObjectType):
         self._check_account(source)
         self._check_account(dest)
         self._check_value(value)
-        if state.balance(source) < value or state.allowance(source, pid) < value:
+        if (
+            state.balance(source) < value
+            or state.allowance(source, pid) < value
+        ):
             return state, FALSE
         return state.with_transfer_from(pid, source, dest, value), TRUE
 
@@ -261,7 +266,9 @@ class ERC20TokenType(SequentialObjectType):
         self._check_process(spender)
         return state, state.allowance(account, spender)
 
-    def _apply_totalSupply(self, state: TokenState, pid: int) -> tuple[TokenState, Any]:
+    def _apply_totalSupply(
+        self, state: TokenState, pid: int
+    ) -> tuple[TokenState, Any]:
         return state, state.total_supply
 
     # -- static footprints (engine fast path) -----------------------------
@@ -329,7 +336,9 @@ class ERC20TokenType(SequentialObjectType):
         self, state: TokenState, pid: int, spender: int, delta: int
     ) -> tuple[TokenState, Any]:
         if not self.with_extensions:
-            raise InvalidArgumentError("extensions disabled for this token type")
+            raise InvalidArgumentError(
+                "extensions disabled for this token type"
+            )
         self._check_process(spender)
         self._check_value(delta)
         account = self.account_of(pid)
@@ -340,7 +349,9 @@ class ERC20TokenType(SequentialObjectType):
         self, state: TokenState, pid: int, spender: int, delta: int
     ) -> tuple[TokenState, Any]:
         if not self.with_extensions:
-            raise InvalidArgumentError("extensions disabled for this token type")
+            raise InvalidArgumentError(
+                "extensions disabled for this token type"
+            )
         self._check_process(spender)
         self._check_value(delta)
         account = self.account_of(pid)

@@ -89,7 +89,9 @@ class ERC721TokenType(SequentialObjectType):
 
     name = "erc721"
 
-    def __init__(self, num_accounts: int, initial_owners: Sequence[int]) -> None:
+    def __init__(
+        self, num_accounts: int, initial_owners: Sequence[int]
+    ) -> None:
         """``initial_owners[t]`` assigns token ``t`` to an account (minting)."""
         if num_accounts <= 0:
             raise InvalidArgumentError("need at least one account")
@@ -133,17 +135,23 @@ class ERC721TokenType(SequentialObjectType):
 
     # -- Δ ----------------------------------------------------------------
 
-    def apply(self, state: NFTState, pid: int, operation: Operation) -> tuple[NFTState, Any]:
+    def apply(
+        self, state: NFTState, pid: int, operation: Operation
+    ) -> tuple[NFTState, Any]:
         self.validate_name(operation)
         self._check_account(pid)
         handler = getattr(self, f"_apply_{operation.name}")
         return handler(state, pid, *operation.args)
 
-    def _apply_ownerOf(self, state: NFTState, pid: int, token_id: int) -> tuple[NFTState, Any]:
+    def _apply_ownerOf(
+        self, state: NFTState, pid: int, token_id: int
+    ) -> tuple[NFTState, Any]:
         self._check_token(token_id)
         return state, state.owner_of(token_id)
 
-    def _apply_balanceOf(self, state: NFTState, pid: int, account: int) -> tuple[NFTState, Any]:
+    def _apply_balanceOf(
+        self, state: NFTState, pid: int, account: int
+    ) -> tuple[NFTState, Any]:
         self._check_account(account)
         return state, state.balance_of(account)
 
@@ -153,7 +161,9 @@ class ERC721TokenType(SequentialObjectType):
         self._check_account(source)
         self._check_account(dest)
         self._check_token(token_id)
-        if state.owner_of(token_id) != source or not state.is_authorized(pid, token_id):
+        if state.owner_of(token_id) != source or not state.is_authorized(
+            pid, token_id
+        ):
             return state, FALSE
         return state.with_transfer(token_id, dest), TRUE
 
@@ -168,7 +178,9 @@ class ERC721TokenType(SequentialObjectType):
             return state, FALSE
         return state.with_approval(token_id, approved), TRUE
 
-    def _apply_getApproved(self, state: NFTState, pid: int, token_id: int) -> tuple[NFTState, Any]:
+    def _apply_getApproved(
+        self, state: NFTState, pid: int, token_id: int
+    ) -> tuple[NFTState, Any]:
         self._check_token(token_id)
         return state, state.approved[token_id]
 
@@ -246,7 +258,9 @@ class ERC721Token(SharedObject):
         initial_owners: Sequence[int],
         name: str | None = None,
     ) -> None:
-        super().__init__(ERC721TokenType(num_accounts, initial_owners), name=name)
+        super().__init__(
+            ERC721TokenType(num_accounts, initial_owners), name=name
+        )
 
     def owner_of(self, token_id: int) -> OpCall:
         return self.call(Operation("ownerOf", (token_id,)))

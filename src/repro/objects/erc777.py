@@ -40,7 +40,9 @@ class ERC777State:
         # EIP-777: an address is always an operator for itself.
         return operator == holder or operator in self.operators[holder]
 
-    def with_transfer(self, source: int, dest: int, value: int) -> "ERC777State":
+    def with_transfer(
+        self, source: int, dest: int, value: int
+    ) -> "ERC777State":
         balances = list(self.balances)
         balances[source] -= value
         balances[dest] += value
@@ -122,7 +124,10 @@ class ERC777TokenType(SequentialObjectType):
         self._check_account(source)
         self._check_account(dest)
         self._check_value(value)
-        if not state.is_operator_for(pid, source) or state.balance(source) < value:
+        if (
+            not state.is_operator_for(pid, source)
+            or state.balance(source) < value
+        ):
             return state, FALSE
         return state.with_transfer(source, dest, value), TRUE
 
@@ -155,14 +160,18 @@ class ERC777TokenType(SequentialObjectType):
         self._check_account(account)
         return state, state.balance(account)
 
-    def _apply_totalSupply(self, state: ERC777State, pid: int) -> tuple[ERC777State, Any]:
+    def _apply_totalSupply(
+        self, state: ERC777State, pid: int
+    ) -> tuple[ERC777State, Any]:
         return state, state.total_supply
 
 
 class ERC777Token(SharedObject):
     """Runtime ERC777 object with ergonomic call builders."""
 
-    def __init__(self, initial_balances: Sequence[int], name: str | None = None) -> None:
+    def __init__(
+        self, initial_balances: Sequence[int], name: str | None = None
+    ) -> None:
         super().__init__(ERC777TokenType(initial_balances), name=name)
 
     def send(self, dest: int, value: int) -> OpCall:

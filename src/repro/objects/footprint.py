@@ -210,7 +210,9 @@ def footprint(observes=(), adds=(), sets=()) -> OpFootprint:
     return OpFootprint(frozenset(observes), frozenset(adds), frozenset(sets))
 
 
-def static_pair_kind(first: OpFootprint | None, second: OpFootprint | None) -> str:
+def static_pair_kind(
+    first: OpFootprint | None, second: OpFootprint | None
+) -> str:
     """Classify a pair of footprints into the paper's trichotomy.
 
     Returns one of ``"commute"``, ``"read-only"``, ``"conflict"`` (the

@@ -38,7 +38,9 @@ class RegisterType(SequentialObjectType):
     def operation_names(self) -> tuple[str, ...]:
         return ("read", "write")
 
-    def apply(self, state: Any, pid: int, operation: Operation) -> tuple[Any, Any]:
+    def apply(
+        self, state: Any, pid: int, operation: Operation
+    ) -> tuple[Any, Any]:
         self.validate_name(operation)
         if operation.name == "read":
             if operation.args:
@@ -54,7 +56,9 @@ class AtomicRegister(SharedObject):
     """Runtime atomic register with ergonomic call builders."""
 
     def __init__(self, name: str | None = None, initial: Any = BOTTOM) -> None:
-        super().__init__(RegisterType(initial), initial_state=initial, name=name)
+        super().__init__(
+            RegisterType(initial), initial_state=initial, name=name
+        )
 
     def read(self) -> OpCall:
         return self.call(Operation("read"))

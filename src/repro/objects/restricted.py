@@ -48,7 +48,9 @@ class RestrictedType(SequentialObjectType):
     def operation_names(self) -> tuple[str, ...]:
         return self.inner.operation_names()
 
-    def apply(self, state: Any, pid: int, operation: Operation) -> tuple[Any, Any]:
+    def apply(
+        self, state: Any, pid: int, operation: Operation
+    ) -> tuple[Any, Any]:
         successor, response = self.inner.apply(state, pid, operation)
         if successor != state and not self.allowed(successor):
             return state, FALSE
@@ -67,16 +69,16 @@ class RestrictedObject(SharedObject):
         name: str | None = None,
     ) -> None:
         super().__init__(
-            RestrictedType(inner, allowed), initial_state=initial_state, name=name
+            RestrictedType(inner, allowed),
+            initial_state=initial_state,
+            name=name,
         )
 
     def op(self, op_name: str, *args: Any) -> OpCall:
         return self.call(Operation(op_name, tuple(args)))
 
 
-def restrict_to_qk(
-    token_type: SequentialObjectType, k: int
-) -> RestrictedType:
+def restrict_to_qk(token_type: SequentialObjectType, k: int) -> RestrictedType:
     """Build ``T|_{Q_≤k}``: the token restricted to states whose
     synchronization level is at most ``k``.
 

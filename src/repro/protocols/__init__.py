@@ -1,14 +1,24 @@
 """The paper's algorithms: consensus constructions and the Theorem 4
 emulation."""
 
-from repro.protocols.base import ConsensusProtocol, consensus_checks, decided_values
-from repro.protocols.erc721_consensus import ERC721Consensus, erc721_consensus_system
+from repro.protocols.base import (
+    ConsensusProtocol,
+    consensus_checks,
+    decided_values,
+)
+from repro.protocols.erc721_consensus import (
+    ERC721Consensus,
+    erc721_consensus_system,
+)
 from repro.protocols.erc1155_consensus import (
     ERC1155Consensus,
     erc1155_consensus_system,
 )
 from repro.protocols.escrow_token import EscrowToken, escrow_from_deploy
-from repro.protocols.erc777_consensus import ERC777Consensus, erc777_consensus_system
+from repro.protocols.erc777_consensus import (
+    ERC777Consensus,
+    erc777_consensus_system,
+)
 from repro.protocols.kat_consensus import KATConsensus, kat_consensus_system
 from repro.protocols.register_consensus import (
     DoomedRegisterConsensus,

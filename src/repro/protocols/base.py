@@ -42,7 +42,9 @@ def consensus_checks(proposals: Mapping[int, Any]) -> TerminalCheck:
     valid_values = set(proposals.values())
 
     def check(
-        runners: list[ProcessRunner], system: System, schedule: tuple[Action, ...]
+        runners: list[ProcessRunner],
+        system: System,
+        schedule: tuple[Action, ...],
     ) -> list[str]:
         problems: list[str] = []
         decided = {

@@ -117,7 +117,8 @@ def erc1155_consensus_system(
         token.invoke(0, token.set_approval_for_all(pid, True).operation)
     protocol = ERC1155Consensus(token, holder=0, token_type=0, sink=k)
     programs = [
-        (lambda p=pid: protocol.propose(p, proposals[p])) for pid in participants
+        (lambda p=pid: protocol.propose(p, proposals[p]))
+        for pid in participants
     ]
     return System(
         programs=programs,

@@ -60,7 +60,9 @@ class ERC721Consensus:
         if sink in participants:
             raise InvalidArgumentError("the sink must not participate")
         if state.operators[sink]:
-            raise InvalidArgumentError("the sink account must have no operators")
+            raise InvalidArgumentError(
+                "the sink account must have no operators"
+            )
         for pid in operators:
             if state.operators[pid]:
                 raise InvalidArgumentError(
@@ -131,7 +133,8 @@ def erc721_consensus_system(proposals: Mapping[int, Any]) -> System:
         nft.invoke(0, nft.set_approval_for_all(pid, True).operation)
     protocol = ERC721Consensus(nft, token_id=0, sink=sink)
     programs = [
-        (lambda p=pid: protocol.propose(p, proposals[p])) for pid in participants
+        (lambda p=pid: protocol.propose(p, proposals[p]))
+        for pid in participants
     ]
     return System(
         programs=programs,

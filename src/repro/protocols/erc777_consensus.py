@@ -123,7 +123,8 @@ def erc777_consensus_system(
         token.invoke(0, token.authorize_operator(pid).operation)
     protocol = ERC777Consensus(token, holder=0, sink=k)
     programs = [
-        (lambda p=pid: protocol.propose(p, proposals[p])) for pid in participants
+        (lambda p=pid: protocol.propose(p, proposals[p]))
+        for pid in participants
     ]
     return System(
         programs=programs,

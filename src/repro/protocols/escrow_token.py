@@ -51,7 +51,9 @@ class EscrowToken:
     ``a`` toward spender ``p``, owned by ``{a, p}``.
     """
 
-    def __init__(self, initial_state: TokenState, name: str = "escrow-token") -> None:
+    def __init__(
+        self, initial_state: TokenState, name: str = "escrow-token"
+    ) -> None:
         self.name = name
         self.num_accounts = n = initial_state.num_accounts
         balances: list[int] = list(initial_state.balances)
@@ -96,19 +98,25 @@ class EscrowToken:
         result = yield self.kat.transfer(self.free(pid), self.free(dest), value)
         return result
 
-    def transfer_from(self, pid: int, source: int, dest: int, value: int) -> EscrowOp:
+    def transfer_from(
+        self, pid: int, source: int, dest: int, value: int
+    ) -> EscrowOp:
         result = yield self.kat.transfer(
             self.escrow(source, pid), self.free(dest), value
         )
         return result
 
-    def increase_allowance(self, pid: int, spender: int, delta: int) -> EscrowOp:
+    def increase_allowance(
+        self, pid: int, spender: int, delta: int
+    ) -> EscrowOp:
         result = yield self.kat.transfer(
             self.free(pid), self.escrow(pid, spender), delta
         )
         return result
 
-    def decrease_allowance(self, pid: int, spender: int, delta: int) -> EscrowOp:
+    def decrease_allowance(
+        self, pid: int, spender: int, delta: int
+    ) -> EscrowOp:
         result = yield self.kat.transfer(
             self.escrow(pid, spender), self.free(pid), delta
         )

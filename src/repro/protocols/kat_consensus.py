@@ -130,7 +130,8 @@ def kat_consensus_system(
     sinks = {pid: pid + 1 for pid in participants}
     protocol = KATConsensus(kat, shared_account=0, sinks=sinks)
     programs = [
-        (lambda p=pid: protocol.propose(p, proposals[p])) for pid in participants
+        (lambda p=pid: protocol.propose(p, proposals[p]))
+        for pid in participants
     ]
     return System(
         programs=programs,

@@ -36,7 +36,9 @@ class DoomedRegisterConsensus:
     """
 
     def __init__(self, registers: list[AtomicRegister] | None = None) -> None:
-        self.registers = registers if registers is not None else register_array(2)
+        self.registers = (
+            registers if registers is not None else register_array(2)
+        )
         if len(self.registers) != 2:
             raise InvalidArgumentError("the demonstration uses two processes")
 

@@ -203,7 +203,9 @@ def algorithm1_system(
             f"{sorted(participants)}, got {sorted(proposals)}"
         )
     ordered = sorted(protocol.participants)
-    programs = [(lambda p=pid: protocol.propose(p, proposals[p])) for pid in ordered]
+    programs = [
+        (lambda p=pid: protocol.propose(p, proposals[p])) for pid in ordered
+    ]
     return System(
         programs=programs,
         objects=[token, *protocol.registers],

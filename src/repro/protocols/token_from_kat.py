@@ -387,7 +387,9 @@ class SafeEmulatedToken:
             self._transfer_from(pid, source, dest, value),
         )
 
-    def increase_allowance(self, pid: int, spender: int, delta: int) -> EmulatedOp:
+    def increase_allowance(
+        self, pid: int, spender: int, delta: int
+    ) -> EmulatedOp:
         return self._recorded(
             pid,
             "increaseAllowance",
@@ -395,7 +397,9 @@ class SafeEmulatedToken:
             self._increase_allowance(pid, spender, delta),
         )
 
-    def decrease_allowance(self, pid: int, spender: int, delta: int) -> EmulatedOp:
+    def decrease_allowance(
+        self, pid: int, spender: int, delta: int
+    ) -> EmulatedOp:
         return self._recorded(
             pid,
             "decreaseAllowance",
@@ -465,7 +469,9 @@ class SafeEmulatedToken:
                 spenders.add(pid)
         return frozenset(spenders)
 
-    def _increase_allowance(self, pid: int, spender: int, delta: int) -> EmulatedOp:
+    def _increase_allowance(
+        self, pid: int, spender: int, delta: int
+    ) -> EmulatedOp:
         account = pid
         granted = yield self.granted[account][spender].read()
         spent = yield self.spent[account][spender].read()
@@ -480,7 +486,9 @@ class SafeEmulatedToken:
             yield self.kat.set_owners(account, spenders)
         return TRUE
 
-    def _decrease_allowance(self, pid: int, spender: int, delta: int) -> EmulatedOp:
+    def _decrease_allowance(
+        self, pid: int, spender: int, delta: int
+    ) -> EmulatedOp:
         account = pid
         granted = yield self.granted[account][spender].read()
         spent = yield self.spent[account][spender].read()

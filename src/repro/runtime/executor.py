@@ -46,7 +46,11 @@ class System:
 
     def runners(self) -> list[ProcessRunner]:
         """Instantiate one runner per program with its proper process id."""
-        pids = self.pids if self.pids is not None else list(range(len(self.programs)))
+        pids = (
+            self.pids
+            if self.pids is not None
+            else list(range(len(self.programs)))
+        )
         if len(pids) != len(self.programs):
             raise SchedulingError("pids must match programs one-to-one")
         if len(set(pids)) != len(pids):

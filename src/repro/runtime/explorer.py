@@ -42,7 +42,9 @@ __all__ = [
 
 #: A terminal-execution property check: receives the final runners and the
 #: system, returns human-readable violation strings (empty = OK).
-TerminalCheck = Callable[[list[ProcessRunner], System, tuple[Action, ...]], list[str]]
+TerminalCheck = Callable[
+    [list[ProcessRunner], System, tuple[Action, ...]], list[str]
+]
 
 
 @dataclass
@@ -112,7 +114,9 @@ class ScheduleExplorer:
 
     # ------------------------------------------------------------------
 
-    def _replay(self, prefix: Sequence[Action]) -> tuple[list[ProcessRunner], System]:
+    def _replay(
+        self, prefix: Sequence[Action]
+    ) -> tuple[list[ProcessRunner], System]:
         system = self._factory()
         runners = system.runners()
         by_pid = {runner.pid: runner for runner in runners}
@@ -137,7 +141,9 @@ class ScheduleExplorer:
 
     # ------------------------------------------------------------------
 
-    def explore(self, checks: Sequence[TerminalCheck] = ()) -> ExplorationReport:
+    def explore(
+        self, checks: Sequence[TerminalCheck] = ()
+    ) -> ExplorationReport:
         """Explore every schedule; run ``checks`` on every distinct terminal
         execution; return the aggregate report."""
         self._memo = {}
@@ -159,14 +165,18 @@ class ScheduleExplorer:
         """One-step extensions of ``prefix`` (step actions only)."""
         runners, _system = self._replay(prefix)
         return [
-            tuple(prefix) + (StepAction(r.pid),) for r in runners if r.is_runnable
+            tuple(prefix) + (StepAction(r.pid),)
+            for r in runners
+            if r.is_runnable
         ]
 
     def pending_operations(self, prefix: Sequence[Action]) -> dict[int, str]:
         """Pending operation (rendered) per runnable process after ``prefix``."""
         runners, _system = self._replay(prefix)
         return {
-            r.pid: str(r.pending) for r in runners if r.is_runnable and r.pending
+            r.pid: str(r.pending)
+            for r in runners
+            if r.is_runnable and r.pending
         }
 
     # ------------------------------------------------------------------

@@ -83,7 +83,9 @@ class ProcessRunner:
         if self.status is ProcessStatus.CRASHED:
             raise ProcessCrashedError(f"process {self.pid} has crashed")
         if self.status is ProcessStatus.DONE or self.pending is None:
-            raise SchedulingError(f"process {self.pid} has no pending operation")
+            raise SchedulingError(
+                f"process {self.pid} has no pending operation"
+            )
         call = self.pending
         if history is not None:
             history.invoke(self.pid, call.target.name, call.operation)

@@ -105,7 +105,9 @@ def check_linearizability(
 
         for index in _minimal_calls(remaining, calls):
             call = calls[index]
-            successor, response = object_type.apply(state, call.pid, call.operation)
+            successor, response = object_type.apply(
+                state, call.pid, call.operation
+            )
             if response == call.result:
                 order.append(call)
                 result = dfs(
@@ -134,7 +136,9 @@ def check_linearizability(
                 return result
         return None
 
-    witness = dfs(tuple(range(total)), tuple(range(len(pending))), start_state, [])
+    witness = dfs(
+        tuple(range(total)), tuple(range(len(pending))), start_state, []
+    )
     return LinearizabilityResult(
         is_linearizable=witness is not None,
         witness=witness,

@@ -97,7 +97,9 @@ class SequentialObjectType(ABC, Generic[S]):
         return successor == state
 
     def run(
-        self, invocations: Iterable[tuple[int, Operation]], state: S | None = None
+        self,
+        invocations: Iterable[tuple[int, Operation]],
+        state: S | None = None,
     ) -> tuple[S, list[Any]]:
         """Apply a sequence of ``(pid, operation)`` pairs; return final state
         and the list of responses.  Starts from ``q0`` unless ``state`` is

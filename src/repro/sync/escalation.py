@@ -85,7 +85,9 @@ class TieredEscalator:
         self.global_lane = global_lane
         self.planner = planner if planner is not None else SyncPlanner()
         self.pool = TeamLanePool(
-            latency=latency if latency is not None else UniformLatency(0.5, 1.5),
+            latency=(
+                latency if latency is not None else UniformLatency(0.5, 1.5)
+            ),
             seed=seed,
             max_batch=max_batch,
             idle_ttl=lane_ttl,
@@ -127,9 +129,7 @@ class TieredEscalator:
 
         # Tier ∞ — one submission-ordered batch through the global lane,
         # matching the historical single-batch escalation exactly.
-        global_index = [
-            i for i, a in enumerate(assignments) if not a.is_team
-        ]
+        global_index = [i for i, a in enumerate(assignments) if not a.is_team]
         global_time = 0.0
         if global_index:
             merged = sorted(
@@ -143,9 +143,7 @@ class TieredEscalator:
             result.global_ops = len(merged)
             for i in global_index:
                 ops = assignments[i].ops
-                committed = tuple(
-                    sorted(ops, key=lambda op: cursor[id(op)])
-                )
+                committed = tuple(sorted(ops, key=lambda op: cursor[id(op)]))
                 self._check_order(committed, ops, "global lane")
                 result.components[i] = ComponentOrder(
                     tier=TIER_GLOBAL,
@@ -173,9 +171,7 @@ class TieredEscalator:
             result.team_ops += len(ops)
             size = len(lane_order.team)
             self.k_histogram[size] = self.k_histogram.get(size, 0) + 1
-        result.team_sizes = tuple(
-            len(assignments[i].team) for i in team_index
-        )
+        result.team_sizes = tuple(len(assignments[i].team) for i in team_index)
         result.teams = pool_round.teams
         result.team_messages = pool_round.messages
         result.messages = result.team_messages + result.global_messages

@@ -61,13 +61,35 @@ OWNER_ONLY_MIX = WorkloadMix(
 
 #: Spender-heavy mix: stresses the synchronization groups.
 SPENDER_HEAVY_MIX = WorkloadMix(
-    transfer=0.25, transfer_from=0.45, approve=0.2, balance_of=0.1, allowance=0.0
+    transfer=0.25,
+    transfer_from=0.45,
+    approve=0.2,
+    balance_of=0.1,
+    allowance=0.0,
 )
 
 #: Approval-heavy mix: maximizes approve/transferFrom races (Theorem 3's
 #: Case 4) — the worst case for the execution engine's escalation path.
 APPROVAL_HEAVY_MIX = WorkloadMix(
-    transfer=0.15, transfer_from=0.35, approve=0.4, balance_of=0.1, allowance=0.0
+    transfer=0.15,
+    transfer_from=0.35,
+    approve=0.4,
+    balance_of=0.1,
+    allowance=0.0,
+)
+
+#: Chain-heavy mix: long mixed approve/transferFrom/allowance components.
+#: Approvals and allowance reads against *distinct* spenders mutually
+#: commute while each pairs with its own transferFrom, so the resulting
+#: conflict components are long but wide (antichain width ≥ 2) — the
+#: administrated-token traffic shape (Ivanov et al.) where op-granular
+#: DAG scheduling beats chain-atomic placement the hardest.
+CHAIN_HEAVY_MIX = WorkloadMix(
+    transfer=0.1,
+    transfer_from=0.3,
+    approve=0.4,
+    balance_of=0.05,
+    allowance=0.15,
 )
 
 
@@ -116,7 +138,9 @@ class TokenWorkloadGenerator:
             raise InvalidArgumentError(
                 f"spender_pool must be in [0, {self.num_accounts}]"
             )
-        validate_skew(self.hotspot_fraction, self.hotspot_accounts, self.num_accounts)
+        validate_skew(
+            self.hotspot_fraction, self.hotspot_accounts, self.num_accounts
+        )
         self._rng = random.Random(self.seed)
         self._account_weights = (
             zipf_weights(self.num_accounts, self.zipf_s)
@@ -151,20 +175,28 @@ class TokenWorkloadGenerator:
         pid = self._pick_account()
         pooled = self.spender_pool > 0
         if name == "transfer":
-            operation = Operation(name, (self._pick_account(), self._pick_value()))
+            operation = Operation(
+                name, (self._pick_account(), self._pick_value())
+            )
         elif name == "transferFrom":
-            source = self._pick_pool_member(pid) if pooled else self._pick_account()
+            source = (
+                self._pick_pool_member(pid) if pooled else self._pick_account()
+            )
             operation = Operation(
                 name,
                 (source, self._pick_account(), self._pick_value()),
             )
         elif name == "approve":
-            spender = self._pick_pool_member(pid) if pooled else self._pick_account()
+            spender = (
+                self._pick_pool_member(pid) if pooled else self._pick_account()
+            )
             operation = Operation(name, (spender, self._pick_value()))
         elif name == "balanceOf":
             operation = Operation(name, (self._pick_account(),))
         elif name == "allowance":
-            operation = Operation(name, (self._pick_account(), self._pick_account()))
+            operation = Operation(
+                name, (self._pick_account(), self._pick_account())
+            )
         else:
             operation = Operation("totalSupply")
         return WorkloadItem(pid=pid, operation=operation)
@@ -199,7 +231,9 @@ class NFTWorkloadGenerator:
     def __post_init__(self) -> None:
         if self.num_processes < 1 or self.num_tokens < 1:
             raise InvalidArgumentError("need processes and tokens")
-        validate_skew(self.hotspot_fraction, self.hotspot_tokens, self.num_tokens)
+        validate_skew(
+            self.hotspot_fraction, self.hotspot_tokens, self.num_tokens
+        )
         self._rng = random.Random(self.seed)
         self._token_weights = (
             zipf_weights(self.num_tokens, self.zipf_s)
@@ -271,7 +305,9 @@ class AssetTransferWorkloadGenerator:
             raise InvalidArgumentError("need accounts and processes")
         if not 0.0 <= self.read_fraction <= 1.0:
             raise InvalidArgumentError("read_fraction must be in [0, 1]")
-        validate_skew(self.hotspot_fraction, self.hotspot_accounts, self.num_accounts)
+        validate_skew(
+            self.hotspot_fraction, self.hotspot_accounts, self.num_accounts
+        )
         self._rng = random.Random(self.seed)
         self._account_weights = (
             zipf_weights(self.num_accounts, self.zipf_s)
@@ -292,7 +328,8 @@ class AssetTransferWorkloadGenerator:
         pid = self._rng.randrange(self.num_processes)
         if self._rng.random() < self.read_fraction:
             return WorkloadItem(
-                pid=pid, operation=Operation("balanceOf", (self._pick_account(),))
+                pid=pid,
+                operation=Operation("balanceOf", (self._pick_account(),)),
             )
         return WorkloadItem(
             pid=pid,

@@ -114,9 +114,7 @@ class TestCase2TransferFromTransferFrom:
         assert analysis.responses_sf == (False, True)
 
     def test_different_sources_commute(self):
-        state = TokenState.create(
-            [10, 10, 0, 0], {(0, 2): 10, (1, 3): 10}
-        )
+        state = TokenState.create([10, 10, 0, 0], {(0, 2): 10, (1, 3): 10})
         assert commutes(
             self.token,
             state,

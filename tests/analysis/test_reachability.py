@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from repro.analysis.partition import is_synchronization_state, synchronization_level
+from repro.analysis.partition import (
+    is_synchronization_state,
+    synchronization_level,
+)
 from repro.analysis.reachability import (
     escalation_plan,
     level_trajectory,
@@ -22,7 +25,10 @@ class TestRaisingApprovals:
         witness = witnesses[0]
         successor, result = token.apply(state, witness.pid, witness.operation)
         assert result is True
-        assert synchronization_level(successor) == synchronization_level(state) + 1
+        assert (
+            synchronization_level(successor)
+            == synchronization_level(state) + 1
+        )
 
     def test_all_witnesses_raise_the_level(self):
         token = ERC20TokenType(4, total_supply=10)

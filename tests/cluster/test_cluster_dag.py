@@ -1,0 +1,242 @@
+"""Component-granular dispatch + op-granular node planning: cluster tests.
+
+Machine-checked guarantees of ``TokenCluster(dag_scheduling=True)``:
+
+* **serial equivalence** — final state and every response equal a plain
+  sequential execution in submission order, for any node count, shard
+  geometry, pipeline depth, and lease schedule (units interleave on the
+  nodes' lane timelines, but conflicting cross-round units are dispatch-
+  gated and units of one round are distinct components);
+* **chain-atomic identity** — ``dag_scheduling=False`` (the default) is
+  the historical cluster bit for bit, stats dictionaries included;
+* **granularity** — the pipelined router really fans a round out as
+  per-component ``cl_run`` units, and the nodes' bills carry the DAG
+  structure metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import TokenCluster
+from repro.objects.erc20 import ERC20TokenType
+from repro.spec.operation import op
+from repro.workloads import (
+    APPROVAL_HEAVY_MIX,
+    OWNER_ONLY_MIX,
+    SPENDER_HEAVY_MIX,
+    TokenWorkloadGenerator,
+    WorkloadMix,
+)
+
+MIXES = {
+    "owner_only": OWNER_ONLY_MIX,
+    "default": WorkloadMix(),
+    "spender_heavy": SPENDER_HEAVY_MIX,
+    "approval_heavy": APPROVAL_HEAVY_MIX,
+}
+
+ACCOUNTS = 24
+
+
+def make_token():
+    return ERC20TokenType(ACCOUNTS, total_supply=100 * ACCOUNTS)
+
+
+def make_items(mix, ops, seed=17, **kwargs):
+    return TokenWorkloadGenerator(
+        ACCOUNTS, seed=seed, mix=mix, **kwargs
+    ).generate(ops)
+
+
+def serial_reference(items):
+    return make_token().run([(item.pid, item.operation) for item in items])
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("mix_name", sorted(MIXES))
+    @pytest.mark.parametrize("depth", (1, 3))
+    def test_state_and_responses_match_spec(self, mix_name, depth):
+        items = make_items(MIXES[mix_name], 300)
+        ref_state, ref_responses = serial_reference(items)
+        cluster = TokenCluster(
+            make_token(),
+            num_nodes=4,
+            lanes_per_node=4,
+            window=48,
+            pipeline_depth=depth,
+            dag_scheduling=True,
+        )
+        state, responses, _ = cluster.run_workload(items)
+        assert state == ref_state
+        assert responses == ref_responses
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        nodes=st.integers(1, 6),
+        depth=st.integers(1, 4),
+        shards=st.sampled_from([8, 16, 32]),
+        window=st.integers(8, 48),
+    )
+    def test_hypothesis_sweep(self, seed, nodes, depth, shards, window):
+        items = make_items(
+            SPENDER_HEAVY_MIX, 150, seed=seed,
+            hotspot_fraction=0.3, hotspot_accounts=2,
+        )
+        ref_state, ref_responses = serial_reference(items)
+        cluster = TokenCluster(
+            make_token(),
+            num_nodes=nodes,
+            lanes_per_node=4,
+            window=window,
+            num_shards=shards,
+            seed=seed,
+            pipeline_depth=depth,
+            dag_scheduling=True,
+        )
+        state, responses, _ = cluster.run_workload(items)
+        assert state == ref_state
+        assert responses == ref_responses
+
+    def test_lease_migrations_coexist_with_units(self):
+        # Explicit cross-shard uncontended chains (credit-enables-spend
+        # across owners) in several pipelined windows: the lease handoff
+        # must gate exactly its own unit, never the round's other units.
+        cluster = TokenCluster(
+            make_token(),
+            num_nodes=4,
+            lanes_per_node=4,
+            window=8,
+            lease_min_gain=1,
+            pipeline_depth=3,
+            dag_scheduling=True,
+        )
+        owner0 = cluster.shard_map.owner_of(0)
+        foreign = [
+            a for a in range(1, ACCOUNTS)
+            if cluster.shard_map.owner_of(a) != owner0
+        ]
+        ops = []
+        for k, account in enumerate(foreign[:6]):
+            ops.append((0, op("transfer", account, 3)))
+            ops.append((account, op("transfer", 0, 2)))
+            ops.append((k + 10, op("transfer", k + 11, 1)))
+        ref_state, ref_responses = make_token().run(ops)
+        for pid, operation in ops:
+            cluster.submit(pid, operation)
+        stats = cluster.run()
+        assert cluster.state == ref_state
+        assert cluster.responses_in_order() == ref_responses
+        assert stats.lease_migrations > 0
+        assert stats.units_dispatched > 0
+
+    def test_team_lanes_compose_with_units(self):
+        items = make_items(APPROVAL_HEAVY_MIX, 300, seed=13, spender_pool=4)
+        ref_state, ref_responses = serial_reference(items)
+        cluster = TokenCluster(
+            make_token(),
+            num_nodes=6,
+            lanes_per_node=4,
+            window=48,
+            pipeline_depth=3,
+            team_threshold=4,
+            dag_scheduling=True,
+        )
+        state, responses, stats = cluster.run_workload(items)
+        assert state == ref_state
+        assert responses == ref_responses
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("depth", (1, 3))
+    def test_dag_off_is_the_historical_cluster(self, depth):
+        items = make_items(APPROVAL_HEAVY_MIX, 300)
+        default = TokenCluster(
+            make_token(), num_nodes=4, lanes_per_node=4, window=48,
+            pipeline_depth=depth,
+        )
+        explicit = TokenCluster(
+            make_token(), num_nodes=4, lanes_per_node=4, window=48,
+            pipeline_depth=depth, dag_scheduling=False,
+        )
+        d_state, d_responses, d_stats = default.run_workload(items)
+        e_state, e_responses, e_stats = explicit.run_workload(items)
+        assert e_state == d_state
+        assert e_responses == d_responses
+        d_dict, e_dict = d_stats.as_dict(), e_stats.as_dict()
+        d_dict.pop("dag_scheduling"), e_dict.pop("dag_scheduling")
+        assert e_dict == d_dict
+        assert e_stats.units_dispatched == 0
+        assert e_stats.dag_speedup == 1.0
+
+    def test_barrier_depth_keeps_batch_dispatch(self):
+        # dag_scheduling at depth 1 changes node planning (op-granular),
+        # never the dispatch granularity — there is nothing to overlap in
+        # a quiescing round.
+        items = make_items(APPROVAL_HEAVY_MIX, 200)
+        cluster = TokenCluster(
+            make_token(), num_nodes=4, lanes_per_node=4, window=48,
+            pipeline_depth=1, dag_scheduling=True,
+        )
+        cluster.run_workload(items)
+        assert cluster.router.unit_dispatch is False
+        assert cluster.stats.units_dispatched == 0
+        assert cluster.stats.dag_chain_ops > 0
+
+
+class TestGranularity:
+    def test_units_fan_out_per_component(self):
+        items = make_items(APPROVAL_HEAVY_MIX, 300)
+        cluster = TokenCluster(
+            make_token(), num_nodes=4, lanes_per_node=4, window=48,
+            pipeline_depth=3, dag_scheduling=True,
+        )
+        _, _, stats = cluster.run_workload(items)
+        assert cluster.router.unit_dispatch is True
+        # More units than rounds: rounds really split into components.
+        assert stats.units_dispatched > stats.rounds
+        assert sum(bill.units_executed for bill in stats.node_bills) == (
+            stats.units_dispatched
+        )
+
+    def test_node_bills_carry_dag_structure(self):
+        items = make_items(APPROVAL_HEAVY_MIX, 300)
+        cluster = TokenCluster(
+            make_token(), num_nodes=4, lanes_per_node=4, window=48,
+            pipeline_depth=3, dag_scheduling=True,
+        )
+        _, _, stats = cluster.run_workload(items)
+        assert stats.dag_chain_ops >= stats.dag_critical_ops > 0
+        assert stats.dag_speedup >= 1.0
+        assert stats.max_dag_width >= 2
+
+    def test_unit_execution_scales_with_op_cost(self):
+        # The persistent lane timeline must charge op_cost per op, like
+        # the batch path — not unit cost 1.
+        items = make_items(APPROVAL_HEAVY_MIX, 200)
+        ref_state, ref_responses = serial_reference(items)
+        makespans = {}
+        for op_cost in (1.0, 4.0):
+            cluster = TokenCluster(
+                make_token(), num_nodes=4, lanes_per_node=4, window=48,
+                op_cost=op_cost, pipeline_depth=3, dag_scheduling=True,
+            )
+            state, responses, stats = cluster.run_workload(items)
+            assert state == ref_state
+            assert responses == ref_responses
+            makespans[op_cost] = stats.makespan
+        assert makespans[4.0] > 2.0 * makespans[1.0]
+
+    def test_dag_cluster_beats_chain_atomic_on_contended_mix(self):
+        items = make_items(APPROVAL_HEAVY_MIX, 400)
+        kwargs = dict(
+            num_nodes=4, lanes_per_node=8, window=64, pipeline_depth=3
+        )
+        atomic = TokenCluster(make_token(), **kwargs)
+        dag = TokenCluster(make_token(), dag_scheduling=True, **kwargs)
+        atomic.run_workload(items)
+        dag.run_workload(items)
+        assert dag.stats.makespan < atomic.stats.makespan

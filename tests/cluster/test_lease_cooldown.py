@@ -24,12 +24,8 @@ WINDOW = 3
 def pick_accounts(cluster: TokenCluster) -> tuple[int, int, int]:
     """(a, b, c): a on node 0, b and c on node 1 with distinct shards."""
     shard_map = cluster.shard_map
-    a = next(
-        acc for acc in range(ACCOUNTS) if shard_map.owner_of(acc) == 0
-    )
-    b = next(
-        acc for acc in range(ACCOUNTS) if shard_map.owner_of(acc) == 1
-    )
+    a = next(acc for acc in range(ACCOUNTS) if shard_map.owner_of(acc) == 0)
+    b = next(acc for acc in range(ACCOUNTS) if shard_map.owner_of(acc) == 1)
     c = next(
         acc
         for acc in range(ACCOUNTS)
@@ -39,7 +35,9 @@ def pick_accounts(cluster: TokenCluster) -> tuple[int, int, int]:
     return a, b, c
 
 
-def ping_pong_workload(a: int, b: int, c: int, rounds: int) -> list[WorkloadItem]:
+def ping_pong_workload(
+    a: int, b: int, c: int, rounds: int
+) -> list[WorkloadItem]:
     """Alternating uncontended cross-shard chains tugging at b's shard.
 
     Even rounds: two transfers by ``a`` crediting ``b`` plus one by ``b``

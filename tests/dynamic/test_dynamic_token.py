@@ -125,7 +125,9 @@ class TestConvergence:
                     source, rng.randrange(5), rng.randint(1, 4)
                 )
             else:
-                nodes[actor].submit_transfer(rng.randrange(5), rng.randint(1, 4))
+                nodes[actor].submit_transfer(
+                    rng.randrange(5), rng.randint(1, 4)
+                )
         simulator.run()
         assert_converged(nodes)
         assert sum(nodes[0].state.balances) == 200

@@ -18,7 +18,11 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.commutativity import CachedPairAnalyzer, Invocation, PairKind
+from repro.analysis.commutativity import (
+    CachedPairAnalyzer,
+    Invocation,
+    PairKind,
+)
 from repro.engine.classifier import OpClassifier
 from repro.engine.mempool import PendingOp
 from repro.objects.asset_transfer import AssetTransferType
@@ -156,10 +160,14 @@ class TestSoundnessAssetTransfer:
         draw = data.draw
         ops = []
         for _ in range(2):
-            kind = draw(st.sampled_from(["transfer", "balanceOf", "totalSupply"]))
+            kind = draw(
+                st.sampled_from(["transfer", "balanceOf", "totalSupply"])
+            )
             pid = draw(ACCOUNT)
             if kind == "transfer":
-                operation = op("transfer", draw(ACCOUNT), draw(ACCOUNT), draw(VALUE))
+                operation = op(
+                    "transfer", draw(ACCOUNT), draw(ACCOUNT), draw(VALUE)
+                )
             elif kind == "balanceOf":
                 operation = op("balanceOf", draw(ACCOUNT))
             else:

@@ -1,0 +1,392 @@
+"""Op-granular DAG scheduling: structure, equivalence, and identity tests.
+
+Machine-checked guarantees of ``dag_scheduling=True``:
+
+* **DAG structure** — :class:`~repro.engine.conflict_graph.ComponentDAG`
+  orients every non-commute edge by submission order, its levels are
+  antichains, and critical path / width report the component's intrinsic
+  makespan bound and parallelism;
+* **linear extension** — every DAG plan's ``apply_order`` respects every
+  component DAG edge (the serial-equivalence precondition);
+* **serial equivalence** — for *any* lane count, window size, mix, and
+  pipeline depth, the DAG-scheduled final state and every response equal
+  a plain sequential execution in submission order;
+* **chain-atomic identity** — ``dag_scheduling=False`` (the default) is
+  the historical executor bit for bit, stats dictionaries included.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.commutativity import PairKind
+from repro.engine import (
+    BatchExecutor,
+    ComponentDAG,
+    PipelinedExecutor,
+    ShardPlanner,
+)
+from repro.engine.conflict_graph import ConflictGraph
+from repro.engine.classifier import OpClassifier
+from repro.engine.mempool import Mempool
+from repro.errors import EngineError
+from repro.objects.asset_transfer import AssetTransferType
+from repro.objects.erc20 import ERC20TokenType
+from repro.objects.erc721 import ERC721TokenType
+from repro.spec.operation import op
+from repro.workloads import (
+    APPROVAL_HEAVY_MIX,
+    OWNER_ONLY_MIX,
+    SPENDER_HEAVY_MIX,
+    TokenWorkloadGenerator,
+    WorkloadItem,
+    WorkloadMix,
+)
+
+MIXES = {
+    "owner_only": OWNER_ONLY_MIX,
+    "default": WorkloadMix(),
+    "spender_heavy": SPENDER_HEAVY_MIX,
+    "approval_heavy": APPROVAL_HEAVY_MIX,
+}
+
+
+def serial_reference(object_type, items):
+    return object_type.run([(item.pid, item.operation) for item in items])
+
+
+class TestComponentDAG:
+    def test_path_component_is_a_total_order(self):
+        dag = ComponentDAG.over(
+            [0, 1, 2], {(0, 1): PairKind.CONFLICT, (1, 2): PairKind.CONFLICT}
+        )
+        assert dag.critical_path == 3
+        assert dag.width == 1
+        assert dag.levels() == [[0], [1], [2]]
+
+    def test_commuting_pairs_carry_no_edge(self):
+        # 0-1 and 0-2 conflict; 1 and 2 commute (no edge): width 2.
+        dag = ComponentDAG.over(
+            [0, 1, 2], {(0, 1): PairKind.CONFLICT, (0, 2): PairKind.CONFLICT}
+        )
+        assert dag.critical_path == 2
+        assert dag.width == 2
+        assert dag.levels() == [[0], [1, 2]]
+        assert dag.preds[1] == (0,) and dag.preds[2] == (0,)
+
+    def test_edges_orient_by_submission_order(self):
+        dag = ComponentDAG.over(
+            [3, 7, 9], {(3, 9): PairKind.CONFLICT, (7, 9): PairKind.READ_ONLY}
+        )
+        assert dag.succs[3] == (9,)
+        assert dag.succs[7] == (9,)
+        assert dag.preds[9] == (3, 7)
+        assert dag.bottom_levels() == {3: 2, 7: 2, 9: 1}
+
+    def test_levels_are_antichains(self):
+        edges = {
+            (0, 2): PairKind.CONFLICT,
+            (1, 2): PairKind.CONFLICT,
+            (2, 4): PairKind.CONFLICT,
+            (3, 4): PairKind.CONFLICT,
+        }
+        dag = ComponentDAG.over([0, 1, 2, 3, 4], edges)
+        for wave in dag.levels():
+            for a in wave:
+                for b in wave:
+                    if a < b:
+                        assert (a, b) not in edges
+
+    def test_foreign_edges_are_ignored(self):
+        dag = ComponentDAG.over(
+            [0, 1], {(0, 1): PairKind.CONFLICT, (2, 3): PairKind.CONFLICT}
+        )
+        assert dag.size == 2
+        assert dag.succs[0] == (1,)
+
+    def test_window_dags_match_multi_op_components(self):
+        token = ERC20TokenType(8, total_supply=80)
+        classifier = OpClassifier(token)
+        pool = Mempool()
+        for pid, operation in [
+            (0, op("transfer", 1, 2)),   # observes/adds bal 0
+            (0, op("transfer", 2, 1)),   # conflicts with the first
+            (3, op("transfer", 4, 1)),   # independent component
+            (5, op("balanceOf", 6)),     # singleton
+        ]:
+            pool.submit(pid, operation)
+        graph = ConflictGraph.build(classifier, pool.pop_window(8))
+        chains = [c for c in graph.components() if len(c) > 1]
+        dags = graph.component_dags()
+        assert [dag.nodes for dag in dags] == [tuple(c) for c in chains]
+
+
+class TestDagPlanner:
+    def _window(self, items, token):
+        classifier = OpClassifier(token)
+        pool = Mempool()
+        for item in items:
+            pool.submit(item.pid, item.operation)
+        ops = pool.pop_window(len(items))
+        graph = ConflictGraph.build(classifier, ops)
+        chains = [c for c in graph.components() if len(c) > 1]
+        singles = [c[0] for c in graph.components() if len(c) == 1]
+        return classifier, ops, graph, chains, singles
+
+    def test_apply_order_is_a_linear_extension(self):
+        token = ERC20TokenType(12, total_supply=240)
+        items = TokenWorkloadGenerator(
+            12, seed=3, mix=APPROVAL_HEAVY_MIX
+        ).generate(60)
+        classifier, ops, graph, chains, singles = self._window(items, token)
+        planner = ShardPlanner(4, dag_scheduling=True)
+        plan = planner.plan(
+            classifier,
+            [[ops[i] for i in chain] for chain in chains],
+            [ops[i] for i in singles],
+            dags=graph.component_dags(),
+        )
+        assert plan.apply_order is not None
+        position = {op.seq: k for k, op in enumerate(plan.apply_order)}
+        for (a, b) in graph.edges:
+            assert position[ops[a].seq] < position[ops[b].seq]
+
+    def test_dag_makespan_beats_chain_atomic_on_wide_components(self):
+        # k approvals (to distinct spenders: mutually commuting) each
+        # enabling one transferFrom (the transferFroms chain on the
+        # debited balance): the chain-atomic plan pays the component's
+        # full op count on one lane; the DAG plan runs the approvals
+        # lane-parallel against the transferFrom chain.
+        token = ERC20TokenType(8, total_supply=80)
+        items = [
+            WorkloadItem(0, op("approve", spender, 5))
+            for spender in range(1, 6)
+        ] + [
+            WorkloadItem(spender, op("transferFrom", 0, 7, 1))
+            for spender in range(1, 6)
+        ]
+        classifier, ops, graph, chains, singles = self._window(items, token)
+        assert len(chains) == 1 and len(chains[0]) == len(items)
+        atomic = ShardPlanner(4).plan(
+            classifier, [[ops[i] for i in chains[0]]], []
+        )
+        dag = ShardPlanner(4, dag_scheduling=True).plan(
+            classifier,
+            [[ops[i] for i in chains[0]]],
+            [],
+            dags=graph.component_dags(),
+        )
+        assert atomic.critical_path == len(items)
+        assert dag.critical_path < atomic.critical_path
+        assert graph.component_dags()[0].width >= 2
+
+    def test_pure_conflict_chain_gains_nothing(self):
+        token = ERC20TokenType(4, total_supply=40)
+        items = [WorkloadItem(0, op("transfer", 1, 1)) for _ in range(5)]
+        classifier, ops, graph, chains, singles = self._window(items, token)
+        dag = ShardPlanner(4, dag_scheduling=True).plan(
+            classifier,
+            [[ops[i] for i in chain] for chain in chains],
+            [ops[i] for i in singles],
+            dags=graph.component_dags(),
+        )
+        assert dag.critical_path == 5  # a total order stays a total order
+
+    def test_dag_flag_off_is_bit_identical(self):
+        token = ERC20TokenType(12, total_supply=240)
+        items = TokenWorkloadGenerator(
+            12, seed=9, mix=SPENDER_HEAVY_MIX
+        ).generate(80)
+        classifier, ops, graph, chains, singles = self._window(items, token)
+        chain_ops = [[ops[i] for i in chain] for chain in chains]
+        single_ops = [ops[i] for i in singles]
+        default = ShardPlanner(4).plan(classifier, chain_ops, single_ops)
+        off = ShardPlanner(4, dag_scheduling=False).plan(
+            classifier, chain_ops, single_ops, dags=graph.component_dags()
+        )
+        assert off == default
+        assert off.apply_order is None
+
+    def test_mismatched_dags_are_rejected(self):
+        planner = ShardPlanner(2, dag_scheduling=True)
+        with pytest.raises(EngineError):
+            planner.plan(None, [[]], [], dags=[])
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("mix_name", sorted(MIXES))
+    def test_barrier_engine_matches_spec(self, mix_name):
+        token = ERC20TokenType(12, total_supply=240)
+        items = TokenWorkloadGenerator(
+            12, seed=41, mix=MIXES[mix_name]
+        ).generate(300)
+        ref_state, ref_responses = serial_reference(token, items)
+        engine = BatchExecutor(
+            ERC20TokenType(12, total_supply=240),
+            num_lanes=4,
+            window=32,
+            dag_scheduling=True,
+        )
+        state, responses, stats = engine.run_workload(items)
+        assert state == ref_state
+        assert responses == ref_responses
+        assert stats.dag_speedup >= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        depth=st.integers(1, 6),
+        lanes=st.sampled_from([1, 2, 4, 8]),
+        window=st.integers(4, 48),
+    )
+    def test_pipelined_hypothesis_sweep(self, seed, depth, lanes, window):
+        token = ERC20TokenType(8, total_supply=80)
+        items = TokenWorkloadGenerator(
+            8, seed=seed, mix=SPENDER_HEAVY_MIX, hotspot_fraction=0.4,
+            hotspot_accounts=2,
+        ).generate(100)
+        ref_state, ref_responses = serial_reference(token, items)
+        engine = PipelinedExecutor(
+            ERC20TokenType(8, total_supply=80),
+            pipeline_depth=depth,
+            num_lanes=lanes,
+            window=window,
+            dag_scheduling=True,
+        )
+        state, responses, _ = engine.run_workload(items)
+        assert state == ref_state
+        assert responses == ref_responses
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), depth=st.integers(1, 5))
+    def test_erc721_races(self, seed, depth):
+        rng = random.Random(seed)
+        factory = lambda: ERC721TokenType(  # noqa: E731
+            4, initial_owners=[0, 1, 2, 3, 0, 1]
+        )
+        names = ["transferFrom", "approve", "ownerOf", "setApprovalForAll"]
+        items = []
+        for _ in range(60):
+            name = rng.choice(names)
+            pid = rng.randrange(4)
+            if name == "transferFrom":
+                operation = op(
+                    name, rng.randrange(4), rng.randrange(4), rng.randrange(6)
+                )
+            elif name == "approve":
+                operation = op(name, rng.randrange(4), rng.randrange(6))
+            elif name == "ownerOf":
+                operation = op(name, rng.randrange(6))
+            else:
+                operation = op(name, rng.randrange(4), rng.random() < 0.5)
+            items.append(WorkloadItem(pid, operation))
+        ref_state, ref_responses = serial_reference(factory(), items)
+        engine = PipelinedExecutor(
+            factory(), pipeline_depth=depth, num_lanes=4, window=16,
+            dag_scheduling=True,
+        )
+        state, responses, _ = engine.run_workload(items)
+        assert state == ref_state
+        assert responses == ref_responses
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), lanes=st.sampled_from([1, 2, 4]))
+    def test_asset_transfer_shared_accounts(self, seed, lanes):
+        rng = random.Random(seed)
+        owner_map = [{0, 1}, {1}, {2}, {3}, {0, 3}]
+        factory = lambda: AssetTransferType(  # noqa: E731
+            [20] * 5, owner_map=owner_map, num_processes=4
+        )
+        items = [
+            WorkloadItem(
+                rng.randrange(4),
+                op(
+                    "transfer",
+                    rng.randrange(5),
+                    rng.randrange(5),
+                    rng.randint(0, 6),
+                ),
+            )
+            for _ in range(80)
+        ]
+        ref_state, ref_responses = serial_reference(factory(), items)
+        engine = BatchExecutor(
+            factory(), num_lanes=lanes, window=16, dag_scheduling=True
+        )
+        state, responses, _ = engine.run_workload(items)
+        assert state == ref_state
+        assert responses == ref_responses
+
+
+class TestIdentityAndStats:
+    def test_dag_off_is_the_historical_engine(self):
+        items = TokenWorkloadGenerator(
+            12, seed=37, mix=APPROVAL_HEAVY_MIX
+        ).generate(240)
+        default = BatchExecutor(
+            ERC20TokenType(12, total_supply=240), num_lanes=4, window=32
+        )
+        explicit = BatchExecutor(
+            ERC20TokenType(12, total_supply=240),
+            num_lanes=4,
+            window=32,
+            dag_scheduling=False,
+        )
+        d_state, d_responses, d_stats = default.run_workload(items)
+        e_state, e_responses, e_stats = explicit.run_workload(items)
+        assert e_state == d_state
+        assert e_responses == d_responses
+        assert e_stats.as_dict() == d_stats.as_dict()
+        assert e_stats.dag_speedup == 1.0
+        assert e_stats.max_dag_width == 0
+
+    def test_depth_one_pipeline_matches_dag_barrier_exactly(self):
+        items = TokenWorkloadGenerator(
+            10, seed=5, mix=SPENDER_HEAVY_MIX
+        ).generate(200)
+        kwargs = dict(num_lanes=4, window=32, dag_scheduling=True)
+        barrier = BatchExecutor(ERC20TokenType(10, total_supply=200), **kwargs)
+        piped = PipelinedExecutor(
+            ERC20TokenType(10, total_supply=200), pipeline_depth=1, **kwargs
+        )
+        b = barrier.run_workload(items)
+        p = piped.run_workload(items)
+        assert p[:2] == b[:2]
+        assert p[2].as_dict() == b[2].as_dict()
+
+    def test_dag_shortens_contended_rounds(self):
+        items = TokenWorkloadGenerator(
+            16, seed=7, mix=APPROVAL_HEAVY_MIX
+        ).generate(400)
+        atomic = BatchExecutor(
+            ERC20TokenType(16, total_supply=1600), num_lanes=4, window=64
+        ).run_workload(items)[2]
+        dag = BatchExecutor(
+            ERC20TokenType(16, total_supply=1600),
+            num_lanes=4,
+            window=64,
+            dag_scheduling=True,
+        ).run_workload(items)[2]
+        assert dag.virtual_time < atomic.virtual_time
+        assert dag.dag_speedup > 1.0
+        assert dag.max_dag_width >= 2
+        assert dag.max_dag_critical_path >= 1
+        assert dag.dag_chain_ops > dag.dag_critical_ops
+
+    def test_dag_stats_survive_the_pipeline(self):
+        items = TokenWorkloadGenerator(
+            16, seed=11, mix=APPROVAL_HEAVY_MIX
+        ).generate(300)
+        _, _, stats = PipelinedExecutor(
+            ERC20TokenType(16, total_supply=1600),
+            pipeline_depth=3,
+            num_lanes=4,
+            window=64,
+            dag_scheduling=True,
+        ).run_workload(items)
+        assert stats.max_dag_width >= 2
+        assert stats.dag_speedup > 1.0

@@ -94,8 +94,12 @@ class TestConflictGraph:
 class TestShardPlanner:
     def test_plan_is_deterministic(self, token):
         classifier = OpClassifier(token)
-        singles = [PendingOp(i, i % N, op("balanceOf", i % N)) for i in range(20)]
-        chains = [[PendingOp(100 + j, 0, op("transfer", 1, 1)) for j in range(3)]]
+        singles = [
+            PendingOp(i, i % N, op("balanceOf", i % N)) for i in range(20)
+        ]
+        chains = [
+            [PendingOp(100 + j, 0, op("transfer", 1, 1)) for j in range(3)]
+        ]
         planner = ShardPlanner(4)
         p1 = planner.plan(classifier, chains, singles)
         p2 = planner.plan(classifier, chains, singles)
@@ -123,7 +127,9 @@ class TestShardPlanner:
 
     def test_all_ops_preserved(self, token):
         classifier = OpClassifier(token)
-        singles = [PendingOp(i, i % N, op("balanceOf", i % N)) for i in range(17)]
+        singles = [
+            PendingOp(i, i % N, op("balanceOf", i % N)) for i in range(17)
+        ]
         chain = [PendingOp(50 + j, 1, op("transfer", 2, 1)) for j in range(5)]
         plan = ShardPlanner(4).plan(classifier, [chain], singles)
         seqs = sorted(o.seq for lane in plan.lanes for o in lane)
@@ -177,7 +183,9 @@ class TestBatchExecutor:
 
     def test_owner_only_traffic_never_escalates(self, token):
         engine = BatchExecutor(token, num_lanes=4, window=32)
-        items = TokenWorkloadGenerator(N, seed=11, mix=OWNER_ONLY_MIX).generate(200)
+        items = TokenWorkloadGenerator(N, seed=11, mix=OWNER_ONLY_MIX).generate(
+            200
+        )
         _, _, stats = engine.run_workload(items)
         assert stats.escalated_ops == 0
         assert stats.escalation_messages == 0

@@ -83,7 +83,9 @@ class TestLaneDeterminism:
         window=st.integers(1, 80),
         zipf=st.sampled_from([0.0, 1.2]),
     )
-    def test_determinism_under_random_seeds_and_windows(self, seed, window, zipf):
+    def test_determinism_under_random_seeds_and_windows(
+        self, seed, window, zipf
+    ):
         factory = lambda: ERC20TokenType(8, total_supply=80)  # noqa: E731
         items = TokenWorkloadGenerator(8, seed=seed, zipf_s=zipf).generate(120)
         states = {

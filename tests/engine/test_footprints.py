@@ -10,6 +10,7 @@ from repro.objects.erc721 import ERC721TokenType
 from repro.objects.footprint import (
     EMPTY_FOOTPRINT,
     SUPPLY,
+    FootprintSummary,
     OpFootprint,
     allow,
     bal,
@@ -182,7 +183,10 @@ class TestERC721Footprints:
         assert static_pair_kind(grant, transfer) == "conflict"
 
     def test_self_approval_is_empty(self, nft):
-        assert nft.footprint(0, op("setApprovalForAll", 0, True)) == EMPTY_FOOTPRINT
+        assert (
+            nft.footprint(0, op("setApprovalForAll", 0, True))
+            == EMPTY_FOOTPRINT
+        )
 
 
 class TestContended:
@@ -194,3 +198,83 @@ class TestContended:
         )
         assert bal(1) not in fp.contended
         assert bal(0) in fp.contended
+
+
+class TestFootprintSummary:
+    """The batch-level commutativity test behind the pipelined frontier
+    and the cluster's per-unit dispatch gate — the per-pair rule of
+    :func:`static_pair_kind` lifted to unions of footprints."""
+
+    def test_over_unions_by_access_kind(self):
+        summary = FootprintSummary.over(
+            [
+                footprint(observes=[bal(0)], adds=[bal(0), bal(1)]),
+                footprint(sets=[allow(0, 1)]),
+            ]
+        )
+        assert summary.observes == frozenset({bal(0)})
+        assert summary.adds == frozenset({bal(0), bal(1)})
+        assert summary.sets == frozenset({allow(0, 1)})
+        assert summary.writes == frozenset({bal(0), bal(1), allow(0, 1)})
+        assert not summary.unknown
+
+    def test_over_flags_unknown_members(self):
+        summary = FootprintSummary.over([footprint(observes=[bal(0)]), None])
+        assert summary.unknown
+
+    def test_read_read_sharing_commutes(self):
+        a = FootprintSummary.over([footprint(observes=[bal(3), SUPPLY])])
+        b = FootprintSummary.over([footprint(observes=[bal(3)])])
+        assert not a.conflicts_with(b)
+        assert not b.conflicts_with(a)
+
+    def test_delta_delta_sharing_commutes(self):
+        # Two batches crediting one cell: commutative deltas on both
+        # sides never need an order.
+        a = FootprintSummary.over(
+            [footprint(observes=[bal(0)], adds=[bal(0), bal(9)])]
+        )
+        b = FootprintSummary.over(
+            [footprint(observes=[bal(1)], adds=[bal(1), bal(9)])]
+        )
+        assert not a.conflicts_with(b)
+        assert not b.conflicts_with(a)
+
+    def test_read_gates_on_write(self):
+        reader = FootprintSummary.over([footprint(observes=[bal(5)])])
+        writer = FootprintSummary.over(
+            [footprint(observes=[bal(5)], adds=[bal(5), bal(6)])]
+        )
+        assert reader.conflicts_with(writer)
+        assert writer.conflicts_with(reader)  # symmetric: write gates read
+
+    def test_shared_cell_with_absolute_write_conflicts(self):
+        delta = FootprintSummary.over([footprint(adds=[allow(0, 1)])])
+        absolute = FootprintSummary.over([footprint(sets=[allow(0, 1)])])
+        assert delta.conflicts_with(absolute)
+        assert absolute.conflicts_with(delta)
+        assert absolute.conflicts_with(absolute)  # set-set too
+
+    def test_disjoint_batches_commute(self):
+        a = FootprintSummary.over(
+            [footprint(observes=[bal(0)], adds=[bal(0)], sets=[allow(0, 0)])]
+        )
+        b = FootprintSummary.over(
+            [footprint(observes=[bal(1)], adds=[bal(1)], sets=[allow(1, 1)])]
+        )
+        assert not a.conflicts_with(b)
+
+    def test_unknown_conflicts_with_everything(self):
+        unknown = FootprintSummary.over([None])
+        empty = FootprintSummary.over([EMPTY_FOOTPRINT])
+        assert unknown.conflicts_with(empty)
+        assert empty.conflicts_with(unknown)
+        assert unknown.conflicts_with(unknown)
+
+    def test_empty_batches_never_conflict(self):
+        empty = FootprintSummary.over([])
+        writer = FootprintSummary.over(
+            [footprint(observes=[bal(0)], adds=[bal(0)])]
+        )
+        assert not empty.conflicts_with(writer)
+        assert not writer.conflicts_with(empty)

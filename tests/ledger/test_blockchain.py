@@ -11,7 +11,9 @@ from repro.objects.erc20 import ERC20TokenType
 from repro.spec.operation import op
 
 
-def make_chain(n: int = 4, supply: int = 100, seed: int = 0, max_batch: int = 64):
+def make_chain(
+    n: int = 4, supply: int = 100, seed: int = 0, max_batch: int = 64
+):
     simulator = Simulator()
     network = Network(simulator, UniformLatency(0.5, 1.5), seed=seed)
     token_type = ERC20TokenType(n, total_supply=supply)

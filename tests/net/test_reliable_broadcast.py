@@ -81,9 +81,7 @@ class TestConsistencyUnderEquivocation:
                 {"sender": byzantine, "seq": 0, "value": value},
             )
         simulator.run()
-        delivered_values = {
-            d[2] for node in nodes[1:] for d in node.delivered
-        }
+        delivered_values = {d[2] for node in nodes[1:] for d in node.delivered}
         assert len(delivered_values) <= 1
 
     def test_forged_send_for_other_sender_ignored(self):

@@ -40,7 +40,9 @@ class TestScheduling:
 
         def outer():
             log.append(("outer", simulator.now))
-            simulator.schedule(1.0, lambda: log.append(("inner", simulator.now)))
+            simulator.schedule(
+                1.0, lambda: log.append(("inner", simulator.now))
+            )
 
         simulator.schedule(1.0, outer)
         simulator.run()
@@ -114,7 +116,9 @@ class TestTombstonePurge:
 
     def test_no_purge_below_threshold(self):
         simulator = Simulator()
-        handles = [simulator.schedule(float(i + 1), lambda: None) for i in range(10)]
+        handles = [
+            simulator.schedule(float(i + 1), lambda: None) for i in range(10)
+        ]
         for handle in handles[:4]:
             handle.cancel()
         assert simulator.purges == 0

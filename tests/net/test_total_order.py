@@ -10,7 +10,9 @@ from repro.net.total_order import TotalOrderNode
 def make_system(n: int = 4, seed: int = 0, latency=None, max_batch: int = 64):
     simulator = Simulator()
     network = Network(simulator, latency or UniformLatency(0.5, 1.5), seed=seed)
-    nodes = [TotalOrderNode(i, network, n, max_batch=max_batch) for i in range(n)]
+    nodes = [
+        TotalOrderNode(i, network, n, max_batch=max_batch) for i in range(n)
+    ]
     return simulator, network, nodes
 
 

@@ -64,7 +64,9 @@ class TestSafeTransferFrom:
         state, _ = token.apply(
             token.initial_state(), 0, op("setApprovalForAll", 2, True)
         )
-        state, result = token.apply(state, 2, op("safeTransferFrom", 0, 2, 0, 3))
+        state, result = token.apply(
+            state, 2, op("safeTransferFrom", 0, 2, 0, 3)
+        )
         assert result is True
         assert state.balance(2, 0) == 3
 

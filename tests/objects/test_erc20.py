@@ -55,7 +55,9 @@ class TestDeployment:
 
 class TestTransfer:
     def test_success_branch(self, token):
-        state, result = token.apply(token.initial_state(), 0, op("transfer", 1, 3))
+        state, result = token.apply(
+            token.initial_state(), 0, op("transfer", 1, 3)
+        )
         assert result is True
         assert state.balances == (7, 3, 0)
 
@@ -71,7 +73,9 @@ class TestTransfer:
         assert state == start
 
     def test_exact_balance(self, token):
-        state, result = token.apply(token.initial_state(), 0, op("transfer", 2, 10))
+        state, result = token.apply(
+            token.initial_state(), 0, op("transfer", 2, 10)
+        )
         assert result is True
         assert state.balances == (0, 0, 10)
 
@@ -84,14 +88,18 @@ class TestTransfer:
     def test_self_transfer_is_identity(self, token):
         # Sequential-update semantics (as in the Solidity contract): a
         # self-transfer of an affordable amount leaves the balance unchanged.
-        state, result = token.apply(token.initial_state(), 0, op("transfer", 0, 4))
+        state, result = token.apply(
+            token.initial_state(), 0, op("transfer", 0, 4)
+        )
         assert result is True
         assert state.balances == (10, 0, 0)
 
 
 class TestApprove:
     def test_sets_allowance(self, token):
-        state, result = token.apply(token.initial_state(), 0, op("approve", 2, 5))
+        state, result = token.apply(
+            token.initial_state(), 0, op("approve", 2, 5)
+        )
         assert result is True
         assert state.allowance(0, 2) == 5
 
@@ -118,12 +126,16 @@ class TestApprove:
     def test_approve_succeeds_regardless_of_balance(self, token):
         # Bob (empty account) can still approve Charlie (the allowance just
         # cannot be used until the account is funded: Eq. 10's convention).
-        state, result = token.apply(token.initial_state(), 1, op("approve", 2, 9))
+        state, result = token.apply(
+            token.initial_state(), 1, op("approve", 2, 9)
+        )
         assert result is True
         assert state.allowance(1, 2) == 9
 
     def test_self_approval_allowed(self, token):
-        state, result = token.apply(token.initial_state(), 0, op("approve", 0, 5))
+        state, result = token.apply(
+            token.initial_state(), 0, op("approve", 0, 5)
+        )
         assert result is True
         assert state.allowance(0, 0) == 5
 

@@ -28,7 +28,10 @@ class TestReads:
         assert nft.apply(state, 0, op("balanceOf", 2))[1] == 0
 
     def test_get_approved_initially_none(self, nft):
-        assert nft.apply(nft.initial_state(), 0, op("getApproved", 0))[1] == NO_APPROVAL
+        assert (
+            nft.apply(nft.initial_state(), 0, op("getApproved", 0))[1]
+            == NO_APPROVAL
+        )
 
 
 class TestTransferFrom:
@@ -123,7 +126,9 @@ class TestApprovals:
 
     def test_self_operator_rejected(self, nft):
         state = nft.initial_state()
-        successor, result = nft.apply(state, 0, op("setApprovalForAll", 0, True))
+        successor, result = nft.apply(
+            state, 0, op("setApprovalForAll", 0, True)
+        )
         assert result is False
         assert successor == state
 

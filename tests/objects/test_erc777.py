@@ -47,7 +47,9 @@ class TestOperators:
 
     def test_operator_spends_entire_balance(self, token):
         # The §6 observation: operators have no bounded allowance.
-        state, _ = token.apply(token.initial_state(), 0, op("authorizeOperator", 2))
+        state, _ = token.apply(
+            token.initial_state(), 0, op("authorizeOperator", 2)
+        )
         state, result = token.apply(state, 2, op("operatorSend", 0, 2, 10))
         assert result is True
         assert state.balances == (0, 0, 10)
@@ -59,7 +61,9 @@ class TestOperators:
         assert successor == state
 
     def test_revocation(self, token):
-        state, _ = token.apply(token.initial_state(), 0, op("authorizeOperator", 2))
+        state, _ = token.apply(
+            token.initial_state(), 0, op("authorizeOperator", 2)
+        )
         state, result = token.apply(state, 0, op("revokeOperator", 2))
         assert result is True
         _, result = token.apply(state, 2, op("operatorSend", 0, 1, 1))
@@ -72,14 +76,20 @@ class TestOperators:
         assert successor == state
 
     def test_operator_flag_visible(self, token):
-        state, _ = token.apply(token.initial_state(), 0, op("authorizeOperator", 1))
-        assert token.apply(state, 2, op("isOperatorFor", 1, 0))[1] is True
+        state, _ = token.apply(
+            token.initial_state(), 0, op("authorizeOperator", 1)
+        )
+        assert (
+            token.apply(state, 2, op("isOperatorFor", 1, 0))[1] is True
+        )
         assert token.apply(state, 2, op("isOperatorFor", 2, 0))[1] is False
 
 
 class TestReads:
     def test_balance_of(self, token):
-        assert token.apply(token.initial_state(), 1, op("balanceOf", 0))[1] == 10
+        assert (
+            token.apply(token.initial_state(), 1, op("balanceOf", 0))[1] == 10
+        )
 
     def test_total_supply(self, token):
         state, _ = token.apply(token.initial_state(), 0, op("send", 1, 3))

@@ -147,7 +147,10 @@ class TestApproveSemantics:
     def test_approve_overwrites(self, n, first, second):
         token = ERC20TokenType(n, total_supply=10)
         state, _ = token.run(
-            [(0, Operation("approve", (1, first))), (0, Operation("approve", (1, second)))]
+            [
+                (0, Operation("approve", (1, first))),
+                (0, Operation("approve", (1, second))),
+            ]
         )
         assert state.allowance(0, 1) == second
 

@@ -102,7 +102,9 @@ class TestSoundnessOnRealExecutions:
         system = System(
             programs=[program_for(pid) for pid in range(3)], objects=[token]
         )
-        scheduler = RandomScheduler(seed, crash_probability=0.25, crash_budget=2)
+        scheduler = RandomScheduler(
+            seed, crash_probability=0.25, crash_budget=2
+        )
         result = run_system(system, scheduler)
         outcome = check_linearizability(
             result.history.project("tok"), ERC20TokenType(3, total_supply=8)

@@ -94,9 +94,7 @@ class TestDynamicNetworkProperties:
     def test_convergence_and_conservation(self, seed, traffic):
         simulator = Simulator()
         network = Network(simulator, UniformLatency(0.5, 2.0), seed=seed)
-        nodes = [
-            DynamicTokenNode(i, network, 4, supply=60) for i in range(4)
-        ]
+        nodes = [DynamicTokenNode(i, network, 4, supply=60) for i in range(4)]
         # Fund everyone first so transferFroms have substance.
         for i in range(1, 4):
             nodes[0].submit_transfer(i, 10)

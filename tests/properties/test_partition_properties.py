@@ -20,9 +20,7 @@ from repro.objects.erc20 import ERC20TokenType, TokenState
 @st.composite
 def token_states(draw):
     n = draw(st.integers(2, 5))
-    balances = draw(
-        st.lists(st.integers(0, 15), min_size=n, max_size=n)
-    )
+    balances = draw(st.lists(st.integers(0, 15), min_size=n, max_size=n))
     allowances = {}
     for _ in range(draw(st.integers(0, 8))):
         account = draw(st.integers(0, n - 1))

@@ -36,9 +36,7 @@ def sk_configurations(draw):
     allowances = {
         (0, pid): draw(st.integers(low, balance)) for pid in range(1, k)
     }
-    state = TokenState.create(
-        [balance] + [0] * (n - 1), allowances
-    )
+    state = TokenState.create([balance] + [0] * (n - 1), allowances)
     return k, state
 
 

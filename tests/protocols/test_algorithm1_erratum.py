@@ -76,7 +76,9 @@ class TestCounterexample:
         assert unique_transfer(state, 0)
         assert not unique_transfer_strict(state, 0)
         proposals = {0: "a", 1: "b", 2: "c"}
-        factory = lambda: algorithm1_system(proposals, state=state, strict=False)
+        factory = lambda: algorithm1_system(
+            proposals, state=state, strict=False
+        )
         report = ScheduleExplorer(factory).explore(
             checks=[consensus_checks(proposals)]
         )

@@ -86,7 +86,9 @@ class TestRuns:
         # the whole balance), so any positive balance works.
         for balance in (1, 7, 100):
             proposals = {0: "x", 1: "y", 2: "z"}
-            factory = lambda b=balance: erc777_consensus_system(proposals, balance=b)
+            factory = lambda b=balance: erc777_consensus_system(
+                proposals, balance=b
+            )
             report = ScheduleExplorer(factory).explore(
                 checks=[consensus_checks(proposals)]
             )

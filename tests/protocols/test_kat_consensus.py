@@ -15,22 +15,30 @@ from repro.runtime.scheduler import RandomScheduler, SoloScheduler
 
 class TestConstruction:
     def test_sinks_must_cover_owners(self):
-        kat = AssetTransfer([2, 0, 0], owner_map=[{0, 1}, {1}, {2}], num_processes=3)
+        kat = AssetTransfer(
+            [2, 0, 0], owner_map=[{0, 1}, {1}, {2}], num_processes=3
+        )
         with pytest.raises(InvalidArgumentError):
             KATConsensus(kat, shared_account=0, sinks={0: 1})
 
     def test_sinks_must_be_distinct(self):
-        kat = AssetTransfer([2, 0, 0], owner_map=[{0, 1}, {1}, {2}], num_processes=3)
+        kat = AssetTransfer(
+            [2, 0, 0], owner_map=[{0, 1}, {1}, {2}], num_processes=3
+        )
         with pytest.raises(InvalidArgumentError):
             KATConsensus(kat, shared_account=0, sinks={0: 1, 1: 1})
 
     def test_shared_account_needs_balance(self):
-        kat = AssetTransfer([0, 0, 0], owner_map=[{0, 1}, {1}, {2}], num_processes=3)
+        kat = AssetTransfer(
+            [0, 0, 0], owner_map=[{0, 1}, {1}, {2}], num_processes=3
+        )
         with pytest.raises(InvalidArgumentError):
             KATConsensus(kat, shared_account=0, sinks={0: 1, 1: 2})
 
     def test_sink_must_start_empty(self):
-        kat = AssetTransfer([2, 1, 0], owner_map=[{0, 1}, {1}, {2}], num_processes=3)
+        kat = AssetTransfer(
+            [2, 1, 0], owner_map=[{0, 1}, {1}, {2}], num_processes=3
+        )
         with pytest.raises(InvalidArgumentError):
             KATConsensus(kat, shared_account=0, sinks={0: 1, 1: 2})
 

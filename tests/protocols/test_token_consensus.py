@@ -17,7 +17,11 @@ from repro.protocols.base import consensus_checks
 from repro.protocols.token_consensus import TokenConsensus, algorithm1_system
 from repro.runtime.executor import run_system
 from repro.runtime.explorer import ScheduleExplorer
-from repro.runtime.scheduler import FixedScheduler, RandomScheduler, SoloScheduler
+from repro.runtime.scheduler import (
+    FixedScheduler,
+    RandomScheduler,
+    SoloScheduler,
+)
 
 
 class TestConstruction:

@@ -89,7 +89,9 @@ class TestSequentialEquivalence:
                 args = (rng.randrange(n), rng.randrange(n))
             else:
                 args = ()
-            spec_state, expected = spec.apply(spec_state, pid, Operation(name, args))
+            spec_state, expected = spec.apply(
+                spec_state, pid, Operation(name, args)
+            )
             actual = run_sequential(emulated, pid, METHODS[name], *args)
             assert actual == expected, (
                 f"divergence on {name}{args} by p{pid}: "

@@ -43,12 +43,16 @@ class TestRandom:
     def test_different_seeds_differ(self):
         def schedule(seed):
             scheduler = RandomScheduler(seed=seed)
-            return [scheduler.next_action(list(range(5)), i).pid for i in range(20)]
+            return [
+                scheduler.next_action(list(range(5)), i).pid for i in range(20)
+            ]
 
         assert schedule(1) != schedule(2)
 
     def test_crash_budget_respected(self):
-        scheduler = RandomScheduler(seed=0, crash_probability=1.0, crash_budget=2)
+        scheduler = RandomScheduler(
+            seed=0, crash_probability=1.0, crash_budget=2
+        )
         crashes = 0
         for i in range(20):
             action = scheduler.next_action([0, 1, 2], i)
@@ -57,7 +61,9 @@ class TestRandom:
         assert crashes == 2
 
     def test_never_crashes_last_process(self):
-        scheduler = RandomScheduler(seed=0, crash_probability=1.0, crash_budget=5)
+        scheduler = RandomScheduler(
+            seed=0, crash_probability=1.0, crash_budget=5
+        )
         action = scheduler.next_action([1], 0)
         assert isinstance(action, StepAction)
 

@@ -108,5 +108,7 @@ class TestTokenHistories:
 
     def test_explored_counter_populated(self):
         history = sequential_history([(0, "t", op("totalSupply"), 10)])
-        result = check_linearizability(history, ERC20TokenType(2, total_supply=10))
+        result = check_linearizability(
+            history, ERC20TokenType(2, total_supply=10)
+        )
         assert result.explored >= 1

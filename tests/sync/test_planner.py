@@ -49,9 +49,7 @@ class TestComponentTeam:
             PendingOp(0, 0, op("transfer", 0, 1, 2)),
             PendingOp(1, 2, op("transfer", 0, 2, 1)),
         ]
-        team = component_team(
-            classifier, ops, asset.initial_state(), asset
-        )
+        team = component_team(classifier, ops, asset.initial_state(), asset)
         assert team == frozenset({0, 1, 2})
 
     def test_unboundable_object_returns_none(self):
@@ -158,9 +156,7 @@ class TestTieredEscalator:
             PendingOp(1, 2, op("transferFrom", 0, 4, 1)),
         ]
         token, classifier, state = erc20_fixture()
-        sync = tiered_escalator(
-            ConsensusEscalator(seed=4), team_threshold=3
-        )
+        sync = tiered_escalator(ConsensusEscalator(seed=4), team_threshold=3)
         # Force the second component global via an oversized threshold
         # miss: its team is {0, 3} plus spenders {1, 2} = 4 > 3.
         result = sync.order_round(

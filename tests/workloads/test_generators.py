@@ -200,8 +200,12 @@ class TestAssetTransferGenerator:
         from repro.objects.asset_transfer import AssetTransferType
         from repro.workloads.generators import AssetTransferWorkloadGenerator
 
-        a = AssetTransferWorkloadGenerator(6, num_processes=6, seed=5).generate(80)
-        b = AssetTransferWorkloadGenerator(6, num_processes=6, seed=5).generate(80)
+        a = AssetTransferWorkloadGenerator(6, num_processes=6, seed=5).generate(
+            80
+        )
+        b = AssetTransferWorkloadGenerator(6, num_processes=6, seed=5).generate(
+            80
+        )
         assert a == b
         asset = AssetTransferType([30] * 6, num_processes=6)
         state = asset.initial_state()
