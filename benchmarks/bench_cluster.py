@@ -25,12 +25,11 @@ Standalone (writes ``BENCH_cluster.json``, used by CI)::
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-from pathlib import Path
 
+from common import bench_main, render_backpressure, render_stats_table
 from repro.cluster import TokenCluster, owner_local_workload
+from repro.obs import TraceRecorder
 from repro.engine import BatchExecutor, ConsensusEscalator
 from repro.objects.erc20 import ERC20TokenType
 from repro.workloads import (
@@ -199,6 +198,24 @@ def measure(ops: int) -> dict:
             "lease_migrations": stats.lease_migrations,
             "load_imbalance": stats.load_imbalance,
         }
+
+    # Per-op commit latency (submit -> commit on the traced virtual
+    # timeline), from a dedicated traced run of the default mix at 4
+    # nodes — the runs above stay untraced, so their stats dicts are
+    # bit-identical with or without the observability layer.
+    tracer = TraceRecorder()
+    cluster = TokenCluster(
+        make_token(),
+        num_nodes=4,
+        lanes_per_node=LANES,
+        window=WINDOW,
+        seed=SEED,
+        tracer=tracer,
+    )
+    cluster.run_workload(make_items(WorkloadMix(), ops))
+    results["op_latency"] = {
+        "cluster_4": tracer.metrics.histogram("op_latency").summary()
+    }
     return results
 
 
@@ -238,18 +255,18 @@ def render_table(results: dict) -> list[str]:
         "E10: cluster scale-out vs single-node engine vs all-consensus "
         f"({params['ops']} ops, {params['accounts']} accounts, "
         f"{params['lanes_per_node']} lanes/node, virtual time)",
-        f"{'mix':>14} | {'engine op/t':>11} {'consensus op/t':>14} | "
-        + " ".join(f"{n + ' nodes':>9}" for n in map(str, NODE_COUNTS)),
     ]
-    for name, entry in results["mixes"].items():
-        cells = " ".join(
-            f"{entry['cluster'][str(n)]['throughput']:>9.3f}"
+    lines += render_stats_table(
+        list(results["mixes"].items()),
+        [("engine op/t", "engine.throughput", ".3f")]
+        + [("consensus op/t", "all_consensus.throughput", ".3f")]
+        + [
+            (f"{n} nodes", f"cluster.{n}.throughput", ".3f")
             for n in NODE_COUNTS
-        )
-        lines.append(
-            f"{name:>14} | {entry['engine']['throughput']:>11.3f} "
-            f"{entry['all_consensus']['throughput']:>14.3f} | {cells}"
-        )
+        ],
+        label_header="mix",
+        separators=(1,),
+    )
     lines.append("")
     lines.append("owner-local traffic (zero-coordination regime):")
     for nodes, stats in results["owner_local"].items():
@@ -269,8 +286,6 @@ def render_table(results: dict) -> list[str]:
             f"leases {entry['lease_migrations']:>4}  "
             f"imbalance {entry['load_imbalance']:.2f}"
         )
-    # Backpressure must be visible: drops at the router's admission edge
-    # would otherwise silently flatter every throughput number above.
     dropped = sum(
         entry["cluster"][str(n)].get("dropped_ops", 0)
         for entry in results["mixes"].values()
@@ -279,12 +294,30 @@ def render_table(results: dict) -> list[str]:
         stats.get("dropped_ops", 0)
         for stats in results["owner_local"].values()
     )
-    lines.append("")
+    lines += render_backpressure(
+        dropped, "ops dropped at the router's admission edge"
+    )
+    latency = results["op_latency"]["cluster_4"]
     lines.append(
-        f"backpressure: {dropped} ops dropped at the router's admission"
-        " edge (0 = nothing dropped; throughput covers the full workload)"
+        f"op commit latency (default mix, 4 nodes): "
+        f"p50 {latency['p50']:.2f}  p99 {latency['p99']:.2f}  "
+        f"mean {latency['mean']:.2f}  over {latency['count']} ops"
     )
     return lines
+
+
+def traced_run(ops: int, tracer) -> None:
+    """The representative traced configuration (``--trace``): the default
+    mix at 4 nodes, one track per node lane plus router and sync lanes."""
+    cluster = TokenCluster(
+        make_token(),
+        num_nodes=4,
+        lanes_per_node=LANES,
+        window=WINDOW,
+        seed=SEED,
+        tracer=tracer,
+    )
+    cluster.run_workload(make_items(WorkloadMix(), ops))
 
 
 # ---------------------------------------------------------------------------
@@ -306,27 +339,16 @@ def test_cluster_scaling(benchmark, write_table):
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--ops", type=int, default=1200, help="ops per run")
-    parser.add_argument(
-        "--smoke", action="store_true", help="small, fast configuration"
+    return bench_main(
+        argv,
+        description=__doc__,
+        default_out="BENCH_cluster.json",
+        smoke_ops=512,
+        measure=measure,
+        check_claims=check_claims,
+        render_table=render_table,
+        traced_run=traced_run,
     )
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path("BENCH_cluster.json"),
-        help="output JSON path",
-    )
-    args = parser.parse_args(argv)
-    if args.ops < 1:
-        parser.error("--ops must be >= 1")
-    ops = 512 if args.smoke else args.ops
-    results = measure(ops)
-    check_claims(results)
-    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
-    print("\n".join(render_table(results)))
-    print(f"\nwrote {args.out}")
-    return 0
 
 
 if __name__ == "__main__":

@@ -30,11 +30,9 @@ Standalone (writes ``BENCH_dag.json``, used by CI)::
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-from pathlib import Path
 
+from common import bench_main, render_identity, render_stats_table
 from repro.cluster import TokenCluster
 from repro.engine import BatchExecutor, PipelinedExecutor
 from repro.objects.erc20 import ERC20TokenType
@@ -225,20 +223,22 @@ def render_table(results: dict) -> list[str]:
         "",
         f"engine (window {params['window']}, barrier and pipelined "
         f"depth {params['pipeline_depth']}):",
-        f"{'mix':>15} | {'atomic':>8} {'dag':>8} {'ratio':>6} | "
-        f"{'piped':>8} {'piped+dag':>9} {'ratio':>6} | "
-        f"{'width':>5} {'dag speedup':>11}",
     ]
-    for name, entry in results["engine"].items():
-        lines.append(
-            f"{name:>15} | {entry['atomic']['virtual_time']:>8.1f} "
-            f"{entry['dag']['virtual_time']:>8.1f} {entry['ratio']:>5.2f}x | "
-            f"{entry['pipelined_atomic']['virtual_time']:>8.1f} "
-            f"{entry['pipelined_dag']['virtual_time']:>9.1f} "
-            f"{entry['pipelined_ratio']:>5.2f}x | "
-            f"{entry['dag']['max_dag_width']:>5} "
-            f"{entry['dag']['dag_speedup']:>10.2f}x"
-        )
+    lines += render_stats_table(
+        list(results["engine"].items()),
+        [
+            ("atomic", "atomic.virtual_time", ".1f"),
+            ("dag", "dag.virtual_time", ".1f"),
+            ("ratio", "ratio", ".2f"),
+            ("piped", "pipelined_atomic.virtual_time", ".1f"),
+            ("piped+dag", "pipelined_dag.virtual_time", ".1f"),
+            ("piped ratio", "pipelined_ratio", ".2f"),
+            ("width", "dag.max_dag_width", "d"),
+            ("dag speedup", "dag.dag_speedup", ".2f"),
+        ],
+        label_header="mix",
+        separators=(2, 5),
+    )
     lines.append("")
     lines.append(
         f"cluster ({params['nodes']} nodes, depth "
@@ -254,14 +254,30 @@ def render_table(results: dict) -> list[str]:
                 f"{comparison['dag']['units_dispatched']} units over "
                 f"{comparison['dag']['rounds']} rounds)"
             )
-    lines.append("")
-    lines.append(
-        "dag_scheduling=False bit-identical to the default path: "
-        f"engine {results['identity']['engine_dag_off_identical']}, "
-        f"depth-1 {results['identity']['engine_depth1_dag_identical']}, "
-        f"cluster {results['identity']['cluster_dag_off_identical']}"
+    lines += render_identity(
+        "dag_scheduling=False bit-identical to the default path",
+        {
+            "engine": results["identity"]["engine_dag_off_identical"],
+            "depth-1": results["identity"]["engine_depth1_dag_identical"],
+            "cluster": results["identity"]["cluster_dag_off_identical"],
+        },
     )
     return lines
+
+
+def traced_run(ops: int, tracer) -> None:
+    """The representative traced configuration (``--trace``): the
+    DAG-scheduled barrier engine on the chain-heavy mix — component
+    DAGs fan out across lanes instead of serializing per chain."""
+    engine = BatchExecutor(
+        make_token(),
+        num_lanes=LANES,
+        window=WINDOW,
+        seed=SEED,
+        dag_scheduling=True,
+        tracer=tracer,
+    )
+    engine.run_workload(make_items("chain_heavy", ops))
 
 
 # ---------------------------------------------------------------------------
@@ -283,27 +299,16 @@ def test_dag_scheduling(benchmark, write_table):
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--ops", type=int, default=1200, help="ops per run")
-    parser.add_argument(
-        "--smoke", action="store_true", help="small, fast configuration"
+    return bench_main(
+        argv,
+        description=__doc__,
+        default_out="BENCH_dag.json",
+        smoke_ops=512,
+        measure=measure,
+        check_claims=check_claims,
+        render_table=render_table,
+        traced_run=traced_run,
     )
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path("BENCH_dag.json"),
-        help="output JSON path",
-    )
-    args = parser.parse_args(argv)
-    if args.ops < 1:
-        parser.error("--ops must be >= 1")
-    ops = 512 if args.smoke else args.ops
-    results = measure(ops)
-    check_claims(results)
-    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
-    print("\n".join(render_table(results)))
-    print(f"\nwrote {args.out}")
-    return 0
 
 
 if __name__ == "__main__":

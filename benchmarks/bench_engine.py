@@ -25,11 +25,9 @@ Standalone (writes ``BENCH_engine.json``, used by CI)::
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-from pathlib import Path
 
+from common import bench_main, render_backpressure, render_stats_table
 from repro.engine import BatchExecutor
 from repro.objects.erc20 import ERC20TokenType
 from repro.workloads import (
@@ -175,17 +173,20 @@ def render_table(results: dict) -> list[str]:
         "E9: commutativity-aware engine vs serial execution "
         f"({results['params']['ops']} ops, {ACCOUNTS} accounts, "
         f"{SHARDED_LANES} lanes, virtual time)",
-        f"{'mix':>15} | {'serial op/t':>11} {'sharded op/t':>12} "
-        f"{'speedup':>8} | {'conflict%':>9} {'escal%':>7} {'msgs':>6}",
     ]
-    for name, r in results["mixes"].items():
-        sharded = r["sharded"]
-        lines.append(
-            f"{name:>15} | {r['serial']['throughput']:>11.3f} "
-            f"{sharded['throughput']:>12.3f} {r['speedup']:>8.2f} | "
-            f"{r['conflict_rate']:>9.2%} {sharded['escalation_rate']:>7.2%} "
-            f"{sharded['escalation_messages']:>6}"
-        )
+    lines += render_stats_table(
+        list(results["mixes"].items()),
+        [
+            ("serial op/t", "serial.throughput", ".3f"),
+            ("sharded op/t", "sharded.throughput", ".3f"),
+            ("speedup", "speedup", ".2f"),
+            ("conflict%", "conflict_rate", ".2%"),
+            ("escal%", "sharded.escalation_rate", ".2%"),
+            ("msgs", "sharded.escalation_messages", "d"),
+        ],
+        label_header="mix",
+        separators=(2,),
+    )
     lines.append("")
     lines.append("hot-spot skew (2 hot accounts):")
     for key, r in results.get("hotspot", {}).items():
@@ -194,18 +195,31 @@ def render_table(results: dict) -> list[str]:
             f"speedup {r['speedup']:>5.2f} "
             f"hot-waves {r['hot_account_waves']:>4}"
         )
-    # Backpressure must be visible: a bounded mempool that shed load would
-    # otherwise silently flatter the throughput numbers above.
     rejected = sum(
         r["sharded"].get("rejected_ops", 0)
         for r in results["mixes"].values()
     )
-    lines.append("")
-    lines.append(
-        f"backpressure: {rejected} submissions rejected by bounded mempools"
-        " (0 = nothing dropped; throughput covers the full workload)"
+    lines += render_backpressure(
+        rejected, "submissions rejected by bounded mempools"
     )
     return lines
+
+
+def traced_run(ops: int, tracer) -> None:
+    """The representative traced configuration (``--trace``): the default
+    mix on the sharded engine, spans and makespan attribution recorded."""
+    token = ERC20TokenType(ACCOUNTS, total_supply=100 * ACCOUNTS)
+    engine = BatchExecutor(
+        token,
+        num_lanes=SHARDED_LANES,
+        window=WINDOW,
+        seed=SEED,
+        tracer=tracer,
+    )
+    items = TokenWorkloadGenerator(
+        ACCOUNTS, seed=SEED, mix=WorkloadMix()
+    ).generate(ops)
+    engine.run_workload(items)
 
 
 # ---------------------------------------------------------------------------
@@ -227,27 +241,16 @@ def test_engine_scaling(benchmark, write_table):
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--ops", type=int, default=1200, help="ops per run")
-    parser.add_argument(
-        "--smoke", action="store_true", help="small, fast configuration"
+    return bench_main(
+        argv,
+        description=__doc__,
+        default_out="BENCH_engine.json",
+        smoke_ops=400,
+        measure=measure,
+        check_claims=check_claims,
+        render_table=render_table,
+        traced_run=traced_run,
     )
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path("BENCH_engine.json"),
-        help="output JSON path",
-    )
-    args = parser.parse_args(argv)
-    if args.ops < 1:
-        parser.error("--ops must be >= 1")
-    ops = 400 if args.smoke else args.ops
-    results = measure(ops)
-    check_claims(results)
-    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
-    print("\n".join(render_table(results)))
-    print(f"\nwrote {args.out}")
-    return 0
 
 
 if __name__ == "__main__":

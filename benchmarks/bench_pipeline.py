@@ -29,12 +29,11 @@ Standalone (writes ``BENCH_pipeline.json``, used by CI)::
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-from pathlib import Path
 
+from common import bench_main, render_identity, render_stats_table
 from repro.cluster import TokenCluster
+from repro.obs import TraceRecorder
 from repro.engine import BatchExecutor, PipelinedExecutor
 from repro.objects.erc20 import ERC20TokenType
 from repro.workloads import (
@@ -164,6 +163,24 @@ def measure(ops: int) -> dict:
         run_cluster(items, 4, 1)
         == results["cluster"]["approval_heavy"]["4"]["barrier"]
     )
+
+    # Per-op commit latency (submit -> commit on the traced virtual
+    # timeline), from a dedicated traced run of the pipelined engine at
+    # the headline depth — the runs above stay untraced, so their stats
+    # dicts are bit-identical with or without the observability layer.
+    tracer = TraceRecorder()
+    engine = PipelinedExecutor(
+        make_token(),
+        pipeline_depth=CLUSTER_DEPTH,
+        num_lanes=LANES,
+        window=WINDOW,
+        seed=SEED,
+        tracer=tracer,
+    )
+    engine.run_workload(make_items(APPROVAL_HEAVY_MIX, ops))
+    results["op_latency"] = {
+        "pipelined_engine": tracer.metrics.histogram("op_latency").summary()
+    }
     return results
 
 
@@ -241,17 +258,17 @@ def render_table(results: dict) -> list[str]:
         f"{params['lanes']} lanes, virtual time)",
         "",
         f"engine (window {params['window']}):",
-        f"{'mix':>15} | {'barrier':>8} | "
-        + " ".join(f"{'depth ' + str(d):>9}" for d in DEPTHS),
     ]
-    for name, entry in results["engine"].items():
-        cells = " ".join(
-            f"{entry['pipelined'][str(d)]['virtual_time']:>9.1f}"
+    lines += render_stats_table(
+        list(results["engine"].items()),
+        [("barrier", "barrier.virtual_time", ".1f")]
+        + [
+            (f"depth {d}", f"pipelined.{d}.virtual_time", ".1f")
             for d in DEPTHS
-        )
-        lines.append(
-            f"{name:>15} | {entry['barrier']['virtual_time']:>8.1f} | {cells}"
-        )
+        ],
+        label_header="mix",
+        separators=(0,),
+    )
     lines.append("")
     lines.append(
         f"cluster (depth {params['cluster_depth']}, makespan and speedup):"
@@ -267,13 +284,36 @@ def render_table(results: dict) -> list[str]:
                 f"stall/op contended {per_escalated:>6.3f} "
                 f"vs uncontended {per_uncontended:>6.3f}"
             )
-    lines.append("")
+    lines += render_identity(
+        "pipeline_depth=1 bit-identical to the barrier path",
+        {
+            "engine": results["identity"]["engine_depth1_identical"],
+            "cluster": results["identity"]["cluster_depth1_identical"],
+        },
+    )
+    latency = results["op_latency"]["pipelined_engine"]
     lines.append(
-        "pipeline_depth=1 bit-identical to the barrier path: "
-        f"engine {results['identity']['engine_depth1_identical']}, "
-        f"cluster {results['identity']['cluster_depth1_identical']}"
+        f"op commit latency (pipelined engine, depth "
+        f"{results['params']['cluster_depth']}): "
+        f"p50 {latency['p50']:.2f}  p99 {latency['p99']:.2f}  "
+        f"mean {latency['mean']:.2f}  over {latency['count']} ops"
     )
     return lines
+
+
+def traced_run(ops: int, tracer) -> None:
+    """The representative traced configuration (``--trace``): the
+    pipelined engine at the headline depth on the contended mix — the
+    trace shows sync waits overlapping later rounds' execution."""
+    engine = PipelinedExecutor(
+        make_token(),
+        pipeline_depth=CLUSTER_DEPTH,
+        num_lanes=LANES,
+        window=WINDOW,
+        seed=SEED,
+        tracer=tracer,
+    )
+    engine.run_workload(make_items(APPROVAL_HEAVY_MIX, ops))
 
 
 # ---------------------------------------------------------------------------
@@ -295,27 +335,16 @@ def test_pipeline_scaling(benchmark, write_table):
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--ops", type=int, default=1200, help="ops per run")
-    parser.add_argument(
-        "--smoke", action="store_true", help="small, fast configuration"
+    return bench_main(
+        argv,
+        description=__doc__,
+        default_out="BENCH_pipeline.json",
+        smoke_ops=512,
+        measure=measure,
+        check_claims=check_claims,
+        render_table=render_table,
+        traced_run=traced_run,
     )
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path("BENCH_pipeline.json"),
-        help="output JSON path",
-    )
-    args = parser.parse_args(argv)
-    if args.ops < 1:
-        parser.error("--ops must be >= 1")
-    ops = 512 if args.smoke else args.ops
-    results = measure(ops)
-    check_claims(results)
-    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
-    print("\n".join(render_table(results)))
-    print(f"\nwrote {args.out}")
-    return 0
 
 
 if __name__ == "__main__":

@@ -30,11 +30,9 @@ Standalone (writes ``BENCH_sync.json``, used by CI)::
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-from pathlib import Path
 
+from common import bench_main, render_stats_table
 from repro.cluster import TokenCluster
 from repro.engine import BatchExecutor, ConsensusEscalator
 from repro.objects.asset_transfer import AssetTransferType
@@ -304,20 +302,22 @@ def render_table(results: dict) -> list[str]:
         f"({params['ops']} ops, n={params['accounts']} processes, "
         f"spender pools of {params['spender_pool']}, "
         f"threshold {params['team_threshold']}, virtual time)",
-        f"{'configuration':>24} | {'sync msgs':>9} {'virtual time':>12} "
-        f"{'team ops':>8} {'global ops':>10} {'mean k':>6}",
     ]
-    for scope in ("engine", "cluster"):
-        for name in ("global", "tiered"):
-            stats = results[scope][name]
-            time_key = "virtual_time" if scope == "engine" else "makespan"
-            lines.append(
-                f"{scope + ' ' + name:>24} | "
-                f"{stats['escalation_messages']:>9} "
-                f"{stats[time_key]:>12.1f} "
-                f"{stats['team_ops']:>8} {stats['global_ops']:>10} "
-                f"{stats['mean_team_size']:>6.2f}"
-            )
+    lines += render_stats_table(
+        [
+            (f"{scope} {name}", results[scope][name])
+            for scope in ("engine", "cluster")
+            for name in ("global", "tiered")
+        ],
+        [
+            ("sync msgs", "escalation_messages", "d"),
+            ("virtual time", ("virtual_time", "makespan"), ".1f"),
+            ("team ops", "team_ops", "d"),
+            ("global ops", "global_ops", "d"),
+            ("mean k", "mean_team_size", ".2f"),
+        ],
+        label_header="configuration",
+    )
     lines.append("")
     lines.append("threshold sweep (engine, APPROVAL_HEAVY + spender pools):")
     for threshold, entry in results["threshold_sweep"].items():
@@ -374,28 +374,33 @@ def test_tiered_sync(benchmark, write_table):
 # ---------------------------------------------------------------------------
 
 
+def traced_run(ops: int, tracer) -> None:
+    """The representative traced configuration (``--trace``): the tiered
+    engine on the bounded-spender contended mix — team-lane batches show
+    up as per-team sync tracks alongside the execution lanes."""
+    engine = BatchExecutor(
+        make_token(),
+        num_lanes=LANES,
+        window=WINDOW,
+        seed=SEED,
+        team_threshold=THRESHOLD,
+        escalator=ConsensusEscalator(num_replicas=ACCOUNTS, seed=SEED),
+        tracer=tracer,
+    )
+    engine.run_workload(make_items(ops))
+
+
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--ops", type=int, default=1200, help="ops per run")
-    parser.add_argument(
-        "--smoke", action="store_true", help="small, fast configuration"
+    return bench_main(
+        argv,
+        description=__doc__,
+        default_out="BENCH_sync.json",
+        smoke_ops=500,
+        measure=measure,
+        check_claims=check_claims,
+        render_table=render_table,
+        traced_run=traced_run,
     )
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path("BENCH_sync.json"),
-        help="output JSON path",
-    )
-    args = parser.parse_args(argv)
-    if args.ops < 1:
-        parser.error("--ops must be >= 1")
-    ops = 500 if args.smoke else args.ops
-    results = measure(ops)
-    check_claims(results)
-    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
-    print("\n".join(render_table(results)))
-    print(f"\nwrote {args.out}")
-    return 0
 
 
 if __name__ == "__main__":

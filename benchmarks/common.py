@@ -1,0 +1,217 @@
+"""Shared driver and renderers for the standalone bench entry points.
+
+Every ``benchmarks/bench_<name>.py`` exposes the same standalone
+contract — ``--ops``, ``--smoke``, ``--out`` (the JSON consumed by the
+CI bench-regression gate) and ``--trace`` (a Chrome-trace-event JSON of
+one representative traced run, loadable in Perfetto or
+``chrome://tracing``).  :func:`bench_main` is that contract implemented
+once: parse, measure, enforce the bench's claims, write the JSON, print
+the table, and — when asked — re-run the bench's representative
+configuration under a :class:`repro.obs.TraceRecorder` and export the
+trace with its makespan attribution embedded in ``otherData``.
+
+The table renderers here are driven by
+:class:`repro.obs.MetricsRegistry`: a row is any stats summary (an
+``as_dict()`` mapping or a ready registry), a column is a dotted metric
+name, and alignment is computed from the formatted cells — so benches
+share one tabulation path instead of five hand-aligned f-string blocks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.obs import (
+    MetricsRegistry,
+    TraceRecorder,
+    critical_path_report,
+    write_chrome_trace,
+)
+
+#: A table column: (header, metric name(s), format spec).  The metric
+#: entry may be a tuple of candidate dotted names; the first one present
+#: in the row's registry wins (e.g. engine rows carry ``virtual_time``
+#: where cluster rows carry ``makespan``).
+Column = tuple[str, "str | tuple[str, ...]", str]
+
+
+def build_parser(
+    description: str | None, default_out: str, default_ops: int = 1200
+) -> argparse.ArgumentParser:
+    """The shared standalone-bench CLI: --ops, --smoke, --out, --trace."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--ops", type=int, default=default_ops, help="ops per run"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="small, fast configuration"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(default_out),
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="TRACE_JSON",
+        help="also run the bench's representative configuration under a "
+        "virtual-time tracer and write a Chrome-trace-event JSON "
+        "(open in Perfetto) with the makespan attribution embedded",
+    )
+    return parser
+
+
+def bench_main(
+    argv: list[str] | None,
+    *,
+    description: str | None,
+    default_out: str,
+    smoke_ops: int,
+    measure: Callable[[int], dict],
+    check_claims: Callable[[dict], None],
+    render_table: Callable[[dict], list[str]],
+    traced_run: Callable[[int, TraceRecorder], None] | None = None,
+    default_ops: int = 1200,
+) -> int:
+    """The standalone entry point shared by every bench.
+
+    ``measure``/``check_claims``/``render_table`` are the bench's own
+    hooks, unchanged; ``traced_run(ops, tracer)`` re-runs one
+    representative configuration with the tracer attached (kept separate
+    from ``measure`` so the gated JSON is produced by untraced runs and
+    stays bit-identical whether or not ``--trace`` was passed).
+    """
+    parser = build_parser(description, default_out, default_ops)
+    args = parser.parse_args(argv)
+    if args.ops < 1:
+        parser.error("--ops must be >= 1")
+    ops = smoke_ops if args.smoke else args.ops
+    results = measure(ops)
+    check_claims(results)
+    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print("\n".join(render_table(results)))
+    print(f"\nwrote {args.out}")
+    if args.trace is not None:
+        if traced_run is None:
+            parser.error("this benchmark has no traced configuration")
+        export_trace(traced_run, ops, args.trace)
+    return 0
+
+
+def export_trace(
+    traced_run: Callable[[int, TraceRecorder], None], ops: int, path: Path
+) -> None:
+    """Run ``traced_run`` under a fresh tracer, verify the attribution
+    partitions the makespan exactly, and write the Chrome trace with the
+    report in ``otherData.attribution``."""
+    tracer = TraceRecorder()
+    traced_run(ops, tracer)
+    report = critical_path_report(tracer)
+    report.check()
+    write_chrome_trace(
+        tracer, path, metadata={"attribution": report.as_dict()}
+    )
+    print()
+    print("\n".join(report.render()))
+    print(
+        f"wrote {path} ({len(tracer.spans)} spans, "
+        f"{len(tracer.instants)} instants, "
+        f"{len(tracer.tracks())} tracks)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry-driven table renderers
+# ---------------------------------------------------------------------------
+
+
+def _as_registry(source: MetricsRegistry | Mapping) -> MetricsRegistry:
+    if isinstance(source, MetricsRegistry):
+        return source
+    return MetricsRegistry.from_summary(source)
+
+
+def _cell(registry: MetricsRegistry, metric, fmt: str) -> str:
+    names = (metric,) if isinstance(metric, str) else metric
+    for name in names:
+        if name in registry:
+            value = registry.value(name)
+            if fmt.endswith("d"):
+                value = int(value)
+            return format(value, fmt)
+    raise KeyError(f"none of {names} present in row registry")
+
+
+def render_stats_table(
+    entries: Sequence[tuple[str, MetricsRegistry | Mapping]],
+    columns: Sequence[Column],
+    *,
+    label_header: str = "",
+    separators: Sequence[int] = (),
+) -> list[str]:
+    """One aligned metrics table: a header row plus one row per entry.
+
+    ``entries`` are ``(row_label, stats)`` pairs where stats is a
+    registry or any nested summary mapping; ``columns`` name the dotted
+    metrics to show.  ``separators`` lists column indices after which a
+    ``|`` divider is drawn.  Widths come from the formatted cells, so
+    the table is always aligned regardless of magnitudes.
+    """
+    rows = [
+        (
+            label,
+            [
+                _cell(_as_registry(source), metric, fmt)
+                for _, metric, fmt in columns
+            ],
+        )
+        for label, source in entries
+    ]
+    widths = [
+        max(len(header), *(len(cells[i]) for _, cells in rows))
+        for i, (header, _, _) in enumerate(columns)
+    ]
+    label_width = max(len(label_header), *(len(label) for label, _ in rows))
+
+    def line(label: str, cells: Sequence[str]) -> str:
+        parts = [f"{label:>{label_width}} |"]
+        for i, (cell, width) in enumerate(zip(cells, widths)):
+            parts.append(f"{cell:>{width}}")
+            if i in separators:
+                parts.append("|")
+        return " ".join(parts)
+
+    header_cells = [header for header, _, _ in columns]
+    return [line(label_header, header_cells)] + [
+        line(label, cells) for label, cells in rows
+    ]
+
+
+def render_backpressure(count: int, source: str) -> list[str]:
+    """The shared backpressure footer: drops must be visible, because a
+    bench that silently shed load would flatter every number above."""
+    return [
+        "",
+        f"backpressure: {count} {source}"
+        " (0 = nothing dropped; throughput covers the full workload)",
+    ]
+
+
+def render_identity(claim: str, flags: Mapping[str, bool]) -> list[str]:
+    """The shared bit-identity footer (``flag-off reproduces the
+    historical path``), one ``name flag`` pair per checked layer."""
+    return [
+        "",
+        f"{claim}: " + ", ".join(f"{k} {v}" for k, v in flags.items()),
+    ]
+
+
+if __name__ == "__main__":
+    sys.exit("benchmarks/common.py is a library, not an entry point")

@@ -67,6 +67,8 @@ METRICS: dict[str, dict[str, list[str]]] = {
             "mixes.spender_heavy.cluster.4.escalation_messages",
             "mixes.default.cluster.4.lease_migrations",
             "owner_local.4.makespan",
+            "op_latency.cluster_4.p50",
+            "op_latency.cluster_4.p99",
         ],
         "zero": [
             "owner_local.4.escalation_messages",
@@ -93,6 +95,8 @@ METRICS: dict[str, dict[str, list[str]]] = {
             "cluster.approval_heavy.4.makespan_ratio",
             "cluster.approval_heavy.4.pipelined.makespan",
             "cluster.approval_heavy.4.pipelined.escalation_messages",
+            "op_latency.pipelined_engine.p50",
+            "op_latency.pipelined_engine.p99",
         ],
         "zero": [
             "cluster.owner_only.4.pipelined.escalation_messages",
@@ -151,25 +155,57 @@ def update_baselines(benches: list[str]) -> int:
     return 0
 
 
+#: Sentinel returned by :func:`lookup` for an absent or non-numeric
+#: metric; :func:`compare` turns it into a per-key failure message
+#: instead of an opaque KeyError traceback.
+_MISSING = object()
+
+
 def lookup(data: dict, path: str):
     node = data
     for part in path.split("."):
         if not isinstance(node, dict) or part not in node:
-            raise KeyError(path)
+            return _MISSING
         node = node[part]
     if not isinstance(node, (int, float)) or isinstance(node, bool):
-        raise TypeError(f"{path} is not numeric: {node!r}")
+        return _MISSING
     return node
+
+
+def _resolve(
+    path: str, baseline: dict, run: dict, failures: list[str]
+) -> "tuple[float, float] | None":
+    """Look a metric up on both sides; on a missing/non-numeric key,
+    append one self-explanatory failure per side and return None."""
+    base, got = lookup(baseline, path), lookup(run, path)
+    if base is _MISSING:
+        failures.append(
+            f"{path}: missing from the committed baseline — the METRICS "
+            "list was extended (or the baseline predates it); "
+            "re-baseline this bench and commit the updated JSON"
+        )
+    if got is _MISSING:
+        failures.append(
+            f"{path}: missing from the run output — the benchmark no "
+            "longer emits this metric (or emits it non-numeric); update "
+            "the METRICS list or restore the metric"
+        )
+    if base is _MISSING or got is _MISSING:
+        return None
+    return base, got
 
 
 def compare(
     bench: str, baseline: dict, run: dict, tolerance: float
 ) -> list[str]:
     """Return a list of human-readable regression descriptions."""
-    failures = []
+    failures: list[str] = []
     spec = METRICS[bench]
     for path in spec["band"]:
-        base, got = lookup(baseline, path), lookup(run, path)
+        resolved = _resolve(path, baseline, run, failures)
+        if resolved is None:
+            continue
+        base, got = resolved
         bound = tolerance * max(abs(base), 1e-9)
         if abs(got - base) > bound:
             failures.append(
@@ -177,7 +213,10 @@ def compare(
                 f"(drift {got - base:+g}, allowed ±{bound:g})"
             )
     for path in spec["zero"]:
-        base, got = lookup(baseline, path), lookup(run, path)
+        resolved = _resolve(path, baseline, run, failures)
+        if resolved is None:
+            continue
+        base, got = resolved
         if got != base:
             failures.append(
                 f"{path}: invariant metric changed — baseline {base:g}, "

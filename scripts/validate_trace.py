@@ -1,0 +1,101 @@
+"""CI trace validator: schema plus exact makespan attribution.
+
+The ``obs`` job in the bench matrix runs a traced smoke bench
+(``--trace out.json``) and then this script, which enforces the two
+observability invariants end to end:
+
+* the exported document is valid Chrome trace-event JSON (checked by
+  :func:`repro.obs.validate_chrome_trace` — required keys per event
+  phase, numeric timestamps, non-negative durations), so the artifact
+  actually loads in Perfetto / ``chrome://tracing``;
+* the makespan attribution embedded in ``otherData.attribution``
+  *partitions* the virtual-time makespan: the per-category totals sum
+  to the makespan exactly (within floating-point tolerance).  An
+  instrumentation change that double-charges or drops a wait breaks
+  this sum before it misleads anyone reading the report.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_trace.py out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs import TraceExportError, validate_chrome_trace
+
+#: Relative tolerance for the attribution sum (floating-point
+#: accumulation over the backward walk, not measurement slack).
+TOLERANCE = 1e-6
+
+
+def validate(path: Path) -> list[str]:
+    """Return a list of human-readable violations (empty = valid)."""
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: not readable JSON: {exc}"]
+    try:
+        validate_chrome_trace(document)
+    except TraceExportError as exc:
+        return [f"{path}: invalid Chrome trace-event JSON: {exc}"]
+    failures: list[str] = []
+    attribution = document.get("otherData", {}).get("attribution")
+    if attribution is None:
+        return failures  # a bare trace without an embedded report is fine
+    makespan = attribution["makespan"]
+    attributed = sum(attribution["totals"].values())
+    bound = TOLERANCE * max(abs(makespan), 1.0)
+    if abs(attributed - makespan) > bound:
+        failures.append(
+            f"attribution totals do not partition the makespan: "
+            f"sum {attributed!r} vs makespan {makespan!r} "
+            f"(|difference| {abs(attributed - makespan):g} > {bound:g})"
+        )
+    negative = {
+        category: total
+        for category, total in attribution["totals"].items()
+        if total < 0
+    }
+    if negative:
+        failures.append(f"negative category totals: {negative}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate an exported Chrome trace and its embedded "
+        "makespan attribution"
+    )
+    parser.add_argument(
+        "trace", type=Path, nargs="+", help="trace JSON file(s) to check"
+    )
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.trace:
+        failures = validate(path)
+        if failures:
+            status = 1
+            print(f"trace validation FAILED for {path}:")
+            for failure in failures:
+                print(f"  - {failure}")
+            continue
+        document = json.loads(path.read_text())
+        events = len(document["traceEvents"])
+        attribution = document.get("otherData", {}).get("attribution")
+        detail = (
+            f", attribution sums to makespan "
+            f"{attribution['makespan']:.4f}"
+            if attribution is not None
+            else ""
+        )
+        print(f"trace OK: {path} ({events} events{detail})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,7 @@ from repro.engine.mempool import PendingOp
 from repro.errors import ClusterError
 from repro.net.network import LatencyModel, Network, UniformLatency
 from repro.net.simulation import Simulator
+from repro.obs.trace import TraceRecorder
 from repro.spec.object_type import SequentialObjectType
 from repro.workloads.generators import WorkloadItem
 
@@ -73,6 +74,7 @@ class TokenCluster:
         team_threshold: int = 0,
         pipeline_depth: int = 1,
         dag_scheduling: bool = False,
+        tracer: TraceRecorder | None = None,
     ) -> None:
         if num_nodes < 1:
             raise ClusterError("cluster needs at least one node")
@@ -102,6 +104,10 @@ class TokenCluster:
             if escalator is not None
             else ConsensusEscalator(seed=seed)
         )
+        #: Optional observability hook (:mod:`repro.obs`), threaded to the
+        #: router and every node; ``None`` records nothing and keeps every
+        #: historical stats dict bit-identical.
+        self.tracer = tracer
         self.nodes = [
             ClusterNode(
                 node_id,
@@ -112,6 +118,7 @@ class TokenCluster:
                 lanes=lanes_per_node,
                 op_cost=op_cost,
                 dag_scheduling=dag_scheduling,
+                tracer=tracer,
             )
             for node_id in range(num_nodes)
         ]
@@ -133,6 +140,7 @@ class TokenCluster:
             seed=seed,
             pipeline_depth=pipeline_depth,
             dag_scheduling=dag_scheduling,
+            tracer=tracer,
         )
         self.stats.node_bills = [node.bill for node in self.nodes]
 

@@ -50,6 +50,7 @@ from repro.engine.shard import ShardPlanner
 from repro.errors import ClusterError
 from repro.net.network import Message, Network
 from repro.net.node import Node
+from repro.obs.trace import TraceRecorder
 
 from repro.cluster.stats import NodeBill
 
@@ -70,6 +71,7 @@ class ClusterNode(Node):
         lanes: int = 4,
         op_cost: float = 1.0,
         dag_scheduling: bool = False,
+        tracer: TraceRecorder | None = None,
     ) -> None:
         super().__init__(node_id, network)
         self.router_id = router_id
@@ -102,6 +104,12 @@ class ClusterNode(Node):
         #: order, one at a time — this check turns that safety argument
         #: into an enforced invariant.
         self.frontier_round = -1
+        #: Optional observability hook (:mod:`repro.obs`); ``None``
+        #: records nothing.  ``_blocked_since`` remembers when a complete
+        #: batch/unit first stalled on a missing lease grant, so the wait
+        #: can be attributed as ``lease_wait`` when it finally runs.
+        self.tracer = tracer
+        self._blocked_since: dict = {}
 
     # -- round execution --------------------------------------------------
 
@@ -148,6 +156,8 @@ class ClusterNode(Node):
         # bookkeeping stays off the critical path).
         needed = self._leases_needed.get(round_index, 0)
         if self._leases_granted.get(round_index, 0) < needed:
+            if self.tracer is not None:
+                self._blocked_since.setdefault(round_index, self.now)
             return
         if round_index in self._running:
             return
@@ -185,7 +195,59 @@ class ClusterNode(Node):
             sync_delay = max(sync_delay, sync_ready - self.now, 0.0)
         self.bill.sync_wait_time += sync_delay
         delay = plan.critical_path * self.op_cost + sync_delay
+        if self.tracer is not None:
+            self._trace_batch(round_index, plan, sync_delay, delay)
         self.schedule(delay, lambda: self._finish(round_index, plan, delay))
+
+    def _trace_batch(
+        self, round_index: int, plan, sync_delay: float, delay: float
+    ) -> None:
+        """Record one batch round's lane layout: per-op execute spans on
+        this node's lane tracks, with the batch's sync-lane wait and any
+        lease wait carried (backward-walk order) by the ops that start
+        the layout — exactly how the round's completion is accounted
+        (``delay = critical_path * op_cost + sync_delay``)."""
+        tracer = self.tracer
+        assert tracer is not None
+        now = self.now
+        lease_wait = now - self._blocked_since.pop(round_index, now)
+        exec_start = now + sync_delay
+        finish = now + delay
+        stalls = tuple(
+            (category, amount)
+            for category, amount in (
+                ("sync_wait", sync_delay),
+                ("lease_wait", lease_wait),
+            )
+            if amount > 0
+        )
+        if plan.placements is not None:
+            placed = [
+                (op, start, end, lane)
+                for op, (start, end, lane) in zip(
+                    plan.apply_order, plan.placements
+                )
+            ]
+        else:
+            placed = [
+                (op, j, j + 1, lane_id)
+                for lane_id, lane_ops in enumerate(plan.lanes)
+                for j, op in enumerate(lane_ops)
+            ]
+        for op, start, end, lane in placed:
+            start_vt = exec_start + start * self.op_cost
+            tracer.span(
+                f"node{self.node_id}.lane{lane}",
+                f"op {op.seq}",
+                "execute",
+                start_vt,
+                exec_start + end * self.op_cost,
+                stalls=stalls if start == 0 else (),
+                args={"seq": op.seq, "pid": op.pid, "round": round_index},
+            )
+            tracer.op_stage(op.seq, "schedule", start_vt)
+            tracer.op_stage(op.seq, "execute", start_vt)
+            tracer.op_commit(op.seq, finish)
 
     def _finish(self, round_index: int, plan, busy: float) -> None:
         """Apply the round's plan lane-major and report the responses.
@@ -254,6 +316,8 @@ class ClusterNode(Node):
             return
         needed = self._leases_needed.get(key, 0)
         if self._leases_granted.get(key, 0) < needed:
+            if self.tracer is not None:
+                self._blocked_since.setdefault(key, self.now)
             return
         if key in self._running:
             return
@@ -303,10 +367,58 @@ class ClusterNode(Node):
             max((dag.critical_path for dag in dags), default=0),
             max((dag.width for dag in dags), default=0),
         )
+        if self.tracer is not None:
+            self._trace_unit(key, tasks, placed, ready, finish)
         self.schedule(
             finish - self.now,
             lambda: self._finish_unit(key, order, finish - started),
         )
+
+    def _trace_unit(
+        self,
+        key: tuple,
+        tasks: list[PendingOp],
+        placed: list[tuple],
+        ready: float,
+        finish: float,
+    ) -> None:
+        """Record one dispatch unit's placement on the persistent lane
+        timeline.  The list scheduler's times are already absolute, so
+        spans copy them verbatim; the unit's sync-lane remainder and any
+        lease wait ride (backward-walk order) on the ops floored at
+        ``ready`` — ops floored by lane occupancy instead overlapped
+        those waits, which therefore cost the timeline nothing."""
+        tracer = self.tracer
+        assert tracer is not None
+        now = self.now
+        round_index, unit = key
+        lease_wait = now - self._blocked_since.pop(key, now)
+        stalls = tuple(
+            (category, amount)
+            for category, amount in (
+                ("sync_wait", ready - now),
+                ("lease_wait", lease_wait),
+            )
+            if amount > 0
+        )
+        for op, (start, end, lane) in zip(tasks, placed):
+            tracer.span(
+                f"node{self.node_id}.lane{lane}",
+                f"op {op.seq}",
+                "execute",
+                start,
+                end,
+                stalls=stalls if start == ready else (),
+                args={
+                    "seq": op.seq,
+                    "pid": op.pid,
+                    "round": round_index,
+                    "unit": unit,
+                },
+            )
+            tracer.op_stage(op.seq, "schedule", start)
+            tracer.op_stage(op.seq, "execute", start)
+            tracer.op_commit(op.seq, finish)
 
     def _finish_unit(
         self, key: tuple, order: list[PendingOp], busy: float
@@ -351,6 +463,13 @@ class ClusterNode(Node):
             )
         self.owned_shards.discard(shard)
         self.bill.leases_granted += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"node{self.node_id}",
+                f"lease shard {shard} -> node {body['new_owner']}",
+                self.now,
+                args={"round": body["round"]},
+            )
         grant = {"shard": shard, "round": body["round"]}
         if "unit" in body:
             # Component-granular dispatch: the grant unblocks exactly the
@@ -365,6 +484,13 @@ class ClusterNode(Node):
         key = self._batch_key(body)
         self.owned_shards.add(body["shard"])
         self.bill.leases_acquired += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"node{self.node_id}",
+                f"lease shard {body['shard']} adopted",
+                self.now,
+                args={"round": body["round"]},
+            )
         self._leases_granted[key] = self._leases_granted.get(key, 0) + 1
         self.send(
             self.router_id,

@@ -63,6 +63,7 @@ from repro.errors import ClusterError, MempoolFullError
 from repro.net.network import Message, Network
 from repro.net.node import Node
 from repro.objects.footprint import FootprintSummary, anchor_account
+from repro.obs.trace import TraceRecorder
 from repro.sync.escalation import TieredEscalator
 from repro.sync.planner import SyncAssignment
 from repro.workloads.generators import WorkloadItem
@@ -135,6 +136,9 @@ class _RoutedWindow:
     units_by_node: dict[int, list[_DispatchUnit]] | None = None
     #: shard -> (node, unit index) whose chain triggered the migration.
     lease_units: dict[int, tuple[int, int]] | None = None
+    #: Per contended op: ``(seq, completed)`` with ``completed`` relative
+    #: to the round's sync phase start (tracer lifecycle bookkeeping).
+    sync_ops: tuple[tuple[int, float], ...] = ()
 
 
 @dataclass
@@ -203,6 +207,7 @@ class Router(Node):
         seed: int = 0,
         pipeline_depth: int = 1,
         dag_scheduling: bool = False,
+        tracer: TraceRecorder | None = None,
     ) -> None:
         super().__init__(node_id, network)
         if pipeline_depth < 1:
@@ -266,6 +271,11 @@ class Router(Node):
         self._shard_ack_round: dict[int, int] = {}
         #: Absolute time the shared sync lanes are busy until.
         self._sync_free = 0.0
+        #: Optional observability hook (:mod:`repro.obs`); ``None``
+        #: records nothing and keeps every stats dict bit-identical.
+        self.tracer = tracer
+        if tracer is not None and getattr(self.sync, "pool", None) is not None:
+            self.sync.pool.tracer = tracer
 
     # -- intake -----------------------------------------------------------
 
@@ -273,10 +283,13 @@ class Router(Node):
         """Admit one operation; ``None`` (and a drop counter) when the
         bounded mempool sheds it — the cluster's backpressure edge."""
         try:
-            return self.mempool.submit(pid, operation)
+            pending = self.mempool.submit(pid, operation)
         except MempoolFullError:
             self.stats.dropped_ops += 1
             return None
+        if self.tracer is not None:
+            self.tracer.op_submit(pending.seq, self.now)
+        return pending
 
     def admit(self, items: Iterable[WorkloadItem]) -> list[PendingOp]:
         """Admit a workload; returns the accepted operations only."""
@@ -474,6 +487,7 @@ class Router(Node):
         escalation_messages = 0
         node_delays: dict[int, float] = {}
         sync_round = None
+        sync_ops: tuple[tuple[int, float], ...] = ()
         if escalated_components:
             assignments = []
             for team, component, _, _ in escalated_components:
@@ -493,6 +507,13 @@ class Router(Node):
                 placed_chains[chain_pos]["delay"] = component_order.completed
             t_escalation = sync_round.virtual_time
             escalation_messages = sync_round.messages
+            sync_ops = tuple(
+                (op.seq, order.completed)
+                for (_, component, _, _), order in zip(
+                    escalated_components, sync_round.components
+                )
+                for op in component
+            )
 
         assignment = {
             node: sorted(ops, key=lambda op: op.seq)
@@ -562,6 +583,66 @@ class Router(Node):
             ),
             units_by_node=units_by_node,
             lease_units=lease_units,
+            sync_ops=sync_ops,
+        )
+
+    def _trace_routed(self, routed: _RoutedWindow, sync_start: float) -> None:
+        """Record one routed window: the classification instant and per-op
+        ``classify`` stage, the sync phase's extent (informational — the
+        waits themselves are attributed on the node spans), and the
+        per-op ``sync`` stage at each component's lane commit."""
+        tracer = self.tracer
+        assert tracer is not None
+        tracer.instant(
+            "router",
+            f"round {routed.index} classified",
+            self.now,
+            args={
+                "window": sum(
+                    len(ops) for ops in routed.assignment.values()
+                )
+            },
+        )
+        for ops in routed.assignment.values():
+            for op in ops:
+                tracer.op_stage(op.seq, "classify", self.now)
+        if routed.t_escalation > 0:
+            tracer.span(
+                "router.sync",
+                f"sync r{routed.index}",
+                "sync_wait",
+                sync_start,
+                sync_start + routed.t_escalation,
+                chain=False,
+                args={"messages": routed.escalation_messages},
+            )
+        for seq, completed in routed.sync_ops:
+            tracer.op_stage(seq, "sync", sync_start + completed)
+
+    def _trace_dispatch(
+        self, name: str, stall: float, gate_stall: float
+    ) -> None:
+        """Record a delayed dispatch: a zero-length chained span at the
+        send instant whose stalls tile the wait since classification —
+        the footprint-gate portion as ``frontier_stall`` (latest, it ends
+        at the send), the rest as ``dispatch_stall`` (pipeline-slot or
+        node-FIFO queueing)."""
+        assert self.tracer is not None
+        stalls = tuple(
+            (category, amount)
+            for category, amount in (
+                ("frontier_stall", gate_stall),
+                ("dispatch_stall", stall - gate_stall),
+            )
+            if amount > 0
+        )
+        self.tracer.span(
+            "router",
+            name,
+            "dispatch_stall",
+            self.now,
+            self.now,
+            stalls=stalls,
         )
 
     def start_round(self) -> bool:
@@ -583,6 +664,8 @@ class Router(Node):
         index = self._rounds_started
         self._rounds_started += 1
         routed = self._route_window(window, index)
+        if self.tracer is not None:
+            self._trace_routed(routed, self.now)
         self._round = _RoundState(
             routed=routed,
             started=self.now,
@@ -660,6 +743,8 @@ class Router(Node):
             sync_start = max(self.now, self._sync_free)
             if routed.t_escalation > 0:
                 self._sync_free = sync_start + routed.t_escalation
+            if self.tracer is not None:
+                self._trace_routed(routed, sync_start)
             if self.unit_dispatch:
                 assert routed.units_by_node is not None
                 # Unit granularity: summaries, results, and queue entries
@@ -753,6 +838,10 @@ class Router(Node):
                 if node in round_state.routed.contended_nodes:
                     round_state.dispatch_stall_contended += stall
                     round_state.frontier_stall_contended += gate_stall
+                if self.tracer is not None and stall > 0:
+                    self._trace_dispatch(
+                        f"dispatch r{index} n{node}", stall, gate_stall
+                    )
                 self._send_batch(index, node)
                 progress = True
 
@@ -786,6 +875,12 @@ class Router(Node):
                 if unit.contended:
                     round_state.dispatch_stall_contended += stall
                     round_state.frontier_stall_contended += gate_stall
+                if self.tracer is not None and stall > 0:
+                    self._trace_dispatch(
+                        f"dispatch r{index} n{node} u{uidx}",
+                        stall,
+                        gate_stall,
+                    )
                 self._send_unit(index, node, uidx)
                 progress = True
         return progress

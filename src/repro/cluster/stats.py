@@ -351,3 +351,20 @@ class ClusterStats:
             "load_imbalance": self.load_imbalance,
             "node_bills": [bill.as_dict() for bill in self.node_bills],
         }
+
+    def registry(self):
+        """This summary re-derived as a :class:`repro.obs.MetricsRegistry`
+        — every numeric leaf of :meth:`as_dict` becomes a dotted-name
+        gauge (per-node bills are listed under ``node<i>.<field>``), so
+        renderers and exporters can consume engine and cluster stats
+        through one uniform read interface."""
+        from repro.obs.metrics import MetricsRegistry
+
+        summary = self.as_dict()
+        summary.pop("node_bills")
+        registry = MetricsRegistry.from_summary(summary)
+        for bill in self.node_bills:
+            registry.merge_summary(
+                bill.as_dict(), prefix=f"node{bill.node_id}."
+            )
+        return registry

@@ -49,6 +49,7 @@ from repro.engine.rounds import RoundLifecycle, RoundScheduler
 from repro.engine.shard import ShardPlanner
 from repro.engine.stats import EngineStats, WaveStats
 from repro.errors import EngineError
+from repro.obs.trace import TraceRecorder
 from repro.spec.object_type import SequentialObjectType
 from repro.sync.escalation import TieredEscalator
 from repro.workloads.generators import WorkloadItem
@@ -72,6 +73,7 @@ class BatchExecutor:
         team_threshold: int = 0,
         sync: TieredEscalator | None = None,
         dag_scheduling: bool = False,
+        tracer: TraceRecorder | None = None,
     ) -> None:
         if num_lanes < 1:
             raise EngineError("need at least one lane")
@@ -123,14 +125,28 @@ class BatchExecutor:
         self.stats = EngineStats(
             num_lanes=num_lanes, window=window, op_cost=op_cost
         )
+        #: Optional observability hook (:mod:`repro.obs`).  ``None`` (the
+        #: default) records nothing and changes nothing — the historical
+        #: stats, state, and responses stay bit-identical, the same
+        #: contract ``team_threshold=0`` and ``dag_scheduling=False`` keep.
+        self.tracer = tracer
+        if tracer is not None and getattr(self.sync, "pool", None) is not None:
+            self.sync.pool.tracer = tracer
 
     # -- intake ----------------------------------------------------------
 
     def submit(self, pid: int, operation) -> PendingOp:
-        return self.mempool.submit(pid, operation)
+        pending = self.mempool.submit(pid, operation)
+        if self.tracer is not None:
+            self.tracer.op_submit(pending.seq, self.clock)
+        return pending
 
     def feed(self, items: Iterable[WorkloadItem]) -> list[PendingOp]:
-        return self.mempool.feed(items)
+        pending = self.mempool.feed(items)
+        if self.tracer is not None:
+            for op in pending:
+                self.tracer.op_submit(op.seq, self.clock)
+        return pending
 
     # -- scheduling ------------------------------------------------------
 
@@ -167,6 +183,8 @@ class BatchExecutor:
                 for op in lane:
                     self._apply(op)
         round_stats = self.lifecycle.barrier_stats(round_)
+        if self.tracer is not None:
+            self._trace_barrier_round(round_, round_stats)
         self.clock += round_stats.virtual_time
         self.stats.record_round(round_stats)
         return round_stats
@@ -204,6 +222,101 @@ class BatchExecutor:
         )
 
     # -- internals -------------------------------------------------------
+
+    def _trace_sync_phase(self, round_, sync_start: float) -> None:
+        """Record the round's sync phase: one informational span per
+        contended component on its lane's track, plus the per-op ``sync``
+        lifecycle stage at the component's commit time."""
+        tracer = self.tracer
+        assert tracer is not None
+        escalation = round_.escalation
+        for group, component in zip(
+            round_.contended_groups, escalation.components
+        ):
+            if component.team is None:
+                track = "sync.global"
+            else:
+                members = "-".join(str(p) for p in sorted(component.team))
+                track = f"sync.team {members}"
+            tracer.span(
+                track,
+                f"order r{round_.index}",
+                "sync_wait",
+                sync_start,
+                sync_start + component.completed,
+                chain=False,
+                args={"ops": len(group), "round": round_.index},
+            )
+            for i in group:
+                tracer.op_stage(
+                    round_.ops[i].seq,
+                    "sync",
+                    sync_start + component.completed,
+                )
+
+    def _trace_barrier_round(self, round_, round_stats: WaveStats) -> None:
+        """Record one committed barrier round: sync phase first, then the
+        lane layout, starts composed exactly as the clock accounting does
+        (``virtual_time = critical_path * op_cost + escalation``), so the
+        last span ends at the post-round clock and the attribution walk
+        re-derives the makespan without slack."""
+        tracer = self.tracer
+        assert tracer is not None
+        t0 = self.clock
+        escalation_time = round_.escalation.virtual_time
+        t_end = t0 + round_stats.virtual_time
+        tracer.instant(
+            "engine",
+            f"round {round_.index} classified",
+            t0,
+            args={"window": len(round_.ops)},
+        )
+        for op in round_.ops:
+            tracer.op_stage(op.seq, "classify", t0)
+        if round_.escalation.components:
+            self._trace_sync_phase(round_, t0)
+            tracer.instant(
+                "engine",
+                f"round {round_.index} synced",
+                t0 + escalation_time,
+            )
+        # The whole execution phase waits out the sync phase, so the
+        # first op on every lane carries the wait (the walk crosses it
+        # once, on whichever lane it descends).
+        stalls = (
+            (("sync_wait", escalation_time),) if escalation_time > 0 else ()
+        )
+        exec_start = t0 + escalation_time
+        plan = round_.plan
+        if plan.placements is not None:
+            placed = [
+                (op, start, finish, lane)
+                for op, (start, finish, lane) in zip(
+                    plan.apply_order, plan.placements
+                )
+            ]
+        else:
+            placed = [
+                (op, j, j + 1, lane_id)
+                for lane_id, lane_ops in enumerate(plan.lanes)
+                for j, op in enumerate(lane_ops)
+            ]
+        for op, start, finish, lane in placed:
+            start_vt = exec_start + start * self.op_cost
+            tracer.span(
+                f"lane{lane}",
+                f"op {op.seq}",
+                "execute",
+                start_vt,
+                exec_start + finish * self.op_cost,
+                stalls=stalls if start == 0 else (),
+                args={"seq": op.seq, "pid": op.pid, "round": round_.index},
+            )
+            tracer.op_stage(op.seq, "schedule", start_vt)
+            tracer.op_stage(op.seq, "execute", start_vt)
+        for op in round_.ops:
+            tracer.op_commit(op.seq, t_end)
+        tracer.instant("engine", f"round {round_.index} committed", t_end)
 
     def _apply(self, op: PendingOp) -> None:
         self.state, response = self.object_type.apply(

@@ -278,8 +278,66 @@ class PipelinedExecutor(BatchExecutor):
             dag_chain_ops=sum(dag.size for dag in round_.dags),
             dag_critical_ops=sum(dag.critical_path for dag in round_.dags),
         )
+        if self.tracer is not None:
+            self._trace_pipelined_round(
+                round_, scheduled, t_classify, sync_start
+            )
         self.stats.record_round(round_stats)
         return round_stats
+
+    def _trace_pipelined_round(
+        self,
+        round_,
+        scheduled: list[ScheduledUnit],
+        t_classify: float,
+        sync_start: float,
+    ) -> None:
+        """Record one placed window.  Unit starts compose exactly as
+        ``start = base + sync_stall + frontier_stall`` (the placement
+        invariant), so the stalls ride on each unit's first op in
+        backward-walk order and the attribution report partitions the
+        pipelined makespan without slack."""
+        tracer = self.tracer
+        assert tracer is not None
+        tracer.instant(
+            "engine",
+            f"round {round_.index} classified",
+            t_classify,
+            args={"window": len(round_.ops)},
+        )
+        for op in round_.ops:
+            tracer.op_stage(op.seq, "classify", t_classify)
+        if round_.escalation.components:
+            self._trace_sync_phase(round_, sync_start)
+        for unit in scheduled:
+            stalls = []
+            if unit.frontier_stall > 0:
+                stalls.append(("frontier_stall", unit.frontier_stall))
+            if unit.sync_stall > 0:
+                stalls.append(("sync_wait", unit.sync_stall))
+            for j, op in enumerate(unit.ops):
+                start = unit.start + j * self.op_cost
+                tracer.span(
+                    f"lane{unit.lane}",
+                    f"op {op.seq}",
+                    "execute",
+                    start,
+                    start + self.op_cost,
+                    stalls=tuple(stalls) if j == 0 else (),
+                    args={
+                        "seq": op.seq,
+                        "pid": op.pid,
+                        "round": round_.index,
+                    },
+                )
+                tracer.op_stage(op.seq, "schedule", unit.start)
+                tracer.op_stage(op.seq, "execute", start)
+                tracer.op_commit(op.seq, unit.finish)
+        tracer.instant(
+            "engine",
+            f"round {round_.index} placed",
+            max(unit.finish for unit in scheduled),
+        )
 
     # -- window placement ------------------------------------------------
 

@@ -132,6 +132,10 @@ class ShardPlan:
     #: chain spans lanes) and the scheduled makespan in operation units.
     apply_order: list[PendingOp] | None = None
     dag_makespan: int | None = None
+    #: DAG planning only: the ops in ``apply_order`` paired positionally
+    #: with their ``(start, finish, lane)`` placements — kept so a tracer
+    #: can emit exact per-op spans without re-running the scheduler.
+    placements: list[tuple[float, float, int]] | None = None
     #: DAG planning only: component structure metrics of the planned batch
     #: (the cluster node's bills aggregate these).
     dag_critical_path: int = 0
@@ -338,6 +342,7 @@ class ShardPlanner:
             lanes=lanes,
             hot_accounts=[],
             apply_order=[ops[i] for i in timeline],
+            placements=[placed[i] for i in timeline],
             dag_makespan=max(
                 (int(finish) for _, finish, _ in placed), default=0
             ),

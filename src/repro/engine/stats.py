@@ -269,3 +269,12 @@ class EngineStats:
             "escalation_time": self.escalation_time,
             "escalation_messages": self.escalation_messages,
         }
+
+    def registry(self):
+        """This summary re-derived as a :class:`repro.obs.MetricsRegistry`
+        — every numeric leaf of :meth:`as_dict` becomes a dotted-name
+        gauge, so renderers and exporters can consume engine and cluster
+        stats through one uniform read interface."""
+        from repro.obs.metrics import MetricsRegistry
+
+        return MetricsRegistry.from_summary(self.as_dict())

@@ -151,6 +151,11 @@ class TeamLanePool:
         self.lanes_gcd = 0
         #: High-water mark of teams active in a single round.
         self.max_concurrent = 0
+        #: Optional :class:`repro.obs.trace.TraceRecorder` (attached by a
+        #: traced executor).  Lane spans are recorded on the pool's own
+        #: private clock as informational overlays (``chain=False``) —
+        #: they never enter the engine timeline's attribution walk.
+        self.tracer = None
 
     # ------------------------------------------------------------------
 
@@ -265,6 +270,23 @@ class TeamLanePool:
             # accumulate past operations.
             lane.delivered.clear()
             lane.delivery_times.clear()
+        if self.tracer is not None:
+            for order in orders:
+                if order is None or not order.ordered:
+                    continue
+                members = "-".join(str(p) for p in sorted(order.team))
+                self.tracer.span(
+                    f"teamlanes.k{len(order.team)} [{members}]",
+                    f"batch r{self.rounds}",
+                    "sync_wait",
+                    started,
+                    started + order.completed,
+                    chain=False,
+                    args={
+                        "ops": len(order.ordered),
+                        "messages": order.messages,
+                    },
+                )
         self.rounds += 1
         self.total_messages += round_messages
         self.max_concurrent = max(self.max_concurrent, len(by_lane))

@@ -1,0 +1,59 @@
+"""Observability for the token-engine simulation stack.
+
+Virtual-time span tracing (:class:`TraceRecorder`), a unified metrics
+registry (:class:`MetricsRegistry`), Chrome-trace-event export
+(:func:`chrome_trace` / :func:`write_chrome_trace`), and exact makespan
+attribution (:func:`critical_path_report`).  Attach a recorder via the
+``tracer=`` parameter of :class:`repro.engine.BatchExecutor`,
+:class:`repro.engine.PipelinedExecutor`, or
+:class:`repro.cluster.TokenCluster`; with no tracer every
+instrumentation site is a no-op.
+"""
+
+from repro.obs.export import (
+    TraceExportError,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from repro.obs.report import (
+    AttributionReport,
+    PathSegment,
+    critical_path_report,
+)
+from repro.obs.trace import (
+    CATEGORIES,
+    LIFECYCLE_STAGES,
+    Instant,
+    Span,
+    TraceError,
+    TraceRecorder,
+)
+
+__all__ = [
+    "AttributionReport",
+    "CATEGORIES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "LIFECYCLE_STAGES",
+    "MetricsError",
+    "MetricsRegistry",
+    "PathSegment",
+    "Span",
+    "TraceError",
+    "TraceExportError",
+    "TraceRecorder",
+    "chrome_trace",
+    "critical_path_report",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

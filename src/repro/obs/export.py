@@ -1,0 +1,188 @@
+"""Chrome trace-event JSON export (Perfetto / chrome://tracing loadable).
+
+One process per layer (engine, cluster node, router, sync pool), one
+thread per track (lane, node lane, team lane), so Perfetto renders the
+virtual timeline the way the simulator ran it.  Virtual time units map
+to microseconds (``ts = virtual_time * SCALE``) purely for display — the
+trace stays unitless in substance, like everything else in the repo.
+
+The :func:`validate_chrome_trace` checker is deliberately strict about
+the subset of the trace-event format we emit ("X" complete events, "i"
+instants, "M" metadata); CI validates every exported trace with it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.obs.trace import TraceRecorder
+
+#: Virtual time units -> trace-event microseconds (display scale only).
+SCALE = 1000.0
+
+
+class TraceExportError(ReproError):
+    """An exported document that is not valid Chrome trace-event JSON."""
+
+
+def _track_ids(tracer: TraceRecorder) -> dict[str, tuple[int, int]]:
+    """Assign stable (pid, tid) pairs per track: tracks sharing a dotted
+    prefix ("node1.lane0", "node1.lane1") share a process."""
+    processes: dict[str, int] = {}
+    ids: dict[str, tuple[int, int]] = {}
+    next_tid: dict[int, int] = {}
+    for track in tracer.tracks():
+        process = track.split(".", 1)[0] if "." in track else "engine"
+        pid = processes.setdefault(process, len(processes) + 1)
+        tid = next_tid.get(pid, 1)
+        next_tid[pid] = tid + 1
+        ids[track] = (pid, tid)
+    return ids
+
+
+def chrome_trace(
+    tracer: TraceRecorder, metadata: dict | None = None
+) -> dict:
+    """Render a recorder as a Chrome trace-event document (JSON-ready).
+
+    Spans become "X" complete events; their stalls become separate "X"
+    events immediately preceding them on the same track (so a stall is
+    *visible* in Perfetto, not hidden in args); instants become "i"
+    events; tracks are named through "M" metadata events.  Extra
+    ``metadata`` (e.g. the attribution totals) rides in ``otherData``.
+    """
+    ids = _track_ids(tracer)
+    events: list[dict] = []
+    named_processes: set[int] = set()
+    for track, (pid, tid) in ids.items():
+        process = track.split(".", 1)[0] if "." in track else "engine"
+        if pid not in named_processes:
+            named_processes.add(pid)
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "name": "process_name",
+                    "args": {"name": process},
+                }
+            )
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+    for span in tracer.spans:
+        pid, tid = ids[span.track]
+        # ``stalls`` is latest-first; render earliest-first so the wait
+        # boxes tile [start - total_stall, start).
+        cursor = span.start - sum(amount for _, amount in span.stalls)
+        for stall_category, amount in reversed(span.stalls):
+            if amount > 0:
+                events.append(
+                    {
+                        "ph": "X",
+                        "pid": pid,
+                        "tid": tid,
+                        "name": f"wait:{stall_category}",
+                        "cat": stall_category,
+                        "ts": cursor * SCALE,
+                        "dur": amount * SCALE,
+                        "args": {"for": span.name},
+                    }
+                )
+            cursor += amount
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "name": span.name,
+                "cat": span.category,
+                "ts": span.start * SCALE,
+                "dur": (span.end - span.start) * SCALE,
+                "args": dict(span.args),
+            }
+        )
+    for instant in tracer.instants:
+        pid, tid = ids[instant.track]
+        events.append(
+            {
+                "ph": "i",
+                "pid": pid,
+                "tid": tid,
+                "name": instant.name,
+                "ts": instant.ts * SCALE,
+                "s": "t",
+                "args": dict(instant.args),
+            }
+        )
+    other = {"virtual_time_scale": SCALE, "makespan": tracer.makespan}
+    if metadata:
+        other.update(metadata)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    tracer: TraceRecorder, path: str | Path, metadata: dict | None = None
+) -> dict:
+    """Export, validate, and write a trace; returns the document."""
+    document = chrome_trace(tracer, metadata=metadata)
+    validate_chrome_trace(document)
+    Path(path).write_text(json.dumps(document, indent=1, sort_keys=True))
+    return document
+
+
+def validate_chrome_trace(document: object) -> None:
+    """Assert ``document`` is valid Chrome trace-event JSON (the JSON
+    Object Format with the event subset we emit).  Raises
+    :class:`TraceExportError` with the first offending event."""
+    if not isinstance(document, dict):
+        raise TraceExportError("trace document must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceExportError("trace document needs a traceEvents array")
+    required = {
+        "X": ("pid", "tid", "name", "ts", "dur"),
+        "i": ("pid", "tid", "name", "ts", "s"),
+        "M": ("pid", "name", "args"),
+    }
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise TraceExportError(f"event {index} is not an object")
+        phase = event.get("ph")
+        if phase not in required:
+            raise TraceExportError(
+                f"event {index} has unsupported phase {phase!r}"
+            )
+        for key in required[phase]:
+            if key not in event:
+                raise TraceExportError(
+                    f"{phase!r} event {index} ({event.get('name')!r}) "
+                    f"is missing {key!r}"
+                )
+        if phase == "X":
+            if not isinstance(event["ts"], (int, float)) or not isinstance(
+                event["dur"], (int, float)
+            ):
+                raise TraceExportError(
+                    f"event {index} has non-numeric ts/dur"
+                )
+            if event["dur"] < 0:
+                raise TraceExportError(
+                    f"event {index} has negative duration"
+                )
+        if phase == "i" and event["s"] not in ("g", "p", "t"):
+            raise TraceExportError(
+                f"event {index} has invalid instant scope {event['s']!r}"
+            )

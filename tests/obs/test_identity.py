@@ -1,0 +1,135 @@
+"""Attaching a tracer must not change a single observable output.
+
+Every instrumentation site is guarded by ``if self.tracer is not None``;
+these tests pin that contract by running the same workload with and
+without a recorder and asserting final state, responses, and the full
+stats dict are bit-identical — across the barrier engine, the DAG
+scheduler, team lanes, the pipelined engine, and the cluster in its
+barrier, pipelined, and unit-dispatch modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import TokenCluster
+from repro.engine import BatchExecutor, PipelinedExecutor
+from repro.obs import TraceRecorder
+from repro.objects.erc20 import ERC20TokenType
+from repro.workloads import (
+    APPROVAL_HEAVY_MIX,
+    CHAIN_HEAVY_MIX,
+    TokenWorkloadGenerator,
+)
+
+ACCOUNTS = 48
+OPS = 256
+
+
+def make_items(mix):
+    return TokenWorkloadGenerator(
+        ACCOUNTS, seed=11, mix=mix
+    ).generate(OPS)
+
+
+def make_token():
+    return ERC20TokenType(ACCOUNTS, total_supply=100 * ACCOUNTS)
+
+
+CONFIGS = [
+    (
+        "engine",
+        APPROVAL_HEAVY_MIX,
+        lambda tracer: BatchExecutor(
+            make_token(), num_lanes=4, seed=11, tracer=tracer
+        ),
+    ),
+    (
+        "engine_dag",
+        CHAIN_HEAVY_MIX,
+        lambda tracer: BatchExecutor(
+            make_token(),
+            num_lanes=4,
+            seed=11,
+            dag_scheduling=True,
+            tracer=tracer,
+        ),
+    ),
+    (
+        "engine_teams",
+        APPROVAL_HEAVY_MIX,
+        lambda tracer: BatchExecutor(
+            make_token(),
+            num_lanes=4,
+            seed=11,
+            team_threshold=4,
+            tracer=tracer,
+        ),
+    ),
+    (
+        "pipelined",
+        APPROVAL_HEAVY_MIX,
+        lambda tracer: PipelinedExecutor(
+            make_token(),
+            num_lanes=4,
+            pipeline_depth=3,
+            seed=11,
+            tracer=tracer,
+        ),
+    ),
+    (
+        "cluster_barrier",
+        APPROVAL_HEAVY_MIX,
+        lambda tracer: TokenCluster(
+            make_token(),
+            num_nodes=3,
+            lanes_per_node=4,
+            seed=11,
+            tracer=tracer,
+        ),
+    ),
+    (
+        "cluster_pipelined",
+        APPROVAL_HEAVY_MIX,
+        lambda tracer: TokenCluster(
+            make_token(),
+            num_nodes=3,
+            lanes_per_node=4,
+            seed=11,
+            pipeline_depth=3,
+            tracer=tracer,
+        ),
+    ),
+    (
+        "cluster_units",
+        CHAIN_HEAVY_MIX,
+        lambda tracer: TokenCluster(
+            make_token(),
+            num_nodes=3,
+            lanes_per_node=4,
+            seed=11,
+            pipeline_depth=3,
+            dag_scheduling=True,
+            tracer=tracer,
+        ),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "label,mix,build", CONFIGS, ids=[label for label, _, _ in CONFIGS]
+)
+def test_tracer_leaves_every_output_bit_identical(label, mix, build):
+    items = make_items(mix)
+    bare_state, bare_responses, bare_stats = build(None).run_workload(
+        items
+    )
+    tracer = TraceRecorder()
+    traced_state, traced_responses, traced_stats = build(
+        tracer
+    ).run_workload(items)
+
+    assert tracer.spans, "the traced run recorded nothing"
+    assert traced_state == bare_state
+    assert traced_responses == bare_responses
+    assert traced_stats.as_dict() == bare_stats.as_dict()
