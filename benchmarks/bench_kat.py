@@ -3,6 +3,14 @@
 The race construction for the owners of a k-shared account, swept over k,
 with exhaustive verification for small k — the object the paper positions
 ERC20 tokens against.
+
+This bench (like the other pure known-answer/exhaustive-verification
+benches: algorithm1/2, theorem3, valency, example1, ablation,
+extensions) deliberately stays a pytest-only entry point without the
+``common.bench_main`` CLI: its work is schedule exploration over
+protocol states, which has no virtual-time execution timeline — there
+is nothing for ``--trace`` to record, and its pass/fail claims are
+exact, so there is no JSON for the regression gate to band-check.
 """
 
 from __future__ import annotations

@@ -10,12 +10,27 @@ Three tables:
 * **group-size sweep**: transferFrom cost as a function of ``k`` — the
   coordination the theory prescribes grows with the spender group, not with
   the network.
+
+Standalone (same contract as every gated bench)::
+
+    PYTHONPATH=src python benchmarks/bench_network.py --smoke \
+        [--trace TRACE.json]
+
+``--trace`` records the dynamic network's client-side view: each
+operation becomes a zero-length span at its completion instant whose
+``network`` stall is exactly the submit→apply flight time — concurrent
+in-flight operations overlap freely (this is a client observation, not
+lane occupancy), and the critical-path attribution still partitions the
+makespan because the walk only follows one chain backward.
 """
 
 from __future__ import annotations
 
 import random
+import sys
+from dataclasses import asdict
 
+from common import bench_main
 from repro.dynamic.dynamic_token import (
     DynamicTokenNode,
     assert_converged,
@@ -29,6 +44,8 @@ from repro.spec.operation import Operation
 
 OPS = 60
 SEED = 17
+NODE_COUNTS = (4, 7, 10)
+GROUP_SIZES = (1, 2, 3, 4, 5)
 
 
 def owner_traffic(n: int, ops: int, seed: int):
@@ -59,7 +76,8 @@ def mixed_traffic(n: int, ops: int, seed: int):
     return traffic
 
 
-def run_dynamic(n: int, traffic, seed: int):
+def _build_dynamic(n: int, traffic, seed: int):
+    """Run one dynamic-network workload; returns the quiesced nodes."""
     simulator = Simulator()
     network = Network(simulator, UniformLatency(0.5, 1.5), seed=seed)
     nodes = [DynamicTokenNode(i, network, n, supply=100 * n) for i in range(n)]
@@ -77,7 +95,11 @@ def run_dynamic(n: int, traffic, seed: int):
         )(*args)
     simulator.run()
     assert_converged(nodes)
-    return measure_dynamic(nodes)
+    return nodes
+
+
+def run_dynamic(n: int, traffic, seed: int):
+    return measure_dynamic(_build_dynamic(n, traffic, seed))
 
 
 def run_ledger(n: int, traffic, seed: int, max_batch: int):
@@ -99,106 +121,263 @@ def run_ledger(n: int, traffic, seed: int, max_batch: int):
     return measure_ledger(nodes, submissions)
 
 
-def test_owner_only_scaling(benchmark, write_table):
-    def sweep():
-        rows = []
-        for n in (4, 7, 10):
-            traffic = owner_traffic(n, OPS, SEED)
-            dynamic = run_dynamic(n, traffic, SEED)
-            unbatched = run_ledger(n, traffic, SEED, max_batch=1)
-            batched = run_ledger(n, traffic, SEED, max_batch=64)
-            rows.append((n, dynamic, unbatched, batched))
-        return rows
+# ---------------------------------------------------------------------------
+# the three measured sections (shared by pytest and the standalone path)
+# ---------------------------------------------------------------------------
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+def measure_owner_only(ops: int) -> dict:
+    section = {}
+    for n in NODE_COUNTS:
+        traffic = owner_traffic(n, ops, SEED)
+        section[str(n)] = {
+            "dynamic": asdict(run_dynamic(n, traffic, SEED)),
+            "ledger_unbatched": asdict(
+                run_ledger(n, traffic, SEED, max_batch=1)
+            ),
+            "ledger_batched": asdict(
+                run_ledger(n, traffic, SEED, max_batch=64)
+            ),
+        }
+    return section
+
+
+def measure_mixed(ops: int) -> dict:
+    section = {}
+    for n in NODE_COUNTS:
+        traffic = mixed_traffic(n, ops, SEED)
+        section[str(n)] = {
+            "dynamic": asdict(run_dynamic(n, traffic, SEED)),
+            "ledger_unbatched": asdict(
+                run_ledger(n, traffic, SEED, max_batch=1)
+            ),
+        }
+    return section
+
+
+def measure_group_sweep() -> dict:
+    """transferFrom cost as a function of the spender-group size k, at
+    fixed network size: the extra messages are 2(k-1), independent of n."""
+    n = 10
+    section = {}
+    for k in GROUP_SIZES:
+        simulator = Simulator()
+        network = Network(simulator, UniformLatency(0.5, 1.5), seed=SEED)
+        nodes = [
+            DynamicTokenNode(i, network, n, supply=1000) for i in range(n)
+        ]
+        # k enabled spenders on account 0: owner + (k-1) approved.
+        for spender in range(1, k):
+            nodes[0].submit_approve(spender, 100)
+        simulator.run()
+        if k == 1:
+            # transferFrom needs an allowance; measure the owner's
+            # degenerate self-allowance path.
+            nodes[0].submit_approve(0, 100)
+            simulator.run()
+        before = network.stats.messages_sent
+        actor = 1 if k > 1 else 0
+        record = nodes[actor].submit_transfer_from(0, 2, 5)
+        simulator.run()
+        messages = network.stats.messages_sent - before
+        assert record.response is True
+        section[str(k)] = {
+            "messages": messages,
+            "latency": record.latency,
+        }
+    return section
+
+
+def measure(ops: int) -> dict:
+    return {
+        "params": {"ops": ops, "nodes": list(NODE_COUNTS), "seed": SEED},
+        "owner_only": measure_owner_only(ops),
+        "mixed": measure_mixed(ops),
+        "group_sweep": measure_group_sweep(),
+    }
+
+
+def check_claims(results: dict) -> None:
+    """The paper's qualitative claims, enforced on every run."""
+    for n, entry in results["owner_only"].items():
+        # No global sequencer -> the dynamic network's latency beats
+        # per-op consensus at every network size.
+        dynamic = entry["dynamic"]["mean_latency"]
+        assert dynamic < entry["ledger_unbatched"]["mean_latency"], n
+        assert dynamic < entry["ledger_batched"]["mean_latency"], n
+    for n, entry in results["mixed"].items():
+        assert (
+            entry["dynamic"]["mean_latency"]
+            < entry["ledger_unbatched"]["mean_latency"]
+        ), n
+    sweep = results["group_sweep"]
+    k_lo, k_hi = str(GROUP_SIZES[1]), str(GROUP_SIZES[-1])
+    # Group coordination grows with k ...
+    assert sweep[k_hi]["messages"] > sweep[k_lo]["messages"]
+    # ... but stays a small additive term over the BRB dissemination.
+    assert sweep[k_hi]["messages"] - sweep[k_lo]["messages"] <= 3 * 2 * (
+        GROUP_SIZES[-1] - 2
+    )
+
+
+def render_owner_only(section: dict, ops: int) -> list[str]:
     lines = [
-        f"E8a: owner-only traffic ({OPS} transfers), latency in simulated ms",
+        f"E8a: owner-only traffic ({ops} transfers), latency in simulated ms",
         f"{'n':>3} | {'dyn msg/op':>10} {'dyn mean':>9} {'dyn p99':>8} | "
         f"{'led1 msg/op':>11} {'led1 mean':>10} | "
         f"{'led64 msg/op':>12} {'led64 mean':>10}",
     ]
-    for n, dynamic, unbatched, batched in rows:
+    for n, entry in section.items():
+        dynamic = entry["dynamic"]
+        unbatched = entry["ledger_unbatched"]
+        batched = entry["ledger_batched"]
         lines.append(
-            f"{n:>3} | {dynamic.messages_per_op:>10.1f} "
-            f"{dynamic.mean_latency:>9.2f} {dynamic.p99_latency:>8.2f} | "
-            f"{unbatched.messages_per_op:>11.1f} "
-            f"{unbatched.mean_latency:>10.2f} | "
-            f"{batched.messages_per_op:>12.1f} {batched.mean_latency:>10.2f}"
+            f"{n:>3} | {dynamic['messages_per_op']:>10.1f} "
+            f"{dynamic['mean_latency']:>9.2f} "
+            f"{dynamic['p99_latency']:>8.2f} | "
+            f"{unbatched['messages_per_op']:>11.1f} "
+            f"{unbatched['mean_latency']:>10.2f} | "
+            f"{batched['messages_per_op']:>12.1f} "
+            f"{batched['mean_latency']:>10.2f}"
         )
-        # The paper's qualitative claim: no global sequencer -> the dynamic
-        # network's latency beats per-op consensus by a growing margin.
-        assert dynamic.mean_latency < unbatched.mean_latency
-        assert dynamic.mean_latency < batched.mean_latency
-    write_table("E8a_owner_only", lines)
+    return lines
 
 
-def test_mixed_traffic(benchmark, write_table):
-    def sweep():
-        rows = []
-        for n in (4, 7, 10):
-            traffic = mixed_traffic(n, OPS, SEED)
-            dynamic = run_dynamic(n, traffic, SEED)
-            unbatched = run_ledger(n, traffic, SEED, max_batch=1)
-            rows.append((n, dynamic, unbatched))
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+def render_mixed(section: dict) -> list[str]:
     lines = [
         "E8b: mixed traffic (35% transferFrom through spender groups)",
         f"{'n':>3} | {'dyn msg/op':>10} {'dyn mean':>9} | "
         f"{'ledger msg/op':>13} {'ledger mean':>11}",
     ]
-    for n, dynamic, unbatched in rows:
+    for n, entry in section.items():
+        dynamic = entry["dynamic"]
+        unbatched = entry["ledger_unbatched"]
         lines.append(
-            f"{n:>3} | {dynamic.messages_per_op:>10.1f} "
-            f"{dynamic.mean_latency:>9.2f} | "
-            f"{unbatched.messages_per_op:>13.1f} "
-            f"{unbatched.mean_latency:>11.2f}"
+            f"{n:>3} | {dynamic['messages_per_op']:>10.1f} "
+            f"{dynamic['mean_latency']:>9.2f} | "
+            f"{unbatched['messages_per_op']:>13.1f} "
+            f"{unbatched['mean_latency']:>11.2f}"
         )
-        assert dynamic.mean_latency < unbatched.mean_latency
-    write_table("E8b_mixed", lines)
+    return lines
 
 
-def test_group_size_sweep(benchmark, write_table):
-    """transferFrom cost as a function of the spender-group size k, at fixed
-    network size: the extra messages are 2(k-1), independent of n."""
-
-    def sweep():
-        n = 10
-        rows = []
-        for k in (1, 2, 3, 4, 5):
-            simulator = Simulator()
-            network = Network(simulator, UniformLatency(0.5, 1.5), seed=SEED)
-            nodes = [
-                DynamicTokenNode(i, network, n, supply=1000) for i in range(n)
-            ]
-            # k enabled spenders on account 0: owner + (k-1) approved.
-            for spender in range(1, k):
-                nodes[0].submit_approve(spender, 100)
-            simulator.run()
-            if k == 1:
-                # transferFrom needs an allowance; measure the owner's
-                # degenerate self-allowance path.
-                nodes[0].submit_approve(0, 100)
-                simulator.run()
-            before = network.stats.messages_sent
-            actor = 1 if k > 1 else 0
-            record = nodes[actor].submit_transfer_from(0, 2, 5)
-            simulator.run()
-            messages = network.stats.messages_sent - before
-            assert record.response is True
-            rows.append((k, messages, record.latency))
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+def render_group_sweep(section: dict) -> list[str]:
     lines = [
         "E8c: one transferFrom at n=10, sweeping the spender-group size k",
         f"{'k':>3} {'messages':>9} {'latency':>9}",
     ]
-    for k, messages, latency in rows:
-        lines.append(f"{k:>3} {messages:>9} {latency:>9.2f}")
-    # Group coordination grows with k ...
-    assert rows[-1][1] > rows[1][1]
-    # ... but stays a small additive term over the BRB dissemination.
-    assert rows[-1][1] - rows[1][1] <= 3 * 2 * (5 - 2)
-    write_table("E8c_group_sweep", lines)
+    for k, entry in section.items():
+        lines.append(
+            f"{k:>3} {entry['messages']:>9} {entry['latency']:>9.2f}"
+        )
+    return lines
+
+
+def render_table(results: dict) -> list[str]:
+    ops = results["params"]["ops"]
+    return (
+        render_owner_only(results["owner_only"], ops)
+        + [""]
+        + render_mixed(results["mixed"])
+        + [""]
+        + render_group_sweep(results["group_sweep"])
+    )
+
+
+def traced_run(ops: int, tracer) -> None:
+    """The representative traced configuration (``--trace``): the
+    dynamic network at n=7 on mixed traffic, traced from the client's
+    seat.  Each completed operation becomes a zero-length chained span
+    at its apply instant whose ``network`` stall is the exact
+    submit→apply flight time (``OpRecord.latency``), on a per-node
+    client track — in-flight operations overlap, which is truthful
+    (these are concurrent observations, not lane occupancy), and the
+    per-op lifecycle records the same interval as submit→commit."""
+    n = NODE_COUNTS[1]
+    nodes = _build_dynamic(n, mixed_traffic(n, ops, SEED), SEED)
+    for node in nodes:
+        for record in sorted(
+            node.records.values(), key=lambda r: r.op_id
+        ):
+            if record.latency is None:
+                continue
+            tracer.op_submit(record.op_id, record.submitted_at)
+            tracer.op_commit(record.op_id, record.completed_at)
+            tracer.span(
+                f"client.n{node.node_id}",
+                record.kind,
+                "network",
+                record.completed_at,
+                record.completed_at,
+                stalls=(("network", record.latency),),
+                args={"op": record.op_id, "ok": bool(record.response)},
+            )
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (collected by `pytest benchmarks/`)
+# ---------------------------------------------------------------------------
+
+
+def test_owner_only_scaling(benchmark, write_table):
+    section = benchmark.pedantic(
+        lambda: measure_owner_only(OPS), rounds=1, iterations=1
+    )
+    for entry in section.values():
+        assert (
+            entry["dynamic"]["mean_latency"]
+            < entry["ledger_unbatched"]["mean_latency"]
+        )
+        assert (
+            entry["dynamic"]["mean_latency"]
+            < entry["ledger_batched"]["mean_latency"]
+        )
+    write_table("E8a_owner_only", render_owner_only(section, OPS))
+
+
+def test_mixed_traffic(benchmark, write_table):
+    section = benchmark.pedantic(
+        lambda: measure_mixed(OPS), rounds=1, iterations=1
+    )
+    for entry in section.values():
+        assert (
+            entry["dynamic"]["mean_latency"]
+            < entry["ledger_unbatched"]["mean_latency"]
+        )
+    write_table("E8b_mixed", render_mixed(section))
+
+
+def test_group_size_sweep(benchmark, write_table):
+    section = benchmark.pedantic(
+        measure_group_sweep, rounds=1, iterations=1
+    )
+    k_lo, k_hi = str(GROUP_SIZES[1]), str(GROUP_SIZES[-1])
+    assert section[k_hi]["messages"] > section[k_lo]["messages"]
+    assert section[k_hi]["messages"] - section[k_lo]["messages"] <= (
+        3 * 2 * (GROUP_SIZES[-1] - 2)
+    )
+    write_table("E8c_group_sweep", render_group_sweep(section))
+
+
+# ---------------------------------------------------------------------------
+# standalone smoke entry point (writes BENCH_network.json; not CI-gated —
+# the qualitative claims in check_claims are the contract here)
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    return bench_main(
+        argv,
+        description=__doc__,
+        default_out="BENCH_network.json",
+        smoke_ops=40,
+        measure=measure,
+        check_claims=check_claims,
+        render_table=render_table,
+        traced_run=traced_run,
+        default_ops=OPS,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ from repro.obs import (
     MetricsRegistry,
     TraceRecorder,
     critical_path_report,
+    utilization_report,
     write_chrome_trace,
 )
 
@@ -65,6 +66,16 @@ def build_parser(
         "virtual-time tracer and write a Chrome-trace-event JSON "
         "(open in Perfetto) with the makespan attribution embedded",
     )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="MAX_SPANS",
+        help="with --trace: retain at most MAX_SPANS spans (ring-buffer "
+        "sampling for long runs); the occupancy/utilization totals stay "
+        "exact, the critical-path attribution (which needs every span) "
+        "is replaced by the utilization report",
+    )
     return parser
 
 
@@ -98,30 +109,52 @@ def bench_main(
     args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print("\n".join(render_table(results)))
     print(f"\nwrote {args.out}")
+    if args.trace_sample is not None and args.trace is None:
+        parser.error("--trace-sample requires --trace")
     if args.trace is not None:
         if traced_run is None:
             parser.error("this benchmark has no traced configuration")
-        export_trace(traced_run, ops, args.trace)
+        export_trace(
+            traced_run, ops, args.trace, max_spans=args.trace_sample
+        )
     return 0
 
 
 def export_trace(
-    traced_run: Callable[[int, TraceRecorder], None], ops: int, path: Path
+    traced_run: Callable[[int, TraceRecorder], None],
+    ops: int,
+    path: Path,
+    max_spans: int | None = None,
 ) -> None:
-    """Run ``traced_run`` under a fresh tracer, verify the attribution
-    partitions the makespan exactly, and write the Chrome trace with the
-    report in ``otherData.attribution``."""
-    tracer = TraceRecorder()
+    """Run ``traced_run`` under a fresh tracer and write the Chrome
+    trace.  A full trace embeds the critical-path attribution (verified
+    to partition the makespan exactly) in ``otherData.attribution``; a
+    *sampled* run (ring buffer overflowed) embeds the exact utilization
+    report in ``otherData.utilization`` instead — the walk needs every
+    span, the occupancy totals do not."""
+    tracer = TraceRecorder(max_spans=max_spans)
     traced_run(ops, tracer)
-    report = critical_path_report(tracer)
-    report.check()
-    write_chrome_trace(
-        tracer, path, metadata={"attribution": report.as_dict()}
-    )
     print()
-    print("\n".join(report.render()))
+    if tracer.sampled:
+        report = utilization_report(tracer).check()
+        write_chrome_trace(
+            tracer, path, metadata={"utilization": report.as_dict()}
+        )
+        print("\n".join(report.render()))
+    else:
+        report = critical_path_report(tracer)
+        report.check()
+        write_chrome_trace(
+            tracer, path, metadata={"attribution": report.as_dict()}
+        )
+        print("\n".join(report.render()))
+    retained = (
+        f"{len(tracer.spans)} of {tracer.spans_recorded} spans retained"
+        if tracer.sampled
+        else f"{len(tracer.spans)} spans"
+    )
     print(
-        f"wrote {path} ({len(tracer.spans)} spans, "
+        f"wrote {path} ({retained}, "
         f"{len(tracer.instants)} instants, "
         f"{len(tracer.tracks())} tracks)"
     )

@@ -20,15 +20,23 @@ should be a conscious decision:
     PYTHONPATH=src python scripts/check_bench.py --update-baselines
 
 re-runs every benchmark in smoke mode and rewrites the committed
-baselines under ``benchmarks/baselines/`` (pass bench names to restrict:
-``--update-baselines engine dag``).  Commit the updated JSON together
-with the change that caused it, with a line in the commit message saying
-*why* the numbers moved.
+baselines under ``benchmarks/baselines/`` — both the metric JSON
+(``BENCH_<name>.json``) and the baseline trace (``TRACE_<name>.json``).
+Commit the updated JSON together with the change that caused it, with a
+line in the commit message saying *why* the numbers moved.
+
+**Explaining a failure**: with ``--explain``, a gate failure re-runs the
+bench under the virtual-time tracer and diffs it against the committed
+baseline trace (:mod:`repro.obs.diff`), printing the top category movers
+behind the drift — *that* a metric moved becomes *where the time went*.
+``--explain-out PATH`` writes the same lines for CI to upload as an
+artifact.
 
 Usage::
 
     python scripts/check_bench.py <engine|cluster|sync|pipeline|dag> \
-        --run BENCH_<name>.json [--baseline PATH] [--tolerance 0.25]
+        --run BENCH_<name>.json [--baseline PATH] [--tolerance 0.25] \
+        [--explain [--explain-out PATH]]
     python scripts/check_bench.py --update-baselines [bench ...]
 """
 
@@ -39,6 +47,7 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 #: Headline metrics per bench, as dotted paths into the result JSON.
@@ -112,6 +121,8 @@ METRICS: dict[str, dict[str, list[str]]] = {
             "cluster.chain_heavy.4.ratio",
             "cluster.approval_heavy.4.dag.makespan",
             "cluster.chain_heavy.4.dag.units_dispatched",
+            "op_latency.dag_engine.p50",
+            "op_latency.dag_engine.p99",
         ],
         "zero": [
             "cluster.chain_heavy.4.atomic.units_dispatched",
@@ -122,11 +133,7 @@ METRICS: dict[str, dict[str, list[str]]] = {
 DEFAULT_TOLERANCE = 0.25
 
 
-def update_baselines(benches: list[str]) -> int:
-    """Re-run each benchmark in smoke mode and rewrite its committed
-    baseline JSON — the one-command re-baselining path after a change
-    that legitimately moves the numbers."""
-    root = Path(__file__).resolve().parent.parent
+def _bench_env(root: Path) -> dict[str, str]:
     env = dict(os.environ)
     src = str(root / "src")
     env["PYTHONPATH"] = (
@@ -134,9 +141,22 @@ def update_baselines(benches: list[str]) -> int:
         if env.get("PYTHONPATH")
         else src
     )
+    return env
+
+
+def update_baselines(benches: list[str]) -> int:
+    """Re-run each benchmark in smoke mode and rewrite its committed
+    baseline JSON *and* baseline trace — the one-command re-baselining
+    path after a change that legitimately moves the numbers.  The trace
+    (``TRACE_<bench>.json``) is what ``--explain`` diffs a failing run
+    against, so the two baselines must always be regenerated together."""
+    root = Path(__file__).resolve().parent.parent
+    env = _bench_env(root)
     for bench in benches:
-        baseline = root / "benchmarks" / "baselines" / f"BENCH_{bench}.json"
-        print(f"re-baselining {bench} -> {baseline}")
+        baselines = root / "benchmarks" / "baselines"
+        baseline = baselines / f"BENCH_{bench}.json"
+        trace = baselines / f"TRACE_{bench}.json"
+        print(f"re-baselining {bench} -> {baseline} + {trace}")
         result = subprocess.run(
             [
                 sys.executable,
@@ -144,6 +164,8 @@ def update_baselines(benches: list[str]) -> int:
                 "--smoke",
                 "--out",
                 str(baseline),
+                "--trace",
+                str(trace),
             ],
             env=env,
             cwd=root,
@@ -153,6 +175,74 @@ def update_baselines(benches: list[str]) -> int:
             return result.returncode
     print(f"updated {len(benches)} baseline(s); review and commit them")
     return 0
+
+
+def explain_failure(
+    bench: str, top: int = 3, out: Path | None = None
+) -> list[str]:
+    """Re-run the failing bench traced and diff it against the committed
+    baseline trace: the gate said *that* a metric drifted, the trace diff
+    says *where the virtual time went*.  Returns the explanation lines
+    (also printed); a missing baseline trace degrades to a note rather
+    than masking the original gate failure."""
+    root = Path(__file__).resolve().parent.parent
+    baseline_trace = (
+        root / "benchmarks" / "baselines" / f"TRACE_{bench}.json"
+    )
+    if not baseline_trace.exists():
+        lines = [
+            f"no baseline trace for {bench} ({baseline_trace} missing); "
+            "run --update-baselines to create it"
+        ]
+        print(lines[0])
+        return lines
+    lines = [
+        f"explaining the {bench} regression: re-running traced and "
+        f"diffing against {baseline_trace.name}"
+    ]
+    print(lines[0])
+    with tempfile.TemporaryDirectory() as tmp:
+        run_out = Path(tmp) / f"BENCH_{bench}.json"
+        run_trace = Path(tmp) / f"TRACE_{bench}.json"
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(root / "benchmarks" / f"bench_{bench}.py"),
+                "--smoke",
+                "--out",
+                str(run_out),
+                "--trace",
+                str(run_trace),
+            ],
+            env=_bench_env(root),
+            cwd=root,
+            capture_output=True,
+            text=True,
+        )
+        if result.returncode != 0:
+            lines.append(
+                f"traced re-run FAILED ({result.returncode}); no "
+                f"explanation available"
+            )
+            lines.extend(result.stdout.splitlines()[-5:])
+            print("\n".join(lines[1:]))
+            return lines
+        sys.path.insert(0, str(root / "src"))
+        from repro.obs import explain_regression
+
+        explanation = explain_regression(
+            json.loads(baseline_trace.read_text()),
+            json.loads(run_trace.read_text()),
+            labels=("baseline", "run"),
+        )
+        if explanation.exact:
+            explanation.check()
+        lines.extend(explanation.render(top=top))
+    print("\n".join(lines[1:]))
+    if out is not None:
+        out.write_text("\n".join(lines) + "\n")
+        print(f"wrote {out}")
+    return lines
 
 
 #: Sentinel returned by :func:`lookup` for an absent or non-numeric
@@ -258,6 +348,22 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_TOLERANCE,
         help="relative tolerance band (default %(default)s)",
     )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="on gate failure, re-run the bench traced and diff it "
+        "against the committed baseline trace "
+        "(benchmarks/baselines/TRACE_<name>.json), printing the top "
+        "category movers behind the drift",
+    )
+    parser.add_argument(
+        "--explain-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="with --explain: also write the explanation lines to PATH "
+        "(CI uploads this as the failure artifact)",
+    )
     args = parser.parse_args(argv)
     if not 0 <= args.tolerance < 1:
         parser.error("--tolerance must be in [0, 1)")
@@ -294,6 +400,9 @@ def main(argv: list[str] | None = None) -> int:
         )
         for failure in failures:
             print(f"  - {failure}")
+        if args.explain:
+            print()
+            explain_failure(bench, out=args.explain_out)
         print(
             "\nIf the drift is intentional, re-baseline (see "
             "scripts/check_bench.py docstring) and commit the updated JSON."

@@ -1,0 +1,94 @@
+"""Diff two exported traces and explain where the time moved.
+
+The CLI face of :mod:`repro.obs.diff`: load two Chrome-trace-event
+documents (typically a committed ``benchmarks/baselines/TRACE_*.json``
+and a fresh ``--trace`` run of the same bench), reduce each to its run
+profile, and print the ranked regression explanation — makespan delta
+first, then the categories that moved it, each annotated with the track
+that moved most and the per-op lifecycle stages that slowed.
+
+For two full traces the per-category deltas re-partition the makespan
+delta exactly (checked before printing); if either trace is sampled the
+diff falls back to the exact additive occupancy totals and says so.
+
+Usage::
+
+    python scripts/diff_trace.py BASE_TRACE.json RUN_TRACE.json \
+        [--top 3] [--json OUT.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Self-sufficient import path: CI invokes gate scripts without
+# PYTHONPATH=src, and check_bench.py --explain shells out to the same
+# code path.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import ReproError  # noqa: E402
+from repro.obs import explain_regression  # noqa: E402
+
+
+def diff_files(
+    base_path: Path, run_path: Path, top: int | None
+) -> tuple[list[str], dict]:
+    """Diff two trace files; returns (render lines, as_dict payload)."""
+    base = json.loads(base_path.read_text())
+    run = json.loads(run_path.read_text())
+    explanation = explain_regression(
+        base, run, labels=(base_path.name, run_path.name)
+    )
+    if explanation.exact:
+        explanation.check()
+    return explanation.render(top=top), explanation.as_dict()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two exported traces and rank where the "
+        "virtual time moved"
+    )
+    parser.add_argument(
+        "base", type=Path, help="baseline trace JSON (the reference run)"
+    )
+    parser.add_argument(
+        "run", type=Path, help="trace JSON of the run to explain"
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the N largest category movers (default: all)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="OUT",
+        help="also write the full explanation (categories, per-track "
+        "deltas, lifecycle stages) as JSON",
+    )
+    args = parser.parse_args(argv)
+    if args.top is not None and args.top < 1:
+        parser.error("--top must be >= 1")
+    try:
+        lines, payload = diff_files(args.base, args.run, args.top)
+    except (OSError, json.JSONDecodeError, ReproError) as exc:
+        print(f"trace diff FAILED: {exc}")
+        return 1
+    print("\n".join(lines))
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

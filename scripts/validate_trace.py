@@ -1,7 +1,7 @@
 """CI trace validator: schema plus exact makespan attribution.
 
 The ``obs`` job in the bench matrix runs a traced smoke bench
-(``--trace out.json``) and then this script, which enforces the two
+(``--trace out.json``) and then this script, which enforces the
 observability invariants end to end:
 
 * the exported document is valid Chrome trace-event JSON (checked by
@@ -12,7 +12,17 @@ observability invariants end to end:
   *partitions* the virtual-time makespan: the per-category totals sum
   to the makespan exactly (within floating-point tolerance).  An
   instrumentation change that double-charges or drops a wait breaks
-  this sum before it misleads anyone reading the report.
+  this sum before it misleads anyone reading the report;
+* each span's display-only ``wait:*`` boxes *tile* the interval before
+  it — the rendered stalls are exactly the recorded stalls, back to
+  back, ending at the span's start;
+* **sampled** traces (``otherData.sampled`` true, from a ring-buffer
+  recorder) are accepted with their own rules: the retained span count
+  must actually be below the recorded count (a full trace claiming to
+  be sampled is rejected), the exact ``category_totals`` must be
+  present and must bound the occupancy recomputed from the retained
+  spans, and a critical-path ``attribution`` must be *absent* — the
+  walk needs every span, so a sampled document carrying one is lying.
 
 Usage::
 
@@ -27,10 +37,171 @@ import sys
 from pathlib import Path
 
 from repro.obs import TraceExportError, validate_chrome_trace
+from repro.obs.export import SCALE
 
 #: Relative tolerance for the attribution sum (floating-point
 #: accumulation over the backward walk, not measurement slack).
 TOLERANCE = 1e-6
+
+
+def _spans(document: dict):
+    """The real span events: "X" phase, not a display-only wait box."""
+    for event in document["traceEvents"]:
+        if event["ph"] == "X" and not event["name"].startswith("wait:"):
+            yield event
+
+
+def _occupancy_from_events(document: dict) -> dict[str, float]:
+    """Recompute the additive occupancy totals from the retained span
+    events (chained spans' durations by category plus their recorded
+    stall amounts) — the cross-check against ``category_totals``."""
+    totals: dict[str, float] = {}
+    for event in _spans(document):
+        args = event.get("args", {})
+        if args.get("chain") is False:
+            continue
+        category = event.get("cat", "execute")
+        totals[category] = totals.get(category, 0.0) + (
+            event["dur"] / SCALE
+        )
+        for stall_category, amount in args.get("stalls", []):
+            totals[stall_category] = (
+                totals.get(stall_category, 0.0) + float(amount)
+            )
+    return totals
+
+
+def _check_wait_tiling(document: dict) -> list[str]:
+    """Each span's ``wait:*`` boxes must tile ``[start − Σstalls,
+    start)`` back to back on the span's own track — the rendered waits
+    are the recorded ones, not an approximation."""
+    failures: list[str] = []
+    waits: dict[tuple, list[dict]] = {}
+    for event in document["traceEvents"]:
+        if event["ph"] == "X" and event["name"].startswith("wait:"):
+            waits.setdefault(
+                (event["pid"], event["tid"]), []
+            ).append(event)
+    for event in _spans(document):
+        stalls = event.get("args", {}).get("stalls")
+        if not stalls:
+            continue
+        track_waits = waits.get((event["pid"], event["tid"]), [])
+        cursor = event["ts"] - sum(
+            float(amount) for _, amount in stalls
+        ) * SCALE
+        for stall_category, amount in reversed(stalls):
+            amount = float(amount)
+            if amount <= 0:
+                continue
+            bound = TOLERANCE * max(abs(cursor), 1.0)
+            if not any(
+                wait["name"] == f"wait:{stall_category}"
+                and abs(wait["ts"] - cursor) <= bound
+                and abs(wait["dur"] - amount * SCALE) <= bound
+                for wait in track_waits
+            ):
+                failures.append(
+                    f"span {event['name']!r} records a "
+                    f"{stall_category} stall of {amount:g} vt but no "
+                    f"wait box tiles [{cursor:g}, "
+                    f"{cursor + amount * SCALE:g}) on its track"
+                )
+            cursor += amount * SCALE
+    return failures
+
+
+def _check_sampled(document: dict) -> list[str]:
+    """The sampled-trace schema: honest span accounting, exact embedded
+    occupancy totals, and no critical-path attribution."""
+    failures: list[str] = []
+    other = document.get("otherData", {})
+    retained = other.get("spans_retained")
+    recorded = other.get("spans_recorded")
+    if not isinstance(retained, int) or not isinstance(recorded, int):
+        return [
+            "a sampled trace must carry integer spans_retained / "
+            "spans_recorded counts"
+        ]
+    actual = sum(1 for _ in _spans(document))
+    if actual != retained:
+        failures.append(
+            f"spans_retained says {retained} but the document holds "
+            f"{actual} span events"
+        )
+    if retained >= recorded:
+        failures.append(
+            f"a full trace claiming to be sampled: spans_retained "
+            f"{retained} >= spans_recorded {recorded} (nothing was "
+            f"evicted, so the trace must not be marked sampled)"
+        )
+    totals = other.get("category_totals")
+    if not isinstance(totals, dict):
+        failures.append(
+            "a sampled trace must embed its exact category_totals "
+            "(the occupancy accounting that survives eviction)"
+        )
+        return failures
+    negative = {
+        category: amount
+        for category, amount in totals.items()
+        if amount < 0
+    }
+    if negative:
+        failures.append(f"negative category totals: {negative}")
+    recomputed = _occupancy_from_events(document)
+    for category, amount in recomputed.items():
+        embedded = totals.get(category, 0.0)
+        bound = TOLERANCE * max(abs(embedded), 1.0)
+        if amount > embedded + bound:
+            failures.append(
+                f"retained spans overflow the exact totals for "
+                f"{category}: recomputed {amount!r} > embedded "
+                f"{embedded!r} (the accumulators must bound every "
+                f"retained subset)"
+            )
+    if "attribution" in other:
+        failures.append(
+            "a sampled trace cannot carry a critical-path attribution "
+            "(the walk needs the full span set); embed the utilization "
+            "report instead"
+        )
+    return failures
+
+
+def _check_full(document: dict) -> list[str]:
+    """A full trace with sampling bookkeeping must be internally honest:
+    every recorded span present, embedded totals matching the events."""
+    failures: list[str] = []
+    other = document.get("otherData", {})
+    retained = other.get("spans_retained")
+    recorded = other.get("spans_recorded")
+    if isinstance(retained, int) and isinstance(recorded, int):
+        if retained != recorded:
+            failures.append(
+                f"an unsampled trace must retain every span: "
+                f"spans_retained {retained} != spans_recorded {recorded}"
+            )
+        actual = sum(1 for _ in _spans(document))
+        if actual != retained:
+            failures.append(
+                f"spans_retained says {retained} but the document holds "
+                f"{actual} span events"
+            )
+    totals = other.get("category_totals")
+    if isinstance(totals, dict):
+        recomputed = _occupancy_from_events(document)
+        for category in set(totals) | set(recomputed):
+            embedded = totals.get(category, 0.0)
+            amount = recomputed.get(category, 0.0)
+            bound = TOLERANCE * max(abs(embedded), 1.0)
+            if abs(amount - embedded) > bound:
+                failures.append(
+                    f"embedded category_totals diverge from the span "
+                    f"events for {category}: embedded {embedded!r} vs "
+                    f"recomputed {amount!r}"
+                )
+    return failures
 
 
 def validate(path: Path) -> list[str]:
@@ -44,7 +215,15 @@ def validate(path: Path) -> list[str]:
     except TraceExportError as exc:
         return [f"{path}: invalid Chrome trace-event JSON: {exc}"]
     failures: list[str] = []
-    attribution = document.get("otherData", {}).get("attribution")
+    other = document.get("otherData", {})
+    failures.extend(_check_wait_tiling(document))
+    if "sampled" in other:
+        failures.extend(
+            _check_sampled(document)
+            if other["sampled"]
+            else _check_full(document)
+        )
+    attribution = other.get("attribution")
     if attribution is None:
         return failures  # a bare trace without an embedded report is fine
     makespan = attribution["makespan"]
@@ -86,13 +265,21 @@ def main(argv: list[str] | None = None) -> int:
             continue
         document = json.loads(path.read_text())
         events = len(document["traceEvents"])
-        attribution = document.get("otherData", {}).get("attribution")
-        detail = (
-            f", attribution sums to makespan "
-            f"{attribution['makespan']:.4f}"
-            if attribution is not None
-            else ""
-        )
+        other = document.get("otherData", {})
+        attribution = other.get("attribution")
+        if attribution is not None:
+            detail = (
+                f", attribution sums to makespan "
+                f"{attribution['makespan']:.4f}"
+            )
+        elif other.get("sampled"):
+            detail = (
+                f", sampled ({other.get('spans_retained')} of "
+                f"{other.get('spans_recorded')} spans retained, "
+                f"exact category totals)"
+            )
+        else:
+            detail = ""
         print(f"trace OK: {path} ({events} events{detail})")
     return status
 

@@ -177,6 +177,17 @@ class TeamLanePool:
         self._lanes[key] = lane
         self._last_used[key] = self.rounds
         self._created += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "teamlanes.pool",
+                "lane spin-up",
+                self.simulator.now,
+                args={
+                    "team": "-".join(str(p) for p in sorted(key)),
+                    "k": len(key),
+                    "live": len(self._lanes),
+                },
+            )
         return lane
 
     @property
@@ -204,6 +215,16 @@ class TeamLanePool:
             del self._lanes[key]
             self._last_used.pop(key, None)
             self.lanes_gcd += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "teamlanes.pool",
+                    "lane gc",
+                    self.simulator.now,
+                    args={
+                        "team": "-".join(str(p) for p in sorted(key)),
+                        "live": len(self._lanes),
+                    },
+                )
 
     def order(
         self, batches: Sequence[tuple[Iterable[int], Sequence[Any]]]

@@ -98,6 +98,18 @@ def chrome_trace(
                     }
                 )
             cursor += amount
+        # The wait boxes above are display-only; the span itself carries
+        # its exact stall list (virtual-time units) and its chain flag in
+        # ``args`` so :func:`trace_from_chrome` can rebuild the recorder
+        # losslessly from the file alone.
+        span_args = dict(span.args)
+        if span.stalls:
+            span_args["stalls"] = [
+                [stall_category, amount]
+                for stall_category, amount in span.stalls
+            ]
+        if not span.chain:
+            span_args["chain"] = False
         events.append(
             {
                 "ph": "X",
@@ -107,7 +119,7 @@ def chrome_trace(
                 "cat": span.category,
                 "ts": span.start * SCALE,
                 "dur": (span.end - span.start) * SCALE,
-                "args": dict(span.args),
+                "args": span_args,
             }
         )
     for instant in tracer.instants:
@@ -123,7 +135,24 @@ def chrome_trace(
                 "args": dict(instant.args),
             }
         )
-    other = {"virtual_time_scale": SCALE, "makespan": tracer.makespan}
+    other = {
+        "virtual_time_scale": SCALE,
+        "makespan": tracer.makespan,
+        # Sampling bookkeeping: ``sampled`` is true only when the ring
+        # buffer actually dropped detail; the exact occupancy totals and
+        # the per-stage lifecycle aggregates survive eviction, so they
+        # are embedded for every trace and the validator cross-checks
+        # them against the retained span events.
+        "sampled": tracer.sampled,
+        "spans_recorded": tracer.spans_recorded,
+        "spans_retained": len(tracer.spans),
+        "category_totals": tracer.category_totals(),
+        "track_occupancy": {
+            "busy": tracer.busy_totals(),
+            "stalls": tracer.stall_totals(),
+        },
+        "op_stages": tracer.stage_totals(),
+    }
     if metadata:
         other.update(metadata)
     return {
@@ -186,3 +215,88 @@ def validate_chrome_trace(document: object) -> None:
             raise TraceExportError(
                 f"event {index} has invalid instant scope {event['s']!r}"
             )
+
+
+def trace_from_chrome(document: dict) -> TraceRecorder:
+    """Rebuild a :class:`TraceRecorder` from an exported document.
+
+    Spans come back with their exact stall lists and chain flags (the
+    ``stalls`` / ``chain`` keys :func:`chrome_trace` embeds in each span
+    event's args); the display-only ``wait:*`` boxes are skipped.  For a
+    *sampled* document the sampling bookkeeping is restored too, so the
+    reconstructed recorder keeps refusing the critical-path walk — its
+    exact category totals live in ``otherData.category_totals``, not in
+    the retained spans.  Timestamps round-trip through the display
+    scale, so they match the original to float precision (well inside
+    the attribution walk's tolerance).
+    """
+    validate_chrome_trace(document)
+    tracks: dict[tuple[int, int], str] = {}
+    for event in document["traceEvents"]:
+        if event["ph"] == "M" and event["name"] == "thread_name":
+            tracks[(event["pid"], event["tid"])] = event["args"]["name"]
+    recorder = TraceRecorder()
+    for event in document["traceEvents"]:
+        if event["ph"] not in ("X", "i"):
+            continue
+        key = (event["pid"], event["tid"])
+        if key not in tracks:
+            raise TraceExportError(
+                f"event {event.get('name')!r} addresses unnamed track "
+                f"pid={key[0]} tid={key[1]}"
+            )
+        track = tracks[key]
+        if event["ph"] == "i":
+            recorder.instant(
+                track,
+                event["name"],
+                event["ts"] / SCALE,
+                dict(event.get("args", {})),
+            )
+            continue
+        if event["name"].startswith("wait:"):
+            continue  # display tiling of a span's stalls, not a span
+        args = dict(event.get("args", {}))
+        stalls = tuple(
+            (stall_category, float(amount))
+            for stall_category, amount in args.pop("stalls", [])
+        )
+        chain = bool(args.pop("chain", True))
+        recorder.span(
+            track,
+            event["name"],
+            event.get("cat", "execute"),
+            event["ts"] / SCALE,
+            (event["ts"] + event["dur"]) / SCALE,
+            stalls=stalls,
+            args=args,
+            chain=chain,
+        )
+    other = document.get("otherData", {})
+    if other.get("sampled"):
+        recorded = int(other.get("spans_recorded", recorder.spans_recorded))
+        recorder.max_spans = len(recorder.spans)
+        recorder.spans_recorded = recorded
+        recorder.spans_evicted = max(recorded - len(recorder.spans), 1)
+        # The retained spans under-count the occupancy accumulators;
+        # restore the exact ones the export embedded so utilization and
+        # category totals stay exact on the reconstruction too.
+        occupancy = other.get("track_occupancy")
+        if occupancy:
+            recorder._busy = {
+                str(track): {
+                    str(category): float(amount)
+                    for category, amount in totals.items()
+                }
+                for track, totals in occupancy.get("busy", {}).items()
+            }
+            recorder._stall = {
+                str(track): {
+                    str(category): float(amount)
+                    for category, amount in totals.items()
+                }
+                for track, totals in occupancy.get("stalls", {}).items()
+            }
+        if "makespan" in other:
+            recorder._chain_end = float(other["makespan"])
+    return recorder

@@ -40,8 +40,10 @@ LIFECYCLE_STAGES: tuple[str, ...] = (
 )
 
 #: Attribution categories a span (or its stalls) may carry.  ``network``
-#: is never recorded directly — the report assigns it to timeline gaps
-#: (message flight, routing) between chained spans.
+#: is never recorded directly by the executors — the report assigns it to
+#: timeline gaps (message flight, routing) between chained spans — but
+#: client-side traces (e.g. the dynamic-network bench, where the
+#: observed interval *is* flight time) may record it explicitly.
 CATEGORIES: tuple[str, ...] = (
     "execute",
     "sync_wait",
@@ -98,14 +100,45 @@ class TraceRecorder:
 
     Pass one recorder to at most one executor run; the makespan and the
     attribution report are properties of a single virtual timeline.
+
+    ``max_spans`` turns on **sampling**: the span list becomes a ring
+    buffer of the most recent ``max_spans`` spans, so a long open-loop
+    run can stay traced with bounded memory.  Two things survive
+    eviction exactly: the per-track *occupancy* totals (busy time per
+    span category plus stall time per stall category, accumulated at
+    record time) and the metrics registry — so
+    :func:`repro.obs.utilization.utilization_report` and the category
+    totals stay exact while span *detail* is bounded.  The critical-path
+    walk, which needs the full span set, refuses an evicted recorder.
+    ``max_spans=None`` (the default) retains everything and is
+    bit-identical to the historical recorder.
     """
 
-    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        max_spans: int | None = None,
+    ) -> None:
+        if max_spans is not None and max_spans < 1:
+            raise TraceError(
+                "max_spans must be positive (or None for full retention)"
+            )
         self.spans: list[Span] = []
         self.instants: list[Instant] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.max_spans = max_spans
+        #: Spans ever recorded / evicted by the ring buffer; their
+        #: difference is ``len(self.spans)`` (the retained detail).
+        self.spans_recorded = 0
+        self.spans_evicted = 0
         #: op seq -> {stage: virtual timestamp}
         self._oplife: dict[int, dict[str, float]] = {}
+        #: Exact additive occupancy, maintained at record time so it
+        #: survives ring-buffer eviction: track -> category -> summed
+        #: span durations (chained spans only) / summed stall amounts.
+        self._busy: dict[str, dict[str, float]] = {}
+        self._stall: dict[str, dict[str, float]] = {}
+        self._chain_end = 0.0
 
     # -- recording ------------------------------------------------------
 
@@ -147,6 +180,21 @@ class TraceRecorder:
             chain=chain,
         )
         self.spans.append(span)
+        self.spans_recorded += 1
+        if chain:
+            if end > self._chain_end:
+                self._chain_end = end
+            busy = self._busy.setdefault(track, {})
+            busy[category] = busy.get(category, 0.0) + (end - start)
+            if span.stalls:
+                stall = self._stall.setdefault(track, {})
+                for stall_category, amount in span.stalls:
+                    stall[stall_category] = (
+                        stall.get(stall_category, 0.0) + amount
+                    )
+        if self.max_spans is not None and len(self.spans) > self.max_spans:
+            del self.spans[0]
+            self.spans_evicted += 1
         return span
 
     def instant(
@@ -206,16 +254,72 @@ class TraceRecorder:
             if "commit" not in life
         )
 
+    def stage_totals(self) -> dict[str, dict[str, float]]:
+        """Aggregate per-op lifecycle waterfalls: for every consecutive
+        pair of *recorded* stages (``submit->classify``,
+        ``classify->schedule``, …) the number of ops that traversed it
+        and the total virtual time they spent in it.  This is the
+        stage-level view the trace differ aligns on."""
+        totals: dict[str, dict[str, float]] = {}
+        for life in self._oplife.values():
+            present = [
+                stage for stage in LIFECYCLE_STAGES if stage in life
+            ]
+            for earlier, later in zip(present, present[1:]):
+                entry = totals.setdefault(
+                    f"{earlier}->{later}", {"count": 0, "total": 0.0}
+                )
+                entry["count"] += 1
+                entry["total"] += life[later] - life[earlier]
+        return totals
+
     # -- derived --------------------------------------------------------
+
+    @property
+    def sampled(self) -> bool:
+        """True once the ring buffer has actually dropped span detail.
+        A bounded recorder that never overflowed still holds the full
+        trace, so it is not sampled."""
+        return self.spans_evicted > 0
 
     @property
     def makespan(self) -> float:
         """Last chained-span finish on the run's virtual timeline (the
         informational overlays, e.g. team-lane internals on the pool's
-        private clock, do not count)."""
-        return max(
-            (span.end for span in self.spans if span.chain), default=0.0
-        )
+        private clock, do not count).  Maintained as a running maximum
+        so it stays exact under ring-buffer eviction."""
+        return self._chain_end
+
+    def busy_totals(self) -> dict[str, dict[str, float]]:
+        """Exact per-track busy time by span category (chained spans
+        only), accumulated at record time — exact even when sampled."""
+        return {
+            track: dict(totals) for track, totals in self._busy.items()
+        }
+
+    def stall_totals(self) -> dict[str, dict[str, float]]:
+        """Exact per-track stall time by stall category (chained spans
+        only), accumulated at record time — exact even when sampled."""
+        return {
+            track: dict(totals) for track, totals in self._stall.items()
+        }
+
+    def category_totals(self) -> dict[str, float]:
+        """Exact occupancy totals by category across all tracks: summed
+        span durations plus summed stall amounts.  Unlike the
+        critical-path attribution (which charges one backward walk),
+        these are *additive* — every lane's busy time counts — and they
+        survive ring-buffer eviction exactly."""
+        totals: dict[str, float] = {}
+        for per_track in (self._busy, self._stall):
+            for track_totals in per_track.values():
+                for category, amount in track_totals.items():
+                    totals[category] = totals.get(category, 0.0) + amount
+        return {
+            category: totals[category]
+            for category in CATEGORIES
+            if category in totals
+        }
 
     def tracks(self) -> list[str]:
         """All track names, spans first, in first-appearance order."""

@@ -1,0 +1,116 @@
+"""The ring-buffer (sampling) recorder's contract: span detail is
+bounded, the additive occupancy accounting stays *exact* (identical to
+an unbounded recorder on the same run), the critical-path walk refuses
+an evicted span set instead of silently lying, and a generous bound that
+never evicts stays bit-identical to no bound at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+from test_identity import CONFIGS, make_items
+
+from repro.obs import (
+    TraceError,
+    TraceRecorder,
+    chrome_trace,
+    critical_path_report,
+    trace_from_chrome,
+    utilization_report,
+)
+
+IDS = [label for label, _, _ in CONFIGS]
+MAX_SPANS = 48
+
+
+def record(build, mix, max_spans=None):
+    tracer = TraceRecorder(max_spans=max_spans)
+    build(tracer).run_workload(make_items(mix))
+    return tracer
+
+
+@pytest.mark.parametrize("label,mix,build", CONFIGS, ids=IDS)
+def test_ring_buffer_bounds_spans_but_keeps_exact_totals(
+    label, mix, build
+):
+    full = record(build, mix)
+    sampled = record(build, mix, max_spans=MAX_SPANS)
+
+    assert sampled.sampled
+    assert len(sampled.spans) == MAX_SPANS
+    assert sampled.spans_recorded == full.spans_recorded
+    assert sampled.spans_evicted == full.spans_recorded - MAX_SPANS
+    # The retained window is the *newest* spans, in recording order.
+    assert sampled.spans == full.spans[-MAX_SPANS:]
+
+    # Occupancy accounting survives eviction exactly.
+    assert sampled.makespan == full.makespan
+    assert sampled.busy_totals() == full.busy_totals()
+    assert sampled.stall_totals() == full.stall_totals()
+    for category, amount in full.category_totals().items():
+        assert sampled.category_totals()[category] == pytest.approx(
+            amount, abs=1e-9
+        )
+
+    # ... so the utilization report is identical too (bar the flag).
+    full_report = utilization_report(full).check()
+    sampled_report = utilization_report(sampled).check()
+    assert sampled_report.sampled and not full_report.sampled
+    full_dict = full_report.as_dict()
+    sampled_dict = sampled_report.as_dict()
+    full_dict.pop("sampled")
+    sampled_dict.pop("sampled")
+    assert sampled_dict == full_dict
+
+
+def _engine():
+    return next(
+        (mix, build)
+        for label, mix, build in CONFIGS
+        if label == "engine"
+    )
+
+
+def test_walk_refuses_an_evicted_span_set():
+    mix, build = _engine()
+    sampled = record(build, mix, max_spans=MAX_SPANS)
+    with pytest.raises(TraceError, match="evicted"):
+        critical_path_report(sampled)
+
+
+def test_generous_bound_never_evicts_and_changes_nothing():
+    mix, build = _engine()
+    unbounded = record(build, mix)
+    bounded = record(build, mix, max_spans=10**6)
+    assert not bounded.sampled
+    assert bounded.spans_evicted == 0
+    assert bounded.spans == unbounded.spans
+    assert bounded.instants == unbounded.instants
+    report = critical_path_report(bounded).check()
+    assert report.as_dict() == critical_path_report(
+        unbounded
+    ).check().as_dict()
+
+
+def test_sampled_document_round_trip_preserves_exact_accounting():
+    mix, build = _engine()
+    sampled = record(build, mix, max_spans=MAX_SPANS)
+    document = chrome_trace(sampled)
+    other = document["otherData"]
+    assert other["sampled"] is True
+    assert other["spans_retained"] == MAX_SPANS
+    assert other["spans_recorded"] == sampled.spans_recorded
+
+    restored = trace_from_chrome(document)
+    assert restored.sampled
+    assert restored.makespan == pytest.approx(sampled.makespan)
+    for category, amount in sampled.category_totals().items():
+        assert restored.category_totals()[category] == pytest.approx(
+            amount, abs=1e-9
+        )
+    assert restored.busy_totals().keys() == sampled.busy_totals().keys()
+
+
+def test_max_spans_must_be_positive():
+    with pytest.raises(TraceError):
+        TraceRecorder(max_spans=0)

@@ -1,0 +1,177 @@
+"""CLI-level coverage for the observability scripts: ``diff_trace.py``
+(explain two exported traces), ``validate_trace.py`` (sampled-trace
+schema), and ``check_bench.py --explain`` (gate failure → trace diff),
+all driven exactly the way CI drives them — as subprocesses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    TraceRecorder,
+    chrome_trace,
+    critical_path_report,
+    write_chrome_trace,
+)
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+SCRIPTS = ROOT / "scripts"
+
+
+def run_script(name: str, *args: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, str(SCRIPTS / name), *map(str, args)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+
+
+def make_trace(path: Path, slow: float = 0.0) -> None:
+    """A tiny two-lane run; ``slow`` stretches lane 1's execute time."""
+    tracer = TraceRecorder()
+    tracer.op_submit(1, 0.0)
+    tracer.span("lane.0", "op 1", "execute", 0.0, 4.0)
+    tracer.op_commit(1, 4.0)
+    tracer.op_submit(2, 0.0)
+    tracer.span(
+        "lane.1",
+        "op 2",
+        "execute",
+        2.0,
+        6.0 + slow,
+        stalls=(("sync_wait", 2.0),),
+    )
+    tracer.op_commit(2, 6.0 + slow)
+    report = critical_path_report(tracer).check()
+    write_chrome_trace(
+        tracer, path, metadata={"attribution": report.as_dict()}
+    )
+
+
+def test_diff_trace_self_diff_reports_no_movement(tmp_path):
+    trace = tmp_path / "a.json"
+    make_trace(trace)
+    result = run_script("diff_trace.py", trace, trace)
+    assert result.returncode == 0, result.stderr
+    assert "no attribution movement" in result.stdout
+
+
+def test_diff_trace_ranked_explanation_repartitions_the_delta(tmp_path):
+    base, run, payload = (
+        tmp_path / "base.json",
+        tmp_path / "run.json",
+        tmp_path / "diff.json",
+    )
+    make_trace(base)
+    make_trace(run, slow=3.0)
+    result = run_script(
+        "diff_trace.py", base, run, "--json", payload
+    )
+    assert result.returncode == 0, result.stderr
+    assert "trace diff (base.json -> run.json)" in result.stdout
+    assert "execute" in result.stdout
+    diff = json.loads(payload.read_text())
+    assert diff["exact"] is True
+    assert sum(
+        entry["delta"] for entry in diff["categories"]
+    ) == pytest.approx(diff["makespan_delta"], abs=1e-9)
+    # Ranked: the stretched execute time is the top mover.
+    assert diff["categories"][0]["category"] == "execute"
+    assert diff["categories"][0]["delta"] == pytest.approx(3.0)
+
+
+def test_diff_trace_fails_cleanly_on_garbage(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    good = tmp_path / "good.json"
+    make_trace(good)
+    result = run_script("diff_trace.py", good, bad)
+    assert result.returncode == 1
+    assert "trace diff FAILED" in result.stdout
+
+
+def sampled_document():
+    tracer = TraceRecorder(max_spans=4)
+    for i in range(10):
+        tracer.op_submit(i, float(i))
+        tracer.span("lane.0", f"op {i}", "execute", float(i), i + 1.0)
+        tracer.op_commit(i, i + 1.0)
+    assert tracer.sampled
+    return chrome_trace(tracer)
+
+
+def test_validate_trace_accepts_a_sampled_trace(tmp_path):
+    trace = tmp_path / "sampled.json"
+    trace.write_text(json.dumps(sampled_document()))
+    result = run_script("validate_trace.py", trace)
+    assert result.returncode == 0, result.stdout
+    assert "sampled (4 of 10 spans retained" in result.stdout
+
+
+def test_validate_trace_rejects_a_full_trace_claiming_sampling(tmp_path):
+    trace = tmp_path / "liar.json"
+    make_trace(trace)
+    document = json.loads(trace.read_text())
+    document["otherData"]["sampled"] = True
+    document["otherData"]["spans_retained"] = 2
+    document["otherData"]["spans_recorded"] = 2
+    document["otherData"].pop("attribution")
+    trace.write_text(json.dumps(document))
+    result = run_script("validate_trace.py", trace)
+    assert result.returncode == 1
+    assert "a full trace claiming to be sampled" in result.stdout
+
+
+def test_validate_trace_rejects_attribution_on_a_sampled_trace(tmp_path):
+    document = sampled_document()
+    document["otherData"]["attribution"] = {
+        "makespan": 10.0,
+        "totals": {"execute": 10.0},
+    }
+    trace = tmp_path / "sampled.json"
+    trace.write_text(json.dumps(document))
+    result = run_script("validate_trace.py", trace)
+    assert result.returncode == 1
+    assert "cannot carry a critical-path attribution" in result.stdout
+
+
+def test_check_bench_explain_produces_an_explanation(tmp_path):
+    """Tamper one headline metric in a copied baseline: the gate must
+    fail, and --explain must re-run the bench traced, diff it against
+    the committed baseline trace, and write the explanation artifact."""
+    baselines = ROOT / "benchmarks" / "baselines"
+    baseline = json.loads((baselines / "BENCH_pipeline.json").read_text())
+    baseline["engine"]["approval_heavy"]["barrier"]["virtual_time"] *= 2
+    tampered = tmp_path / "BENCH_pipeline.json"
+    tampered.write_text(json.dumps(baseline))
+    out = tmp_path / "explanation_pipeline.txt"
+    result = run_script(
+        "check_bench.py",
+        "pipeline",
+        "--run",
+        baselines / "BENCH_pipeline.json",
+        "--baseline",
+        tampered,
+        "--explain",
+        "--explain-out",
+        out,
+    )
+    assert result.returncode == 1
+    assert "bench-regression gate FAILED for pipeline" in result.stdout
+    assert "trace diff (baseline -> run)" in result.stdout
+    lines = out.read_text().splitlines()
+    assert len(lines) >= 2
+    assert any("trace diff" in line for line in lines)

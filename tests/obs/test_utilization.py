@@ -1,0 +1,131 @@
+"""Per-track occupancy: busy + stall + idle fractions sum to 1 on every
+chained track of every traced configuration, queue-only tracks (the
+router's dispatch gate) are reported as overlap-tolerant aggregates, and
+the team-lane pool's spin-up/GC churn is attributed from its instants.
+"""
+
+from __future__ import annotations
+
+import pytest
+from test_identity import CONFIGS, make_items
+
+from repro.net.team_lanes import TeamLanePool
+from repro.obs import (
+    QueueWait,
+    TraceError,
+    TraceRecorder,
+    lane_churn,
+    utilization_report,
+)
+from repro.obs.utilization import POOL_TRACK, TrackUtilization
+
+IDS = [label for label, _, _ in CONFIGS]
+
+
+def record(build, mix, max_spans=None):
+    tracer = TraceRecorder(max_spans=max_spans)
+    build(tracer).run_workload(make_items(mix))
+    return tracer
+
+
+@pytest.mark.parametrize("label,mix,build", CONFIGS, ids=IDS)
+def test_fractions_sum_to_one_on_every_track(label, mix, build):
+    report = utilization_report(record(build, mix)).check()
+    assert report.makespan > 0
+    assert report.tracks, "no chained track carried any occupancy"
+    for track in report.tracks:
+        fractions = track.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0, abs=1e-9)
+        assert fractions["busy"] >= 0
+        assert fractions["stall"] >= 0
+        assert fractions["idle"] >= -1e-9
+    # Something actually executed.
+    assert any(t.busy_time > 0 for t in report.tracks)
+
+
+@pytest.mark.parametrize(
+    "label", ["cluster_pipelined", "cluster_units"]
+)
+def test_router_dispatch_gate_is_a_queue_not_a_timeline(label):
+    mix, build = next(
+        (mix, build) for lbl, mix, build in CONFIGS if lbl == label
+    )
+    report = utilization_report(record(build, mix)).check()
+    queues = {queue.track: queue for queue in report.queues}
+    assert queues, "the cluster router recorded no dispatch-gate waits"
+    for queue in queues.values():
+        assert isinstance(queue, QueueWait)
+        assert queue.total > 0
+        # The waits belong to concurrently queued units: their sum may
+        # exceed the makespan, which is exactly why they are not
+        # busy/stall/idle fractions.
+    # No fractions track duplicates a queue track.
+    assert not set(queues) & {t.track for t in report.tracks}
+    # The queue aggregate renders with its overlap disclaimer.
+    assert any("overlaps allowed" in line for line in report.render())
+
+
+def test_zero_extent_track_has_zero_fractions():
+    track = TrackUtilization(
+        track="t", extent=0.0, busy={}, stalls={}
+    )
+    assert track.fractions() == {"busy": 0.0, "stall": 0.0, "idle": 0.0}
+
+
+def test_over_committed_track_is_rejected():
+    tracer = TraceRecorder()
+    tracer.span("lane.0", "op", "execute", 0.0, 2.0)
+    # Forge accumulator drift: more busy time than the span list holds.
+    tracer._busy["lane.0"]["execute"] += 5.0
+    with pytest.raises(TraceError):
+        utilization_report(tracer)
+
+
+def test_engine_team_lanes_report_spinup_churn():
+    mix, build = next(
+        (mix, build)
+        for label, mix, build in CONFIGS
+        if label == "engine_teams"
+    )
+    tracer = record(build, mix)
+    report = utilization_report(tracer).check()
+    churn = report.lanes
+    assert churn is not None
+    assert churn.spinups > 0
+    assert churn.peak_live >= 1
+    assert len(churn.teams) >= 1
+    # No idle_ttl on the engine path -> lanes live forever, zero GC.
+    assert churn.collections == 0
+    assert any("team lanes:" in line for line in report.render())
+
+
+def test_pool_gc_churn_is_attributed():
+    """Drive a pool with idle_ttl=1 directly: the second round's
+    disjoint team forces the first lane idle, so it is collected — and
+    both lifecycle edges land on the pool track as instants."""
+    tracer = TraceRecorder()
+    pool = TeamLanePool(idle_ttl=1, seed=3)
+    pool.tracer = tracer
+    pool.order([((0, 1), ["a", "b"])])
+    pool.order([((2, 3), ["c"])])
+    pool.order([((4, 5), ["d"])])
+    assert pool.lanes_gcd > 0
+    churn = lane_churn(tracer)
+    assert churn is not None
+    assert churn.spinups == 3
+    assert churn.collections == pool.lanes_gcd
+    assert churn.peak_live <= 2
+    assert len(churn.teams) == 3
+    names = {
+        instant.name
+        for instant in tracer.instants
+        if instant.track == POOL_TRACK
+    }
+    assert names == {"lane spin-up", "lane gc"}
+
+
+def test_lane_churn_is_none_without_a_pool():
+    tracer = TraceRecorder()
+    tracer.span("lane.0", "op", "execute", 0.0, 1.0)
+    assert lane_churn(tracer) is None
+    assert utilization_report(tracer).lanes is None
