@@ -29,6 +29,7 @@ import sys
 
 from common import bench_main, render_backpressure, render_stats_table
 from repro.engine import BatchExecutor
+from repro.obs import TraceRecorder
 from repro.objects.erc20 import ERC20TokenType
 from repro.workloads import (
     APPROVAL_HEAVY_MIX,
@@ -146,6 +147,15 @@ def measure(ops: int) -> dict:
                 "hot_account_waves": stats.hot_account_waves,
                 "escalated_ops": stats.escalated_ops,
             }
+    # Per-op commit latency (submit -> commit on the traced virtual
+    # timeline), from a dedicated traced run of the sharded engine on
+    # the default mix — the runs above stay untraced, so their stats
+    # dicts are bit-identical with or without the observability layer.
+    tracer = TraceRecorder()
+    traced_run(ops, tracer)
+    results["op_latency"] = {
+        "sharded_engine": tracer.metrics.histogram("op_latency").summary()
+    }
     return results
 
 
@@ -195,6 +205,13 @@ def render_table(results: dict) -> list[str]:
             f"speedup {r['speedup']:>5.2f} "
             f"hot-waves {r['hot_account_waves']:>4}"
         )
+    latency = results["op_latency"]["sharded_engine"]
+    lines.append("")
+    lines.append(
+        f"op commit latency (sharded engine, default mix): "
+        f"p50 {latency['p50']:.2f}  p99 {latency['p99']:.2f}  "
+        f"mean {latency['mean']:.2f}  over {latency['count']} ops"
+    )
     rejected = sum(
         r["sharded"].get("rejected_ops", 0)
         for r in results["mixes"].values()

@@ -35,6 +35,7 @@ import sys
 from common import bench_main, render_stats_table
 from repro.cluster import TokenCluster
 from repro.engine import BatchExecutor, ConsensusEscalator
+from repro.obs import TraceRecorder
 from repro.objects.asset_transfer import AssetTransferType
 from repro.objects.erc20 import ERC20TokenType
 from repro.workloads import (
@@ -233,6 +234,15 @@ def measure(ops: int) -> dict:
             "virtual_time": stats["virtual_time"],
             "mean_team_size": stats["mean_team_size"],
         }
+    # Per-op commit latency (submit -> commit on the traced virtual
+    # timeline), from a dedicated traced run of the tiered engine — the
+    # runs above stay untraced, so their stats dicts are bit-identical
+    # with or without the observability layer.
+    tracer = TraceRecorder()
+    traced_run(ops, tracer)
+    results["op_latency"] = {
+        "tiered_engine": tracer.metrics.histogram("op_latency").summary()
+    }
     return results
 
 
@@ -346,6 +356,14 @@ def render_table(results: dict) -> list[str]:
             for contract, stats in sorted(entry["contracts"].items())
         )
         lines.append(f"  {name:>7}: total {entry['messages']:>7} | {per}")
+    latency = results["op_latency"]["tiered_engine"]
+    lines.append("")
+    lines.append(
+        f"op commit latency (tiered engine, threshold "
+        f"{params['team_threshold']}): "
+        f"p50 {latency['p50']:.2f}  p99 {latency['p99']:.2f}  "
+        f"mean {latency['mean']:.2f}  over {latency['count']} ops"
+    )
     bp = results["backpressure"]
     lines.append("")
     lines.append(

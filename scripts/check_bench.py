@@ -34,7 +34,8 @@ artifact.
 
 Usage::
 
-    python scripts/check_bench.py <engine|cluster|sync|pipeline|dag> \
+    python scripts/check_bench.py \
+        <engine|cluster|sync|pipeline|dag|stream> \
         --run BENCH_<name>.json [--baseline PATH] [--tolerance 0.25] \
         [--explain [--explain-out PATH]]
     python scripts/check_bench.py --update-baselines [bench ...]
@@ -62,9 +63,30 @@ METRICS: dict[str, dict[str, list[str]]] = {
             "mixes.spender_heavy.sharded.escalation_rate",
             "mixes.spender_heavy.sharded.escalation_messages",
             "mixes.approval_heavy.sharded.escalation_messages",
+            "op_latency.sharded_engine.p50",
+            "op_latency.sharded_engine.p99",
         ],
         "zero": [
             "mixes.owner_only.sharded.escalation_messages",
+        ],
+    },
+    "stream": {
+        "band": [
+            "layers.engine.capacity",
+            "layers.engine.levels.hi.throughput",
+            "layers.engine.levels.hi.latency.p99",
+            "layers.pipelined.capacity",
+            "layers.pipelined.levels.hi.throughput",
+            "layers.pipelined.levels.hi.latency.p99",
+            "layers.cluster.capacity",
+            "layers.cluster.levels.hi.throughput",
+            "layers.cluster.levels.lo.latency.p99",
+            "layers.cluster.levels.hi.slo.breach_windows",
+        ],
+        "zero": [
+            "layers.engine.levels.lo.stream.dropped",
+            "layers.pipelined.levels.lo.stream.dropped",
+            "layers.cluster.levels.lo.stream.dropped",
         ],
     },
     "cluster": {
@@ -93,6 +115,8 @@ METRICS: dict[str, dict[str, list[str]]] = {
             "cluster.global.makespan",
             "cluster.tiered.makespan",
             "multi_contract.tiered.messages",
+            "op_latency.tiered_engine.p50",
+            "op_latency.tiered_engine.p99",
         ],
         "zero": [],
     },

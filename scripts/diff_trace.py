@@ -73,9 +73,20 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the full explanation (categories, per-track "
         "deltas, lifecycle stages) as JSON",
     )
+    parser.add_argument(
+        "--fail-on-pct",
+        type=float,
+        default=None,
+        metavar="N",
+        help="exit 1 when any category's delta exceeds N%% of the "
+        "baseline makespan (a budget on where the time is allowed to "
+        "move, stricter than the gate's aggregate makespan band)",
+    )
     args = parser.parse_args(argv)
     if args.top is not None and args.top < 1:
         parser.error("--top must be >= 1")
+    if args.fail_on_pct is not None and args.fail_on_pct <= 0:
+        parser.error("--fail-on-pct must be > 0")
     try:
         lines, payload = diff_files(args.base, args.run, args.top)
     except (OSError, json.JSONDecodeError, ReproError) as exc:
@@ -87,6 +98,36 @@ def main(argv: list[str] | None = None) -> int:
             json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
         print(f"wrote {args.json}")
+    if args.fail_on_pct is not None:
+        # The budget is relative to the baseline makespan (clamped to
+        # 1 vt so a degenerate baseline cannot make it vacuous).
+        budget = (
+            args.fail_on_pct
+            / 100.0
+            * max(payload["base"]["makespan"], 1.0)
+        )
+        over = [
+            delta
+            for delta in payload["categories"]
+            if abs(delta["delta"]) > budget
+        ]
+        if over:
+            print(
+                f"\ntrace diff FAILED --fail-on-pct {args.fail_on_pct:g}: "
+                f"category deltas over {budget:.2f} vt "
+                f"({args.fail_on_pct:g}% of the baseline makespan):"
+            )
+            for delta in over:
+                print(
+                    f"  - {delta['category']}: {delta['base']:.2f} -> "
+                    f"{delta['run']:.2f} vt ({delta['delta']:+.2f})"
+                )
+            return 1
+        print(
+            f"\ntrace diff within budget: no category moved more than "
+            f"{budget:.2f} vt ({args.fail_on_pct:g}% of the baseline "
+            f"makespan)"
+        )
     return 0
 
 

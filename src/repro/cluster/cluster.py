@@ -146,13 +146,47 @@ class TokenCluster:
 
     # -- intake -----------------------------------------------------------
 
-    def submit(self, pid: int, operation) -> PendingOp | None:
-        """Admit one operation at the router (may shed under backpressure)."""
-        return self.router.submit(pid, operation)
+    def submit(
+        self, pid: int, operation, arrival: float | None = None
+    ) -> PendingOp | None:
+        """Admit one operation at the router (may shed under
+        backpressure).  ``arrival`` back-dates the traced ``submit``
+        stage to the op's open-loop arrival time; the default stamps the
+        simulator's current time, the historical behavior bit for bit."""
+        return self.router.submit(pid, operation, arrival=arrival)
 
     def feed(self, items: Iterable[WorkloadItem]) -> list[PendingOp]:
         """Admit a workload; returns the accepted operations."""
         return self.router.admit(items)
+
+    # -- open-loop harness ------------------------------------------------
+
+    def stream_now(self) -> float:
+        """The cluster's current virtual time (the simulator clock) —
+        the open-loop driver releases arrivals due by this instant."""
+        return self.simulator.now
+
+    def stream_advance(self, ts: float) -> None:
+        """Advance the simulator's clock to ``ts`` (never backward):
+        the driver models the quiet gap until the next arrival.
+        Refused past a pending event — jumping the clock over scheduled
+        work would deliver messages late."""
+        horizon = self.simulator.next_event_time
+        if horizon is not None and horizon < ts:
+            raise ClusterError(
+                f"cannot advance the clock to {ts} over an event "
+                f"scheduled at {horizon}"
+            )
+        self.simulator.now = max(self.simulator.now, ts)
+
+    def stream_finish(self) -> ClusterStats:
+        """Close out a driven run: assert quiescence and fold the
+        network/simulator tallies into the stats, exactly as
+        :meth:`run` does when the mempool drains."""
+        if not self.router.idle:
+            raise ClusterError("stream finished with rounds in flight")
+        self._sync_stats()
+        return self.stats
 
     # -- execution --------------------------------------------------------
 

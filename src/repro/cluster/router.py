@@ -279,16 +279,24 @@ class Router(Node):
 
     # -- intake -----------------------------------------------------------
 
-    def submit(self, pid: int, operation) -> PendingOp | None:
+    def submit(
+        self, pid: int, operation, arrival: float | None = None
+    ) -> PendingOp | None:
         """Admit one operation; ``None`` (and a drop counter) when the
-        bounded mempool sheds it — the cluster's backpressure edge."""
+        bounded mempool sheds it — the cluster's backpressure edge.
+        ``arrival`` back-dates the traced ``submit`` stage to the op's
+        open-loop arrival time (at or before the network's ``now``), so
+        traced latency reads commit − arrival; ``None`` stamps the
+        current simulator time — the historical behavior, bit for bit."""
         try:
             pending = self.mempool.submit(pid, operation)
         except MempoolFullError:
             self.stats.dropped_ops += 1
             return None
         if self.tracer is not None:
-            self.tracer.op_submit(pending.seq, self.now)
+            self.tracer.op_submit(
+                pending.seq, self.now if arrival is None else arrival
+            )
         return pending
 
     def admit(self, items: Iterable[WorkloadItem]) -> list[PendingOp]:

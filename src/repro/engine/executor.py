@@ -135,10 +135,20 @@ class BatchExecutor:
 
     # -- intake ----------------------------------------------------------
 
-    def submit(self, pid: int, operation) -> PendingOp:
+    def submit(
+        self, pid: int, operation, arrival: float | None = None
+    ) -> PendingOp:
+        """Admit one operation.  ``arrival`` back-dates the traced
+        ``submit`` lifecycle stage to the op's open-loop arrival time
+        (it must not exceed the current admission time,
+        :meth:`stream_now`), so traced latency reads commit − arrival;
+        the default ``None`` stamps the current clock — the historical
+        closed-loop behavior, bit for bit."""
         pending = self.mempool.submit(pid, operation)
         if self.tracer is not None:
-            self.tracer.op_submit(pending.seq, self.clock)
+            self.tracer.op_submit(
+                pending.seq, self.clock if arrival is None else arrival
+            )
         return pending
 
     def feed(self, items: Iterable[WorkloadItem]) -> list[PendingOp]:
@@ -147,6 +157,21 @@ class BatchExecutor:
             for op in pending:
                 self.tracer.op_submit(op.seq, self.clock)
         return pending
+
+    # -- open-loop harness -----------------------------------------------
+
+    def stream_now(self) -> float:
+        """The virtual time the next admitted operation is classified
+        at — the open-loop driver (:class:`repro.workloads.arrivals.
+        StreamDriver`) releases arrivals due by this instant."""
+        return self.clock
+
+    def stream_advance(self, ts: float) -> None:
+        """Advance an *idle* engine's clock to ``ts`` (never backward):
+        the driver models the quiet gap until the next arrival.  The
+        subsequent round then starts at ``ts``, exactly as if the engine
+        had been created then."""
+        self.clock = max(self.clock, ts)
 
     # -- scheduling ------------------------------------------------------
 

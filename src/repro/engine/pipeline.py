@@ -144,6 +144,29 @@ class PipelinedExecutor(BatchExecutor):
             object_type.initial_state() if self._track_state else None
         )
 
+    # -- open-loop harness -----------------------------------------------
+
+    def stream_now(self) -> float:
+        """The next window's classification instant: the monotonic
+        classification clock, held back by the depth gate exactly as
+        :meth:`step` will compute it.  Arrivals due by this time can
+        still make the next window."""
+        if self.pipeline_depth == 1:
+            return super().stream_now()
+        gate = 0.0
+        index = self.stats.waves
+        if index >= self.pipeline_depth:
+            gate = self._completions[index - self.pipeline_depth]
+        return max(self._classify_clock, gate)
+
+    def stream_advance(self, ts: float) -> None:
+        """Advance an idle pipeline's classification clock to ``ts``
+        (never backward) — the quiet gap until the next arrival."""
+        if self.pipeline_depth == 1:
+            super().stream_advance(ts)
+        else:
+            self._classify_clock = max(self._classify_clock, ts)
+
     # -- scheduling ------------------------------------------------------
 
     def step(self) -> WaveStats | None:

@@ -69,3 +69,8 @@ class MempoolFullError(EngineError):
 class ClusterError(ReproError):
     """The distributed token-processing cluster was configured or driven
     inconsistently (shard-ownership, lease protocol, or round wiring)."""
+
+
+class StreamError(ReproError):
+    """An open-loop arrival stream was configured or driven
+    inconsistently (unsorted arrivals, missing tracer, stalled drain)."""

@@ -113,6 +113,17 @@ class Simulator:
         return len(self._queue) - self._cancelled
 
     @property
+    def next_event_time(self) -> float | None:
+        """Virtual time of the earliest live event, ``None`` when the
+        queue holds nothing runnable — what an external driver may
+        advance :attr:`now` up to without skipping scheduled work."""
+        live = min(
+            (event for event in self._queue if not event.cancelled),
+            default=None,
+        )
+        return live.time if live is not None else None
+
+    @property
     def queued_entries(self) -> int:
         """Heap entries including tombstones (for leak diagnostics)."""
         return len(self._queue)

@@ -6,8 +6,10 @@ ring-buffer sampling mode for long runs), a unified metrics registry
 (:func:`chrome_trace` / :func:`write_chrome_trace`, with lossless
 reconstruction via :func:`trace_from_chrome`), exact makespan
 attribution (:func:`critical_path_report`), per-track occupancy and
-team-lane churn (:func:`utilization_report`), and deterministic trace
-diffing (:func:`explain_regression`).  Attach a recorder via the
+team-lane churn (:func:`utilization_report`), deterministic trace
+diffing (:func:`explain_regression`), windowed virtual-time series with
+a conservation guarantee (:class:`TimeSeries`), and per-window latency
+SLO scanning (:class:`SLOMonitor`).  Attach a recorder via the
 ``tracer=`` parameter of :class:`repro.engine.BatchExecutor`,
 :class:`repro.engine.PipelinedExecutor`, or
 :class:`repro.cluster.TokenCluster`; with no tracer every
@@ -44,6 +46,13 @@ from repro.obs.report import (
     PathSegment,
     critical_path_report,
 )
+from repro.obs.series import SeriesError, TimeSeries
+from repro.obs.slo import (
+    SLOError,
+    SLOMonitor,
+    SLOReport,
+    SLOWindow,
+)
 from repro.obs.trace import (
     CATEGORIES,
     LIFECYCLE_STAGES,
@@ -77,8 +86,14 @@ __all__ = [
     "QueueWait",
     "RegressionExplanation",
     "RunProfile",
+    "SLOError",
+    "SLOMonitor",
+    "SLOReport",
+    "SLOWindow",
+    "SeriesError",
     "Span",
     "StageDelta",
+    "TimeSeries",
     "TraceError",
     "TraceExportError",
     "TraceRecorder",

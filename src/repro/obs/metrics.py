@@ -16,9 +16,16 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from numbers import Real
-from typing import Iterator, Mapping
+from typing import Callable, Iterator, Mapping
 
 from repro.errors import ReproError
+
+#: A registry watch callback: ``(kind, name, value, ts)`` where ``kind``
+#: is ``"counter"`` / ``"gauge"`` / ``"histogram"``, ``value`` is the
+#: increment / new value / sample, and ``ts`` is the virtual timestamp
+#: the caller attached to the update (``None`` when the call site has no
+#: timeline position — e.g. a summary projection).
+Watcher = Callable[[str, str, float, "float | None"], None]
 
 #: Default histogram bucket upper bounds: powers of two in virtual-time
 #: units, wide enough for any workload the benches run (the final implicit
@@ -39,11 +46,14 @@ class Counter:
 
     name: str
     value: float = 0.0
+    _watch: Watcher | None = field(default=None, repr=False, compare=False)
 
-    def inc(self, amount: float = 1.0) -> None:
+    def inc(self, amount: float = 1.0, ts: float | None = None) -> None:
         if amount < 0:
             raise MetricsError(f"counter {self.name!r} cannot decrease")
         self.value += amount
+        if self._watch is not None:
+            self._watch("counter", self.name, amount, ts)
 
 
 @dataclass(slots=True)
@@ -52,9 +62,12 @@ class Gauge:
 
     name: str
     value: float = 0.0
+    _watch: Watcher | None = field(default=None, repr=False, compare=False)
 
-    def set(self, value: float) -> None:
+    def set(self, value: float, ts: float | None = None) -> None:
         self.value = float(value)
+        if self._watch is not None:
+            self._watch("gauge", self.name, self.value, ts)
 
 
 @dataclass(slots=True)
@@ -74,6 +87,7 @@ class Histogram:
     total: float = 0.0
     min: float = 0.0
     max: float = 0.0
+    _watch: Watcher | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         bounds = tuple(float(b) for b in self.buckets)
@@ -87,7 +101,7 @@ class Histogram:
         if not self.counts:
             self.counts = [0] * (len(bounds) + 1)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, ts: float | None = None) -> None:
         value = float(value)
         if value < 0:
             raise MetricsError(
@@ -100,6 +114,8 @@ class Histogram:
         self.count += 1
         self.total += value
         self.counts[bisect_left(self.buckets, value)] += 1
+        if self._watch is not None:
+            self._watch("histogram", self.name, value, ts)
 
     @property
     def mean(self) -> float:
@@ -107,7 +123,12 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """The q-th percentile (q in [0, 1]), linearly interpolated
-        within the covering bucket; 0.0 on an empty histogram."""
+        within the covering bucket; 0.0 on an empty histogram.
+
+        Estimates are clamped to the observed ``[min, max]``: bucket
+        interpolation knows only the bucket bounds, so a lone sample (or
+        a bucket holding every sample) would otherwise report a value
+        below anything actually observed."""
         if not 0.0 <= q <= 1.0:
             raise MetricsError(f"percentile wants q in [0, 1], got {q}")
         if not self.count:
@@ -123,7 +144,8 @@ class Histogram:
                 low = self.buckets[index - 1] if index else 0.0
                 high = self.buckets[index]
                 fraction = (rank - previous) / bucket_count
-                return min(low + (high - low) * fraction, self.max)
+                estimate = low + (high - low) * fraction
+                return min(max(estimate, self.min), self.max)
         return self.max
 
     @property
@@ -134,6 +156,10 @@ class Histogram:
     def p99(self) -> float:
         return self.percentile(0.99)
 
+    @property
+    def p999(self) -> float:
+        return self.percentile(0.999)
+
     def summary(self) -> dict:
         return {
             "count": self.count,
@@ -142,6 +168,7 @@ class Histogram:
             "max": self.max,
             "p50": self.p50,
             "p99": self.p99,
+            "p999": self.p999,
         }
 
 
@@ -155,6 +182,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._watchers: list[Watcher] = []
 
     def _get(self, name: str, kind: type, factory):
         existing = self._instruments.get(name)
@@ -166,8 +194,30 @@ class MetricsRegistry:
                 )
             return existing
         instrument = factory()
+        if self._watchers:
+            instrument._watch = self._dispatch
         self._instruments[name] = instrument
         return instrument
+
+    def watch(self, watcher: Watcher) -> None:
+        """Subscribe to every subsequent instrument update.
+
+        Each ``inc`` / ``set`` / ``observe`` on any instrument of this
+        registry (existing or future) invokes ``watcher(kind, name,
+        value, ts)`` after the update lands — the live-derivation hook
+        :class:`repro.obs.series.TimeSeries` attaches through.  Watchers
+        see updates from subscription onward; a series that must account
+        for earlier totals snapshots them at attach time.
+        """
+        self._watchers.append(watcher)
+        for instrument in self._instruments.values():
+            instrument._watch = self._dispatch
+
+    def _dispatch(
+        self, kind: str, name: str, value: float, ts: float | None
+    ) -> None:
+        for watcher in self._watchers:
+            watcher(kind, name, value, ts)
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter, lambda: Counter(name))

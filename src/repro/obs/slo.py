@@ -1,0 +1,155 @@
+"""Latency SLOs over virtual-time windows: targets, breaches, burn.
+
+A saturation bench needs more than percentiles — it needs a *verdict*:
+did the run hold its latency objective, and if not, when did it stop?
+:class:`SLOMonitor` scans the per-window latency histograms of a
+:class:`~repro.obs.series.TimeSeries` against a p99 target and reports:
+
+* **breach windows** — windows whose p99 exceeded the target (empty
+  windows cannot breach: no commit, no latency evidence);
+* **error-budget burn** — over a rolling horizon of windows, the
+  breached fraction divided by the budgeted breach fraction.  Burn 1.0
+  means breaching exactly as fast as the budget allows; a sustained
+  burn above 1.0 is the saturation signal the adaptive-control work
+  will act on;
+* **breach instants** — optionally recorded into the run's trace
+  (``slo`` track), so a Perfetto timeline shows *when* the objective
+  fell over next to the spans that caused it.
+
+Like everything in :mod:`repro.obs`, the monitor is a pure reader: it
+never changes scheduling, and a run without one is bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.obs.series import TimeSeries
+from repro.obs.trace import TraceRecorder
+
+
+class SLOError(ReproError):
+    """Misconfigured objective (bad target, horizon, or budget)."""
+
+
+@dataclass(frozen=True, slots=True)
+class SLOWindow:
+    """One window's verdict against the objective."""
+
+    index: int
+    start: float
+    end: float
+    count: int
+    p99: float
+    breached: bool
+    #: Error-budget burn of the horizon ending at this window.
+    burn: float
+
+
+@dataclass(slots=True)
+class SLOReport:
+    """The scan's outcome; ``met`` is the headline verdict."""
+
+    target_p99: float
+    horizon: int
+    budget: float
+    windows: list[SLOWindow] = field(default_factory=list)
+
+    @property
+    def breaches(self) -> list[int]:
+        return [w.index for w in self.windows if w.breached]
+
+    @property
+    def max_burn(self) -> float:
+        return max((w.burn for w in self.windows), default=0.0)
+
+    @property
+    def met(self) -> bool:
+        """True when no rolling horizon burned past its error budget."""
+        return self.max_burn <= 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "target_p99": self.target_p99,
+            "horizon": self.horizon,
+            "budget": self.budget,
+            "breaches": self.breaches,
+            "breach_windows": len(self.breaches),
+            "max_burn": self.max_burn,
+            "met": self.met,
+        }
+
+
+class SLOMonitor:
+    """Scan a series' latency windows against a p99 objective.
+
+    ``target_p99`` is the per-window p99 latency bound (virtual-time
+    units).  ``budget`` is the tolerated breach fraction over any
+    rolling ``horizon`` of windows — burn is breach-rate over budget,
+    so ``budget=0.1, horizon=10`` tolerates one breached window per ten
+    before :attr:`SLOReport.met` flips false.
+    """
+
+    def __init__(
+        self,
+        target_p99: float,
+        horizon: int = 8,
+        budget: float = 0.1,
+        metric: str = "op_latency",
+    ) -> None:
+        if target_p99 <= 0:
+            raise SLOError("the p99 target must be positive")
+        if horizon < 1:
+            raise SLOError("the rolling horizon needs at least one window")
+        if not 0 < budget <= 1:
+            raise SLOError("the error budget is a fraction in (0, 1]")
+        self.target_p99 = float(target_p99)
+        self.horizon = horizon
+        self.budget = float(budget)
+        self.metric = metric
+
+    def scan(
+        self, series: TimeSeries, tracer: TraceRecorder | None = None
+    ) -> SLOReport:
+        """Judge every window; optionally record breach instants into
+        ``tracer`` (one ``slo`` instant per breach, at the window end)."""
+        report = SLOReport(
+            target_p99=self.target_p99,
+            horizon=self.horizon,
+            budget=self.budget,
+        )
+        histograms = series.histogram_series(self.metric)
+        breached: list[bool] = []
+        for index, histogram in enumerate(histograms):
+            start, end = series.window_bounds(index)
+            count = histogram.count if histogram is not None else 0
+            p99 = histogram.p99 if histogram is not None else 0.0
+            is_breach = count > 0 and p99 > self.target_p99
+            breached.append(is_breach)
+            window = breached[max(0, index + 1 - self.horizon) :]
+            burn = (sum(window) / len(window)) / self.budget
+            report.windows.append(
+                SLOWindow(
+                    index=index,
+                    start=start,
+                    end=end,
+                    count=count,
+                    p99=p99,
+                    breached=is_breach,
+                    burn=burn,
+                )
+            )
+            if is_breach and tracer is not None:
+                tracer.instant(
+                    "slo",
+                    f"p99 breach w{index}",
+                    end,
+                    args={
+                        "p99": p99,
+                        "target": self.target_p99,
+                        "count": count,
+                        "burn": burn,
+                    },
+                )
+        return report

@@ -226,13 +226,13 @@ class TraceRecorder:
         life[stage] = ts
         if stage == "commit" and "submit" in life:
             self.metrics.histogram("op_latency").observe(
-                ts - life["submit"]
+                ts - life["submit"], ts=ts
             )
-            self.metrics.counter("ops_committed").inc()
+            self.metrics.counter("ops_committed").inc(ts=ts)
 
     def op_submit(self, seq: int, ts: float) -> None:
         self.op_stage(seq, "submit", ts)
-        self.metrics.counter("ops_submitted").inc()
+        self.metrics.counter("ops_submitted").inc(ts=ts)
 
     def op_commit(self, seq: int, ts: float) -> None:
         self.op_stage(seq, "commit", ts)
@@ -315,6 +315,52 @@ class TraceRecorder:
             for track_totals in per_track.values():
                 for category, amount in track_totals.items():
                     totals[category] = totals.get(category, 0.0) + amount
+        return {
+            category: totals[category]
+            for category in CATEGORIES
+            if category in totals
+        }
+
+    def interval_occupancy(self, t0: float, t1: float) -> dict[str, float]:
+        """Occupancy by category restricted to the half-open virtual-time
+        interval ``[t0, t1)``: chained span durations clipped to the
+        interval, plus their recorded stalls, which tile the timeline
+        backward from each span's start (``start − stall₁ − stall₂ …``,
+        the same composition the executors use), clipped the same way.
+
+        Summing this query over any partition of the timeline reproduces
+        :meth:`category_totals` exactly (up to float re-association) —
+        the conservation guarantee :class:`repro.obs.series.TimeSeries`
+        builds its windows on.  Needs every span, so an evicted
+        (ring-buffer-sampled) recorder is refused, like the
+        critical-path walk.
+        """
+        if t1 < t0:
+            raise TraceError(
+                f"interval_occupancy wants t0 <= t1, got [{t0}, {t1})"
+            )
+        if self.sampled:
+            raise TraceError(
+                f"interval occupancy needs every span, but this recorder "
+                f"evicted {self.spans_evicted} of {self.spans_recorded} "
+                f"(ring buffer max_spans={self.max_spans}); use the exact "
+                f"category_totals() instead"
+            )
+        totals: dict[str, float] = {}
+
+        def clip(category: str, lo: float, hi: float) -> None:
+            overlap = min(hi, t1) - max(lo, t0)
+            if overlap > 0:
+                totals[category] = totals.get(category, 0.0) + overlap
+
+        for span in self.spans:
+            if not span.chain:
+                continue
+            clip(span.category, span.start, span.end)
+            cursor = span.start
+            for stall_category, amount in span.stalls:
+                clip(stall_category, cursor - amount, cursor)
+                cursor -= amount
         return {
             category: totals[category]
             for category in CATEGORIES

@@ -133,3 +133,32 @@ def test_tracer_leaves_every_output_bit_identical(label, mix, build):
     assert traced_state == bare_state
     assert traced_responses == bare_responses
     assert traced_stats.as_dict() == bare_stats.as_dict()
+
+
+@pytest.mark.parametrize(
+    "label,mix,build", CONFIGS, ids=[label for label, _, _ in CONFIGS]
+)
+def test_live_series_watch_hook_leaves_outputs_bit_identical(
+    label, mix, build
+):
+    """The registry watch hook (and a TimeSeries derived through it) is
+    a pure reader like the tracer itself: subscribing must not change a
+    single observable output, and the windows it collects must conserve
+    the registry totals."""
+    from repro.obs import TimeSeries
+
+    items = make_items(mix)
+    bare_state, bare_responses, bare_stats = build(None).run_workload(
+        items
+    )
+    tracer = TraceRecorder()
+    series = TimeSeries(width=25.0).attach(tracer.metrics)
+    watched_state, watched_responses, watched_stats = build(
+        tracer
+    ).run_workload(items)
+
+    assert watched_state == bare_state
+    assert watched_responses == bare_responses
+    assert watched_stats.as_dict() == bare_stats.as_dict()
+    series.check()
+    assert sum(series.counter_series("ops_committed")) == len(items)

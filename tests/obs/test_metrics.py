@@ -63,6 +63,84 @@ class TestHistogram:
         with pytest.raises(MetricsError):
             histogram.percentile(1.5)
 
+    def test_empty_summary_is_all_zeros(self):
+        summary = Histogram("latency").summary()
+        assert summary == {
+            "count": 0,
+            "mean": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "p50": 0.0,
+            "p99": 0.0,
+            "p999": 0.0,
+        }
+
+    def test_single_sample_every_percentile_is_the_sample(self):
+        """Bucket interpolation alone would report a value below the
+        lone sample (the bucket's lower half); the [min, max] clamp
+        pins every quantile to the only evidence there is."""
+        histogram = Histogram("latency")
+        histogram.observe(3.0)
+        for q in (0.0, 0.5, 0.99, 0.999, 1.0):
+            assert histogram.percentile(q) == 3.0
+
+    def test_all_samples_in_one_bucket_stay_within_observed_range(self):
+        """Samples clustered at a bucket's top edge: interpolation
+        sweeps the bucket, the clamp keeps estimates inside what was
+        actually observed."""
+        histogram = Histogram("latency")
+        for _ in range(100):
+            histogram.observe(7.9)  # all in the (4, 8] bucket
+        for q in (0.01, 0.5, 0.99, 0.999):
+            assert histogram.percentile(q) == 7.9
+
+    def test_p999_orders_into_the_tail(self):
+        histogram = Histogram("latency")
+        for value in range(1, 1001):
+            histogram.observe(float(value))
+        assert histogram.p50 <= histogram.p99 <= histogram.p999
+        assert histogram.p999 <= histogram.max
+        assert histogram.p999 > 900.0
+
+
+class TestWatch:
+    def test_watch_sees_every_update_with_timestamps(self):
+        registry = MetricsRegistry()
+        seen: list[tuple] = []
+        registry.watch(lambda *sample: seen.append(sample))
+        registry.counter("ops").inc(ts=1.0)
+        registry.counter("ops").inc(2.0)
+        registry.gauge("depth").set(4.0, ts=2.5)
+        registry.histogram("lat").observe(9.0, ts=3.0)
+        assert seen == [
+            ("counter", "ops", 1.0, 1.0),
+            ("counter", "ops", 2.0, None),
+            ("gauge", "depth", 4.0, 2.5),
+            ("histogram", "lat", 9.0, 3.0),
+        ]
+
+    def test_watch_retrofits_existing_instruments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops")
+        counter.inc(5.0)  # before any watcher: unobserved
+        seen: list[tuple] = []
+        registry.watch(lambda *sample: seen.append(sample))
+        counter.inc(2.0, ts=1.0)
+        assert seen == [("counter", "ops", 2.0, 1.0)]
+
+    def test_multiple_watchers_fan_out(self):
+        registry = MetricsRegistry()
+        first: list[tuple] = []
+        second: list[tuple] = []
+        registry.watch(lambda *sample: first.append(sample))
+        registry.watch(lambda *sample: second.append(sample))
+        registry.gauge("g").set(1.0, ts=0.5)
+        assert first == second == [("gauge", "g", 1.0, 0.5)]
+
+    def test_unwatched_registry_pays_nothing(self):
+        counter = MetricsRegistry().counter("ops")
+        assert counter._watch is None
+
 
 class TestRegistry:
     def test_kind_clash_raises(self):
