@@ -16,9 +16,14 @@ what that buys, in virtual time:
   chain-heavy mix whose components carry antichain width >= 2;
 * **cluster**: chain-atomic batch dispatch vs component-granular
   ``cl_run`` units + op-granular node planning at 4 nodes, both mixes;
-* **identity**: ``dag_scheduling=False`` reproduces the default engine
+* **identity**: ``dag_scheduling=False`` reproduces the legacy engine
   and cluster bit for bit (stats dictionaries compared), and the
   depth-1 pipeline inherits the DAG barrier path exactly.
+
+The A/B runs pin every other knob to the ``legacy()`` preset so the
+comparison isolates DAG scheduling; a separate **default vs legacy()**
+section shows what the no-knobs default construction (every fast path
+on) buys over the pre-flip engine on both mixes.
 
 Every run is checked for serial equivalence against the sequential
 specification.
@@ -33,7 +38,8 @@ from __future__ import annotations
 import sys
 
 from common import bench_main, render_identity, render_stats_table
-from repro.cluster import TokenCluster
+from repro.cluster import ClusterConfig, TokenCluster
+from repro.config import EngineConfig
 from repro.engine import BatchExecutor, PipelinedExecutor
 from repro.obs import TraceRecorder
 from repro.objects.erc20 import ERC20TokenType
@@ -77,16 +83,34 @@ def serial_reference(items):
 
 
 def run_engine(items, dag: bool, depth: int | None = None) -> dict:
-    """One engine run (barrier when ``depth`` is None), spec-checked."""
-    kwargs = dict(
-        num_lanes=LANES, window=WINDOW, seed=SEED, dag_scheduling=dag
+    """One engine run on the legacy base (barrier when ``depth`` is
+    None) so the A/B isolates DAG scheduling, spec-checked."""
+    config = EngineConfig.legacy(
+        num_lanes=LANES,
+        window=WINDOW,
+        seed=SEED,
+        dag_scheduling=dag,
+        pipeline_depth=1 if depth is None else depth,
     )
     if depth is None:
-        engine = BatchExecutor(make_token(), **kwargs)
+        engine = BatchExecutor(make_token(), config)
     else:
-        engine = PipelinedExecutor(
-            make_token(), pipeline_depth=depth, **kwargs
-        )
+        engine = PipelinedExecutor(make_token(), config)
+    state, responses, stats = engine.run_workload(items)
+    ref_state, ref_responses = serial_reference(items)
+    assert state == ref_state, "engine diverged from the sequential spec"
+    assert responses == ref_responses, "engine responses diverged"
+    return stats.as_dict()
+
+
+def run_default_engine(items, legacy: bool) -> dict:
+    """A no-knobs pipelined engine — every fast-path default in effect —
+    or the same structural parameters pinned to the ``legacy()`` preset.
+    The default-vs-legacy headline comparison, spec-checked."""
+    preset = EngineConfig.legacy if legacy else EngineConfig
+    engine = PipelinedExecutor(
+        make_token(), preset(num_lanes=LANES, window=WINDOW, seed=SEED)
+    )
     state, responses, stats = engine.run_workload(items)
     ref_state, ref_responses = serial_reference(items)
     assert state == ref_state, "engine diverged from the sequential spec"
@@ -95,15 +119,18 @@ def run_engine(items, dag: bool, depth: int | None = None) -> dict:
 
 
 def run_cluster(items, dag: bool, depth: int = PIPE_DEPTH) -> dict:
-    """One cluster run at ``NODES`` nodes, spec-checked."""
+    """One cluster run at ``NODES`` nodes on the legacy base,
+    spec-checked."""
     cluster = TokenCluster(
         make_token(),
-        num_nodes=NODES,
-        lanes_per_node=LANES,
-        window=WINDOW,
-        seed=SEED,
-        pipeline_depth=depth,
-        dag_scheduling=dag,
+        ClusterConfig.legacy(
+            num_nodes=NODES,
+            lanes_per_node=LANES,
+            window=WINDOW,
+            seed=SEED,
+            pipeline_depth=depth,
+            dag_scheduling=dag,
+        ),
     )
     state, responses, stats = cluster.run_workload(items)
     ref_state, ref_responses = serial_reference(items)
@@ -153,33 +180,50 @@ def measure(ops: int) -> dict:
             }
         }
 
-    # Identity: the flag off is the default path bit for bit, and the
+    # Identity: the flag off is the legacy path bit for bit, and the
     # depth-1 pipeline inherits the DAG barrier path exactly.
     items = make_items("chain_heavy", ops)
-    default_engine = BatchExecutor(
-        make_token(), num_lanes=LANES, window=WINDOW, seed=SEED
+    legacy_engine = BatchExecutor(
+        make_token(),
+        EngineConfig.legacy(num_lanes=LANES, window=WINDOW, seed=SEED),
     )
-    default_run = default_engine.run_workload(items)
+    legacy_run = legacy_engine.run_workload(items)
     results["identity"]["engine_dag_off_identical"] = (
-        default_run[2].as_dict()
+        legacy_run[2].as_dict()
         == results["engine"]["chain_heavy"]["atomic"]
     )
     results["identity"]["engine_depth1_dag_identical"] = (
         run_engine(items, dag=True, depth=1)
         == results["engine"]["chain_heavy"]["dag"]
     )
-    default_cluster = TokenCluster(
+    legacy_cluster = TokenCluster(
         make_token(),
-        num_nodes=NODES,
-        lanes_per_node=LANES,
-        window=WINDOW,
-        seed=SEED,
-        pipeline_depth=PIPE_DEPTH,
+        ClusterConfig.legacy(
+            num_nodes=NODES,
+            lanes_per_node=LANES,
+            window=WINDOW,
+            seed=SEED,
+            pipeline_depth=PIPE_DEPTH,
+        ),
     )
     results["identity"]["cluster_dag_off_identical"] = (
-        default_cluster.run_workload(items)[2].as_dict()
+        legacy_cluster.run_workload(items)[2].as_dict()
         == results["cluster"]["chain_heavy"][str(NODES)]["atomic"]
     )
+
+    # The flip's headline: a no-knobs default construction (DAG
+    # scheduling + pipelining + team lanes + lane GC all on) strictly
+    # beats the legacy() preset on both mixes, same structural params.
+    results["default_vs_legacy"] = {}
+    for name in MIXES:
+        items = make_items(name, ops)
+        fast = run_default_engine(items, legacy=False)
+        slow = run_default_engine(items, legacy=True)
+        results["default_vs_legacy"][name] = {
+            "default": fast,
+            "legacy": slow,
+            "speedup": slow["virtual_time"] / fast["virtual_time"],
+        }
 
     # Per-op commit latency (submit -> commit on the traced virtual
     # timeline) from a dedicated traced run of the representative DAG
@@ -195,6 +239,12 @@ def measure(ops: int) -> dict:
 
 def check_claims(results: dict) -> None:
     """The acceptance criteria, enforced."""
+    # The no-knobs default strictly beats the legacy() preset on both
+    # mixes, and it really runs the fast paths.
+    for name, entry in results["default_vs_legacy"].items():
+        assert entry["speedup"] > 1.0, (name, entry["speedup"])
+        assert entry["default"]["pipeline_depth"] > 1, name
+        assert entry["default"]["max_dag_width"] >= 2, name
     # dag_scheduling=False is the historical path, bit for bit.
     assert results["identity"]["engine_dag_off_identical"]
     assert results["identity"]["engine_depth1_dag_identical"]
@@ -265,8 +315,17 @@ def render_table(results: dict) -> list[str]:
                 f"{comparison['dag']['units_dispatched']} units over "
                 f"{comparison['dag']['rounds']} rounds)"
             )
+    lines.append("")
+    lines.append("default vs legacy() (identical structural params):")
+    for name, entry in results["default_vs_legacy"].items():
+        lines.append(
+            f"  {name:>15}: "
+            f"default {entry['default']['virtual_time']:>7.1f}  "
+            f"legacy {entry['legacy']['virtual_time']:>7.1f}  "
+            f"({entry['speedup']:.2f}x)"
+        )
     lines += render_identity(
-        "dag_scheduling=False bit-identical to the default path",
+        "dag_scheduling=False bit-identical to the legacy path",
         {
             "engine": results["identity"]["engine_dag_off_identical"],
             "depth-1": results["identity"]["engine_depth1_dag_identical"],

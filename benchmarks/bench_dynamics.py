@@ -14,8 +14,8 @@ The analysis itself is pure state inspection — it replays the workload
 through the sequential specification and reads ``σ_q`` off each state,
 so there is no timeline of its own to trace.  ``--trace`` therefore
 records the *representative execution* of the same spender-heavy mix:
-the tiered engine (``team_threshold=4``) actually synchronizing the
-spender groups whose levels this experiment measures.
+the tiered engine (the shipped ``team_threshold``) actually synchronizing
+the spender groups whose levels this experiment measures.
 """
 
 from __future__ import annotations
@@ -29,6 +29,7 @@ from repro.analysis.reachability import (
     level_trajectory,
     verify_level_change_ops,
 )
+from repro.config import EngineConfig
 from repro.engine import BatchExecutor
 from repro.objects.erc20 import ERC20TokenType
 from repro.spec.operation import Operation
@@ -175,10 +176,14 @@ def traced_run(ops: int, tracer) -> None:
     ).generate(ops)
     engine = BatchExecutor(
         ERC20TokenType(N, total_supply=5 * N),
-        num_lanes=4,
-        window=64,
-        seed=SEED,
-        team_threshold=4,
+        # Legacy base so the trace isolates the team lanes; the threshold
+        # is the shipped default, not a restated literal.
+        EngineConfig.legacy(
+            num_lanes=4,
+            window=64,
+            seed=SEED,
+            team_threshold=EngineConfig().team_threshold,
+        ),
         tracer=tracer,
     )
     engine.run_workload(items)

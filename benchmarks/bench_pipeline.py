@@ -19,6 +19,11 @@ round.  This experiment measures, in virtual time, what that buys:
 * **identity**: ``pipeline_depth=1`` reproduces the historical barrier
   executor and cluster bit for bit (stats dictionaries compared).
 
+The A/B runs pin every other knob to the ``legacy()`` preset so the
+comparison isolates pipelining; a separate **default vs legacy()**
+section shows what the no-knobs default construction (every fast path
+on) buys over the pre-flip engine on the contended mix.
+
 Every run is checked for serial equivalence against the sequential
 specification.
 
@@ -32,7 +37,8 @@ from __future__ import annotations
 import sys
 
 from common import bench_main, render_identity, render_stats_table
-from repro.cluster import TokenCluster
+from repro.cluster import ClusterConfig, TokenCluster
+from repro.config import EngineConfig
 from repro.obs import TraceRecorder
 from repro.engine import BatchExecutor, PipelinedExecutor
 from repro.objects.erc20 import ERC20TokenType
@@ -72,19 +78,33 @@ def serial_reference(items):
 
 
 def run_engine(items, depth: int | None) -> dict:
-    """One engine run (barrier when ``depth`` is None), spec-checked."""
+    """One engine run on the legacy base (barrier when ``depth`` is
+    None) so the A/B isolates pipelining, spec-checked."""
+    config = EngineConfig.legacy(
+        num_lanes=LANES,
+        window=WINDOW,
+        seed=SEED,
+        pipeline_depth=1 if depth is None else depth,
+    )
     if depth is None:
-        engine = BatchExecutor(
-            make_token(), num_lanes=LANES, window=WINDOW, seed=SEED
-        )
+        engine = BatchExecutor(make_token(), config)
     else:
-        engine = PipelinedExecutor(
-            make_token(),
-            pipeline_depth=depth,
-            num_lanes=LANES,
-            window=WINDOW,
-            seed=SEED,
-        )
+        engine = PipelinedExecutor(make_token(), config)
+    state, responses, stats = engine.run_workload(items)
+    ref_state, ref_responses = serial_reference(items)
+    assert state == ref_state, "engine diverged from the sequential spec"
+    assert responses == ref_responses, "engine responses diverged"
+    return stats.as_dict()
+
+
+def run_default_engine(items, legacy: bool) -> dict:
+    """A no-knobs pipelined engine — every fast-path default in effect —
+    or the same structural parameters pinned to the ``legacy()`` preset.
+    The default-vs-legacy headline comparison, spec-checked."""
+    preset = EngineConfig.legacy if legacy else EngineConfig
+    engine = PipelinedExecutor(
+        make_token(), preset(num_lanes=LANES, window=WINDOW, seed=SEED)
+    )
     state, responses, stats = engine.run_workload(items)
     ref_state, ref_responses = serial_reference(items)
     assert state == ref_state, "engine diverged from the sequential spec"
@@ -93,14 +113,17 @@ def run_engine(items, depth: int | None) -> dict:
 
 
 def run_cluster(items, nodes: int, depth: int) -> dict:
-    """One cluster run, spec-checked; adds the node sync-wait total."""
+    """One cluster run on the legacy base, spec-checked; adds the node
+    sync-wait total."""
     cluster = TokenCluster(
         make_token(),
-        num_nodes=nodes,
-        lanes_per_node=LANES,
-        window=WINDOW,
-        seed=SEED,
-        pipeline_depth=depth,
+        ClusterConfig.legacy(
+            num_nodes=nodes,
+            lanes_per_node=LANES,
+            window=WINDOW,
+            seed=SEED,
+            pipeline_depth=depth,
+        ),
     )
     state, responses, stats = cluster.run_workload(items)
     ref_state, ref_responses = serial_reference(items)
@@ -163,6 +186,20 @@ def measure(ops: int) -> dict:
         run_cluster(items, 4, 1)
         == results["cluster"]["approval_heavy"]["4"]["barrier"]
     )
+
+    # The flip's headline: a no-knobs default construction (DAG
+    # scheduling + pipelining + team lanes + lane GC all on) strictly
+    # beats the legacy() preset on the contended mix, same structural
+    # parameters.
+    fast = run_default_engine(items, legacy=False)
+    slow = run_default_engine(items, legacy=True)
+    results["default_vs_legacy"] = {
+        "approval_heavy": {
+            "default": fast,
+            "legacy": slow,
+            "speedup": slow["virtual_time"] / fast["virtual_time"],
+        }
+    }
 
     # Per-op commit latency (submit -> commit on the traced virtual
     # timeline), from a dedicated traced run of the pipelined engine at
@@ -248,6 +285,13 @@ def check_claims(results: dict) -> None:
         engine_approval["stall_time_contended"]
         >= 0.9 * engine_approval["stall_time"]
     )
+    # The no-knobs default strictly beats the legacy() preset, and it
+    # really runs the fast paths (DAG width, team lanes, depth > 1).
+    headline = results["default_vs_legacy"]["approval_heavy"]
+    assert headline["speedup"] > 1.0, headline["speedup"]
+    assert headline["default"]["pipeline_depth"] > 1
+    assert headline["default"]["max_dag_width"] >= 2
+    assert headline["default"]["team_ops"] > 0
 
 
 def render_table(results: dict) -> list[str]:
@@ -290,6 +334,15 @@ def render_table(results: dict) -> list[str]:
             "engine": results["identity"]["engine_depth1_identical"],
             "cluster": results["identity"]["cluster_depth1_identical"],
         },
+    )
+    headline = results["default_vs_legacy"]["approval_heavy"]
+    lines.append("")
+    lines.append(
+        "default vs legacy() (approval_heavy, identical structural "
+        "params): "
+        f"default {headline['default']['virtual_time']:.1f}  "
+        f"legacy {headline['legacy']['virtual_time']:.1f}  "
+        f"({headline['speedup']:.2f}x)"
     )
     latency = results["op_latency"]["pipelined_engine"]
     lines.append(

@@ -33,7 +33,8 @@ from __future__ import annotations
 import sys
 
 from common import bench_main, render_stats_table
-from repro.cluster import TokenCluster
+from repro.cluster import ClusterConfig, TokenCluster
+from repro.config import EngineConfig
 from repro.engine import BatchExecutor, ConsensusEscalator
 from repro.obs import TraceRecorder
 from repro.objects.asset_transfer import AssetTransferType
@@ -53,8 +54,10 @@ WINDOW = 16
 LANES = 8
 #: Spender pools bound every account's potential-spender set to <= 4.
 SPENDER_POOL = 4
-#: Largest team the tiered configuration provisions a lane for.
-THRESHOLD = 4
+#: Largest team the tiered configuration provisions a lane for —
+#: sourced from the config surface, not restated, so the bench always
+#: measures the threshold the default engine actually ships with.
+THRESHOLD = EngineConfig().team_threshold
 CLUSTER_NODES = 4
 
 
@@ -76,13 +79,16 @@ def serial_reference(object_type, items):
 
 
 def run_engine(object_type, items, threshold: int) -> dict:
-    """One engine run, serial-equivalence-checked against the spec."""
+    """One engine run on the legacy base (so the A/B isolates the team
+    threshold), serial-equivalence-checked against the spec."""
     engine = BatchExecutor(
         object_type,
-        num_lanes=LANES,
-        window=WINDOW,
-        seed=SEED,
-        team_threshold=threshold,
+        EngineConfig.legacy(
+            num_lanes=LANES,
+            window=WINDOW,
+            seed=SEED,
+            team_threshold=threshold,
+        ),
         escalator=ConsensusEscalator(num_replicas=ACCOUNTS, seed=SEED),
     )
     state, responses, stats = engine.run_workload(items)
@@ -96,11 +102,13 @@ def run_cluster(items, threshold: int) -> dict:
     token = make_token()
     cluster = TokenCluster(
         token,
-        num_nodes=CLUSTER_NODES,
-        lanes_per_node=LANES,
-        window=WINDOW,
-        seed=SEED,
-        team_threshold=threshold,
+        ClusterConfig.legacy(
+            num_nodes=CLUSTER_NODES,
+            lanes_per_node=LANES,
+            window=WINDOW,
+            seed=SEED,
+            team_threshold=threshold,
+        ),
     )
     state, responses, stats = cluster.run_workload(items)
     ref_state, ref_responses = serial_reference(make_token(), items)
@@ -173,12 +181,14 @@ def run_backpressure(ops: int) -> dict:
     token = make_token()
     cluster = TokenCluster(
         token,
-        num_nodes=CLUSTER_NODES,
-        lanes_per_node=LANES,
-        window=WINDOW,
-        seed=SEED,
-        team_threshold=THRESHOLD,
-        mempool_capacity=capacity,
+        ClusterConfig.legacy(
+            num_nodes=CLUSTER_NODES,
+            lanes_per_node=LANES,
+            window=WINDOW,
+            seed=SEED,
+            team_threshold=THRESHOLD,
+            mempool_capacity=capacity,
+        ),
     )
     items = make_items(ops)
     admitted = cluster.feed(items)
@@ -398,10 +408,12 @@ def traced_run(ops: int, tracer) -> None:
     up as per-team sync tracks alongside the execution lanes."""
     engine = BatchExecutor(
         make_token(),
-        num_lanes=LANES,
-        window=WINDOW,
-        seed=SEED,
-        team_threshold=THRESHOLD,
+        EngineConfig.legacy(
+            num_lanes=LANES,
+            window=WINDOW,
+            seed=SEED,
+            team_threshold=THRESHOLD,
+        ),
         escalator=ConsensusEscalator(num_replicas=ACCOUNTS, seed=SEED),
         tracer=tracer,
     )

@@ -25,6 +25,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
+from repro.config import ClusterConfig, EngineConfig
 from repro.obs import (
     MetricsRegistry,
     TraceRecorder,
@@ -105,6 +106,16 @@ def bench_main(
         parser.error("--ops must be >= 1")
     ops = smoke_ops if args.smoke else args.ops
     results = measure(ops)
+    # Every bench JSON carries the active config surface, so a committed
+    # baseline is self-describing: the regression gate refuses a run
+    # whose config block disagrees with the baseline's — a silent
+    # default flip can never skew one number in one place.
+    results["config"] = {
+        "engine": EngineConfig().as_dict(),
+        "cluster": ClusterConfig().as_dict(),
+        "engine_legacy": EngineConfig.legacy().as_dict(),
+        "cluster_legacy": ClusterConfig.legacy().as_dict(),
+    }
     check_claims(results)
     args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print("\n".join(render_table(results)))

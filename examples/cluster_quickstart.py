@@ -20,7 +20,7 @@ Run:  python examples/cluster_quickstart.py
 
 from __future__ import annotations
 
-from repro.cluster import TokenCluster, owner_local_workload
+from repro.cluster import ClusterConfig, TokenCluster, owner_local_workload
 from repro.engine import BatchExecutor
 from repro.objects.erc20 import ERC20TokenType
 from repro.workloads import (
@@ -52,10 +52,14 @@ def show(title: str, stats) -> None:
 
 
 def fresh_cluster(nodes: int = 4) -> tuple[ERC20TokenType, TokenCluster]:
+    # The shipped ClusterConfig defaults keep DAG scheduling, pipelining
+    # and team lanes on; ClusterConfig.legacy(...) would pin the
+    # historical barrier cluster instead, bit for bit.
     token = ERC20TokenType(ACCOUNTS, total_supply=100 * ACCOUNTS)
-    return token, TokenCluster(
-        token, num_nodes=nodes, lanes_per_node=8, window=WINDOW
+    config = ClusterConfig(
+        num_nodes=nodes, lanes_per_node=8, window=WINDOW
     )
+    return token, TokenCluster(token, config)
 
 
 def main() -> None:

@@ -17,6 +17,7 @@ Run:  python examples/engine_quickstart.py
 
 from __future__ import annotations
 
+from repro.config import EngineConfig
 from repro.engine import BatchExecutor
 from repro.objects.erc20 import ERC20TokenType
 from repro.workloads import (
@@ -49,7 +50,9 @@ def main() -> None:
     print("1. Example 1 (paper §4) through the engine")
     print(RULE)
     token = ERC20TokenType(3, total_supply=10)
-    engine = BatchExecutor(token, num_lanes=2, window=4, validate=True)
+    engine = BatchExecutor(
+        token, EngineConfig(num_lanes=2, window=4, validate=True)
+    )
     state, responses, stats = engine.run_workload(example1_trace())
     print(f"  responses: {responses}  (paper: [True, True, False, True])")
     print(f"  final balances: {list(state.balances)}  (paper: [8, 2, 0])")
@@ -85,11 +88,20 @@ def main() -> None:
         32, seed=7, mix=SPENDER_HEAVY_MIX
     ).generate(400)
     _, _, stats = engine.run_workload(items)
-    show("8 lanes, 400 ops:", stats)
+    show("8 lanes, 400 ops (shipped defaults):", stats)
+    # The historical PR 1-8 behavior — chain-atomic scheduling, barrier
+    # rounds, always-global escalation — is one preset away, bit for bit.
+    legacy = BatchExecutor(
+        ERC20TokenType(32, total_supply=3200),
+        EngineConfig.legacy(num_lanes=8, window=64, validate=True),
+    )
+    _, _, legacy_stats = legacy.run_workload(items)
+    show("same run, EngineConfig.legacy():", legacy_stats)
     print(
         "  approve/transferFrom races (Theorem 3, Case 4) and multi-spender"
         "\n  accounts form synchronization groups: exactly those operations"
-        "\n  are escalated to the total-order broadcast, and only they pay"
+        "\n  are escalated — by default to right-sized team lanes"
+        "\n  (team_threshold=4), under legacy() to the global broadcast and"
         "\n  its quadratic message bill."
     )
 

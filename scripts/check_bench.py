@@ -124,6 +124,7 @@ METRICS: dict[str, dict[str, list[str]]] = {
         "band": [
             "engine.approval_heavy.barrier.virtual_time",
             "engine.approval_heavy.pipelined.3.virtual_time",
+            "default_vs_legacy.approval_heavy.speedup",
             "cluster.owner_only.4.makespan_ratio",
             "cluster.approval_heavy.4.makespan_ratio",
             "cluster.approval_heavy.4.pipelined.makespan",
@@ -139,6 +140,8 @@ METRICS: dict[str, dict[str, list[str]]] = {
         "band": [
             "engine.chain_heavy.atomic.virtual_time",
             "engine.chain_heavy.dag.virtual_time",
+            "default_vs_legacy.chain_heavy.speedup",
+            "default_vs_legacy.approval_heavy.speedup",
             "engine.chain_heavy.ratio",
             "engine.chain_heavy.dag.dag_speedup",
             "engine.approval_heavy.dag.virtual_time",
@@ -309,11 +312,51 @@ def _resolve(
     return base, got
 
 
+def _flatten(node, prefix: str = "") -> dict:
+    """Flatten a nested dict to dotted-path -> leaf value."""
+    if not isinstance(node, dict):
+        return {prefix: node}
+    flat: dict = {}
+    for key, value in node.items():
+        path = f"{prefix}.{key}" if prefix else key
+        flat.update(_flatten(value, path))
+    return flat
+
+
+def compare_config(baseline: dict, run: dict) -> list[str]:
+    """The self-describing-baseline check: every bench JSON embeds the
+    active config surface (``EngineConfig``/``ClusterConfig`` defaults
+    and their ``legacy()`` presets), and the gate refuses a run whose
+    config block disagrees with the baseline's — a default flip must
+    re-baseline, never silently move one number."""
+    base_cfg, run_cfg = baseline.get("config"), run.get("config")
+    if base_cfg is None and run_cfg is None:
+        return []
+    if base_cfg is None:
+        return [
+            "config: the committed baseline carries no config block "
+            "(predates the unified config API); re-baseline this bench"
+        ]
+    if run_cfg is None:
+        return [
+            "config: the run output carries no config block — the "
+            "benchmark bypassed bench_main's config recording"
+        ]
+    base_flat, run_flat = _flatten(base_cfg), _flatten(run_cfg)
+    return [
+        f"config.{key}: baseline {base_flat.get(key, '<absent>')!r}, "
+        f"run {run_flat.get(key, '<absent>')!r} — the active config "
+        "surface changed; re-baseline and commit the updated JSON"
+        for key in sorted(set(base_flat) | set(run_flat))
+        if base_flat.get(key, _MISSING) != run_flat.get(key, _MISSING)
+    ]
+
+
 def compare(
     bench: str, baseline: dict, run: dict, tolerance: float
 ) -> list[str]:
     """Return a list of human-readable regression descriptions."""
-    failures: list[str] = []
+    failures: list[str] = compare_config(baseline, run)
     spec = METRICS[bench]
     for path in spec["band"]:
         resolved = _resolve(path, baseline, run, failures)

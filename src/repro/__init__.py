@@ -57,11 +57,13 @@ from repro.protocols import (
     consensus_checks,
     kat_consensus_system,
 )
+from repro.config import ClusterConfig, EngineConfig
 from repro.engine import (
     BatchExecutor,
     ConsensusEscalator,
     Mempool,
     OpClassifier,
+    PipelinedExecutor,
     ShardPlanner,
 )
 from repro.cluster import ClusterStats, ShardMap, TokenCluster
@@ -80,9 +82,12 @@ __all__ = [
     "CachedPairAnalyzer",
     "classify",
     "BatchExecutor",
+    "ClusterConfig",
     "ConsensusEscalator",
+    "EngineConfig",
     "Mempool",
     "OpClassifier",
+    "PipelinedExecutor",
     "ShardPlanner",
     "ClusterStats",
     "ShardMap",

@@ -25,6 +25,7 @@ because the router co-locates whole conflict-graph components per round
 (machine-checked in ``tests/cluster/``).
 """
 
+from repro.config import ClusterConfig
 from repro.cluster.cluster import TokenCluster
 from repro.cluster.node import ClusterNode
 from repro.cluster.router import LEASE_MESSAGE_TYPES, Router
@@ -33,6 +34,7 @@ from repro.cluster.stats import ClusterRound, ClusterStats, NodeBill
 from repro.cluster.workloads import owner_local_workload
 
 __all__ = [
+    "ClusterConfig",
     "TokenCluster",
     "ClusterNode",
     "LEASE_MESSAGE_TYPES",

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
+from repro.config import UNSET, ClusterConfig, _with_overrides
 from repro.engine.classifier import OpClassifier
 from repro.engine.escalation import ConsensusEscalator
 from repro.engine.mempool import PendingOp
@@ -59,50 +60,75 @@ class TokenCluster:
     def __init__(
         self,
         object_type: SequentialObjectType,
-        num_nodes: int = 4,
-        lanes_per_node: int = 4,
-        window: int = 64,
-        num_shards: int | None = None,
-        op_cost: float = 1.0,
+        config: ClusterConfig | None = None,
+        *,
+        num_nodes=UNSET,
+        lanes_per_node=UNSET,
+        window=UNSET,
+        num_shards=UNSET,
+        op_cost=UNSET,
         latency: LatencyModel | None = None,
-        seed: int = 0,
-        mempool_capacity: int | None = None,
+        seed=UNSET,
+        mempool_capacity=UNSET,
         escalator: ConsensusEscalator | None = None,
-        validate: bool = False,
-        lease_min_gain: int = 2,
-        lease_cooldown: int = 0,
-        team_threshold: int = 0,
-        pipeline_depth: int = 1,
-        dag_scheduling: bool = False,
+        validate=UNSET,
+        lease_min_gain=UNSET,
+        lease_cooldown=UNSET,
+        team_threshold=UNSET,
+        pipeline_depth=UNSET,
+        dag_scheduling=UNSET,
+        lane_ttl=UNSET,
         tracer: TraceRecorder | None = None,
     ) -> None:
-        if num_nodes < 1:
-            raise ClusterError("cluster needs at least one node")
+        #: The resolved run configuration: explicit kwargs override the
+        #: ``config=`` value, which overrides :class:`ClusterConfig`'s
+        #: (fast-path) defaults.  ``ClusterConfig.legacy()`` recovers the
+        #: historical barrier cluster bit for bit.
+        self.config = cfg = _with_overrides(
+            config if config is not None else ClusterConfig(),
+            dict(
+                num_nodes=num_nodes,
+                lanes_per_node=lanes_per_node,
+                window=window,
+                num_shards=num_shards,
+                op_cost=op_cost,
+                seed=seed,
+                mempool_capacity=mempool_capacity,
+                validate=validate,
+                lease_min_gain=lease_min_gain,
+                lease_cooldown=lease_cooldown,
+                team_threshold=team_threshold,
+                pipeline_depth=pipeline_depth,
+                dag_scheduling=dag_scheduling,
+                lane_ttl=lane_ttl,
+            ),
+        )
+        num_shards = cfg.num_shards
         if num_shards is None:
             # Enough shards that leases migrate at useful granularity.
-            num_shards = max(16, 8 * num_nodes)
+            num_shards = max(16, 8 * cfg.num_nodes)
         self.object_type = object_type
-        self.num_nodes = num_nodes
+        self.num_nodes = cfg.num_nodes
         self.simulator = Simulator()
         self.network = Network(
             self.simulator,
             latency if latency is not None else UniformLatency(0.5, 1.5),
-            seed=seed,
+            seed=cfg.seed,
         )
-        self.shard_map = ShardMap(num_shards, num_nodes)
+        self.shard_map = ShardMap(num_shards, cfg.num_nodes)
         self.state = object_type.initial_state()
         self.stats = ClusterStats(
-            num_nodes=num_nodes,
-            lanes_per_node=lanes_per_node,
-            window=window,
+            num_nodes=cfg.num_nodes,
+            lanes_per_node=cfg.lanes_per_node,
+            window=cfg.window,
             num_shards=num_shards,
-            op_cost=op_cost,
-            dag_scheduling=dag_scheduling,
+            op_cost=cfg.op_cost,
+            dag_scheduling=cfg.dag_scheduling,
         )
         self.escalator = (
             escalator
             if escalator is not None
-            else ConsensusEscalator(seed=seed)
+            else ConsensusEscalator(seed=cfg.seed)
         )
         #: Optional observability hook (:mod:`repro.obs`), threaded to the
         #: router and every node; ``None`` records nothing and keeps every
@@ -112,34 +138,35 @@ class TokenCluster:
             ClusterNode(
                 node_id,
                 self.network,
-                router_id=num_nodes,
+                router_id=cfg.num_nodes,
                 apply_fn=self._apply,
                 classifier=OpClassifier(object_type),
-                lanes=lanes_per_node,
-                op_cost=op_cost,
-                dag_scheduling=dag_scheduling,
+                lanes=cfg.lanes_per_node,
+                op_cost=cfg.op_cost,
+                dag_scheduling=cfg.dag_scheduling,
                 tracer=tracer,
             )
-            for node_id in range(num_nodes)
+            for node_id in range(cfg.num_nodes)
         ]
         for node in self.nodes:
             node.owned_shards = set(self.shard_map.shards_of_node(node.node_id))
         self.router = Router(
-            num_nodes,
+            cfg.num_nodes,
             self.network,
             shard_map=self.shard_map,
-            classifier=OpClassifier(object_type, validate=validate),
+            classifier=OpClassifier(object_type, validate=cfg.validate),
             escalator=self.escalator,
             stats=self.stats,
-            window=window,
-            mempool_capacity=mempool_capacity,
-            state_fn=(lambda: self.state) if validate else None,
-            lease_min_gain=lease_min_gain,
-            lease_cooldown=lease_cooldown,
-            team_threshold=team_threshold,
-            seed=seed,
-            pipeline_depth=pipeline_depth,
-            dag_scheduling=dag_scheduling,
+            window=cfg.window,
+            mempool_capacity=cfg.mempool_capacity,
+            state_fn=(lambda: self.state) if cfg.validate else None,
+            lease_min_gain=cfg.lease_min_gain,
+            lease_cooldown=cfg.lease_cooldown,
+            team_threshold=cfg.team_threshold,
+            seed=cfg.seed,
+            pipeline_depth=cfg.pipeline_depth,
+            dag_scheduling=cfg.dag_scheduling,
+            lane_ttl=cfg.lane_ttl,
             tracer=tracer,
         )
         self.stats.node_bills = [node.bill for node in self.nodes]

@@ -141,6 +141,13 @@ class ClusterNode(Node):
         self._leases_needed[key] = body.get("leases", 0)
         self._sync_delay[key] = body.get("sync_delay", 0.0)
         self._sync_ready[key] = body.get("sync_ready", 0.0)
+        piggybacked = body.get("ops")
+        if piggybacked is not None:
+            # Component-granular units carry their ops inside the
+            # announcement (one message per unit instead of 1 + n); the
+            # bill still counts every op forward received.
+            self._batches.setdefault(key, []).extend(piggybacked)
+            self.bill.forwards_received += len(piggybacked)
         if isinstance(key, tuple):
             self._maybe_run_unit(key)
         else:

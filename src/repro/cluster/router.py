@@ -207,6 +207,7 @@ class Router(Node):
         seed: int = 0,
         pipeline_depth: int = 1,
         dag_scheduling: bool = False,
+        lane_ttl: int | None = None,
         tracer: TraceRecorder | None = None,
     ) -> None:
         super().__init__(node_id, network)
@@ -243,7 +244,10 @@ class Router(Node):
             sync
             if sync is not None
             else tiered_escalator(
-                escalator, team_threshold=team_threshold, seed=seed
+                escalator,
+                team_threshold=team_threshold,
+                seed=seed,
+                lane_ttl=lane_ttl,
             )
         )
         self.scheduler = RoundScheduler(
@@ -952,6 +956,12 @@ class Router(Node):
         round_state = self._inflight[index]
         unit = round_state.routed.units_by_node[node][uidx]
         delay = unit.sync_delay
+        # The unit's ops ride inside the announcement itself: a unit is
+        # component-granular (often one chain or a handful of
+        # singletons), and paying one ``cl_op`` message per op made small
+        # components inflate the cluster message bill under DAG dispatch.
+        # Batch dispatch (:meth:`_dispatch` / :meth:`_send_batch`) keeps
+        # its per-op forwards — that is the pinned legacy wire format.
         self.send(
             node,
             "cl_run",
@@ -960,6 +970,7 @@ class Router(Node):
                 "unit": uidx,
                 "count": len(unit.ops),
                 "leases": unit.leases,
+                "ops": list(unit.ops),
                 # Absolute completion of this unit's sync lane (0.0 for
                 # uncontended units): the lane ran while the unit waited
                 # in the pipeline, so the node pays only the remainder.
@@ -968,8 +979,6 @@ class Router(Node):
                 ),
             },
         )
-        for op in unit.ops:
-            self.send(node, "cl_op", {"round": index, "unit": uidx, "op": op})
 
     def _finish_pipelined_round(self, index: int) -> None:
         round_state = self._inflight[index]

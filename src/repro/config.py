@@ -1,0 +1,205 @@
+"""Unified run configuration: the fast paths are the defaults now.
+
+Every headline subsystem — op-granular DAG scheduling, cross-round
+pipelining, tiered team lanes, team-lane GC — shipped default-off behind
+its own kwarg, so out of the box the system was still the PR 1/2 barrier
+engine.  This module flips them on and gives the knob sprawl one home:
+
+* :class:`EngineConfig` — the single-process executors
+  (:class:`~repro.engine.executor.BatchExecutor`,
+  :class:`~repro.engine.pipeline.PipelinedExecutor`);
+* :class:`ClusterConfig` — the distributed cluster
+  (:class:`~repro.cluster.cluster.TokenCluster`).
+
+Both are frozen dataclasses: a config is a *value*, hashable and
+comparable, and ``as_dict()`` / ``from_dict()`` round-trip it losslessly
+so benchmark baselines can embed the exact configuration that produced
+them (``scripts/check_bench.py`` refuses a baseline whose config block
+disagrees with the run's — a silent default flip can never skew one
+number in one place).
+
+The historical behavior is not gone, it is a preset: ``legacy()`` pins
+the pre-flip defaults — chain-atomic barrier rounds, always-global
+escalation, no lane GC — and the config test suite holds it bit-identical
+(stats-dict identity) to explicit pre-flip kwargs across every traced
+setup.
+
+Precedence at the constructors: an explicitly passed kwarg beats the
+``config=`` value, which beats the dataclass default.  Bare kwargs
+therefore keep working exactly as before — they are overrides on top of
+whatever config (or default) is in effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+
+from repro.errors import ClusterError, EngineError
+
+#: Sentinel distinguishing "kwarg not passed" from legitimate ``None``
+#: values (``mempool_capacity=None``, ``lane_ttl=None``).
+UNSET = object()
+
+
+def _with_overrides(config, overrides: dict):
+    """A copy of ``config`` with every non-:data:`UNSET` override applied
+    (kwargs beat the config, the config beats the dataclass defaults)."""
+    updates = {
+        key: value for key, value in overrides.items() if value is not UNSET
+    }
+    return replace(config, **updates) if updates else config
+
+
+class _ConfigBase:
+    """Shared validation + dict round-trip of the frozen config values."""
+
+    #: Raised on invalid values — the cluster config narrows it to
+    #: :class:`~repro.errors.ClusterError` so each entry point keeps its
+    #: historical exception contract.
+    _error: type[Exception] = EngineError
+
+    def as_dict(self) -> dict:
+        """A plain-JSON snapshot (bench metadata; ``from_dict`` inverts)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict):
+        """Rebuild a config from :meth:`as_dict` output.  Unknown keys
+        fail loudly — a baseline written by a different config surface
+        should never be silently reinterpreted."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise cls._error(
+                f"{cls.__name__} does not know the keys {unknown}"
+            )
+        return cls(**data)
+
+    def _check_common(self) -> None:
+        if self.window < 1:
+            raise self._error("window must be positive")
+        if self.team_threshold < 0:
+            raise self._error("team_threshold must be non-negative")
+        if self.pipeline_depth < 1:
+            raise self._error("pipeline_depth must be >= 1")
+        if self.lane_ttl is not None and self.lane_ttl < 1:
+            raise self._error("lane_ttl must be positive (or None)")
+        if (
+            self.mempool_capacity is not None
+            and self.mempool_capacity < 1
+        ):
+            raise self._error("mempool_capacity must be positive (or None)")
+
+
+@dataclass(frozen=True)
+class EngineConfig(_ConfigBase):
+    """Configuration of the single-process executors.
+
+    The defaults are the *fast* configuration: op-granular DAG
+    scheduling, two pipelined windows in flight, team lanes for spender
+    bounds up to 4 with per-account sync-group splitting, and team lanes
+    garbage-collected after 32 idle sync rounds.  ``legacy()`` is the
+    pre-flip behavior, bit for bit.
+    """
+
+    num_lanes: int = 4
+    window: int = 64
+    op_cost: float = 1.0
+    seed: int = 0
+    validate: bool = False
+    mempool_capacity: int | None = None
+    #: Largest spender bound ordered on a k-participant team lane
+    #: (``0`` = every contended component pays the global lane).
+    team_threshold: int = 4
+    #: Op-granular scheduling along each component's precedence DAG
+    #: (``False`` = chain-atomic lanes, the historical planner).
+    dag_scheduling: bool = True
+    #: Windows in flight at once; ``1`` *is* the barrier round loop.
+    #: Read by :class:`~repro.engine.pipeline.PipelinedExecutor` only —
+    #: the barrier :class:`~repro.engine.executor.BatchExecutor` is
+    #: depth 1 by construction.
+    pipeline_depth: int = 2
+    #: Garbage-collect a team lane idle for this many sync rounds
+    #: (``None`` = keep every lane forever).
+    lane_ttl: int | None = 32
+    #: Split each contended component into per-account synchronization
+    #: groups, each ordered on its own (smaller) team lane; cross-group
+    #: order is stitched through chain order.
+    split_sync: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_lanes < 1:
+            raise EngineError("need at least one lane")
+        self._check_common()
+
+    @classmethod
+    def legacy(cls, **overrides) -> "EngineConfig":
+        """The pre-flip defaults: chain-atomic barrier rounds, global-only
+        escalation, no lane GC — PR 1–8 behavior, bit for bit."""
+        preset = dict(
+            team_threshold=0,
+            dag_scheduling=False,
+            pipeline_depth=1,
+            lane_ttl=None,
+            split_sync=False,
+        )
+        preset.update(overrides)
+        return cls(**preset)
+
+
+@dataclass(frozen=True)
+class ClusterConfig(_ConfigBase):
+    """Configuration of the distributed :class:`~repro.cluster.cluster.
+    TokenCluster`.
+
+    Defaults mirror :class:`EngineConfig`'s flip: component-granular
+    unit dispatch (DAG scheduling under a depth-2 pipeline), owner-node
+    team lanes up to 4 participants, and idle-lane GC.  ``legacy()``
+    pins the pre-flip barrier cluster.
+    """
+
+    num_nodes: int = 4
+    lanes_per_node: int = 4
+    window: int = 64
+    #: ``None`` derives ``max(16, 8 * num_nodes)`` at construction.
+    num_shards: int | None = None
+    op_cost: float = 1.0
+    seed: int = 0
+    validate: bool = False
+    mempool_capacity: int | None = None
+    #: A chain migrates leases only when its majority owner already has
+    #: at least this many of its operations.
+    lease_min_gain: int = 2
+    #: Rounds a freshly migrated shard is pinned to its new owner.
+    lease_cooldown: int = 0
+    #: Largest owner-node set ordered on a team lane (``0`` = global).
+    team_threshold: int = 4
+    pipeline_depth: int = 2
+    dag_scheduling: bool = True
+    lane_ttl: int | None = 32
+
+    _error = ClusterError
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ClusterError("cluster needs at least one node")
+        if self.lanes_per_node < 1:
+            raise ClusterError("need at least one lane per node")
+        if self.lease_min_gain < 1:
+            raise ClusterError("lease_min_gain must be positive")
+        if self.lease_cooldown < 0:
+            raise ClusterError("lease_cooldown must be non-negative")
+        self._check_common()
+
+    @classmethod
+    def legacy(cls, **overrides) -> "ClusterConfig":
+        """The pre-flip defaults: batch dispatch, barrier rounds,
+        global-only escalation, no lane GC."""
+        preset = dict(
+            team_threshold=0,
+            pipeline_depth=1,
+            dag_scheduling=False,
+            lane_ttl=None,
+        )
+        preset.update(overrides)
+        return cls(**preset)

@@ -28,6 +28,7 @@ Quickstart::
           f"{stats.escalation_rate:.1%} ops needed consensus")
 """
 
+from repro.config import EngineConfig
 from repro.engine.classifier import (
     ClassifierStats,
     ClassifierValidationError,
@@ -57,6 +58,7 @@ from repro.engine.shard import (
 from repro.engine.stats import EngineStats, WaveStats
 
 __all__ = [
+    "EngineConfig",
     "ClassifierStats",
     "ClassifierValidationError",
     "OpClassifier",

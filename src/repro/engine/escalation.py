@@ -119,6 +119,7 @@ def tiered_escalator(
     seed: int = 0,
     max_batch: int = 64,
     lane_ttl: int | None = None,
+    split_sync: bool = False,
 ) -> TieredEscalator:
     """Wire a :class:`ConsensusEscalator` into the tiered sync layer.
 
@@ -129,7 +130,9 @@ def tiered_escalator(
     behavior).  ``lane_ttl`` garbage-collects team lanes idle for that
     many sync rounds (``None`` keeps them forever), so long runs over
     shifting approval patterns do not accumulate one live replica group
-    per distinct team.
+    per distinct team.  ``split_sync`` partitions each contended
+    component into per-account synchronization groups before tiering
+    (:meth:`~repro.sync.planner.SyncPlanner.split_groups`).
     """
     return TieredEscalator(
         escalator
@@ -137,7 +140,7 @@ def tiered_escalator(
         else ConsensusEscalator(
             seed=seed, latency=latency, max_batch=max_batch
         ),
-        planner=SyncPlanner(team_threshold),
+        planner=SyncPlanner(team_threshold, split_sync=split_sync),
         latency=latency,
         seed=seed,
         max_batch=max_batch,

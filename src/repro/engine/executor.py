@@ -21,9 +21,9 @@ schedules its connected components:
   into one batch on the global
   :class:`~repro.engine.escalation.ConsensusEscalator` lane.  The phase's
   makespan (global lane and team pool run concurrently) and message bill
-  are charged to the engine clock.  With the default ``team_threshold =
-  0`` every contended component takes the global lane — the historical
-  behavior, bit for bit.
+  are charged to the engine clock.  With ``team_threshold = 0``
+  (:meth:`repro.config.EngineConfig.legacy`) every contended component
+  takes the global lane — the historical behavior, bit for bit.
 
 A round costs the lane critical path (longest lane, in operation units)
 plus the consensus latency of its escalations; conflict-free windows pay
@@ -42,13 +42,13 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
+from repro.config import UNSET, EngineConfig, _with_overrides
 from repro.engine.classifier import OpClassifier
 from repro.engine.escalation import ConsensusEscalator, tiered_escalator
 from repro.engine.mempool import Mempool, PendingOp
 from repro.engine.rounds import RoundLifecycle, RoundScheduler
 from repro.engine.shard import ShardPlanner
 from repro.engine.stats import EngineStats, WaveStats
-from repro.errors import EngineError
 from repro.obs.trace import TraceRecorder
 from repro.spec.object_type import SequentialObjectType
 from repro.sync.escalation import TieredEscalator
@@ -61,69 +61,94 @@ class BatchExecutor:
     def __init__(
         self,
         object_type: SequentialObjectType,
-        num_lanes: int = 4,
-        window: int = 64,
-        op_cost: float = 1.0,
+        config: EngineConfig | None = None,
+        *,
+        num_lanes=UNSET,
+        window=UNSET,
+        op_cost=UNSET,
         classifier: OpClassifier | None = None,
         planner: ShardPlanner | None = None,
         escalator: ConsensusEscalator | None = None,
-        validate: bool = False,
-        seed: int = 0,
-        mempool_capacity: int | None = None,
-        team_threshold: int = 0,
+        validate=UNSET,
+        seed=UNSET,
+        mempool_capacity=UNSET,
+        team_threshold=UNSET,
         sync: TieredEscalator | None = None,
-        dag_scheduling: bool = False,
+        dag_scheduling=UNSET,
+        lane_ttl=UNSET,
+        split_sync=UNSET,
         tracer: TraceRecorder | None = None,
     ) -> None:
-        if num_lanes < 1:
-            raise EngineError("need at least one lane")
-        if window < 1:
-            raise EngineError("window must be positive")
+        #: The resolved run configuration: explicit kwargs override the
+        #: ``config=`` value, which overrides :class:`EngineConfig`'s
+        #: (fast-path) defaults.  ``EngineConfig.legacy()`` recovers the
+        #: historical barrier engine bit for bit.
+        self.config = cfg = _with_overrides(
+            config if config is not None else EngineConfig(),
+            dict(
+                num_lanes=num_lanes,
+                window=window,
+                op_cost=op_cost,
+                validate=validate,
+                seed=seed,
+                mempool_capacity=mempool_capacity,
+                team_threshold=team_threshold,
+                dag_scheduling=dag_scheduling,
+                lane_ttl=lane_ttl,
+                split_sync=split_sync,
+            ),
+        )
         self.object_type = object_type
-        self.num_lanes = num_lanes
-        self.window = window
-        self.op_cost = op_cost
+        self.num_lanes = cfg.num_lanes
+        self.window = cfg.window
+        self.op_cost = cfg.op_cost
         self.classifier = (
             classifier
             if classifier is not None
-            else OpClassifier(object_type, validate=validate)
+            else OpClassifier(object_type, validate=cfg.validate)
         )
-        #: ``dag_scheduling=True`` dissolves chain-atomic components into
-        #: their precedence DAGs (op-granular scheduling); the default
+        #: ``dag_scheduling=True`` (the default) dissolves chain-atomic
+        #: components into their precedence DAGs (op-granular scheduling);
         #: ``False`` is the historical chain-atomic behavior bit for bit.
         self.planner = (
             planner
             if planner is not None
-            else ShardPlanner(num_lanes, dag_scheduling=dag_scheduling)
+            else ShardPlanner(
+                cfg.num_lanes, dag_scheduling=cfg.dag_scheduling
+            )
         )
         self.scheduler = RoundScheduler(self.classifier, self.planner)
         self.escalator = (
             escalator
             if escalator is not None
-            else ConsensusEscalator(seed=seed)
+            else ConsensusEscalator(seed=cfg.seed)
         )
-        #: The tiered sync layer; its Tier ∞ fallback is ``self.escalator``,
-        #: so ``team_threshold=0`` (the default) reproduces the historical
-        #: always-global escalation exactly.
+        #: The tiered sync layer; its Tier ∞ fallback is ``self.escalator``.
+        #: ``team_threshold=0`` reproduces the historical always-global
+        #: escalation exactly.
         self.sync = (
             sync
             if sync is not None
             else tiered_escalator(
-                self.escalator, team_threshold=team_threshold, seed=seed
+                self.escalator,
+                team_threshold=cfg.team_threshold,
+                seed=cfg.seed,
+                lane_ttl=cfg.lane_ttl,
+                split_sync=cfg.split_sync,
             )
         )
         #: The shared round stage machine (drain → classify → sync → plan);
         #: the pipelined executor drives the same lifecycle, which is what
         #: keeps ``pipeline_depth=1`` bit-identical to this barrier path.
         self.lifecycle = RoundLifecycle(
-            self.scheduler, self.sync, object_type, op_cost=op_cost
+            self.scheduler, self.sync, object_type, op_cost=cfg.op_cost
         )
-        self.mempool = Mempool(capacity=mempool_capacity)
+        self.mempool = Mempool(capacity=cfg.mempool_capacity)
         self.state = object_type.initial_state()
         self.responses: dict[int, Any] = {}
         self.clock = 0.0
         self.stats = EngineStats(
-            num_lanes=num_lanes, window=window, op_cost=op_cost
+            num_lanes=cfg.num_lanes, window=cfg.window, op_cost=cfg.op_cost
         )
         #: Optional observability hook (:mod:`repro.obs`).  ``None`` (the
         #: default) records nothing and changes nothing — the historical

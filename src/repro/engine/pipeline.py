@@ -65,6 +65,7 @@ import heapq
 import math
 from dataclasses import dataclass
 
+from repro.config import UNSET, EngineConfig, _with_overrides
 from repro.engine.executor import BatchExecutor
 from repro.engine.mempool import PendingOp
 from repro.engine.stats import EngineStats, WaveStats
@@ -100,12 +101,57 @@ class PipelinedExecutor(BatchExecutor):
     *makespan*, not the sum of per-round times.
     """
 
-    def __init__(self, object_type, pipeline_depth: int = 2, **kwargs) -> None:
-        if pipeline_depth < 1:
-            raise EngineError("pipeline_depth must be >= 1")
-        super().__init__(object_type, **kwargs)
-        self.pipeline_depth = pipeline_depth
-        self.stats.pipeline_depth = pipeline_depth
+    def __init__(
+        self,
+        object_type,
+        config: EngineConfig | None = None,
+        *,
+        pipeline_depth=UNSET,
+        num_lanes=UNSET,
+        window=UNSET,
+        op_cost=UNSET,
+        classifier=None,
+        planner=None,
+        escalator=None,
+        validate=UNSET,
+        seed=UNSET,
+        mempool_capacity=UNSET,
+        team_threshold=UNSET,
+        sync=None,
+        dag_scheduling=UNSET,
+        lane_ttl=UNSET,
+        split_sync=UNSET,
+        tracer=None,
+    ) -> None:
+        # The full config surface, spelled out: a mistyped knob raises a
+        # TypeError here instead of vanishing into a ``**kwargs`` sink.
+        cfg = _with_overrides(
+            config if config is not None else EngineConfig(),
+            dict(
+                pipeline_depth=pipeline_depth,
+                num_lanes=num_lanes,
+                window=window,
+                op_cost=op_cost,
+                validate=validate,
+                seed=seed,
+                mempool_capacity=mempool_capacity,
+                team_threshold=team_threshold,
+                dag_scheduling=dag_scheduling,
+                lane_ttl=lane_ttl,
+                split_sync=split_sync,
+            ),
+        )
+        super().__init__(
+            object_type,
+            cfg,
+            classifier=classifier,
+            planner=planner,
+            escalator=escalator,
+            sync=sync,
+            tracer=tracer,
+        )
+        self.pipeline_depth = cfg.pipeline_depth
+        self.stats.pipeline_depth = cfg.pipeline_depth
         #: Earliest free time per lane (the pipeline never resets these —
         #: lanes flow from one window into the next).
         self._lane_free = [0.0] * self.num_lanes

@@ -82,8 +82,17 @@ def dag_list_schedule(
     Times stay integers when every input is an integer — the planner's
     operation-unit invariant at the default ``cost=1``.
 
+    **Insertion/backfill:** when a floored task starts past a lane's free
+    time (its sync lane or frontier holds it back), the idle interval it
+    leaves behind is remembered as a *gap*, and later ready tasks slot
+    into gaps they fit — a deep-priority op no longer strands a lane idle
+    that a ready singleton could fill.  Gap placement is sound: the gap
+    predates the lane's current tail, and every precedence and floor
+    constraint is still honored through ``est``.
+
     Returns ``(start, finish, lane)`` per task.  Deterministic: the heap
-    orders by (priority desc, seq), the lane choice by (start, free, id).
+    orders by (priority desc, seq), the lane choice by (start, free, id),
+    and gaps are scanned in ascending start order.
     """
     n = len(seqs)
     succs: list[list[int]] = [[] for _ in range(n)]
@@ -96,16 +105,42 @@ def dag_list_schedule(
     ready = [(-priorities[i], seqs[i], i) for i in range(n) if not missing[i]]
     heapq.heapify(ready)
     out: list[tuple[float, float, int] | None] = [None] * n
+    #: Per lane: idle ``[start, end)`` intervals behind its free time,
+    #: ascending (this call's own making — a persistent caller's lanes
+    #: start gapless, which keeps incremental scheduling conservative).
+    gaps: list[list[tuple[float, float]]] = [[] for _ in lane_free]
     scheduled = 0
     while ready:
         _, _, i = heapq.heappop(ready)
-        lane = min(
-            range(len(lane_free)),
-            key=lambda l: (max(lane_free[l], est[i]), lane_free[l], l),
-        )
-        start = max(lane_free[lane], est[i])
+        best: tuple | None = None
+        for lane_id in range(len(lane_free)):
+            placed_in: int | None = None
+            start = max(lane_free[lane_id], est[i])
+            # Gaps are ascending, so the first fitting gap is this lane's
+            # earliest feasible start — and any fitting gap beats the tail.
+            for gap_index, (gap_start, gap_end) in enumerate(gaps[lane_id]):
+                slot = max(gap_start, est[i])
+                if slot + cost <= gap_end:
+                    start, placed_in = slot, gap_index
+                    break
+            key = (start, lane_free[lane_id], lane_id)
+            if best is None or key < best[0]:
+                best = (key, lane_id, placed_in)
+        assert best is not None
+        (start, _, lane), _, gap_index = best
         finish = start + cost
-        lane_free[lane] = finish
+        if gap_index is not None:
+            gap_start, gap_end = gaps[lane].pop(gap_index)
+            # Residual idle slivers stay fillable (sub-intervals of the
+            # old gap, so the list stays ascending in place).
+            if finish < gap_end:
+                gaps[lane].insert(gap_index, (finish, gap_end))
+            if gap_start < start:
+                gaps[lane].insert(gap_index, (gap_start, start))
+        else:
+            if start > lane_free[lane]:
+                gaps[lane].append((lane_free[lane], start))
+            lane_free[lane] = finish
         out[i] = (start, finish, lane)
         scheduled += 1
         for s in succs[i]:

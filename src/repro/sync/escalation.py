@@ -112,11 +112,56 @@ class TieredEscalator:
         state=None,
         object_type=None,
     ) -> SyncRoundResult:
-        """Plan and order one round's contended components (engine path)."""
-        assignments = self.planner.assign(
+        """Plan and order one round's contended components (engine path).
+
+        With the planner's ``split_sync`` on, each component is first
+        partitioned into its per-account synchronization groups — every
+        group ordered on its own (smaller) lane, all of them concurrent —
+        and the sub-orders are folded back into **one**
+        :class:`ComponentOrder` per input component, so callers keep
+        zipping ``components`` against the result positionally.  Folding
+        is sound because every lane commits in submission order and
+        groups race on disjoint accounts: the merged submission order
+        *is* each lane's order interleaved, and the cross-group order is
+        stitched through chain order by the component's own scheduling.
+        """
+        grouped = self.planner.assign_groups(
             components, classifier, state=state, object_type=object_type
         )
-        return self.order_assignments(assignments)
+        flat = [assignment for group in grouped for assignment in group]
+        result = self.order_assignments(flat)
+        if len(flat) == len(grouped):
+            return result
+        folded: list[ComponentOrder] = []
+        cursor = 0
+        for group in grouped:
+            orders = result.components[cursor : cursor + len(group)]
+            cursor += len(group)
+            if len(orders) == 1:
+                folded.append(orders[0])
+                continue
+            teams = [order.team for order in orders]
+            folded.append(
+                ComponentOrder(
+                    tier=max(order.tier for order in orders),
+                    team=(
+                        None
+                        if any(team is None for team in teams)
+                        else frozenset().union(*teams)
+                    ),
+                    ordered=tuple(
+                        sorted(
+                            (op for order in orders for op in order.ordered),
+                            key=lambda op: op.seq,
+                        )
+                    ),
+                    # The component's order is known once its slowest
+                    # group's lane committed.
+                    completed=max(order.completed for order in orders),
+                )
+            )
+        result.components = folded
+        return result
 
     def order_assignments(
         self, assignments: Sequence[SyncAssignment]

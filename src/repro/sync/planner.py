@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import EngineError
+from repro.objects.footprint import accounts_in
 from repro.sync.bounds import component_team
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -73,11 +74,16 @@ class SyncPlanner:
         self,
         team_threshold: int = 0,
         bound_fn: Callable[..., frozenset[int] | None] = component_team,
+        split_sync: bool = False,
     ) -> None:
         if team_threshold < 0:
             raise EngineError("team_threshold must be non-negative")
         self.team_threshold = team_threshold
         self.bound_fn = bound_fn
+        #: Split each contended component into per-account synchronization
+        #: groups before tiering (see :meth:`split_groups`).  ``False``
+        #: keeps the historical whole-component sizing bit for bit.
+        self.split_sync = split_sync
 
     # ------------------------------------------------------------------
 
@@ -115,3 +121,74 @@ class SyncPlanner:
                     SyncAssignment(tier=TIER_GLOBAL, team=None, ops=ops)
                 )
         return assignments
+
+    # -- per-account synchronization-group splitting --------------------
+
+    def split_groups(
+        self, ops: "Sequence[PendingOp]", classifier
+    ) -> list[tuple]:
+        """Partition one contended component into its per-account
+        synchronization groups: the connected components of the
+        "shares a contended account" relation over its operations.
+
+        Two operations in different groups race on disjoint accounts, so
+        no single lane has to sequence them — their relative order is
+        already stitched through chain order (the component's own
+        submission-order scheduling).  Each group can then be sized by
+        *its own* accounts' spender bounds, which keeps k small for
+        merged chains whose union bound would blow the threshold.  Any
+        unknown footprint collapses the component back into one group
+        (the historical whole-component unit).  Groups come out in
+        submission order of their first operation; flattening them
+        recovers the component's operations exactly.
+        """
+        ops = tuple(ops)
+        group_of_account: dict[int, int] = {}
+        parent = list(range(len(ops)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        for i, op in enumerate(ops):
+            fp = classifier.footprint(op)
+            if fp is None:
+                return [ops]
+            for account in accounts_in(fp.contended):
+                holder = group_of_account.setdefault(account, i)
+                root_a, root_b = find(holder), find(i)
+                if root_a != root_b:
+                    parent[max(root_a, root_b)] = min(root_a, root_b)
+        members: dict[int, list] = {}
+        for i, op in enumerate(ops):
+            members.setdefault(find(i), []).append(op)
+        return [tuple(members[root]) for root in sorted(members)]
+
+    def assign_groups(
+        self,
+        components: Sequence["Sequence[PendingOp]"],
+        classifier,
+        state=None,
+        object_type=None,
+    ) -> list[list[SyncAssignment]]:
+        """Per component: its synchronization-group assignments — one
+        whole-component assignment when ``split_sync`` is off (or nothing
+        splits), the per-account groups otherwise."""
+        if not self.split_sync:
+            return [
+                [assignment]
+                for assignment in self.assign(
+                    components, classifier, state=state, object_type=object_type
+                )
+            ]
+        grouped: list[list[SyncAssignment]] = []
+        for ops in components:
+            subgroups = self.split_groups(tuple(ops), classifier)
+            grouped.append(
+                self.assign(
+                    subgroups, classifier, state=state, object_type=object_type
+                )
+            )
+        return grouped

@@ -7,8 +7,9 @@ Machine-checked guarantees of ``TokenCluster(dag_scheduling=True)``:
   geometry, pipeline depth, and lease schedule (units interleave on the
   nodes' lane timelines, but conflicting cross-round units are dispatch-
   gated and units of one round are distinct components);
-* **chain-atomic identity** — ``dag_scheduling=False`` (the default) is
-  the historical cluster bit for bit, stats dictionaries included;
+* **chain-atomic identity** — ``ClusterConfig.legacy()`` (equivalently
+  the explicit pre-flip kwargs) is the historical cluster bit for bit,
+  stats dictionaries included;
 * **granularity** — the pipelined router really fans a round out as
   per-component ``cl_run`` units, and the nodes' bills carry the DAG
   structure metrics.
@@ -20,7 +21,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster import TokenCluster
+from repro.cluster import ClusterConfig, TokenCluster
 from repro.objects.erc20 import ERC20TokenType
 from repro.spec.operation import op
 from repro.workloads import (
@@ -153,14 +154,20 @@ class TestSerialEquivalence:
 class TestIdentity:
     @pytest.mark.parametrize("depth", (1, 3))
     def test_dag_off_is_the_historical_cluster(self, depth):
+        # The legacy() preset and the explicit pre-flip kwargs are the
+        # same cluster bit for bit at any pipeline depth.
         items = make_items(APPROVAL_HEAVY_MIX, 300)
         default = TokenCluster(
-            make_token(), num_nodes=4, lanes_per_node=4, window=48,
-            pipeline_depth=depth,
+            make_token(),
+            ClusterConfig.legacy(
+                num_nodes=4, lanes_per_node=4, window=48,
+                pipeline_depth=depth,
+            ),
         )
         explicit = TokenCluster(
             make_token(), num_nodes=4, lanes_per_node=4, window=48,
             pipeline_depth=depth, dag_scheduling=False,
+            team_threshold=0, lane_ttl=None,
         )
         d_state, d_responses, d_stats = default.run_workload(items)
         e_state, e_responses, e_stats = explicit.run_workload(items)
@@ -235,7 +242,7 @@ class TestGranularity:
         kwargs = dict(
             num_nodes=4, lanes_per_node=8, window=64, pipeline_depth=3
         )
-        atomic = TokenCluster(make_token(), **kwargs)
+        atomic = TokenCluster(make_token(), dag_scheduling=False, **kwargs)
         dag = TokenCluster(make_token(), dag_scheduling=True, **kwargs)
         atomic.run_workload(items)
         dag.run_workload(items)

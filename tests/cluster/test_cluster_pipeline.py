@@ -3,8 +3,9 @@
 Machine-checked guarantees of the pipelined router
 (:class:`repro.cluster.router.Router` with ``pipeline_depth > 1``):
 
-* **barrier identity** — ``pipeline_depth=1`` is the historical barrier
-  cluster, bit for bit (same stats dictionary as a default cluster);
+* **barrier identity** — ``ClusterConfig.legacy()`` (equivalently the
+  explicit pre-flip kwargs) is the historical barrier cluster, bit for
+  bit, stats dictionary included;
 * **serial equivalence** — for *any* pipeline depth, node count, shard
   geometry, and lease schedule, the final state and every response equal
   a plain sequential execution in submission order;
@@ -22,7 +23,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster import TokenCluster
+from repro.cluster import ClusterConfig, TokenCluster
 from repro.errors import ClusterError
 from repro.objects.asset_transfer import AssetTransferType
 from repro.objects.erc20 import ERC20TokenType
@@ -67,14 +68,14 @@ def cluster_run(factory, items, nodes, depth, window=16, **kwargs):
 class TestBarrierIdentity:
     @pytest.mark.parametrize("mix_name", sorted(MIXES))
     def test_depth_one_is_the_historical_cluster(self, mix_name):
+        # ClusterConfig.legacy() and the explicit pre-flip kwargs are the
+        # same barrier cluster bit for bit.
         items = TokenWorkloadGenerator(
             12, seed=37, mix=MIXES[mix_name]
         ).generate(160)
         default = TokenCluster(
             ERC20TokenType(12, total_supply=240),
-            num_nodes=4,
-            lanes_per_node=4,
-            window=16,
+            ClusterConfig.legacy(num_nodes=4, lanes_per_node=4, window=16),
         )
         d_state, d_responses, d_stats = default.run_workload(items)
         explicit = TokenCluster(
@@ -83,6 +84,9 @@ class TestBarrierIdentity:
             lanes_per_node=4,
             window=16,
             pipeline_depth=1,
+            dag_scheduling=False,
+            team_threshold=0,
+            lane_ttl=None,
         )
         e_state, e_responses, e_stats = explicit.run_workload(items)
         assert e_state == d_state

@@ -24,11 +24,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.commutativity import PairKind
+from repro.config import EngineConfig
 from repro.engine import (
     BatchExecutor,
     ComponentDAG,
     PipelinedExecutor,
     ShardPlanner,
+    dag_list_schedule,
 )
 from repro.engine.conflict_graph import ConflictGraph
 from repro.engine.classifier import OpClassifier
@@ -217,6 +219,64 @@ class TestDagPlanner:
             planner.plan(None, [[]], [], dags=[])
 
 
+class TestBackfill:
+    """Insertion/backfill in :func:`dag_list_schedule`: the idle interval
+    a floored task leaves behind is a gap later ready tasks may fill."""
+
+    def test_singleton_backfills_a_floored_lanes_gap(self):
+        lane_free = [0]
+        out = dag_list_schedule(
+            seqs=[0, 1],
+            preds=[(), ()],
+            priorities=[2, 1],
+            lane_free=lane_free,
+            floors=[5, 0],
+        )
+        # The high-priority floored task runs at its floor; the singleton
+        # no longer queues behind it but fills the [0, 5) idle interval.
+        assert out == [(5, 6, 0), (0, 1, 0)]
+        assert lane_free == [6]
+        assert all(isinstance(t, int) for s, f, _ in out for t in (s, f))
+
+    def test_residual_gap_slivers_stay_fillable(self):
+        out = dag_list_schedule(
+            seqs=[0, 1, 2, 3],
+            preds=[(), (), (), ()],
+            priorities=[9, 1, 1, 1],
+            lane_free=[0],
+            floors=[5, 0, 0, 0],
+        )
+        # Each fill splits the gap in place; three singletons pack the
+        # front of the [0, 5) interval back to back.
+        assert out[0] == (5, 6, 0)
+        assert [out[i][0] for i in (1, 2, 3)] == [0, 1, 2]
+
+    def test_backfill_honors_precedence(self):
+        out = dag_list_schedule(
+            seqs=[0, 1, 2],
+            preds=[(), (0,), ()],
+            priorities=[3, 2, 1],
+            lane_free=[0],
+            floors=[5, 0, 0],
+        )
+        # Task 1 depends on the floored task, so the gap cannot hold it
+        # (est = the predecessor's finish); only the free singleton fills.
+        assert out[0] == (5, 6, 0)
+        assert out[1] == (6, 7, 0)
+        assert out[2] == (0, 1, 0)
+
+    def test_no_floors_is_plain_list_scheduling(self):
+        out = dag_list_schedule(
+            seqs=[0, 1, 2, 3],
+            preds=[(), (), (), ()],
+            priorities=[1, 1, 1, 1],
+            lane_free=[0, 0],
+        )
+        # Without floors no gaps ever open: contiguous packing, lane
+        # choice deterministic by (start, free time, lane id).
+        assert out == [(0, 1, 0), (0, 1, 1), (1, 2, 0), (1, 2, 1)]
+
+
 class TestSerialEquivalence:
     @pytest.mark.parametrize("mix_name", sorted(MIXES))
     def test_barrier_engine_matches_spec(self, mix_name):
@@ -324,17 +384,24 @@ class TestSerialEquivalence:
 
 class TestIdentityAndStats:
     def test_dag_off_is_the_historical_engine(self):
+        # The legacy() preset and the explicit pre-flip kwargs are the
+        # same engine bit for bit — the chain-atomic path stayed intact
+        # under the fast-path default flip.
         items = TokenWorkloadGenerator(
             12, seed=37, mix=APPROVAL_HEAVY_MIX
         ).generate(240)
         default = BatchExecutor(
-            ERC20TokenType(12, total_supply=240), num_lanes=4, window=32
+            ERC20TokenType(12, total_supply=240),
+            EngineConfig.legacy(num_lanes=4, window=32),
         )
         explicit = BatchExecutor(
             ERC20TokenType(12, total_supply=240),
             num_lanes=4,
             window=32,
             dag_scheduling=False,
+            team_threshold=0,
+            lane_ttl=None,
+            split_sync=False,
         )
         d_state, d_responses, d_stats = default.run_workload(items)
         e_state, e_responses, e_stats = explicit.run_workload(items)
@@ -363,7 +430,10 @@ class TestIdentityAndStats:
             16, seed=7, mix=APPROVAL_HEAVY_MIX
         ).generate(400)
         atomic = BatchExecutor(
-            ERC20TokenType(16, total_supply=1600), num_lanes=4, window=64
+            ERC20TokenType(16, total_supply=1600),
+            num_lanes=4,
+            window=64,
+            dag_scheduling=False,
         ).run_workload(items)[2]
         dag = BatchExecutor(
             ERC20TokenType(16, total_supply=1600),

@@ -81,7 +81,9 @@ class TestEngineLevelAccounting:
         """An engine round's escalation_messages equals the closed-form
         three-phase bill for the number of operations it escalated."""
         token = ERC20TokenType(8, total_supply=80)
-        engine = BatchExecutor(token, num_lanes=2, window=8)
+        # team_threshold=0: the group must pay the global consensus lane
+        # (the fast-path default would order it on a team lane instead).
+        engine = BatchExecutor(token, num_lanes=2, window=8, team_threshold=0)
         # approve then two distinct spenders of account 0 — a
         # synchronization group that must escalate as one batch.
         engine.submit(0, op("approve", 1, 5))

@@ -12,8 +12,20 @@ from repro.errors import EngineError
 from repro.objects.asset_transfer import AssetTransferType
 from repro.objects.erc20 import ERC20TokenType, TokenState
 from repro.objects.erc721 import ERC721TokenType
+from repro.objects.footprint import bal, footprint
 from repro.spec.operation import op
 from repro.sync import SyncPlanner, TIER_GLOBAL, component_team
+
+
+class FootprintTable:
+    """A classifier stub serving hand-crafted footprints keyed by seq —
+    contention shapes the token types cannot express directly."""
+
+    def __init__(self, table):
+        self.table = table
+
+    def footprint(self, pending):
+        return self.table[pending.seq]
 
 
 def erc20_fixture():
@@ -109,6 +121,74 @@ class TestSyncPlanner:
             SyncPlanner(-1)
 
 
+def two_account_component():
+    """One component interleaving two disjoint contention sets: spenders
+    of account 0 (seqs 0, 2) and account 5's own transfers (seqs 1, 3)."""
+    return [
+        PendingOp(0, 1, op("transferFrom", 0, 3, 2)),
+        PendingOp(1, 5, op("transfer", 6, 2)),
+        PendingOp(2, 2, op("transferFrom", 0, 4, 1)),
+        PendingOp(3, 5, op("transfer", 7, 1)),
+    ]
+
+
+class TestSyncGroups:
+    def test_disjoint_accounts_split_in_submission_order(self):
+        _, classifier, _ = erc20_fixture()
+        ops = two_account_component()
+        planner = SyncPlanner(4, split_sync=True)
+        groups = planner.split_groups(ops, classifier)
+        # Groups come out in submission order of their first op, members
+        # in submission order; flattening recovers the component exactly.
+        assert groups == [(ops[0], ops[2]), (ops[1], ops[3])]
+
+    def test_shared_account_bridges_groups_transitively(self):
+        def contend(*accounts):
+            cells = [bal(a) for a in accounts]
+            return footprint(observes=cells, adds=cells)
+
+        ops = [PendingOp(s, s, op("transfer", 1, 1)) for s in range(3)]
+        table = {0: contend(0), 1: contend(5), 2: contend(0, 5)}
+        planner = SyncPlanner(4, split_sync=True)
+        groups = planner.split_groups(ops, FootprintTable(table))
+        assert groups == [tuple(ops)]
+
+    def test_unknown_footprint_collapses_to_one_group(self):
+        ops = [PendingOp(s, s, op("transfer", 1, 1)) for s in range(3)]
+        table = {
+            0: footprint(observes=[bal(0)], adds=[bal(0)]),
+            1: None,
+            2: footprint(observes=[bal(5)], adds=[bal(5)]),
+        }
+        planner = SyncPlanner(4, split_sync=True)
+        groups = planner.split_groups(ops, FootprintTable(table))
+        assert groups == [tuple(ops)]
+
+    def test_assign_groups_off_keeps_the_whole_component(self):
+        token, classifier, state = erc20_fixture()
+        ops = two_account_component()
+        planner = SyncPlanner(3, split_sync=False)
+        [[whole]] = planner.assign_groups([ops], classifier, state, token)
+        # The union bound {0,1,2} ∪ {5} plus participants is 4 > 3: the
+        # unsplit component blows the threshold and goes global.
+        assert whole.tier == TIER_GLOBAL
+        assert whole.ops == tuple(ops)
+
+    def test_split_groups_fit_lanes_the_union_bound_blows(self):
+        token, classifier, state = erc20_fixture()
+        ops = two_account_component()
+        planner = SyncPlanner(3, split_sync=True)
+        [[spenders, owner]] = planner.assign_groups(
+            [ops], classifier, state, token
+        )
+        # Sized per group, both fit: account 0's spender bound {0, 1, 2},
+        # account 5's own traffic just {5}.
+        assert spenders.team == frozenset({0, 1, 2})
+        assert spenders.tier == 3
+        assert owner.team == frozenset({5})
+        assert owner.tier == 1
+
+
 class TestTieredEscalator:
     def test_threshold_zero_matches_the_global_lane_exactly(self):
         """Bit-compatibility: the tiered path with no team lanes produces
@@ -173,3 +253,35 @@ class TestTieredEscalator:
             result.messages
             == result.team_messages + result.global_messages
         )
+
+    def test_split_sync_folds_groups_back_per_component(self):
+        token, classifier, state = erc20_fixture()
+        ops = two_account_component()
+        sync = tiered_escalator(
+            ConsensusEscalator(seed=9), team_threshold=3, split_sync=True
+        )
+        result = sync.order_round([ops], classifier, state, token)
+        # Two concurrent team lanes under the hood, but callers still zip
+        # components against the result positionally: one folded order.
+        [component] = result.components
+        assert [o.seq for o in component.ordered] == [0, 1, 2, 3]
+        assert component.tier == 3
+        assert component.team == frozenset({0, 1, 2, 5})
+        assert result.teams == 2
+        assert result.team_sizes == (3, 1)
+        assert result.team_ops == 4 and result.global_ops == 0
+        # The folded completion is the slower group's lane commit (the
+        # phase makespan may add that lane's trailing quorum traffic).
+        assert component.completed <= result.virtual_time
+
+    def test_split_sync_off_is_the_historical_whole_component(self):
+        token, classifier, state = erc20_fixture()
+        ops = two_account_component()
+        sync = tiered_escalator(
+            ConsensusEscalator(seed=9), team_threshold=3, split_sync=False
+        )
+        result = sync.order_round([ops], classifier, state, token)
+        [component] = result.components
+        assert math.isinf(component.tier)  # union bound 4 > threshold 3
+        assert [o.seq for o in component.ordered] == [0, 1, 2, 3]
+        assert result.global_ops == 4 and result.team_ops == 0
