@@ -197,6 +197,7 @@ def measure(ops: int) -> dict:
             "hot_split_ops": stats.hot_split_ops,
             "lease_migrations": stats.lease_migrations,
             "load_imbalance": stats.load_imbalance,
+            "dropped_ops": stats.dropped_ops,
         }
 
     # Per-op commit latency (submit -> commit on the traced virtual
@@ -286,13 +287,19 @@ def render_table(results: dict) -> list[str]:
             f"leases {entry['lease_migrations']:>4}  "
             f"imbalance {entry['load_imbalance']:.2f}"
         )
-    dropped = sum(
-        entry["cluster"][str(n)].get("dropped_ops", 0)
-        for entry in results["mixes"].values()
-        for n in NODE_COUNTS
-    ) + sum(
-        stats.get("dropped_ops", 0)
-        for stats in results["owner_local"].values()
+    dropped = (
+        sum(
+            entry["cluster"][str(n)].get("dropped_ops", 0)
+            for entry in results["mixes"].values()
+            for n in NODE_COUNTS
+        )
+        + sum(
+            stats.get("dropped_ops", 0)
+            for stats in results["owner_local"].values()
+        )
+        + sum(
+            entry.get("dropped_ops", 0) for entry in results["skew"].values()
+        )
     )
     lines += render_backpressure(
         dropped, "ops dropped at the router's admission edge"

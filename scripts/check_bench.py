@@ -35,7 +35,7 @@ artifact.
 Usage::
 
     python scripts/check_bench.py \
-        <engine|cluster|sync|pipeline|dag|stream> \
+        <engine|cluster|sync|pipeline|dag|stream|faults> \
         --run BENCH_<name>.json [--baseline PATH] [--tolerance 0.25] \
         [--explain [--explain-out PATH]]
     python scripts/check_bench.py --update-baselines [bench ...]
@@ -153,6 +153,27 @@ METRICS: dict[str, dict[str, list[str]]] = {
         ],
         "zero": [
             "cluster.chain_heavy.4.atomic.units_dispatched",
+        ],
+    },
+    "faults": {
+        "band": [
+            "reference.makespan",
+            "schedules.single_crash.makespan",
+            "schedules.crash_restart.makespan",
+            "schedules.crash_restart.ops_replayed",
+            "schedules.crash_restart.revocations",
+            "schedules.crash_restart.recovery_makespan",
+            "schedules.rolling.ops_replayed",
+            "availability.2.makespan_ratio",
+            "flash_crowd.makespan_ratio",
+        ],
+        "zero": [
+            "schedules.armed_idle.ops_replayed",
+            "schedules.armed_idle.revocations",
+            "schedules.single_crash.ops_lost",
+            "schedules.crash_restart.ops_lost",
+            "schedules.rolling.ops_lost",
+            "flash_crowd.ops_lost",
         ],
     },
 }

@@ -22,7 +22,13 @@ observability invariants end to end:
   be sampled is rejected), the exact ``category_totals`` must be
   present and must bound the occupancy recomputed from the retained
   spans, and a critical-path ``attribution`` must be *absent* — the
-  walk needs every span, so a sampled document carrying one is lying.
+  walk needs every span, so a sampled document carrying one is lying;
+* traces carrying a ``faults`` track (fault-injected runs; see
+  :mod:`repro.faults`) must keep it well-formed: only the known
+  crash / declared-dead / revoke / rejoin instants and off-chain
+  ``recovery`` spans, each tagged with its node, rejoins only after a
+  crash of the same node, and every recovery span anchored at a
+  recorded failure event.  Absent the track, the check is a no-op.
 
 Usage::
 
@@ -33,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
@@ -204,6 +211,91 @@ def _check_full(document: dict) -> list[str]:
     return failures
 
 
+#: The instant vocabulary of the ``faults`` track (repro.faults /
+#: cluster fail-over): anything else on the track is a schema error.
+_FAULT_INSTANTS = (
+    re.compile(r"^node (\d+) crashed$"),
+    re.compile(r"^node (\d+) declared dead$"),
+    re.compile(r"^revoke shard \d+ -> node (\d+)$"),
+    re.compile(r"^node (\d+) rejoined$"),
+)
+
+
+def _check_faults(document: dict) -> list[str]:
+    """The ``faults`` track schema: known instants only, off-chain
+    ``recovery`` spans tagged with their node, rejoins preceded by a
+    crash of the same node, and recovery spans anchored at a recorded
+    failure (declared-dead or rejoin) instant.  No track, no check."""
+    track_ids = {
+        (event["pid"], event["tid"])
+        for event in document["traceEvents"]
+        if event["ph"] == "M"
+        and event.get("args", {}).get("name") == "faults"
+    }
+    if not track_ids:
+        return []
+    failures: list[str] = []
+    crashed: dict[int, float] = {}
+    failure_instants: dict[int, list[float]] = {}
+    spans = []
+    for event in document["traceEvents"]:
+        if (event["pid"], event["tid"]) not in track_ids:
+            continue
+        if event["ph"] == "X":
+            spans.append(event)
+            continue
+        if event["ph"] != "i":
+            continue
+        name = event["name"]
+        match = next(
+            (m for p in _FAULT_INSTANTS if (m := p.match(name))), None
+        )
+        if match is None:
+            failures.append(f"unknown instant on the faults track: {name!r}")
+            continue
+        node = event.get("args", {}).get("node")
+        if not isinstance(node, int):
+            failures.append(f"faults instant {name!r} lacks an args.node")
+            continue
+        if name.endswith("crashed"):
+            crashed.setdefault(node, event["ts"])
+        elif name.endswith("declared dead") or name.endswith("rejoined"):
+            failure_instants.setdefault(node, []).append(event["ts"])
+        if name.endswith("rejoined") and crashed.get(node, float("inf")) > (
+            event["ts"] + TOLERANCE
+        ):
+            failures.append(
+                f"node {node} rejoined at {event['ts']:g} without a "
+                f"prior crash instant"
+            )
+    for span in spans:
+        name = span["name"]
+        match = re.match(r"^recovery node (\d+)$", name)
+        args = span.get("args", {})
+        if match is None or span.get("cat") != "recovery":
+            failures.append(
+                f"unexpected span on the faults track: {name!r} "
+                f"(cat {span.get('cat')!r})"
+            )
+            continue
+        if args.get("chain") is not False:
+            failures.append(
+                f"recovery span {name!r} must be off-chain (chain=False):"
+                f" recovery overlaps execution, it does not serialize it"
+            )
+        node = int(match.group(1))
+        anchors = failure_instants.get(node, [])
+        if not any(
+            abs(span["ts"] - ts) <= TOLERANCE * max(abs(ts), 1.0)
+            for ts in anchors
+        ):
+            failures.append(
+                f"recovery span for node {node} starts at {span['ts']:g} "
+                f"but no declared-dead/rejoin instant anchors it"
+            )
+    return failures
+
+
 def validate(path: Path) -> list[str]:
     """Return a list of human-readable violations (empty = valid)."""
     try:
@@ -217,6 +309,7 @@ def validate(path: Path) -> list[str]:
     failures: list[str] = []
     other = document.get("otherData", {})
     failures.extend(_check_wait_tiling(document))
+    failures.extend(_check_faults(document))
     if "sampled" in other:
         failures.extend(
             _check_sampled(document)

@@ -42,6 +42,7 @@ from repro.engine.classifier import OpClassifier
 from repro.engine.escalation import ConsensusEscalator
 from repro.engine.mempool import PendingOp
 from repro.errors import ClusterError
+from repro.faults import FaultInjector, FaultSchedule
 from repro.net.network import LatencyModel, Network, UniformLatency
 from repro.net.simulation import Simulator
 from repro.obs.trace import TraceRecorder
@@ -78,6 +79,9 @@ class TokenCluster:
         pipeline_depth=UNSET,
         dag_scheduling=UNSET,
         lane_ttl=UNSET,
+        result_timeout=UNSET,
+        lease_timeout=UNSET,
+        fault=UNSET,
         tracer: TraceRecorder | None = None,
     ) -> None:
         #: The resolved run configuration: explicit kwargs override the
@@ -101,6 +105,9 @@ class TokenCluster:
                 pipeline_depth=pipeline_depth,
                 dag_scheduling=dag_scheduling,
                 lane_ttl=lane_ttl,
+                result_timeout=result_timeout,
+                lease_timeout=lease_timeout,
+                fault=fault,
             ),
         )
         num_shards = cfg.num_shards
@@ -115,6 +122,14 @@ class TokenCluster:
             latency if latency is not None else UniformLatency(0.5, 1.5),
             seed=cfg.seed,
         )
+        #: Fault injection (:mod:`repro.faults`): a configured schedule is
+        #: planted on the simulator and filters every network send; absent
+        #: a schedule the network path is untouched (``faults is None``).
+        self.injector: FaultInjector | None = None
+        schedule = FaultSchedule.from_config(cfg.fault)
+        if schedule is not None:
+            self.injector = FaultInjector(schedule, self.simulator)
+            self.network.faults = self.injector
         self.shard_map = ShardMap(num_shards, cfg.num_nodes)
         self.state = object_type.initial_state()
         self.stats = ClusterStats(
@@ -144,6 +159,9 @@ class TokenCluster:
                 lanes=cfg.lanes_per_node,
                 op_cost=cfg.op_cost,
                 dag_scheduling=cfg.dag_scheduling,
+                fault_tolerant=(
+                    cfg.fault.enabled or cfg.result_timeout is not None
+                ),
                 tracer=tracer,
             )
             for node_id in range(cfg.num_nodes)
@@ -167,9 +185,22 @@ class TokenCluster:
             pipeline_depth=cfg.pipeline_depth,
             dag_scheduling=cfg.dag_scheduling,
             lane_ttl=cfg.lane_ttl,
+            result_timeout=cfg.result_timeout,
+            lease_timeout=cfg.lease_timeout,
+            op_cost=cfg.op_cost,
+            faults=self.injector,
             tracer=tracer,
         )
         self.stats.node_bills = [node.bill for node in self.nodes]
+        #: Commit-side dedup (seq -> response): a unit replayed while its
+        #: original result was in flight may apply an op twice; the first
+        #: application is authoritative and re-applications return it.
+        #: Always on — identical results when no fault ever fires.
+        self._applied: dict[int, Any] = {}
+        if self.injector is not None:
+            self.injector.on_crash = self._on_crash
+            self.injector.on_restart = self._on_restart
+            self.injector.install()
 
     # -- intake -----------------------------------------------------------
 
@@ -267,11 +298,37 @@ class TokenCluster:
 
     def _apply(self, op: PendingOp) -> Any:
         """Authoritative state transition, invoked by the executing node at
-        its round's virtual completion time."""
+        its round's virtual completion time.  Exactly-once: a seq that
+        already committed returns its recorded response without touching
+        state, so replayed units and straggler results from fenced nodes
+        can never double-apply."""
+        if op.seq in self._applied:
+            return self._applied[op.seq]
         self.state, response = self.object_type.apply(
             self.state, op.pid, op.operation
         )
+        self._applied[op.seq] = response
         return response
+
+    def _on_crash(self, node_id: int) -> None:
+        self.nodes[node_id].crash()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "faults",
+                f"node {node_id} crashed",
+                self.simulator.now,
+                args={"node": node_id},
+            )
+
+    def _on_restart(self, node_id: int) -> None:
+        # The node's durable identity is its shard ownership; rebuild it
+        # from the router's authoritative map (revocations included),
+        # then let the router replay what the crash erased and rebalance
+        # shards onto the rejoined node.
+        self.nodes[node_id].restart(
+            owned_shards=set(self.shard_map.shards_of_node(node_id))
+        )
+        self.router.node_rejoined(node_id)
 
     def _sync_stats(self) -> None:
         self.stats.makespan = self.simulator.now
@@ -279,4 +336,9 @@ class TokenCluster:
         self.stats.lease_messages = sum(
             self.network.stats.by_type.get(kind, 0)
             for kind in LEASE_MESSAGE_TYPES
+        )
+        # Every admitted op must have a response by quiescence; a nonzero
+        # residue is *lost work* the recovery machinery failed to replay.
+        self.stats.ops_lost = self.router.admitted_ops - len(
+            self.router.responses
         )

@@ -72,6 +72,7 @@ class ClusterNode(Node):
         op_cost: float = 1.0,
         dag_scheduling: bool = False,
         tracer: TraceRecorder | None = None,
+        fault_tolerant: bool = False,
     ) -> None:
         super().__init__(node_id, network)
         self.router_id = router_id
@@ -110,6 +111,57 @@ class ClusterNode(Node):
         #: can be attributed as ``lease_wait`` when it finally runs.
         self.tracer = tracer
         self._blocked_since: dict = {}
+        #: Crash/restart lifecycle (:mod:`repro.faults`).  When fault
+        #: tolerance is on, every in-flight execution timer is tracked so
+        #: :meth:`crash` can cancel it — a crash loses exactly the work
+        #: that had not reached its virtual completion time.
+        self.fault_tolerant = fault_tolerant
+        self.crashed = False
+        self._timers: list = []
+
+    # -- crash/restart lifecycle ------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile state: cancel every in-flight execution
+        timer and forget buffered batches, lease bookkeeping, and owned
+        shards.  Committed work (applied before the crash) is untouched —
+        application and result reporting happen in one simulator event,
+        so there is no window where state mutated but the result is not
+        on the wire."""
+        self.crashed = True
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
+        self._batches.clear()
+        self._expected.clear()
+        self._leases_needed.clear()
+        self._leases_granted.clear()
+        self._sync_delay.clear()
+        self._sync_ready.clear()
+        self._running.clear()
+        self._blocked_since.clear()
+        self.owned_shards.clear()
+        self.bill.crashes += 1
+
+    def restart(self, owned_shards: set[int] | None = None) -> None:
+        """Rejoin as a fresh process: empty lane timeline, no in-flight
+        work, shard ownership resynchronized to the router's view (the
+        shard map is the authoritative record; whatever the router
+        revoked while this node was down is gone)."""
+        self.crashed = False
+        self._lane_free = [0.0] * len(self._lane_free)
+        if owned_shards is not None:
+            self.owned_shards = set(owned_shards)
+        self.bill.restarts += 1
+
+    def _track_timer(self, handle) -> None:
+        """Remember an execution timer so a crash can cancel it; consumed
+        handles are pruned lazily so the list stays bounded."""
+        if not self.fault_tolerant:
+            return
+        self._timers.append(handle)
+        if len(self._timers) > 64:
+            self._timers = [h for h in self._timers if h.active]
 
     # -- round execution --------------------------------------------------
 
@@ -204,7 +256,10 @@ class ClusterNode(Node):
         delay = plan.critical_path * self.op_cost + sync_delay
         if self.tracer is not None:
             self._trace_batch(round_index, plan, sync_delay, delay)
-        self.schedule(delay, lambda: self._finish(round_index, plan, delay))
+        handle = self.schedule(
+            delay, lambda: self._finish(round_index, plan, delay)
+        )
+        self._track_timer(handle)
 
     def _trace_batch(
         self, round_index: int, plan, sync_delay: float, delay: float
@@ -376,10 +431,11 @@ class ClusterNode(Node):
         )
         if self.tracer is not None:
             self._trace_unit(key, tasks, placed, ready, finish)
-        self.schedule(
+        handle = self.schedule(
             finish - self.now,
             lambda: self._finish_unit(key, order, finish - started),
         )
+        self._track_timer(handle)
 
     def _trace_unit(
         self,
@@ -488,7 +544,6 @@ class ClusterNode(Node):
         """Adopt a shard, unblock the waiting batch or unit, ack the
         router."""
         body = message.payload
-        key = self._batch_key(body)
         self.owned_shards.add(body["shard"])
         self.bill.leases_acquired += 1
         if self.tracer is not None:
@@ -498,6 +553,16 @@ class ClusterNode(Node):
                 self.now,
                 args={"round": body["round"]},
             )
+        if body["round"] < 0:
+            # Administrative transfer (rejoin rebalancing): no batch or
+            # unit is waiting on this grant — adopt and ack only.
+            self.send(
+                self.router_id,
+                "cl_lease_ack",
+                {"shard": body["shard"], "round": body["round"]},
+            )
+            return
+        key = self._batch_key(body)
         self._leases_granted[key] = self._leases_granted.get(key, 0) + 1
         self.send(
             self.router_id,
@@ -508,3 +573,41 @@ class ClusterNode(Node):
             self._maybe_run_unit(key)
         else:
             self._maybe_run(key)
+
+    def handle_cl_lease_revoke(self, message: Message) -> None:
+        """Adopt a shard the router revoked from a failed owner.
+
+        Unlike a grant, no handover from the previous owner is possible —
+        the router reassigned the shard unilaterally.  A revoke that
+        carries a ``round``/``unit`` doubles as the grant the named unit
+        was waiting for (its granter died mid-handoff); an administrative
+        revoke (``round < 0``) only adopts.  Both ack the router so it
+        can serialize further handoffs of the shard behind the adoption.
+        """
+        body = message.payload
+        shard = body["shard"]
+        self.owned_shards.add(shard)
+        self.bill.leases_acquired += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"node{self.node_id}",
+                f"lease shard {shard} revoked from node {body['from_node']}",
+                self.now,
+                args={"shard": shard, "from_node": body["from_node"]},
+            )
+        self.send(
+            self.router_id,
+            "cl_lease_ack",
+            {"shard": shard, "round": body["round"]},
+        )
+        if body["round"] < 0:
+            return
+        key = self._batch_key(body)
+        self._leases_granted[key] = self._leases_granted.get(key, 0) + 1
+        self._maybe_run_unit(key)
+
+    def handle_cl_ping(self, message: Message) -> None:
+        """Answer the router's liveness probe.  A pong proves only that
+        the node is up and reachable; in-flight work stays silent until
+        it finishes."""
+        self.send(message.src, "cl_pong", {})

@@ -50,7 +50,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable
 
 from repro.engine.classifier import OpClassifier
@@ -72,7 +72,23 @@ from repro.cluster.sharding import ShardMap
 from repro.cluster.stats import ClusterRound, ClusterStats
 
 #: The lease handshake costs three messages per migrated shard.
-LEASE_MESSAGE_TYPES = ("cl_lease_request", "cl_lease_grant", "cl_lease_ack")
+LEASE_MESSAGE_TYPES = (
+    "cl_lease_request",
+    "cl_lease_grant",
+    "cl_lease_ack",
+    "cl_lease_revoke",
+)
+
+#: Sentinel round index of administrative lease traffic — fail-over
+#: revocations and rejoin rebalancing transfers.  No batch or unit waits
+#: on an administrative grant; its ack only releases the per-shard
+#: handoff serialization.
+ADMIN_ROUND = -1
+
+#: Unit indices at or above this base are replay incarnations (a fresh
+#: index per replay keeps ``(node, unit)`` keys collision-free against
+#: every positionally indexed unit of the round).
+_REPLAY_BASE = 1 << 20
 
 
 @dataclass(frozen=True, slots=True)
@@ -184,6 +200,20 @@ class _PipelinedRound:
     gate_blocked_since: dict = field(default_factory=dict)
     frontier_stall: float = 0.0
     frontier_stall_contended: float = 0.0
+    #: Fail-over replays: ``(node, unit)`` -> the re-dispatched unit
+    #: (``units_by_node`` is positional, so replay incarnations live in
+    #: this side table), plus the per-round replay index counter.
+    replay_units: dict = field(default_factory=dict)
+    replay_seq: int = 0
+
+
+@dataclass
+class _RecoveryEpisode:
+    """One node-failure episode: from declaring the node dead (or its
+    rejoin-time reconciliation) to the last replayed result arriving."""
+
+    started: float
+    outstanding: set = field(default_factory=set)
 
 
 class Router(Node):
@@ -209,6 +239,10 @@ class Router(Node):
         dag_scheduling: bool = False,
         lane_ttl: int | None = None,
         tracer: TraceRecorder | None = None,
+        result_timeout: float | None = None,
+        lease_timeout: float | None = None,
+        op_cost: float = 1.0,
+        faults=None,
     ) -> None:
         super().__init__(node_id, network)
         if pipeline_depth < 1:
@@ -280,6 +314,65 @@ class Router(Node):
         self.tracer = tracer
         if tracer is not None and getattr(self.sync, "pool", None) is not None:
             self.sync.pool.tracer = tracer
+        #: Fault recovery (:mod:`repro.faults`).  ``result_timeout`` arms
+        #: a timer per dispatched unit; a unit whose ``cl_result`` is
+        #: late is evidence its node died, and the router fences the
+        #: node, revokes its leases, and replays its in-flight units on
+        #: survivors.  ``None`` (the default) disables detection and
+        #: keeps every code path bit-identical to the fault-free router.
+        self.recovery = result_timeout is not None
+        if self.recovery and not self.unit_dispatch:
+            raise ClusterError(
+                "fault recovery needs component-granular dispatch "
+                "(dag_scheduling=True with pipeline_depth > 1)"
+            )
+        self.result_timeout = result_timeout
+        self.lease_timeout = (
+            lease_timeout if lease_timeout is not None else result_timeout
+        )
+        #: Per-op execution cost — sizes the work envelope a dispatched
+        #: unit is entitled to before its silence counts as evidence.
+        self.op_cost = op_cost
+        self.faults = faults
+        #: Operations admitted past the mempool (the denominator of the
+        #: zero-committed-op-loss check: admitted − responded = lost).
+        self.admitted_ops = 0
+        self._dead: set[int] = set()
+        #: ``(round, node, unit)`` -> result-timeout timer handle.
+        self._result_timers: dict = {}
+        #: shard -> lease-timeout timer / ``(round, granter, adopter)``
+        #: of its in-flight handoff (recovery bookkeeping only).
+        self._lease_timers: dict = {}
+        self._handoff_info: dict = {}
+        #: ``(round, node, unit)`` of a replay incarnation -> the failed
+        #: node(s) whose episodes await its result, and the virtual time
+        #: each replay was created (recovery-stall attribution).
+        self._replay_episode: dict = {}
+        self._replay_started: dict = {}
+        #: Failed node -> its open recovery episode.
+        self._recovering: dict[int, _RecoveryEpisode] = {}
+        #: node -> last virtual time it was dispatched to or heard from
+        #: (result or ack); the liveness floor result timeouts extend to.
+        self._last_heard: dict[int, float] = {}
+        #: node -> serial-sum execution envelope of its dispatched but
+        #: unfinished units, and the envelope each unit contributed.  A
+        #: single giant conflict component runs longer than any fixed
+        #: timeout while producing no interim results; its silence is
+        #: not evidence until its execution envelope has elapsed too.
+        #: The envelope shrinks as results land, so detection latency is
+        #: bounded by the node's outstanding work, not the run length.
+        self._outstanding_work: dict[int, float] = {}
+        self._unit_envelope: dict = {}
+        #: node -> virtual time of its unanswered liveness probe.  A
+        #: timeout alone cannot tell a dead node from a live one whose
+        #: message was lost in transit; the probe asks the node itself.
+        self._probes: dict[int, float] = {}
+        #: round -> unit retransmissions charged against its budget, and
+        #: shard -> handoff resends.  Both capped, so a network that
+        #: eats every copy ends the run with an honest error instead of
+        #: retransmitting forever.
+        self._retransmits: dict[int, int] = {}
+        self._lease_resends: dict[int, int] = {}
 
     # -- intake -----------------------------------------------------------
 
@@ -297,6 +390,7 @@ class Router(Node):
         except MempoolFullError:
             self.stats.dropped_ops += 1
             return None
+        self.admitted_ops += 1
         if self.tracer is not None:
             self.tracer.op_submit(
                 pending.seq, self.now if arrival is None else arrival
@@ -321,6 +415,9 @@ class Router(Node):
         no messages are sent — shared verbatim by the barrier
         (:meth:`start_round`) and pipelined (:meth:`pump`) round loops."""
         num_nodes = self.shard_map.num_nodes
+        # Nodes declared dead take no new work; with recovery off the set
+        # is always empty and every loop below is the historical one.
+        live = [n for n in range(num_nodes) if n not in self._dead]
         state = self._state_fn() if self._state_fn is not None else None
         graph = ConflictGraph.build(self.classifier, window, state)
         chain_idx, singleton_idx, contended_idx = self.scheduler.split(graph)
@@ -424,21 +521,19 @@ class Router(Node):
         # Singletons bundle by anchor account; oversized commuting bundles
         # are sprayed across the least-loaded nodes (hot-shard splitting,
         # the engine planner's target heuristic at cluster granularity).
-        target_load = math.ceil(len(window) / num_nodes)
+        target_load = math.ceil(len(window) / len(live))
         bundles: dict[int, list[PendingOp]] = {}
         for i in singleton_idx:
             op = window[i]
             bundles.setdefault(self._anchor(op), []).append(op)
 
         def least_loaded() -> int:
-            return min(
-                range(num_nodes), key=lambda n: (len(assignment[n]), n)
-            )
+            return min(live, key=lambda n: (len(assignment[n]), n))
 
         for account, ops in sorted(
             bundles.items(), key=lambda kv: (-len(kv[1]), kv[0])
         ):
-            if len(ops) > target_load and num_nodes > 1:
+            if len(ops) > target_load and len(live) > 1:
                 hot_split += len(ops)
                 for op in ops:
                     assignment[least_loaded()].append(op)
@@ -451,9 +546,9 @@ class Router(Node):
         # commutes with the entire window.
         spill = 0
         exhausted: set[int] = set()
-        while num_nodes > 1:
+        while len(live) > 1:
             heaviest = max(
-                (n for n in range(num_nodes) if n not in exhausted),
+                (n for n in live if n not in exhausted),
                 key=lambda n: (len(assignment[n]), -n),
                 default=None,
             )
@@ -632,22 +727,39 @@ class Router(Node):
             tracer.op_stage(seq, "sync", sync_start + completed)
 
     def _trace_dispatch(
-        self, name: str, stall: float, gate_stall: float
+        self,
+        name: str,
+        stall: float,
+        gate_stall: float,
+        recovery_stall: float = 0.0,
     ) -> None:
         """Record a delayed dispatch: a zero-length chained span at the
         send instant whose stalls tile the wait since classification —
         the footprint-gate portion as ``frontier_stall`` (latest, it ends
         at the send), the rest as ``dispatch_stall`` (pipeline-slot or
-        node-FIFO queueing)."""
+        node-FIFO queueing).  A replay incarnation charges the window
+        from its creation (the node's death was declared) to the send as
+        ``recovery`` instead — the footprint gate, if it held the replay
+        at all, did so inside that window."""
         assert self.tracer is not None
-        stalls = tuple(
-            (category, amount)
-            for category, amount in (
-                ("frontier_stall", gate_stall),
-                ("dispatch_stall", stall - gate_stall),
+        if recovery_stall > 0:
+            stalls = tuple(
+                (category, amount)
+                for category, amount in (
+                    ("recovery", recovery_stall),
+                    ("dispatch_stall", stall - recovery_stall),
+                )
+                if amount > 0
             )
-            if amount > 0
-        )
+        else:
+            stalls = tuple(
+                (category, amount)
+                for category, amount in (
+                    ("frontier_stall", gate_stall),
+                    ("dispatch_stall", stall - gate_stall),
+                )
+                if amount > 0
+            )
         self.tracer.span(
             "router",
             name,
@@ -808,6 +920,11 @@ class Router(Node):
                     if shard in self._shard_ack_round:
                         continue  # an earlier handoff of this shard is out
                     round_state.lease_pending.remove(migration)
+                    if self.recovery and from_node in self._dead:
+                        # The planned granter died: adopt unilaterally.
+                        self._direct_adopt(shard, index, from_node, to_node)
+                        progress = True
+                        continue
                     self._shard_ack_round[shard] = index
                     request = {
                         "shard": shard,
@@ -822,6 +939,9 @@ class Router(Node):
                             shard
                         ][1]
                     self.send(from_node, "cl_lease_request", request)
+                    if self.recovery:
+                        self._handoff_info[shard] = (index, from_node, to_node)
+                        self._arm_lease_timer(shard)
                     progress = True
             if self.unit_dispatch:
                 progress |= self._drain_unit_queues()
@@ -867,6 +987,8 @@ class Router(Node):
         unit is exactly what the gate refuses to dispatch."""
         progress = False
         for node in sorted(self._node_queue):
+            if node in self._dead:
+                continue
             queue = self._node_queue[node]
             for entry in list(queue):
                 index, uidx = entry
@@ -881,9 +1003,15 @@ class Router(Node):
                 gate_stall = self.now - round_state.gate_blocked_since.pop(
                     key, self.now
                 )
+                recovery_stall = 0.0
+                replay_started = self._replay_started.pop(
+                    (index, node, uidx), None
+                )
+                if replay_started is not None:
+                    recovery_stall = self.now - replay_started
                 round_state.dispatch_stall += stall
                 round_state.frontier_stall += gate_stall
-                unit = round_state.routed.units_by_node[node][uidx]
+                unit = self._unit_for(index, node, uidx)
                 if unit.contended:
                     round_state.dispatch_stall_contended += stall
                     round_state.frontier_stall_contended += gate_stall
@@ -892,6 +1020,7 @@ class Router(Node):
                         f"dispatch r{index} n{node} u{uidx}",
                         stall,
                         gate_stall,
+                        recovery_stall,
                     )
                 self._send_unit(index, node, uidx)
                 progress = True
@@ -952,9 +1081,17 @@ class Router(Node):
         for op in ops:
             self.send(node, "cl_op", {"round": index, "op": op})
 
+    def _unit_for(self, index: int, node: int, uidx: int) -> _DispatchUnit:
+        """The unit behind a dispatch key — positional in the routed
+        window, or a replay incarnation from the round's side table."""
+        round_state = self._inflight[index]
+        if uidx >= _REPLAY_BASE:
+            return round_state.replay_units[(node, uidx)]
+        return round_state.routed.units_by_node[node][uidx]
+
     def _send_unit(self, index: int, node: int, uidx: int) -> None:
         round_state = self._inflight[index]
-        unit = round_state.routed.units_by_node[node][uidx]
+        unit = self._unit_for(index, node, uidx)
         delay = unit.sync_delay
         # The unit's ops ride inside the announcement itself: a unit is
         # component-granular (often one chain or a handful of
@@ -979,6 +1116,33 @@ class Router(Node):
                 ),
             },
         )
+        if self.recovery:
+            # The timeout clock starts when the unit can actually run:
+            # a unit parked behind its sync lane is late evidence of
+            # nothing, so the lane remainder extends the deadline.
+            sync_wait = 0.0
+            if delay:
+                sync_wait = max(
+                    0.0, round_state.sync_start + delay - self.now
+                )
+            # Dispatch refreshes the liveness floor: an idle node owes
+            # nothing until it is given work again.
+            self._last_heard[node] = max(
+                self._last_heard.get(node, 0.0), self.now
+            )
+            # Charge the unit's serial execution to the node's work
+            # envelope (conservative: lanes overlap, the envelope does
+            # not) — detection latency trades against never suspecting a
+            # node that is merely grinding through a long component.
+            envelope = len(unit.ops) * self.op_cost + sync_wait
+            self._unit_envelope[(index, node, uidx)] = envelope
+            self._outstanding_work[node] = (
+                self._outstanding_work.get(node, 0.0) + envelope
+            )
+            self._result_timers[(index, node, uidx)] = self.schedule(
+                self.result_timeout + sync_wait,
+                lambda: self._result_timed_out(index, node, uidx),
+            )
 
     def _finish_pipelined_round(self, index: int) -> None:
         round_state = self._inflight[index]
@@ -1022,19 +1186,483 @@ class Router(Node):
             )
         )
         del self._inflight[index]
+        self._retransmits.pop(index, None)
         self.pump()
 
+    # -- fail-over: detection, revocation, replay -------------------------
+
+    def _arm_lease_timer(self, shard: int) -> None:
+        if not self.recovery:
+            return
+        self._cancel_lease_timer(shard)
+        self._lease_timers[shard] = self.schedule(
+            self.lease_timeout, lambda: self._lease_timed_out(shard)
+        )
+
+    def _cancel_lease_timer(self, shard: int) -> None:
+        timer = self._lease_timers.pop(shard, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _probe_state(self, node: int) -> str:
+        """Probe-based liveness: ``alive`` if the node was heard from
+        since its last probe, ``dead`` if a probe went unanswered for a
+        full ``result_timeout``, ``pending`` while the probe is still in
+        flight.  The first suspicion sends the ping; probes only ever
+        follow a fired timer, so a fault-free run never pays for one."""
+        probe = self._probes.get(node)
+        if probe is None:
+            self._probes[node] = self.now
+            self.send(node, "cl_ping", {})
+            return "pending"
+        if self._last_heard.get(node, 0.0) >= probe:
+            # Answered: retire the probe so a later suspicion re-asks.
+            del self._probes[node]
+            return "alive"
+        if self.now >= probe + self.result_timeout:
+            return "dead"
+        return "pending"
+
+    def _lease_timed_out(self, shard: int) -> None:
+        """A handoff's ack is late.  Either a party to the handoff is
+        dead, or the grant/revoke/ack itself was lost in transit — and
+        silence cannot tell the two apart, so probe the parties.  A dead
+        party goes through :meth:`_declare_dead`, which settles this
+        handoff synthetically; if everyone answers, the message was the
+        casualty and the adoption is resent — the shard's serialization
+        token and the node-side running guard make duplicates no-ops."""
+        self._lease_timers.pop(shard, None)
+        info = self._handoff_info.get(shard)
+        if info is None or shard not in self._shard_ack_round:
+            return
+        handoff_round, granter, adopter = info
+        parties = [
+            party
+            for party in dict.fromkeys((granter, adopter))
+            if party not in self._dead
+        ]
+        if not parties:
+            return
+        states = {party: self._probe_state(party) for party in parties}
+        for party in parties:
+            if states[party] == "dead":
+                self._declare_dead(party)
+                return
+        if all(states[party] == "alive" for party in parties):
+            resends = self._lease_resends.get(shard, 0) + 1
+            if resends > 8:
+                raise ClusterError(
+                    f"shard {shard} handoff cannot complete: the network "
+                    "keeps losing its grant or ack"
+                )
+            self._lease_resends[shard] = resends
+            self._direct_adopt(shard, handoff_round, granter, adopter)
+            return
+        expiry = min(
+            self._probes[party] + self.result_timeout
+            for party in parties
+            if states[party] == "pending"
+        )
+        self._lease_timers[shard] = self.schedule(
+            expiry - self.now, lambda: self._lease_timed_out(shard)
+        )
+
+    def _result_timed_out(self, index: int, node: int, uidx: int) -> None:
+        self._result_timers.pop((index, node, uidx), None)
+        round_state = self._inflight.get(index)
+        if (
+            round_state is None
+            or (node, uidx) not in round_state.pending_results
+            or node in self._dead
+        ):
+            return
+        # Liveness, not latency: a unit's deadline extends as long as the
+        # node keeps producing *anything* (results, acks) and as long as
+        # its dispatched work envelope could still be executing.  A
+        # backlogged survivor digesting a replay burst — or one long
+        # conflict component — is slow, not dead; suspecting it would
+        # cascade fail-overs onto ever-fewer nodes.
+        deadline = (
+            self._last_heard.get(node, 0.0)
+            + self._outstanding_work.get(node, 0.0)
+            + self.result_timeout
+        )
+        if deadline > self.now:
+            self._result_timers[(index, node, uidx)] = self.schedule(
+                deadline - self.now,
+                lambda: self._result_timed_out(index, node, uidx),
+            )
+            return
+        # The envelope elapsed too — but silence still cannot tell a
+        # dead node from a live one whose result (or a grant feeding it)
+        # was lost in transit.  Probe before condemning: a pong means
+        # the unit itself is the casualty and retransmitting it is the
+        # cure (the commit dedup absorbs any straggling original); only
+        # a probe unanswered for a full timeout is evidence of death.
+        state = self._probe_state(node)
+        if state == "pending":
+            self._result_timers[(index, node, uidx)] = self.schedule(
+                self._probes[node] + self.result_timeout - self.now,
+                lambda: self._result_timed_out(index, node, uidx),
+            )
+            return
+        if state == "alive":
+            self._retransmit_unit(index, node, uidx)
+            return
+        self._declare_dead(node)
+
+    def _retransmit_unit(self, index: int, node: int, uidx: int) -> None:
+        """The node answers probes but the unit is overdue beyond its
+        whole work envelope: a message it depends on was lost.  Replay
+        it on the least-loaded live node, against a per-round budget —
+        a network that eats every copy fails the run loudly."""
+        spent = self._retransmits.get(index, 0) + 1
+        if spent > max(16, 2 * self.window):
+            raise ClusterError(
+                f"round {index} exhausted its retransmission budget: "
+                "results are being lost faster than replays restore them"
+            )
+        self._retransmits[index] = spent
+        self.stats.ops_replayed += self._replay_unit(index, node, uidx)
+        self._drain_gates()
+
+    def _declare_dead(self, node: int) -> None:
+        """Fail a node over: fence it, resolve its in-flight lease
+        handoffs, revoke every shard it owns (cooldown bypassed — a
+        revoked shard must be re-grantable immediately), and replay its
+        uncommitted in-flight units on survivors.  Committed units are
+        untouched: their results already arrived, and the apply-side
+        dedup makes any straggler re-execution a no-op."""
+        if not self.recovery or node in self._dead:
+            return
+        live = [
+            n
+            for n in range(self.shard_map.num_nodes)
+            if n != node and n not in self._dead
+        ]
+        if not live:
+            raise ClusterError(
+                f"node {node} timed out and no live nodes remain "
+                "to fail over to"
+            )
+        self._dead.add(node)
+        self._probes.pop(node, None)
+        if self.faults is not None:
+            self.faults.fence(node)
+        started = self.now
+        if self.tracer is not None:
+            self.tracer.instant(
+                "faults",
+                f"node {node} declared dead",
+                started,
+                args={"node": node},
+            )
+        # In-flight lease handoffs touching the dead node cannot finish
+        # on their own.  A dead *adopter*'s ack is resolved synthetically
+        # (the shard itself is revoked below and the waiting unit
+        # replayed); a dead *granter* is bypassed — the adopter takes the
+        # lease unilaterally and its ack keeps the round bookkeeping.
+        for shard, info in sorted(self._handoff_info.items()):
+            handoff_round, from_node, to_node = info
+            if from_node != node and to_node != node:
+                continue
+            self._cancel_lease_timer(shard)
+            del self._handoff_info[shard]
+            self._shard_ack_round.pop(shard, None)
+            self._lease_resends.pop(shard, None)
+            if to_node == node:
+                round_state = self._inflight.get(handoff_round)
+                if round_state is not None and handoff_round >= 0:
+                    round_state.pending_acks -= 1
+            else:
+                self._direct_adopt(shard, handoff_round, node, to_node)
+        for index in sorted(self._inflight):
+            round_state = self._inflight[index]
+            for migration in list(round_state.lease_pending):
+                shard, from_node, to_node = migration
+                if to_node != node:
+                    # A queued migration *granted by* the dead node stays
+                    # queued: _drain_gates adopts unilaterally when the
+                    # shard's serialization token clears.
+                    continue
+                round_state.lease_pending.remove(migration)
+                round_state.pending_acks -= 1
+        # Revoke the dead node's leases and spread its shards over the
+        # survivors.  The cooldown pin is dropped, not set: revocation
+        # must leave the shard immediately re-grantable.  A shard with a
+        # live handoff token is left alone — clobbering the token would
+        # orphan that handoff's ack — and is lazily adopted by the next
+        # migration planned off the dead owner.
+        for shard in sorted(self.shard_map.shards_of_node(node)):
+            if shard in self._shard_ack_round:
+                continue
+            target = min(
+                live,
+                key=lambda n: (len(self.shard_map.shards_of_node(n)), n),
+            )
+            self.shard_map.migrate(shard, target, self._rounds_started)
+            self._last_migration.pop(shard, None)
+            self.stats.revocations += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "faults",
+                    f"revoke shard {shard} -> node {target}",
+                    self.now,
+                    args={"shard": shard, "node": target, "from_node": node},
+                )
+            self._direct_adopt(shard, ADMIN_ROUND, node, target)
+        # Replay every uncommitted in-flight unit of the dead node —
+        # queued or dispatched, its cl_run/result died with the node.
+        episode = self._recovering.get(node)
+        if episode is None:
+            episode = _RecoveryEpisode(started=started)
+            self._recovering[node] = episode
+        for index in sorted(self._inflight):
+            round_state = self._inflight[index]
+            for key in sorted(
+                k for k in round_state.pending_results if k[0] == node
+            ):
+                self.stats.ops_replayed += self._replay_unit(
+                    index, node, key[1]
+                )
+        # Synthetic ack resolution may have completed rounds.
+        for index in sorted(self._inflight):
+            if index in self._inflight:
+                self._finish_pipelined_round(index)
+        self._drain_gates()
+
+    def _direct_adopt(
+        self, shard: int, handoff_round: int, from_node: int, to_node: int
+    ) -> None:
+        """Reassign a shard without its (dead) owner's cooperation via
+        ``cl_lease_revoke``.  The adopter's ack serializes further
+        handoffs of the shard behind the adoption, exactly like a normal
+        grant's ack; a revoke carrying a real round doubles as the grant
+        the named unit was waiting for."""
+        self._shard_ack_round[shard] = handoff_round
+        self._handoff_info[shard] = (handoff_round, to_node, to_node)
+        self._arm_lease_timer(shard)
+        payload = {
+            "shard": shard,
+            "from_node": from_node,
+            "round": handoff_round,
+        }
+        if handoff_round >= 0:
+            round_state = self._inflight[handoff_round]
+            assert round_state.routed.lease_units is not None
+            payload["unit"] = round_state.routed.lease_units[shard][1]
+        self.send(to_node, "cl_lease_revoke", payload)
+
+    def _replay_unit(self, index: int, node: int, uidx: int) -> int:
+        """Re-dispatch one in-flight unit of a failed node on a live one.
+
+        The replay needs no lease grants — co-location, not ownership,
+        is the safety argument — and its sync order (if any) was already
+        committed, so ``sync_ready`` rides along unchanged.  The unit's
+        footprint summary moves to the new key, so every later round's
+        conflicting unit stays gated behind the replay exactly as it was
+        behind the original."""
+        round_state = self._inflight[index]
+        old_key = (node, uidx)
+        unit = self._unit_for(index, node, uidx)
+        live = [
+            n
+            for n in range(self.shard_map.num_nodes)
+            if n not in self._dead
+        ]
+        target = min(live, key=lambda n: (len(self._node_queue[n]), n))
+        new_uidx = _REPLAY_BASE + round_state.replay_seq
+        round_state.replay_seq += 1
+        new_key = (target, new_uidx)
+        round_state.replay_units[new_key] = replace(unit, leases=0)
+        round_state.replay_units.pop(old_key, None)
+        round_state.summaries[new_key] = round_state.summaries.pop(old_key)
+        round_state.pending_results.discard(old_key)
+        round_state.pending_results.add(new_key)
+        round_state.dispatched.discard(old_key)
+        round_state.gate_blocked_since.pop(old_key, None)
+        timer = self._result_timers.pop((index, node, uidx), None)
+        if timer is not None:
+            timer.cancel()
+        envelope = self._unit_envelope.pop((index, node, uidx), None)
+        if envelope is not None:
+            self._outstanding_work[node] = max(
+                0.0, self._outstanding_work.get(node, 0.0) - envelope
+            )
+        try:
+            self._node_queue[node].remove((index, uidx))
+        except ValueError:
+            pass
+        self._node_queue[target].append((index, new_uidx))
+        old3 = (index, node, uidx)
+        new3 = (index, target, new_uidx)
+        owners = self._replay_episode.pop(old3, ())
+        if node not in owners:
+            owners = owners + (node,)
+        self._replay_episode[new3] = owners
+        for owner in owners:
+            episode = self._recovering.get(owner)
+            if episode is not None:
+                episode.outstanding.discard(old3)
+                episode.outstanding.add(new3)
+        self._replay_started.pop(old3, None)
+        self._replay_started[new3] = self.now
+        return len(unit.ops)
+
+    def node_rejoined(self, node: int) -> None:
+        """Readmit a restarted node: clear its dead mark, replay whatever
+        was dispatched to it before the crash (the crash erased it), and
+        rebalance shards onto it so it carries a fair share again."""
+        if not self.recovery:
+            return
+        self._dead.discard(node)
+        self._probes.pop(node, None)
+        self._last_heard[node] = self.now
+        # The crash voided whatever envelope the dead incarnation had
+        # accrued; a stale bound must not slow re-detection.
+        self._outstanding_work[node] = 0.0
+        self.stats.rejoins += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "faults",
+                f"node {node} rejoined",
+                self.now,
+                args={"node": node},
+            )
+        replayed = 0
+        for index in sorted(self._inflight):
+            round_state = self._inflight[index]
+            for key in sorted(
+                k
+                for k in round_state.pending_results
+                if k[0] == node and k in round_state.dispatched
+            ):
+                if node not in self._recovering:
+                    self._recovering[node] = _RecoveryEpisode(
+                        started=self.now
+                    )
+                replayed += self._replay_unit(index, node, key[1])
+        self.stats.ops_replayed += replayed
+        self._rebalance_to(node)
+        self._drain_gates()
+
+    def _rebalance_to(self, node: int) -> None:
+        """Administrative lease transfers bringing a rejoined node up to
+        its fair shard share — the normal request/grant/ack handshake
+        under the :data:`ADMIN_ROUND` sentinel, cooldown pins set as any
+        migration would."""
+        live = [
+            n
+            for n in range(self.shard_map.num_nodes)
+            if n not in self._dead
+        ]
+        fair = self.shard_map.num_shards // len(live)
+        while len(self.shard_map.shards_of_node(node)) < fair:
+            donors = [
+                n
+                for n in live
+                if n != node
+                and len(self.shard_map.shards_of_node(n)) > fair
+            ]
+            if not donors:
+                break
+            donor = max(
+                donors,
+                key=lambda n: (len(self.shard_map.shards_of_node(n)), n),
+            )
+            movable = [
+                shard
+                for shard in self.shard_map.shards_of_node(donor)
+                if shard not in self._shard_ack_round
+            ]
+            if not movable:
+                break
+            shard = max(movable)
+            self.shard_map.migrate(shard, node, self._rounds_started)
+            self._last_migration[shard] = self._rounds_started
+            self._shard_ack_round[shard] = ADMIN_ROUND
+            self._handoff_info[shard] = (ADMIN_ROUND, donor, node)
+            self._arm_lease_timer(shard)
+            self.send(
+                donor,
+                "cl_lease_request",
+                {"shard": shard, "new_owner": node, "round": ADMIN_ROUND},
+            )
+
+    def _settle_replay(self, key3: tuple) -> None:
+        """A replay incarnation's result arrived: settle every failure
+        episode waiting on it; an episode whose last replay settled adds
+        its span to ``recovery_makespan``."""
+        owners = self._replay_episode.pop(key3, None)
+        if owners is None:
+            return
+        for owner in owners:
+            episode = self._recovering.get(owner)
+            if episode is None:
+                continue
+            episode.outstanding.discard(key3)
+            if episode.outstanding:
+                continue
+            del self._recovering[owner]
+            self.stats.recovery_makespan += self.now - episode.started
+            if self.tracer is not None:
+                self.tracer.span(
+                    "faults",
+                    f"recovery node {owner}",
+                    "recovery",
+                    episode.started,
+                    self.now,
+                    chain=False,
+                    args={"node": owner},
+                )
+
     # -- message handlers -------------------------------------------------
+
+    def handle_cl_pong(self, message: Message) -> None:
+        """A probed node answered: alive, however late its work.  The
+        pong refreshes the liveness floor; the timer that sent the
+        probe re-fires, sees the answer, and retransmits the stuck
+        message instead of declaring the node dead."""
+        self._last_heard[message.src] = self.now
 
     def handle_cl_lease_ack(self, message: Message) -> None:
         body = message.payload
         if self.pipeline_depth > 1:
             index = body["round"]
+            shard = body["shard"]
+            if self.recovery:
+                self._last_heard[message.src] = self.now
+                # The shard's serialization token is the exactly-once
+                # guard: an ack settles its handoff (timer, bookkeeping,
+                # pending_acks) only while it still holds the token.  An
+                # ack whose handoff was settled synthetically by
+                # _declare_dead — or that raced a revocation — finds the
+                # token gone or moved on and is merely counted.
+                if self._shard_ack_round.get(shard) != index:
+                    self.stats.stale_messages += 1
+                    return
+                self._cancel_lease_timer(shard)
+                self._handoff_info.pop(shard, None)
+                self._shard_ack_round.pop(shard, None)
+                self._lease_resends.pop(shard, None)
+                if index == ADMIN_ROUND:
+                    # Administrative handoff (revocation fail-over or
+                    # rejoin rebalancing); no round bookkeeping.
+                    self._drain_gates()
+                    return
+                round_state = self._inflight.get(index)
+                if round_state is None:
+                    self.stats.stale_messages += 1
+                    return
+                round_state.pending_acks -= 1
+                self._finish_pipelined_round(index)
+                self._drain_gates()
+                return
             round_state = self._inflight.get(index)
             if round_state is None:
                 raise ClusterError("stray lease ack outside its round")
             round_state.pending_acks -= 1
-            self._shard_ack_round.pop(body["shard"], None)
+            self._shard_ack_round.pop(shard, None)
             self._finish_pipelined_round(index)
             self._drain_gates()
             return
@@ -1054,7 +1682,31 @@ class Router(Node):
                 if self.unit_dispatch
                 else message.src
             )
+            if self.recovery and self.unit_dispatch:
+                self._last_heard[message.src] = self.now
+                timer = self._result_timers.pop(
+                    (index, message.src, body["unit"]), None
+                )
+                if timer is not None:
+                    timer.cancel()
+                envelope = self._unit_envelope.pop(
+                    (index, message.src, body["unit"]), None
+                )
+                if envelope is not None:
+                    self._outstanding_work[message.src] = max(
+                        0.0,
+                        self._outstanding_work.get(message.src, 0.0)
+                        - envelope,
+                    )
             if round_state is None or key not in round_state.pending_results:
+                if self.recovery:
+                    # A result from a node declared dead after sending it
+                    # (its unit was replayed), or a straggler from a
+                    # fenced-but-alive node: the apply-side dedup already
+                    # made any double-execution a no-op, so tolerate and
+                    # count rather than crash the run.
+                    self.stats.stale_messages += 1
+                    return
                 raise ClusterError(
                     f"stray or duplicate result from node {message.src} "
                     f"in round {index}"
@@ -1062,6 +1714,8 @@ class Router(Node):
             self.responses.update(body["responses"])
             round_state.pending_results.discard(key)
             round_state.completed.add(key)
+            if self.recovery and self.unit_dispatch:
+                self._settle_replay((index, message.src, body["unit"]))
             if not self.unit_dispatch:
                 self._node_outstanding.discard(message.src)
             self._finish_pipelined_round(index)

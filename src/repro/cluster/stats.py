@@ -49,6 +49,10 @@ class NodeBill:
     dag_critical_ops: int = 0
     max_dag_critical_path: int = 0
     max_dag_width: int = 0
+    #: Fault lifecycle (:mod:`repro.faults`): times this node crashed and
+    #: times it rejoined the cluster.
+    crashes: int = 0
+    restarts: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -66,6 +70,8 @@ class NodeBill:
             "dag_critical_ops": self.dag_critical_ops,
             "max_dag_critical_path": self.max_dag_critical_path,
             "max_dag_width": self.max_dag_width,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
         }
 
 
@@ -171,6 +177,24 @@ class ClusterStats:
     dispatch_stall_time_contended: float = 0.0
     frontier_stall_time: float = 0.0
     frontier_stall_time_contended: float = 0.0
+
+    #: Fault tolerance (:mod:`repro.faults`): crash/recovery accounting.
+    #: ``ops_lost`` is the committed-op loss — admitted operations whose
+    #: response never materialized; the recovery protocol holds it at 0
+    #: for every crash schedule.  ``ops_replayed`` counts operations
+    #: re-dispatched from a failed node to a survivor; ``revocations``
+    #: counts shard leases unilaterally revoked from failed owners;
+    #: ``rejoins`` counts nodes readmitted after a restart;
+    #: ``recovery_makespan`` is the total virtual time between declaring
+    #: a node dead and its last replayed result (per failure episode);
+    #: ``stale_messages`` counts results/acks from fenced or superseded
+    #: senders that the router tolerated instead of raising.
+    ops_lost: int = 0
+    ops_replayed: int = 0
+    revocations: int = 0
+    rejoins: int = 0
+    recovery_makespan: float = 0.0
+    stale_messages: int = 0
 
     #: Virtual-time end-to-end makespan (network + execution + consensus).
     makespan: float = 0.0
@@ -339,6 +363,12 @@ class ClusterStats:
             "mean_team_size": self.mean_team_size,
             "max_concurrent_teams": self.max_concurrent_teams,
             "dropped_ops": self.dropped_ops,
+            "ops_lost": self.ops_lost,
+            "ops_replayed": self.ops_replayed,
+            "revocations": self.revocations,
+            "rejoins": self.rejoins,
+            "recovery_makespan": self.recovery_makespan,
+            "stale_messages": self.stale_messages,
             "lease_migrations": self.lease_migrations,
             "lease_messages": self.lease_messages,
             "lease_cooldown_skips": self.lease_cooldown_skips,

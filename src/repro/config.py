@@ -32,13 +32,22 @@ whatever config (or default) is in effect.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, fields, replace
+from dataclasses import dataclass, fields, replace
 
 from repro.errors import ClusterError, EngineError
 
 #: Sentinel distinguishing "kwarg not passed" from legitimate ``None``
 #: values (``mempool_capacity=None``, ``lane_ttl=None``).
 UNSET = object()
+
+
+def _jsonify(value):
+    """Recursively coerce a config field into JSON-canonical form."""
+    if isinstance(value, _ConfigBase):
+        return value.as_dict()
+    if isinstance(value, tuple):
+        return [_jsonify(item) for item in value]
+    return value
 
 
 def _with_overrides(config, overrides: dict):
@@ -59,21 +68,36 @@ class _ConfigBase:
     _error: type[Exception] = EngineError
 
     def as_dict(self) -> dict:
-        """A plain-JSON snapshot (bench metadata; ``from_dict`` inverts)."""
-        return asdict(self)
+        """A plain-JSON snapshot (bench metadata; ``from_dict`` inverts).
+
+        Derived from :func:`dataclasses.fields`, so a field added to any
+        config *cannot* drift out of the bench config block: nested
+        configs recurse through their own ``as_dict`` and tuples become
+        JSON lists (``from_dict`` restores both).
+        """
+        return {
+            field.name: _jsonify(getattr(self, field.name))
+            for field in fields(self)
+        }
 
     @classmethod
     def from_dict(cls, data: dict):
         """Rebuild a config from :meth:`as_dict` output.  Unknown keys
         fail loudly — a baseline written by a different config surface
         should never be silently reinterpreted."""
-        known = {f.name for f in fields(cls)}
-        unknown = sorted(set(data) - known)
+        known = {field.name: field for field in fields(cls)}
+        unknown = sorted(set(data) - set(known))
         if unknown:
             raise cls._error(
                 f"{cls.__name__} does not know the keys {unknown}"
             )
-        return cls(**data)
+        kwargs = {}
+        for name, value in data.items():
+            default = known[name].default
+            if isinstance(default, _ConfigBase) and isinstance(value, dict):
+                value = type(default).from_dict(value)
+            kwargs[name] = value
+        return cls(**kwargs)
 
     def _check_common(self) -> None:
         if self.window < 1:
@@ -148,6 +172,87 @@ class EngineConfig(_ConfigBase):
 
 
 @dataclass(frozen=True)
+class FaultConfig(_ConfigBase):
+    """A deterministic fault plan for the cluster's virtual-time network.
+
+    Everything is declared up front in virtual timestamps and replayed
+    identically on every run: crash/restart events, message-type drop
+    rules, and message-type delay rules (randomized rules draw from a
+    dedicated seeded stream, so the fault dice never perturb the
+    latency-model stream).  ``enabled=False`` (the default) injects
+    nothing and is bit-identical to a cluster without the fault layer.
+    """
+
+    enabled: bool = False
+    #: ``(node, crash_at, restart_at)`` triples (``restart_at=None`` =
+    #: the node never comes back).  ``(node, crash_at)`` pairs are
+    #: normalized to never-restarting triples.
+    crashes: tuple = ()
+    #: ``(message_type, probability, start, end)`` — drop matching
+    #: messages sent in ``[start, end)`` with the given probability.
+    drops: tuple = ()
+    #: ``(message_type, extra_delay, probability)`` — add ``extra_delay``
+    #: to matching messages with the given probability.
+    delays: tuple = ()
+    #: Seed of the drop/delay dice (independent of the latency stream).
+    seed: int = 0
+
+    _error = ClusterError
+
+    def __post_init__(self) -> None:
+        crashes = []
+        for crash in self.crashes:
+            crash = tuple(crash)
+            if len(crash) == 2:
+                crash = crash + (None,)
+            if len(crash) != 3:
+                raise ClusterError(
+                    "a crash is (node, crash_at[, restart_at]): "
+                    f"got {crash!r}"
+                )
+            node, at, restart_at = crash
+            if node < 0:
+                raise ClusterError("crash node must be non-negative")
+            if at < 0:
+                raise ClusterError("crash_at must be non-negative")
+            if restart_at is not None and restart_at <= at:
+                raise ClusterError("restart_at must be after crash_at")
+            crashes.append(crash)
+        object.__setattr__(self, "crashes", tuple(crashes))
+        drops = tuple(tuple(rule) for rule in self.drops)
+        object.__setattr__(self, "drops", drops)
+        for rule in drops:
+            if len(rule) != 4:
+                raise ClusterError(
+                    "a drop rule is (message_type, probability, start, "
+                    f"end): got {rule!r}"
+                )
+            _, probability, start, end = rule
+            if not 0.0 <= probability <= 1.0:
+                raise ClusterError("drop probability must be in [0, 1]")
+            if start < 0 or end < start:
+                raise ClusterError("drop window must satisfy 0 <= start <= end")
+        delays = tuple(tuple(rule) for rule in self.delays)
+        object.__setattr__(self, "delays", delays)
+        for rule in delays:
+            if len(rule) != 3:
+                raise ClusterError(
+                    "a delay rule is (message_type, extra_delay, "
+                    f"probability): got {rule!r}"
+                )
+            _, extra, probability = rule
+            if extra < 0:
+                raise ClusterError("extra_delay must be non-negative")
+            if not 0.0 <= probability <= 1.0:
+                raise ClusterError("delay probability must be in [0, 1]")
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether the plan injects anything at all when enabled."""
+        return bool(self.crashes or self.drops or self.delays)
+
+
+@dataclass(frozen=True)
 class ClusterConfig(_ConfigBase):
     """Configuration of the distributed :class:`~repro.cluster.cluster.
     TokenCluster`.
@@ -177,6 +282,15 @@ class ClusterConfig(_ConfigBase):
     pipeline_depth: int = 2
     dag_scheduling: bool = True
     lane_ttl: int | None = 32
+    #: Declare a node dead when a dispatched unit's ``cl_result`` is this
+    #: late (virtual time); ``None`` disables failure detection entirely.
+    result_timeout: float | None = None
+    #: Declare a lease *granter* dead when its handoff ack is this late;
+    #: ``None`` reuses ``result_timeout``.
+    lease_timeout: float | None = None
+    #: The deterministic fault plan (disabled by default — bit-identical
+    #: to a cluster without the fault layer).
+    fault: FaultConfig = FaultConfig()
 
     _error = ClusterError
 
@@ -189,6 +303,24 @@ class ClusterConfig(_ConfigBase):
             raise ClusterError("lease_min_gain must be positive")
         if self.lease_cooldown < 0:
             raise ClusterError("lease_cooldown must be non-negative")
+        if not isinstance(self.fault, FaultConfig):
+            raise ClusterError("fault must be a FaultConfig")
+        for name in ("result_timeout", "lease_timeout"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ClusterError(f"{name} must be positive (or None)")
+        recovery = self.result_timeout is not None
+        if self.fault.enabled and self.fault.crashes and not recovery:
+            raise ClusterError(
+                "a crash schedule needs result_timeout so the router "
+                "can detect the dead node and recover"
+            )
+        unit_dispatch = self.dag_scheduling and self.pipeline_depth > 1
+        if (self.fault.enabled or recovery) and not unit_dispatch:
+            raise ClusterError(
+                "fault recovery needs component-granular dispatch "
+                "(dag_scheduling=True with pipeline_depth > 1)"
+            )
         self._check_common()
 
     @classmethod

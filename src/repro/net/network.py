@@ -124,6 +124,10 @@ class Network:
         self.stats = NetworkStats()
         #: Partition: when set, messages crossing group boundaries are dropped.
         self._partition: list[frozenset[int]] | None = None
+        #: Fault injector (:class:`repro.faults.FaultInjector`); when set
+        #: it filters every send (crashed endpoints, drop rules, extra
+        #: delays) and every delivery (destination crashed in flight).
+        self.faults = None
 
     # ------------------------------------------------------------------
 
@@ -163,14 +167,26 @@ class Network:
         if self._crosses_partition(src, dst):
             self.stats.messages_dropped += 1
             return
+        extra = 0.0
+        if self.faults is not None:
+            dropped, extra = self.faults.disposition(message)
+            if dropped:
+                self.stats.messages_dropped += 1
+                return
         delay = self.latency.sample(src, dst, self.rng) if src != dst else 0.0
         node = self.nodes[dst]
 
         def deliver() -> None:
+            # A destination that crashed while the message was in flight
+            # loses it — in-flight traffic is not queued across a crash.
+            if self.faults is not None and self.faults.is_down(dst):
+                self.stats.messages_dropped += 1
+                self.faults.messages_dropped += 1
+                return
             self.stats.record_delivery(message)
             node.on_message(message)
 
-        self.simulator.schedule(delay, deliver)
+        self.simulator.schedule(delay + extra, deliver)
 
     def broadcast(self, src: int, type: str, payload: Any = None) -> None:
         """Send to every node, including the sender (self-delivery is local

@@ -43,8 +43,10 @@ class Node:
     def broadcast(self, type: str, payload: Any = None) -> None:
         self.network.broadcast(self.node_id, type, payload)
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        self.network.simulator.schedule(delay, callback)
+    def schedule(self, delay: float, callback: Callable[[], None]):
+        """Schedule a local timer; returns the :class:`EventHandle` so
+        fault-tolerant subclasses can cancel pending work on crash."""
+        return self.network.simulator.schedule(delay, callback)
 
     @property
     def now(self) -> float:

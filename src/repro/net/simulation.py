@@ -44,6 +44,12 @@ class EventHandle:
     def time(self) -> float:
         return self._event.time
 
+    @property
+    def active(self) -> bool:
+        """Whether the event is still scheduled (not cancelled and not
+        yet consumed by the loop)."""
+        return not self._event.cancelled
+
 
 class Simulator:
     """A minimal, deterministic discrete-event loop with virtual time."""
@@ -65,6 +71,16 @@ class Simulator:
         event = _Event(self.now + delay, next(self._seq), callback)
         heapq.heappush(self._queue, event)
         return EventHandle(event, self)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule ``callback`` at an absolute virtual timestamp — the
+        hook fault plans use to plant crash/restart events declared in
+        absolute time (:mod:`repro.faults`)."""
+        if time < self.now:
+            raise NetworkError("cannot schedule events in the past")
+        return self.schedule(time - self.now, callback)
 
     def _note_cancelled(self) -> None:
         """Track tombstones; compact the heap once they dominate.

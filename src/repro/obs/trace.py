@@ -50,6 +50,7 @@ CATEGORIES: tuple[str, ...] = (
     "frontier_stall",
     "lease_wait",
     "dispatch_stall",
+    "recovery",
     "network",
 )
 

@@ -1,0 +1,118 @@
+"""Churn schedules for fault experiments.
+
+Two builders pair with :mod:`repro.faults`:
+
+* :func:`crash_cadence` — a rolling crash/restart schedule over the
+  cluster's nodes, emitted as the ``(node, crash_at, restart_at)``
+  triples :class:`repro.config.FaultConfig` accepts verbatim.  The
+  cadence staggers crashes so the cluster degrades gradually instead of
+  losing several nodes at once.
+* :func:`flash_crowd` — an ERC20 workload whose hot-spot *migrates*:
+  the run is split into phases and each phase concentrates traffic on a
+  different account window.  Under fail-over this is the adversarial
+  shape — the shards a revocation just rebalanced go cold while a new
+  window heats up, so recovery placement is continually invalidated.
+
+Both are deterministic per seed, like every generator in this package.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import InvalidArgumentError
+from repro.spec.operation import Operation
+from repro.workloads.generators import WorkloadItem
+
+__all__ = ["crash_cadence", "flash_crowd"]
+
+
+def crash_cadence(
+    num_nodes: int,
+    *,
+    start: float,
+    spacing: float,
+    downtime: float | None,
+    crashes: int | None = None,
+) -> tuple[tuple[int, float, float | None], ...]:
+    """A rolling crash schedule: crash ``i`` hits node ``i % num_nodes``
+    at ``start + i * spacing`` and restarts it ``downtime`` later
+    (``downtime=None`` = permanent).  ``crashes`` defaults to one pass
+    over the nodes — capped at ``num_nodes - 1`` when permanent, so at
+    least one node survives the whole schedule.
+    """
+    if num_nodes < 2:
+        raise InvalidArgumentError("a crash cadence needs at least 2 nodes")
+    if start < 0 or spacing <= 0:
+        raise InvalidArgumentError(
+            "crash cadence needs start >= 0 and spacing > 0"
+        )
+    if downtime is not None and downtime <= 0:
+        raise InvalidArgumentError("downtime must be positive (or None)")
+    if crashes is None:
+        crashes = num_nodes if downtime is not None else num_nodes - 1
+    if crashes < 1:
+        raise InvalidArgumentError("need at least one crash")
+    if downtime is None and crashes >= num_nodes:
+        raise InvalidArgumentError(
+            "a permanent cadence must leave at least one node alive"
+        )
+    schedule = []
+    for i in range(crashes):
+        at = start + i * spacing
+        schedule.append(
+            (i % num_nodes, at, at + downtime if downtime is not None else None)
+        )
+    return tuple(schedule)
+
+
+def flash_crowd(
+    num_accounts: int,
+    count: int,
+    *,
+    phases: int = 4,
+    hotspot_accounts: int = 4,
+    hotspot_fraction: float = 0.8,
+    max_value: int = 10,
+    seed: int = 0,
+) -> list[WorkloadItem]:
+    """An ERC20 transfer workload whose hot window migrates each phase.
+
+    The ``count`` ops are split evenly over ``phases``; phase ``p``
+    routes ``hotspot_fraction`` of its account draws uniformly into a
+    ``hotspot_accounts``-wide window starting at
+    ``p * (num_accounts // phases)``, the rest uniformly over all
+    accounts.  Transfers only — the point is *where* the load sits, not
+    the conflict structure.
+    """
+    if num_accounts < 1 or count < 1:
+        raise InvalidArgumentError("need at least one account and one op")
+    if phases < 1 or phases > count:
+        raise InvalidArgumentError(f"phases must be in [1, {count}]")
+    if not 0.0 <= hotspot_fraction <= 1.0:
+        raise InvalidArgumentError("hotspot_fraction must be in [0, 1]")
+    if not 1 <= hotspot_accounts <= num_accounts:
+        raise InvalidArgumentError(
+            f"hot window must be in [1, {num_accounts}] accounts"
+        )
+    rng = random.Random(seed)
+    stride = max(1, num_accounts // phases)
+    items: list[WorkloadItem] = []
+    for i in range(count):
+        phase = min(phases - 1, i * phases // count)
+        base = (phase * stride) % num_accounts
+
+        def draw() -> int:
+            if rng.random() < hotspot_fraction:
+                return (base + rng.randrange(hotspot_accounts)) % num_accounts
+            return rng.randrange(num_accounts)
+
+        items.append(
+            WorkloadItem(
+                pid=draw(),
+                operation=Operation(
+                    "transfer", (draw(), rng.randint(0, max_value))
+                ),
+            )
+        )
+    return items

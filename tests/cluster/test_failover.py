@@ -1,0 +1,240 @@
+"""Fail-over under fault schedules: the recovery contract, machine-checked.
+
+Every test here runs a faulted cluster against the object's sequential
+specification and demands *serial equivalence*: no committed operation
+lost, none double-applied, every response identical to the fault-free
+run.  On top of that sit the protocol-level claims — recovery armed but
+idle costs nothing, revocation bypasses the lease cooldown while rejoin
+rebalancing honors it, and an unsurvivable schedule fails loudly instead
+of silently dropping operations.  A hypothesis property sweeps random
+crash schedules across pipeline depths and node counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import TokenCluster
+from repro.config import ClusterConfig, FaultConfig
+from repro.errors import ClusterError
+from repro.objects.erc20 import ERC20TokenType
+from repro.workloads import CHAIN_HEAVY_MIX, TokenWorkloadGenerator
+
+SEED = 7
+ACCOUNTS = 64
+TIMEOUT = 12.0
+
+
+def make_items(ops: int = 400, seed: int = SEED):
+    return TokenWorkloadGenerator(
+        ACCOUNTS, seed=seed, mix=CHAIN_HEAVY_MIX
+    ).generate(ops)
+
+
+def reference(items):
+    token = ERC20TokenType(ACCOUNTS, total_supply=100 * ACCOUNTS)
+    return token.run([(item.pid, item.operation) for item in items])
+
+
+def run_cluster(
+    items,
+    fault: FaultConfig | None = None,
+    timeout: float | None = TIMEOUT,
+    nodes: int = 4,
+    **overrides,
+) -> TokenCluster:
+    token = ERC20TokenType(ACCOUNTS, total_supply=100 * ACCOUNTS)
+    config = ClusterConfig(
+        num_nodes=nodes,
+        lanes_per_node=4,
+        window=64,
+        seed=SEED,
+        result_timeout=timeout,
+        fault=fault if fault is not None else FaultConfig(),
+        **overrides,
+    )
+    cluster = TokenCluster(token, config=config)
+    cluster.run_workload(items)
+    return cluster
+
+
+def assert_equivalent(cluster: TokenCluster, items) -> None:
+    ref_state, ref_responses = reference(items)
+    assert cluster.state == ref_state
+    responses = [cluster.router.responses[i] for i in range(len(items))]
+    assert responses == ref_responses
+    assert cluster.stats.ops_lost == 0
+
+
+SCHEDULES = {
+    "permanent_crash": FaultConfig(enabled=True, crashes=((1, TIMEOUT),)),
+    "crash_restart": FaultConfig(
+        enabled=True, crashes=((1, TIMEOUT, 40.0),)
+    ),
+    "double_crash": FaultConfig(
+        enabled=True, crashes=((1, 10.0), (3, 25.0))
+    ),
+    "result_drop_burst": FaultConfig(
+        enabled=True, drops=(("cl_result", 1.0, 5.0, 6.0),)
+    ),
+    "grant_drops": FaultConfig(
+        enabled=True, drops=(("cl_lease_grant", 0.4, 0.0, 30.0),), seed=3
+    ),
+    "result_delays": FaultConfig(
+        enabled=True, delays=(("cl_result", 4.0, 0.5),), seed=5
+    ),
+    "crash_plus_ack_delays": FaultConfig(
+        enabled=True,
+        crashes=((2, 15.0, 45.0),),
+        delays=(("cl_lease_ack", 3.0, 0.5),),
+        seed=11,
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCHEDULES))
+def test_serial_equivalence_under_fault_schedules(name):
+    items = make_items()
+    cluster = run_cluster(items, fault=SCHEDULES[name])
+    assert_equivalent(cluster, items)
+
+
+def test_crashes_exercise_revocation_and_replay():
+    items = make_items()
+    stats = run_cluster(items, fault=SCHEDULES["permanent_crash"]).stats
+    assert stats.revocations > 0
+    assert stats.ops_replayed > 0
+    assert stats.rejoins == 0
+    restarted = run_cluster(items, fault=SCHEDULES["crash_restart"]).stats
+    assert restarted.rejoins == 1
+
+
+def test_recovery_armed_but_idle_is_identical_to_unarmed():
+    """``result_timeout`` set with no fault firing: every timer is
+    cancelled before it fires, and a cancelled timer never advances the
+    virtual clock — so the whole stats dict reproduces bit for bit."""
+    items = make_items()
+    unarmed = run_cluster(items, timeout=None)
+    armed = run_cluster(items, timeout=TIMEOUT)
+    assert armed.state == unarmed.state
+    assert armed.router.responses == unarmed.router.responses
+    unarmed_stats = unarmed.stats.as_dict()
+    armed_stats = armed.stats.as_dict()
+    assert armed_stats == unarmed_stats
+    assert armed.stats.makespan == unarmed.stats.makespan
+
+
+def test_unsurvivable_schedule_fails_loudly():
+    """Dropping every result forever: every node still answers probes,
+    so nobody is declared dead — instead each replayed copy is eaten in
+    turn until the retransmission budget runs out.  The run must end in
+    a ClusterError — never in silent operation loss."""
+    items = make_items()
+    with pytest.raises(ClusterError, match="retransmission budget"):
+        run_cluster(
+            items,
+            fault=FaultConfig(
+                enabled=True, drops=(("cl_result", 1.0, 0.0, 1e9),)
+            ),
+        )
+
+
+def test_revocation_bypasses_lease_cooldown():
+    """A revoked shard must be immediately re-grantable: the fail-over
+    drops the shard's cooldown pin (a dead owner is not ping-pong), while
+    rejoin rebalancing *sets* pins like any planned migration."""
+    items = make_items()
+    token = ERC20TokenType(ACCOUNTS, total_supply=100 * ACCOUNTS)
+    config = ClusterConfig(
+        num_nodes=4,
+        lanes_per_node=4,
+        window=64,
+        seed=SEED,
+        lease_cooldown=50,
+        result_timeout=TIMEOUT,
+        fault=FaultConfig(enabled=True, crashes=((1, TIMEOUT, 60.0),)),
+    )
+    cluster = TokenCluster(token, config=config)
+    router = cluster.router
+    observed = {}
+
+    original_declare = router._declare_dead
+
+    def spy_declare(node):
+        owned_before = set(cluster.shard_map.shards_of_node(node))
+        original_declare(node)
+        moved = owned_before - set(cluster.shard_map.shards_of_node(node))
+        observed.setdefault("revoked", set()).update(moved)
+        pinned = moved & set(router._last_migration)
+        assert not pinned, (
+            f"revoked shards still pinned by the cooldown: {pinned}"
+        )
+
+    original_rejoin = router.node_rejoined
+
+    def spy_rejoin(node):
+        owned_before = set(cluster.shard_map.shards_of_node(node))
+        original_rejoin(node)
+        gained = set(cluster.shard_map.shards_of_node(node)) - owned_before
+        observed.setdefault("rebalanced", set()).update(gained)
+        unpinned = gained - set(router._last_migration)
+        assert not unpinned, (
+            f"rejoin rebalancing skipped the cooldown pin: {unpinned}"
+        )
+
+    router._declare_dead = spy_declare
+    router.node_rejoined = spy_rejoin
+    cluster.run_workload(items)
+    assert observed.get("revoked"), "the crash never revoked a shard"
+    assert observed.get("rebalanced"), "the rejoin never rebalanced"
+    assert_equivalent(cluster, items)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data=st.data(),
+    nodes=st.integers(min_value=2, max_value=4),
+    depth=st.integers(min_value=2, max_value=3),
+    workload_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_serial_equivalence_under_random_crash_schedules(
+    data, nodes, depth, workload_seed
+):
+    """For ANY crash schedule leaving at least one node alive, the
+    surviving operations' results are serially equivalent to the
+    fault-free run — across node counts and pipeline depths."""
+    crash_count = data.draw(
+        st.integers(min_value=1, max_value=nodes - 1), label="crashes"
+    )
+    victims = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=nodes - 1),
+            min_size=crash_count,
+            max_size=crash_count,
+            unique=True,
+        ),
+        label="victims",
+    )
+    crashes = []
+    for victim in victims:
+        at = data.draw(
+            st.floats(min_value=1.0, max_value=80.0), label="crash_at"
+        )
+        restart = data.draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=at + 1.0, max_value=at + 120.0),
+            ),
+            label="restart_at",
+        )
+        crashes.append((victim, at, restart))
+    items = make_items(ops=160, seed=workload_seed)
+    cluster = run_cluster(
+        items,
+        fault=FaultConfig(enabled=True, crashes=tuple(crashes)),
+        nodes=nodes,
+        pipeline_depth=depth,
+    )
+    assert_equivalent(cluster, items)

@@ -1,0 +1,79 @@
+"""Churn schedule builders: rolling cadences and migrating hot-spots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.workloads import crash_cadence, flash_crowd
+
+
+def test_cadence_rolls_over_the_nodes():
+    schedule = crash_cadence(3, start=10.0, spacing=5.0, downtime=2.0)
+    assert schedule == (
+        (0, 10.0, 12.0),
+        (1, 15.0, 17.0),
+        (2, 20.0, 22.0),
+    )
+
+
+def test_permanent_cadence_leaves_a_survivor():
+    schedule = crash_cadence(3, start=0.0, spacing=1.0, downtime=None)
+    assert len(schedule) == 2  # capped at num_nodes - 1
+    assert all(restart is None for _, _, restart in schedule)
+    with pytest.raises(InvalidArgumentError):
+        crash_cadence(3, start=0.0, spacing=1.0, downtime=None, crashes=3)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_nodes": 1, "start": 0.0, "spacing": 1.0, "downtime": 1.0},
+        {"num_nodes": 3, "start": -1.0, "spacing": 1.0, "downtime": 1.0},
+        {"num_nodes": 3, "start": 0.0, "spacing": 0.0, "downtime": 1.0},
+        {"num_nodes": 3, "start": 0.0, "spacing": 1.0, "downtime": 0.0},
+        {
+            "num_nodes": 3,
+            "start": 0.0,
+            "spacing": 1.0,
+            "downtime": 1.0,
+            "crashes": 0,
+        },
+    ],
+)
+def test_cadence_rejects_malformed_plans(kwargs):
+    with pytest.raises(InvalidArgumentError):
+        crash_cadence(**kwargs)
+
+
+def test_flash_crowd_is_deterministic_per_seed():
+    first = flash_crowd(64, 200, seed=9)
+    assert first == flash_crowd(64, 200, seed=9)
+    assert first != flash_crowd(64, 200, seed=10)
+    assert len(first) == 200
+    assert all(item.operation.name == "transfer" for item in first)
+
+
+def test_flash_crowd_hotspot_migrates_between_phases():
+    items = flash_crowd(
+        100, 400, phases=4, hotspot_accounts=4, hotspot_fraction=1.0, seed=1
+    )
+    per_phase = [items[i * 100 : (i + 1) * 100] for i in range(4)]
+    for phase, chunk in enumerate(per_phase):
+        window = {(phase * 25 + k) % 100 for k in range(4)}
+        assert {item.pid for item in chunk} <= window
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_accounts": 0, "count": 10},
+        {"num_accounts": 10, "count": 0},
+        {"num_accounts": 10, "count": 5, "phases": 6},
+        {"num_accounts": 10, "count": 5, "hotspot_fraction": 1.5},
+        {"num_accounts": 10, "count": 5, "hotspot_accounts": 11},
+    ],
+)
+def test_flash_crowd_rejects_malformed_plans(kwargs):
+    with pytest.raises(InvalidArgumentError):
+        flash_crowd(**kwargs)
